@@ -1,0 +1,122 @@
+"""Ablations for DESIGN.md §5's design choices.
+
+* Candidate rule: MIS (base monitor) vs E_d/T (tree monitor) under the
+  same suspicion history -- the tree rule excludes fewer replicas per
+  suspicion but gives the 2f bound.
+* Score with/without the estimate ``u`` -- using the observed fault
+  count beats budgeting the worst case f (§6.1.2 Challenge 2).
+* SA vs greedy-random tree search under equal evaluation budgets.
+"""
+
+import random
+
+from repro.core.log import AppendOnlyLog
+from repro.core.records import SuspicionKind, SuspicionRecord
+from repro.core.suspicion import SuspicionMonitor
+from repro.net.deployments import random_world_deployment
+from repro.optimize.annealing import AnnealingSchedule
+from repro.tree.candidates import TreeSuspicionMonitor
+from repro.tree.optitree import optitree_search, random_tree
+from repro.tree.score import tree_score
+
+
+def _suspicion_history(n, count, seed):
+    rng = random.Random(seed)
+    records = []
+    for round_id in range(count):
+        a, b = rng.sample(range(n), 2)
+        records.append(
+            SuspicionRecord(
+                reporter=a, suspect=b, kind=SuspicionKind.SLOW,
+                round_id=round_id, phase=1,
+            )
+        )
+        records.append(
+            SuspicionRecord(
+                reporter=b, suspect=a, kind=SuspicionKind.FALSE,
+                round_id=round_id,
+            )
+        )
+    return records
+
+
+def test_ablation_candidate_rules(benchmark):
+    """E_d/T keeps more candidates than MIS... or excludes both suspects
+    -- measure both on identical histories."""
+    n, f = 43, 14
+
+    def run():
+        results = []
+        for seed in range(5):
+            records = _suspicion_history(n, 10, seed)
+            log_mis, log_tree = AppendOnlyLog(), AppendOnlyLog()
+            mis = SuspicionMonitor(0, log_mis, n=n, f=f)
+            tree = TreeSuspicionMonitor(0, log_tree, n=n, f=f)
+            for record in records:
+                log_mis.append(record)
+                log_tree.append(record)
+            results.append((len(mis.K), mis.u, len(tree.K), tree.u))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("  (|K_mis|, u_mis, |K_tree|, u_tree):", results)
+    for k_mis, u_mis, k_tree, u_tree in results:
+        # MIS keeps one endpoint per edge: K_mis >= K_tree, but the tree
+        # rule's u (edges+triangles) is never above the MIS estimate.
+        assert k_mis >= k_tree
+        assert u_tree <= u_mis
+        assert k_mis >= n - f
+
+
+def test_ablation_score_with_u_vs_worst_case(benchmark):
+    """Scoring with the observed u yields faster trees than assuming f."""
+    n, f, u = 111, 36, 5
+    deployment = random_world_deployment(n, random.Random(1))
+    latency = deployment.latency.matrix_seconds() / 2.0
+    schedule = AnnealingSchedule(iterations=3000, initial_temperature=0.05)
+    q = n - f
+
+    def run():
+        with_u = optitree_search(
+            latency, n, f, frozenset(range(n)), u=u,
+            rng=random.Random(2), schedule=schedule,
+        ).best_state
+        worst_case = optitree_search(
+            latency, n, f, frozenset(range(n)), u=0,
+            rng=random.Random(2), schedule=schedule, k=q + f,
+        ).best_state
+        return (
+            tree_score(latency, with_u, q + u),
+            tree_score(latency, worst_case, q + f),
+        )
+
+    score_u, score_f = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  score(q+u)={score_u:.4f} s vs score(q+f)={score_f:.4f} s")
+    assert score_u < score_f
+
+
+def test_ablation_sa_vs_random_sampling(benchmark):
+    """SA beats best-of-N random trees at an equal evaluation budget."""
+    n, f = 157, 52
+    deployment = random_world_deployment(n, random.Random(3))
+    latency = deployment.latency.matrix_seconds() / 2.0
+    budget = 3000
+    k = 2 * f + 1
+
+    def run():
+        sa = optitree_search(
+            latency, n, f, frozenset(range(n)), u=0, rng=random.Random(4),
+            schedule=AnnealingSchedule(iterations=budget, initial_temperature=0.05),
+            k=k,
+        ).best_score
+        rng = random.Random(4)
+        best_random = min(
+            tree_score(latency, random_tree(n, frozenset(range(n)), rng), k)
+            for _ in range(budget)
+        )
+        return sa, best_random
+
+    sa, best_random = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  SA={sa:.4f} s vs best-of-{3000}-random={best_random:.4f} s")
+    assert sa <= best_random * 1.05

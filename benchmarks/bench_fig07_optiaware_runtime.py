@@ -1,0 +1,39 @@
+"""Fig. 7: OptiAware runtime behaviour under the Pre-Prepare delay attack.
+
+Regenerates the latency-timeline comparison of BFT-SMaRt, Aware and
+OptiAware.  Expected shape: Aware/OptiAware optimize below the static
+baseline; under attack all degrade; only OptiAware reconfigures away from
+the Byzantine leader and restores its optimized latency.
+"""
+
+from repro.experiments import fig7
+from benchmarks.conftest import full_scale
+
+
+def test_fig07_optiaware_runtime(benchmark):
+    fast = not full_scale()
+
+    def run():
+        return fig7.run(fast=fast)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(fig7.format_table(
+        ["protocol", "initial [ms]", "optimized [ms]", "attack [ms]",
+         "final [ms]", "reconfigs"],
+        fig7.summary_rows(results),
+        title="Fig. 7 -- client latency through the attack timeline",
+    ))
+    static = results["static"]
+    aware = results["aware"]
+    optiaware = results["optiaware"]
+    # Optimization helps (Aware/OptiAware beat the static baseline).
+    assert aware.phase_means["optimized"] < static.phase_means["optimized"]
+    # The attack degrades everyone while it lasts.
+    assert static.phase_means["under attack"] > 5 * static.phase_means["initial"]
+    # Only OptiAware escapes: its final latency is back near optimized,
+    # the others remain degraded.
+    assert optiaware.phase_means["final"] < 2 * optiaware.phase_means["optimized"]
+    assert static.phase_means["final"] > 5 * static.phase_means["initial"]
+    assert aware.phase_means["final"] > 5 * aware.phase_means["initial"]
+    assert len(optiaware.reconfigure_times) >= 2

@@ -1,0 +1,27 @@
+"""Fig. 8: candidate-set (maximum independent set) computation time."""
+
+from repro.experiments import fig8
+from repro.experiments.tables import format_table
+from benchmarks.conftest import full_scale
+
+
+def test_fig08_mis_scaling(benchmark):
+    graphs = 100 if full_scale() else 25
+
+    rows = benchmark.pedantic(
+        lambda: fig8.run(graphs_per_size=graphs), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["n", "mean time [ms]", "mean |K|", "solver"],
+        [[r.n, r.mean_time_ms, r.mean_candidates, r.solver] for r in rows],
+        title="Fig. 8 -- candidate-set computation time",
+    ))
+    # Time grows with n within each solver regime and stays below the
+    # paper's 1 s bound at n = 100.
+    exact = [r for r in rows if r.solver == "bron-kerbosch"]
+    heuristic = [r for r in rows if r.solver != "bron-kerbosch"]
+    assert exact[0].mean_time_ms < exact[-1].mean_time_ms
+    if len(heuristic) >= 2:
+        assert heuristic[0].mean_time_ms < heuristic[-1].mean_time_ms
+    assert all(r.mean_time_ms < 1000.0 for r in rows)

@@ -1,0 +1,39 @@
+"""Fig. 9: throughput and latency of HotStuff, Kauri and OptiTree across
+geographic distributions (Europe21 / NA-EU43 / Stellar56 / Global73)."""
+
+from repro.experiments import fig9
+from repro.experiments.tables import format_table
+from benchmarks.conftest import full_scale
+
+
+def test_fig09_baseline_comparison(benchmark):
+    duration = 120.0 if full_scale() else 10.0
+    deployments = fig9.DEPLOYMENTS if full_scale() else ("Europe21", "Global73")
+
+    cells = benchmark.pedantic(
+        lambda: fig9.run(deployments=deployments, duration=duration,
+                         search_iterations=8000),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["deployment", "protocol", "throughput [op/s]", "latency [s]"],
+        [[c.deployment, c.protocol, round(c.throughput), round(c.latency, 3)]
+         for c in cells],
+        title="Fig. 9 -- baseline comparison",
+    ))
+    for deployment in deployments:
+        by = {c.protocol: c for c in cells if c.deployment == deployment}
+        # OptiTree > Kauri(pipeline) in throughput, lower latency.
+        assert by["OptiTree"].throughput > by["Kauri (pipeline)"].throughput
+        assert by["OptiTree"].latency < by["Kauri (pipeline)"].latency
+        # Pipelining trades latency for throughput vs no-pipeline OptiTree.
+        assert by["OptiTree"].throughput > by["OptiTree (no pipeline)"].throughput
+        # Trees carry more latency than HotStuff's star (§7.4).
+        assert by["Kauri (pipeline)"].latency > by["HotStuff-fixed"].latency
+    summary = fig9.improvement_summary(cells, "Global73")
+    if summary:
+        print(f"Global73 OptiTree vs Kauri: tput {summary['throughput_gain']:+.1%}, "
+              f"latency {-summary['latency_reduction']:+.1%}")
+        assert summary["throughput_gain"] > 0.3
+        assert summary["latency_reduction"] > 0.15

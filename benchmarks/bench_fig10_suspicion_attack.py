@@ -1,0 +1,29 @@
+"""Fig. 10: tree latency vs reconfigurations under targeted false
+suspicions (n = 211, worldwide)."""
+
+from repro.experiments import fig10
+from repro.experiments.tables import format_table
+from benchmarks.conftest import full_scale
+
+
+def test_fig10_suspicion_attack(benchmark):
+    runs = 20 if full_scale() else 2
+    reconfigs = 32 if full_scale() else 10
+    iterations = 3000 if full_scale() else 1200
+
+    rows = benchmark.pedantic(
+        lambda: fig10.run(runs=runs, max_reconfigs=reconfigs,
+                          sa_iterations=iterations),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["reconfigs", "OptiTree [s]", "Kauri-sa [s]", "Kauri [s]"],
+        [[r.reconfigurations, r.optitree, r.kauri_sa, r.kauri] for r in rows],
+        title="Fig. 10 -- score under the false-suspicion attack",
+    ))
+    first, last = rows[0], rows[-1]
+    # OptiTree stays below random Kauri trees throughout.
+    assert last.optitree < last.kauri
+    # Kauri-sa degrades faster than OptiTree as candidates run out.
+    assert (last.kauri_sa - first.kauri_sa) > (last.optitree - first.optitree)

@@ -1,0 +1,31 @@
+"""Fig. 11: OptiTree (Europe21) with δ-bounded delaying intermediates."""
+
+from repro.experiments import fig11
+from repro.experiments.tables import format_table
+from benchmarks.conftest import full_scale
+
+
+def test_fig11_malicious_delay(benchmark):
+    duration = 120.0 if full_scale() else 10.0
+
+    cells = benchmark.pedantic(
+        lambda: fig11.run(duration=duration, search_iterations=6000),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["faulty internal", "delta", "throughput [op/s]", "latency [s]"],
+        [[c.faulty, c.delta if c.delta is not None else "none",
+          round(c.throughput), round(c.latency, 3)] for c in cells],
+        title="Fig. 11 -- malicious delays by faulty intermediates",
+    ))
+    baseline = next(c for c in cells if c.delta is None)
+    worst = min(
+        (c for c in cells if c.delta == 1.4), key=lambda c: -c.faulty
+    )
+    # Four delaying intermediates at δ=1.4 visibly cut throughput.
+    assert worst.throughput < baseline.throughput
+    assert worst.latency > baseline.latency
+    # Larger δ hurts at least as much as smaller δ for 4 attackers.
+    at4 = {c.delta: c for c in cells if c.faulty == 4}
+    assert at4[1.4].latency >= at4[1.1].latency - 0.01

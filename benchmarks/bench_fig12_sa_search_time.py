@@ -1,0 +1,33 @@
+"""Fig. 12: tree latency improves with simulated-annealing search time."""
+
+from repro.experiments import fig12
+from repro.experiments.tables import format_table
+from benchmarks.conftest import full_scale
+
+
+def test_fig12_sa_search_time(benchmark):
+    runs = 50 if full_scale() else 4
+    sizes = fig12.SIZES if full_scale() else (57, 211)
+
+    rows = benchmark.pedantic(
+        lambda: fig12.run(sizes=sizes, runs=runs, iterations_per_second=3000),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["n", "search time [s]", "mean score [s]", "stdev"],
+        [[r.n, r.search_time, r.mean_score, r.stdev_score] for r in rows],
+        title="Fig. 12 -- SA search time vs tree latency",
+    ))
+    for n in sizes:
+        sized = sorted(
+            (r for r in rows if r.n == n), key=lambda r: r.search_time
+        )
+        # Longer searches never hurt, and the largest size gains clearly.
+        assert sized[-1].mean_score <= sized[0].mean_score * 1.02
+    largest = sorted(
+        (r for r in rows if r.n == max(sizes)), key=lambda r: r.search_time
+    )
+    gain = 1.0 - largest[-1].mean_score / largest[0].mean_score
+    print(f"n={max(sizes)} gain 250 ms -> 4 s: {gain:+.1%}")
+    assert gain > 0.05

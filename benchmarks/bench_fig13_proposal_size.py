@@ -1,0 +1,23 @@
+"""Fig. 13 / §7.8: proposal-size overhead of OptiLog's sensors."""
+
+from repro.experiments import fig13
+from repro.experiments.tables import format_table
+
+
+def test_fig13_proposal_size(benchmark):
+    cells = benchmark.pedantic(fig13.run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["n", "sensors", "proposal size [bytes]"],
+        [[c.n, c.sensors, round(c.proposal_bytes, 1)] for c in cells],
+        title="Fig. 13 -- proposal size including measurements",
+    ))
+    extra = fig13.overhead_summary(cells, n=80)
+    for sensors, overhead in extra.items():
+        print(f"  n=80 {sensors}: +{overhead:,.0f} bytes")
+    # Paper: ~270 B for latency+suspicions, ~4.5 KB for proofs at n=80.
+    assert 150 <= extra["Suspicion+lv"] <= 500
+    assert 3000 <= extra["Misbehavior+lv"] <= 6000
+    # Vector size scales with n.
+    lv = {c.n: c.proposal_bytes for c in cells if c.sensors == "Latency vector (lv)"}
+    assert lv[80] > lv[20]

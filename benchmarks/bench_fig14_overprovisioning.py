@@ -1,0 +1,27 @@
+"""Fig. 14 (App. B.1): latency cost of overprovisioning for u faults."""
+
+from repro.experiments import fig14
+from repro.experiments.tables import format_table
+from benchmarks.conftest import full_scale
+
+
+def test_fig14_overprovisioning(benchmark):
+    runs = 20 if full_scale() else 2
+    sizes = fig14.SIZES if full_scale() else (43, 211)
+
+    rows = benchmark.pedantic(
+        lambda: fig14.run(sizes=sizes, runs=runs, sa_iterations=2500),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["n", "u/n", "u", "mean score [s]"],
+        [[r.n, f"{r.u_fraction:.0%}", r.u, r.mean_score] for r in rows],
+        title="Fig. 14 -- score vs tolerated faulty leaves",
+    ))
+    for n in sizes:
+        degradation = fig14.degradation(rows, n)
+        print(f"  n={n} degradation 5% -> 30%: {degradation:+.1%}")
+        assert degradation > 0.0
+    # The largest size pays a substantial premium (paper: +54% at n=211).
+    assert fig14.degradation(rows, max(sizes)) > 0.10

@@ -1,0 +1,34 @@
+"""Fig. 15 (App. B.2): throughput under a root failing every 10 s."""
+
+from repro.experiments import fig15
+from benchmarks.conftest import full_scale
+
+
+def test_fig15_reconfiguration(benchmark):
+    duration = 90.0 if full_scale() else 45.0
+
+    result = benchmark.pedantic(
+        lambda: fig15.run(duration=duration, sa_iterations=2500),
+        rounds=1, iterations=1,
+    )
+    print()
+    nonzero = [v for _t, v in result.throughput_series if v > 0]
+    print(f"crashes: {len(result.crash_times)}  "
+          f"reconfigs: {len(result.reconfigure_times)}  "
+          f"peak tput: {max(nonzero):,.0f} op/s")
+    for time, value in result.throughput_series:
+        print(f"  t={time:5.1f}s  {value:10,.0f} op/s")
+    assert len(result.crash_times) >= 3
+    assert len(result.reconfigure_times) == len(result.crash_times)
+    # Every crash dips throughput and recovery follows within ~4 s
+    # (~1 s of SA search plus pipeline refill), as in the paper.
+    recovered = sum(
+        1 for crash in result.crash_times if result.recovered_after(crash)
+    )
+    assert recovered == len(result.crash_times)
+    # There are real dips: some buckets right after crashes are empty.
+    for crash in result.crash_times:
+        dip = [
+            v for t, v in result.throughput_series if crash <= t <= crash + 1.5
+        ]
+        assert dip and min(dip) < max(nonzero) / 2

@@ -1,0 +1,20 @@
+"""Benchmark scale control.
+
+Benchmarks default to CI-friendly reduced parameters; set ``REPRO_FULL=1``
+to run at paper scale (long wall-clock).  Each bench prints the table its
+figure reports (visible with ``pytest -s`` or in the benchmark extra
+info).
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return "full" if full_scale() else "ci"

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the pinned setuptools lacks PEP 660 editable wheels
+(no ``wheel`` package available offline), so ``pip install -e .`` needs a
+setup.py to fall back to develop-mode installs."""
+
+from setuptools import setup
+
+setup()

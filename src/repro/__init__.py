@@ -1,0 +1,33 @@
+"""Reproduction of "OptiLog: Assigning Roles in Byzantine Consensus".
+
+The package is organised around the paper's architecture:
+
+* :mod:`repro.core` -- the OptiLog framework itself: the append-only log,
+  the sensor/monitor abstraction, and the four-stage pipeline (latency,
+  misbehavior, suspicion, configuration).
+* :mod:`repro.sim` -- a deterministic discrete-event simulator standing in
+  for the paper's cluster testbed and the Phantom network simulator.
+* :mod:`repro.net` -- a world-city latency model standing in for the
+  WonderProxy dataset, plus named deployments (Europe21, NA-EU43, Global73,
+  Stellar56).
+* :mod:`repro.crypto` -- simulated signatures and quorum certificates.
+* :mod:`repro.consensus` -- PBFT, chained HotStuff and Kauri engines.
+* :mod:`repro.aware` -- Wheat/Aware weighted voting and OptiAware.
+* :mod:`repro.tree` -- tree scoring, tree candidate selection and OptiTree.
+* :mod:`repro.optimize` -- simulated annealing and independent-set solvers.
+* :mod:`repro.faults` -- Byzantine behaviours used by the evaluation.
+* :mod:`repro.experiments` -- drivers reproducing every figure in the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.log import AppendOnlyLog, LogEntry
+from repro.core.pipeline import OptiLogPipeline, PipelineSettings
+
+__all__ = [
+    "AppendOnlyLog",
+    "LogEntry",
+    "OptiLogPipeline",
+    "PipelineSettings",
+    "__version__",
+]

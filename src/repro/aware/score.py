@@ -1,0 +1,51 @@
+"""Aware's score function (§5, Example C.1).
+
+Aware scores a (leader, weights) configuration by predicting the round
+duration from the latency matrix: Propose fan-out, Write exchange, Accept
+exchange, with the *fastest weighted quorum* at every collection point.
+Appendix C notes this is exactly the ``d_rnd`` derived from timeout
+requirements TR1-TR3, so the implementation delegates to
+:class:`repro.core.timeouts.PbftTimeouts`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from repro.aware.weights import WeightConfiguration
+from repro.core.timeouts import PbftTimeouts
+
+
+def weight_config_round_duration(
+    latency: np.ndarray, configuration: WeightConfiguration
+) -> float:
+    """Predicted ``d_rnd`` for a weighted configuration (lower is better)."""
+    timeouts = PbftTimeouts(
+        latency,
+        leader=configuration.leader,
+        weights=configuration.weights(),
+        quorum_weight=configuration.quorum_weight,
+    )
+    return timeouts.round_duration()
+
+
+def aware_score(
+    latency: np.ndarray,
+    configuration: WeightConfiguration,
+    candidates: Optional[FrozenSet[int]] = None,
+) -> float:
+    """Aware's score, optionally enforcing OptiAware's candidate rule.
+
+    When ``candidates`` is given (OptiAware), configurations assigning a
+    special role (leader or Vmax) to a non-candidate are infeasible and
+    score ``inf``; this is how suspicions steer the search away from
+    misbehaving replicas.
+    """
+    if candidates is not None and not (
+        configuration.special_replicas() <= candidates
+    ):
+        return math.inf
+    return weight_config_round_duration(latency, configuration)

@@ -1,0 +1,117 @@
+"""Configuration search for Aware/OptiAware.
+
+Two strategies, both restricted to a candidate set:
+
+* :func:`exhaustive_weight_search` -- for every candidate leader, greedily
+  assign Vmax to the replicas whose Writes reach the rest fastest, then
+  keep the best-scoring assignment.  Deterministic; practical for
+  PBFT-scale systems (n ≤ ~100).
+* :func:`annealed_weight_search` -- simulated annealing over
+  (leader, Vmax) with candidate-respecting swap mutations, for larger
+  search spaces and for the non-deterministic search mode of §4.2.4.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from repro.aware.score import weight_config_round_duration
+from repro.aware.weights import WeightConfiguration, WheatParameters
+from repro.optimize.annealing import AnnealingSchedule, anneal
+
+
+def _centrality_order(latency: np.ndarray, members: list[int]) -> list[int]:
+    """Members sorted by mean link latency to the others (most central
+    first); deterministic tiebreak by id."""
+    def mean_latency(replica: int) -> float:
+        others = [latency[replica, other] for other in members if other != replica]
+        return float(np.mean(others)) if others else 0.0
+
+    return sorted(members, key=lambda replica: (mean_latency(replica), replica))
+
+
+def exhaustive_weight_search(
+    latency: np.ndarray,
+    n: int,
+    f: int,
+    candidates: Optional[FrozenSet[int]] = None,
+) -> Optional[WeightConfiguration]:
+    """Best configuration over all candidate leaders with greedy Vmax.
+
+    For each leader, Vmax goes to the ``2f`` candidates closest (mean
+    latency) to the whole membership -- the replicas whose votes complete
+    quorums earliest.  Returns None if fewer candidates than special
+    roles exist.
+    """
+    params = WheatParameters(n, f)
+    pool = sorted(candidates) if candidates is not None else list(range(n))
+    if len(pool) < params.vmax_count or not pool:
+        return None
+    ordered = _centrality_order(latency, pool)
+    best: Optional[WeightConfiguration] = None
+    best_score = math.inf
+    for leader in pool:
+        vmax = frozenset(ordered[: params.vmax_count])
+        configuration = WeightConfiguration(
+            n=n, f=f, leader=leader, vmax_replicas=vmax
+        )
+        score = weight_config_round_duration(latency, configuration)
+        if score < best_score or (
+            score == best_score and best is not None and leader < best.leader
+        ):
+            best = configuration
+            best_score = score
+    return best
+
+
+def annealed_weight_search(
+    latency: np.ndarray,
+    n: int,
+    f: int,
+    candidates: Optional[FrozenSet[int]] = None,
+    rng: Optional[random.Random] = None,
+    schedule: Optional[AnnealingSchedule] = None,
+) -> Optional[WeightConfiguration]:
+    """Simulated-annealing search over (leader, Vmax) assignments.
+
+    Mutations swap a Vmax holder with a non-holder, or move the leader
+    role; special roles are only ever assigned within ``candidates``
+    (§4.2.4's mutate rule).
+    """
+    params = WheatParameters(n, f)
+    rng = rng or random.Random(0)
+    pool = sorted(candidates) if candidates is not None else list(range(n))
+    if len(pool) < params.vmax_count:
+        return None
+
+    def initial() -> WeightConfiguration:
+        vmax = frozenset(rng.sample(pool, params.vmax_count))
+        leader = rng.choice(pool)
+        return WeightConfiguration(n=n, f=f, leader=leader, vmax_replicas=vmax)
+
+    def score(configuration: WeightConfiguration) -> float:
+        return weight_config_round_duration(latency, configuration)
+
+    def mutate(
+        configuration: WeightConfiguration, mutation_rng: random.Random
+    ) -> WeightConfiguration:
+        vmax = set(configuration.vmax_replicas)
+        leader = configuration.leader
+        if mutation_rng.random() < 0.3:
+            leader = mutation_rng.choice(pool)
+        else:
+            outside = [replica for replica in pool if replica not in vmax]
+            if outside:
+                vmax.discard(mutation_rng.choice(sorted(vmax)))
+                vmax.add(mutation_rng.choice(outside))
+        return WeightConfiguration(
+            n=n, f=f, leader=leader, vmax_replicas=frozenset(vmax)
+        )
+
+    schedule = schedule or AnnealingSchedule(iterations=2000, initial_temperature=0.05)
+    result = anneal(initial(), score, mutate, rng, schedule)
+    return result.best_state

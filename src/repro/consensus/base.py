@@ -1,0 +1,131 @@
+"""Shared replica machinery and run metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.signatures import KeyRegistry
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+@dataclass
+class CommitEvent:
+    """One committed block, for throughput/latency accounting."""
+
+    height: int
+    commit_time: float
+    propose_time: float
+    payload_count: int
+
+    @property
+    def latency(self) -> float:
+        return self.commit_time - self.propose_time
+
+
+@dataclass
+class RunMetrics:
+    """Per-run metrics collected at one observer replica.
+
+    ``throughput_series(bucket)`` returns committed requests per second
+    in time buckets, the series the paper's timelines plot (Figs. 7, 15).
+    """
+
+    commits: List[CommitEvent] = field(default_factory=list)
+
+    def record_commit(
+        self, height: int, commit_time: float, propose_time: float, payload: int
+    ) -> None:
+        self.commits.append(CommitEvent(height, commit_time, propose_time, payload))
+
+    def total_requests(self) -> int:
+        return sum(event.payload_count for event in self.commits)
+
+    def throughput(self, duration: float) -> float:
+        """Average committed requests per second over ``duration``."""
+        if duration <= 0:
+            return 0.0
+        return self.total_requests() / duration
+
+    def mean_latency(self) -> float:
+        if not self.commits:
+            return float("inf")
+        return sum(event.latency for event in self.commits) / len(self.commits)
+
+    def throughput_series(
+        self, duration: float, bucket: float = 1.0
+    ) -> List[Tuple[float, float]]:
+        buckets = int(duration / bucket) + 1
+        series = [0.0] * buckets
+        for event in self.commits:
+            index = int(event.commit_time / bucket)
+            if 0 <= index < buckets:
+                series[index] += event.payload_count
+        return [(index * bucket, count / bucket) for index, count in enumerate(series)]
+
+    def latency_series(
+        self, duration: float, bucket: float = 1.0
+    ) -> List[Tuple[float, float]]:
+        """Mean commit latency per time bucket (seconds)."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for event in self.commits:
+            index = int(event.commit_time / bucket)
+            sums[index] = sums.get(index, 0.0) + event.latency
+            counts[index] = counts.get(index, 0) + 1
+        return [
+            (index * bucket, sums[index] / counts[index]) for index in sorted(sums)
+        ]
+
+
+class ReplicaBase:
+    """Common state and helpers for protocol replicas."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        n: int,
+        f: int,
+        sim: Simulator,
+        network: Network,
+        registry: KeyRegistry,
+    ):
+        self.id = replica_id
+        self.n = n
+        self.f = f
+        self.sim = sim
+        self.network = network
+        self.registry = registry
+        self.metrics = RunMetrics()
+        network.register(replica_id, self.on_message)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: int, message: Any) -> None:
+        self.network.send(self.id, dst, message, getattr(message, "wire_size", 0))
+
+    def multicast(self, dsts, message: Any) -> None:
+        self.network.multicast(
+            self.id, dsts, message, getattr(message, "wire_size", 0)
+        )
+
+    def broadcast(self, message: Any, include_self: bool = True) -> None:
+        dsts = range(self.n) if include_self else (
+            replica for replica in range(self.n) if replica != self.id
+        )
+        self.multicast(dsts, message)
+
+    # ------------------------------------------------------------------
+    # Dispatch: handle_<MessageType> methods by convention
+    # ------------------------------------------------------------------
+    def on_message(self, src: int, message: Any) -> None:
+        handler = getattr(self, f"handle_{type(message).__name__}", None)
+        if handler is not None:
+            handler(src, message)
+
+    @property
+    def quorum(self) -> int:
+        """Unweighted quorum size q = n - f."""
+        return self.n - self.f

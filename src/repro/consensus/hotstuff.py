@@ -1,0 +1,215 @@
+"""Chained HotStuff over a star topology (§7.3 baselines).
+
+A fixed (``HotStuff-fixed``) or round-robin (``HotStuff-rr``) leader
+proposes a block extending its highest QC; replicas vote to the next
+height's leader; a quorum of votes forms the QC that certifies the block
+and starts the next height.  Commit uses the 3-chain rule: a block
+commits once it heads a chain of three consecutively-certified heights.
+
+Blocks carry ``payload_per_block`` requests (the paper batches 1000
+requests per block, without transaction payload), so the engine is
+saturated: a new block is proposed every round, which is the regime the
+throughput figures measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.consensus.base import ReplicaBase, RunMetrics
+from repro.consensus.messages import Block, Proposal, Vote
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import QuorumCertificate, aggregate
+from repro.net.deployments import Deployment
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+GENESIS_HASH = "genesis"
+
+
+class HotStuffReplica(ReplicaBase):
+    """One chained-HotStuff replica."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        n: int,
+        f: int,
+        sim: Simulator,
+        network: Network,
+        registry: KeyRegistry,
+        leader_mode: str = "fixed",
+        fixed_leader: int = 0,
+        payload_per_block: int = 1000,
+    ):
+        super().__init__(replica_id, n, f, sim, network, registry)
+        if leader_mode not in ("fixed", "rr"):
+            raise ValueError(f"unknown leader mode {leader_mode!r}")
+        self.leader_mode = leader_mode
+        self.fixed_leader = fixed_leader
+        self.payload_per_block = payload_per_block
+        self.blocks: Dict[str, Block] = {}
+        self.block_at_height: Dict[int, Block] = {}
+        self.votes: Dict[int, Set[int]] = {}
+        self.qc_heights: Set[int] = set()
+        self.high_qc: Optional[QuorumCertificate] = None
+        self.last_voted_height = 0
+        self.committed_height = 0
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    def leader_of(self, height: int) -> int:
+        if self.leader_mode == "fixed":
+            return self.fixed_leader
+        return height % self.n
+
+    def vote_target(self, height: int) -> int:
+        """Votes for height h go to the proposer of h+1 (chained)."""
+        return self.leader_of(height + 1)
+
+    # ------------------------------------------------------------------
+    # Proposing
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.running = True
+        if self.leader_of(1) == self.id:
+            self.propose(1, GENESIS_HASH)
+
+    def stop(self) -> None:
+        self.running = False
+
+    def propose(self, height: int, parent: str) -> None:
+        if not self.running:
+            return
+        block = Block(
+            height=height,
+            proposer=self.id,
+            parent=parent,
+            payload_count=self.payload_per_block,
+            timestamp=self.sim.now,
+        )
+        self.broadcast(Proposal(height=height, block=block, qc=self.high_qc))
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def handle_Proposal(self, src: int, proposal: Proposal) -> None:  # noqa: N802
+        if not self.running:
+            return
+        block = proposal.block
+        if src != self.leader_of(block.height) or block.proposer != src:
+            return
+        if block.height <= self.last_voted_height:
+            return
+        if proposal.qc is not None:
+            self._observe_qc(proposal.qc)
+        self.blocks[block.hash] = block
+        self.block_at_height[block.height] = block
+        self.last_voted_height = block.height
+        self.send(
+            self.vote_target(block.height),
+            Vote(height=block.height, block_hash=block.hash, sender=self.id),
+        )
+
+    def handle_Vote(self, src: int, vote: Vote) -> None:  # noqa: N802
+        if not self.running:
+            return
+        if self.leader_of(vote.height + 1) != self.id:
+            return
+        voters = self.votes.setdefault(vote.height, set())
+        voters.add(vote.sender)
+        if len(voters) >= self.quorum and vote.height not in self.qc_heights:
+            block = self.block_at_height.get(vote.height)
+            if block is None or block.hash != vote.block_hash:
+                return
+            qc = QuorumCertificate(
+                view=vote.height,
+                block_hash=vote.block_hash,
+                aggregate=aggregate(self.registry, vote.block_hash, voters),
+                weight=float(len(voters)),
+            )
+            self._observe_qc(qc)
+            self.propose(vote.height + 1, vote.block_hash)
+
+    # ------------------------------------------------------------------
+    # QCs and commit rule
+    # ------------------------------------------------------------------
+    def _observe_qc(self, qc: QuorumCertificate) -> None:
+        if qc.view in self.qc_heights:
+            return
+        self.qc_heights.add(qc.view)
+        if self.high_qc is None or qc.view > self.high_qc.view:
+            self.high_qc = qc
+        self._try_commit(qc.view)
+
+    def _try_commit(self, height: int) -> None:
+        """3-chain rule: QCs at h, h-1, h-2 commit the block at h-2."""
+        if height < 3:
+            return
+        if not {height - 1, height - 2} <= self.qc_heights:
+            return
+        target = height - 2
+        for commit_height in range(self.committed_height + 1, target + 1):
+            block = self.block_at_height.get(commit_height)
+            if block is None:
+                continue
+            self.metrics.record_commit(
+                commit_height, self.sim.now, block.timestamp, block.payload_count
+            )
+        self.committed_height = max(self.committed_height, target)
+
+
+class HotStuffCluster:
+    """Builds and runs a HotStuff deployment (Fig. 9 baselines)."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        f: Optional[int] = None,
+        leader_mode: str = "fixed",
+        fixed_leader: int = 0,
+        payload_per_block: int = 1000,
+        seed: int = 0,
+        jitter: float = 0.02,
+    ):
+        self.deployment = deployment
+        n = deployment.n
+        self.n = n
+        self.f = f if f is not None else (n - 1) // 3
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, deployment.one_way, jitter=jitter)
+        self.registry = KeyRegistry(n, seed=seed)
+        self.replicas: List[HotStuffReplica] = [
+            HotStuffReplica(
+                replica_id,
+                n,
+                self.f,
+                self.sim,
+                self.network,
+                self.registry,
+                leader_mode=leader_mode,
+                fixed_leader=fixed_leader,
+                payload_per_block=payload_per_block,
+            )
+            for replica_id in range(n)
+        ]
+
+    def run(self, duration: float) -> RunMetrics:
+        """Run for ``duration`` simulated seconds; returns observer metrics.
+
+        The observer is a non-leader replica, like the paper's throughput
+        probes.
+        """
+        for replica in self.replicas:
+            replica.start()
+        self.sim.run(until=duration)
+        for replica in self.replicas:
+            replica.stop()
+        return self.observer.metrics
+
+    @property
+    def observer(self) -> HotStuffReplica:
+        leader = self.replicas[0].leader_of(1)
+        return self.replicas[(leader + 1) % self.n]

@@ -1,0 +1,348 @@
+"""Kauri: tree-based dissemination and aggregation with pipelining (§6.1).
+
+The root (leader) sends proposals down a height-3 tree; intermediate
+nodes forward to their leaves, collect child votes (with per-child
+timeouts derived from the recorded latencies, as in §7.4) and send an
+aggregate up; the root certifies a block once enough votes arrived.
+Commit uses HotStuff's 3-chain rule.  Pipelining keeps up to
+``pipeline_depth`` instances in flight, which is how Kauri converts its
+higher per-round latency into throughput.
+
+Aggregates follow OptiTree's completeness rule (§6.3): a missing child
+vote must be replaced by a suspicion, otherwise the aggregate is
+proof-of-misbehavior against the intermediate (checked at the root when
+OptiLog is attached).
+
+Tree changes are cluster-driven: when the root stalls (crash, attack),
+the cluster invokes the installed reconfiguration policy (Kauri bins,
+Kauri-sa, or OptiTree search) and installs the new tree on every replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.consensus.base import ReplicaBase, RunMetrics
+from repro.consensus.messages import AggregateVote, Block, Forward, Proposal, Vote
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import QuorumCertificate, aggregate
+from repro.net.deployments import Deployment
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.tree.topology import TreeConfiguration
+
+GENESIS_HASH = "genesis"
+
+
+@dataclass
+class _Collection:
+    """Vote collection state at an intermediate node, per height."""
+
+    block: Block
+    votes: Set[int] = field(default_factory=set)
+    sent: bool = False
+    timer: Optional[object] = None
+
+
+class KauriReplica(ReplicaBase):
+    """One Kauri replica; its role follows the installed tree."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        n: int,
+        f: int,
+        sim: Simulator,
+        network: Network,
+        registry: KeyRegistry,
+        tree: TreeConfiguration,
+        payload_per_block: int = 1000,
+        pipeline_depth: int = 1,
+        child_timeout: Callable[[int, int], float] = None,
+        delta: float = 1.0,
+        votes_needed: Optional[int] = None,
+    ):
+        super().__init__(replica_id, n, f, sim, network, registry)
+        self.tree = tree
+        self.payload_per_block = payload_per_block
+        self.pipeline_depth = pipeline_depth
+        self.delta = delta
+        self.votes_needed = votes_needed or self.quorum
+        # Per-child timeout: defaults to δ · round trip on the link.
+        self._child_timeout = child_timeout
+        self.blocks: Dict[str, Block] = {}
+        self.block_at_height: Dict[int, Block] = {}
+        self.qc_heights: Set[int] = set()
+        self.committed_height = 0
+        self.next_height = 1
+        self.last_parent = GENESIS_HASH
+        self.in_flight: Set[int] = set()
+        self.root_votes: Dict[int, Set[int]] = {}
+        self.collections: Dict[int, _Collection] = {}
+        self.pending_records: List = []
+        self.running = False
+        #: Suspicions produced by aggregation timeouts, drained by the
+        #: OptiTree integration.
+        self.aggregation_suspicions: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Role helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        return self.tree.root == self.id
+
+    @property
+    def is_intermediate(self) -> bool:
+        return self.id in self.tree.intermediates
+
+    def child_timeout(self, child: int) -> float:
+        if self._child_timeout is not None:
+            return self._child_timeout(self.id, child)
+        # δ · (downlink + uplink) from the emulated link latency.
+        rtt = 2.0 * self.network.one_way_delay(self.id, child) * 2.0
+        return self.delta * rtt
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.running = True
+        if self.is_root:
+            self._fill_pipeline()
+
+    def stop(self) -> None:
+        self.running = False
+
+    def install_tree(self, tree: TreeConfiguration) -> None:
+        """Adopt a new tree (reconfiguration); collection state resets."""
+        self.tree = tree
+        self.collections.clear()
+        self.root_votes.clear()
+        self.in_flight.clear()
+        if self.running and self.is_root:
+            self._fill_pipeline()
+
+    # ------------------------------------------------------------------
+    # Root: proposing and certifying
+    # ------------------------------------------------------------------
+    def _fill_pipeline(self) -> None:
+        while len(self.in_flight) < self.pipeline_depth:
+            self._propose_next()
+
+    def _propose_next(self) -> None:
+        if not self.running or not self.is_root:
+            return
+        height = self.next_height
+        self.next_height += 1
+        records = tuple(self.pending_records)
+        self.pending_records = []
+        block = Block(
+            height=height,
+            proposer=self.id,
+            parent=self.last_parent,
+            payload_count=self.payload_per_block,
+            records=records,
+            timestamp=self.sim.now,
+        )
+        self.last_parent = block.hash
+        self.blocks[block.hash] = block
+        self.block_at_height[height] = block
+        self.in_flight.add(height)
+        self.root_votes[height] = {self.id}
+        proposal = Proposal(height=height, block=block, qc=None)
+        self.multicast(self.tree.intermediates, proposal)
+
+    def handle_AggregateVote(self, src: int, message: AggregateVote) -> None:  # noqa: N802
+        if not self.running or not self.is_root:
+            return
+        if src not in self.tree.intermediates:
+            return
+        votes = self.root_votes.get(message.height)
+        if votes is None:
+            return
+        votes.update(message.aggregate.signers)
+        votes.add(src)
+        if len(votes) >= self.votes_needed and message.height in self.in_flight:
+            self.in_flight.discard(message.height)
+            self.qc_heights.add(message.height)
+            self._try_commit(message.height)
+            # Tell the tree the height is certified (leaves learn commits
+            # through the next proposals in a real system; metrics-wise the
+            # root's view is what Fig. 9 reports).
+            self._fill_pipeline()
+
+    # ------------------------------------------------------------------
+    # Intermediates: forwarding and aggregation
+    # ------------------------------------------------------------------
+    def handle_Proposal(self, src: int, proposal: Proposal) -> None:  # noqa: N802
+        if not self.running or src != self.tree.root:
+            return
+        if not self.is_intermediate:
+            return
+        block = proposal.block
+        self.blocks[block.hash] = block
+        self.block_at_height[block.height] = block
+        collection = _Collection(block=block)
+        collection.votes.add(self.id)  # own vote
+        self.collections[block.height] = collection
+        children = self.tree.children[self.id]
+        self.multicast(
+            children, Forward(height=block.height, block=block, forwarder=self.id)
+        )
+        if children:
+            horizon = max(self.child_timeout(child) for child in children)
+            collection.timer = self.sim.schedule(
+                horizon, self._flush_aggregate, block.height
+            )
+        else:
+            self._flush_aggregate(block.height)
+
+    def handle_Vote(self, src: int, vote: Vote) -> None:  # noqa: N802
+        if not self.running or not self.is_intermediate:
+            return
+        collection = self.collections.get(vote.height)
+        if collection is None or collection.sent:
+            return
+        if src not in self.tree.children[self.id]:
+            return
+        collection.votes.add(src)
+        expected = len(self.tree.children[self.id]) + 1
+        if len(collection.votes) >= expected:
+            if collection.timer is not None:
+                collection.timer.cancel()
+            self._flush_aggregate(vote.height)
+
+    def _flush_aggregate(self, height: int) -> None:
+        collection = self.collections.get(height)
+        if collection is None or collection.sent or not self.running:
+            return
+        collection.sent = True
+        children = set(self.tree.children[self.id])
+        missing = children - collection.votes
+        # §6.3: the aggregate must carry a suspicion for each missing vote.
+        for child in sorted(missing):
+            self.aggregation_suspicions.append((height, child))
+        agg = aggregate(
+            self.registry,
+            collection.block.hash,
+            collection.votes,
+            suspected=missing,
+        )
+        self.send(
+            self.tree.root,
+            AggregateVote(
+                height=height,
+                block_hash=collection.block.hash,
+                sender=self.id,
+                aggregate=agg,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def handle_Forward(self, src: int, message: Forward) -> None:  # noqa: N802
+        if not self.running:
+            return
+        if self.tree.parent.get(self.id) != src:
+            return
+        self.blocks[message.block.hash] = message.block
+        self.send(
+            src,
+            Vote(
+                height=message.height,
+                block_hash=message.block.hash,
+                sender=self.id,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Commit rule (3-chain, root's view)
+    # ------------------------------------------------------------------
+    def _try_commit(self, height: int) -> None:
+        if height < 3:
+            return
+        if not {height - 1, height - 2} <= self.qc_heights:
+            return
+        target = height - 2
+        for commit_height in range(self.committed_height + 1, target + 1):
+            block = self.block_at_height.get(commit_height)
+            if block is None:
+                continue
+            self.metrics.record_commit(
+                commit_height, self.sim.now, block.timestamp, block.payload_count
+            )
+        self.committed_height = max(self.committed_height, target)
+
+    def submit_record(self, record) -> None:
+        """Queue an OptiLog record for inclusion in the next proposal."""
+        self.pending_records.append(record)
+
+
+class KauriCluster:
+    """Builds and runs a Kauri/OptiTree deployment."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        tree: TreeConfiguration,
+        f: Optional[int] = None,
+        payload_per_block: int = 1000,
+        pipeline_depth: int = 1,
+        seed: int = 0,
+        jitter: float = 0.02,
+        delta: float = 1.0,
+        votes_needed: Optional[int] = None,
+    ):
+        self.deployment = deployment
+        n = deployment.n
+        self.n = n
+        self.f = f if f is not None else (n - 1) // 3
+        self.tree = tree
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, deployment.one_way, jitter=jitter)
+        self.registry = KeyRegistry(n, seed=seed)
+        self.replicas: List[KauriReplica] = [
+            KauriReplica(
+                replica_id,
+                n,
+                self.f,
+                self.sim,
+                self.network,
+                self.registry,
+                tree=tree,
+                payload_per_block=payload_per_block,
+                pipeline_depth=pipeline_depth if replica_id == tree.root else 1,
+                delta=delta,
+                votes_needed=votes_needed,
+            )
+            for replica_id in range(n)
+        ]
+
+    @property
+    def root_replica(self) -> KauriReplica:
+        return self.replicas[self.tree.root]
+
+    def install_tree(self, tree: TreeConfiguration) -> None:
+        self.tree = tree
+        for replica in self.replicas:
+            replica.install_tree(tree)
+
+    def run(self, duration: float) -> RunMetrics:
+        for replica in self.replicas:
+            replica.start()
+        self.sim.run(until=duration)
+        for replica in self.replicas:
+            replica.stop()
+        return self.root_replica.metrics
+
+    def pause(self) -> None:
+        for replica in self.replicas:
+            replica.stop()
+
+    def resume(self) -> None:
+        for replica in self.replicas:
+            replica.running = True
+        self.root_replica._fill_pipeline()

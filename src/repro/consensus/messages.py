@@ -1,0 +1,219 @@
+"""Protocol messages for PBFT, HotStuff and Kauri.
+
+Wire sizes model compact binary encodings with Ed25519-equivalent
+signatures; the proposal-size experiment (Fig. 13) sums the record sizes
+piggybacked on :class:`Block` proposals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.signatures import SIGNATURE_SIZE
+from repro.crypto.threshold import AggregateSignature, QuorumCertificate
+
+BLOCK_HEADER_SIZE = 48  # parent hash + height + proposer + timestamp
+
+
+def _digest(*parts) -> str:
+    return hashlib.sha256(repr(parts).encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Block:
+    """A batch of client requests plus piggybacked OptiLog records."""
+
+    height: int
+    proposer: int
+    parent: str
+    payload_count: int = 0
+    records: Tuple = ()
+    timestamp: float = 0.0
+    request_ids: Tuple = ()
+
+    @property
+    def hash(self) -> str:
+        return _digest(
+            self.height, self.proposer, self.parent, self.payload_count,
+            self.records, self.request_ids,
+        )
+
+    @property
+    def records_size(self) -> int:
+        return sum(getattr(record, "wire_size", 0) for record in self.records)
+
+    @property
+    def wire_size(self) -> int:
+        # Payload entries are request digests (32 B each) in the paper's
+        # no-payload setting.
+        return (
+            BLOCK_HEADER_SIZE
+            + 32 * len(self.request_ids)
+            + self.records_size
+            + SIGNATURE_SIZE
+        )
+
+
+# ----------------------------------------------------------------------
+# Client traffic
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClientRequest:
+    client_id: int
+    request_id: int
+    send_time: float
+
+    @property
+    def wire_size(self) -> int:
+        return 32 + SIGNATURE_SIZE
+
+
+@dataclass(frozen=True)
+class Reply:
+    replica: int
+    request_id: int
+    commit_time: float
+
+    @property
+    def wire_size(self) -> int:
+        return 16 + SIGNATURE_SIZE
+
+
+# ----------------------------------------------------------------------
+# PBFT phases
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrePrepare:
+    view: int
+    seq: int
+    block: Block
+    timestamp: float
+
+    @property
+    def wire_size(self) -> int:
+        return 16 + self.block.wire_size + SIGNATURE_SIZE
+
+
+@dataclass(frozen=True)
+class Prepare:
+    view: int
+    seq: int
+    block_hash: str
+    sender: int
+
+    @property
+    def wire_size(self) -> int:
+        return 32 + SIGNATURE_SIZE
+
+
+@dataclass(frozen=True)
+class Commit:
+    view: int
+    seq: int
+    block_hash: str
+    sender: int
+
+    @property
+    def wire_size(self) -> int:
+        return 32 + SIGNATURE_SIZE
+
+
+# ----------------------------------------------------------------------
+# HotStuff / Kauri
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Proposal:
+    height: int
+    block: Block
+    qc: Optional[QuorumCertificate]
+
+    @property
+    def wire_size(self) -> int:
+        qc_size = self.qc.wire_size if self.qc is not None else 0
+        return 8 + self.block.wire_size + qc_size
+
+
+@dataclass(frozen=True)
+class Vote:
+    height: int
+    block_hash: str
+    sender: int
+
+    @property
+    def wire_size(self) -> int:
+        return 24 + SIGNATURE_SIZE
+
+
+@dataclass(frozen=True)
+class Forward:
+    """Forwarded proposal: intermediate node → leaf (Kauri)."""
+
+    height: int
+    block: Block
+    forwarder: int
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + self.block.wire_size
+
+
+@dataclass(frozen=True)
+class AggregateVote:
+    """Aggregated subtree votes: intermediate node → root (Kauri).
+
+    Per OptiTree's misbehavior rule (§6.3) the aggregate must cover every
+    child position with a vote or a suspicion.
+    """
+
+    height: int
+    block_hash: str
+    sender: int
+    aggregate: AggregateSignature
+
+    @property
+    def wire_size(self) -> int:
+        return 24 + self.aggregate.wire_size
+
+
+# ----------------------------------------------------------------------
+# Measurements and control
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RecordGossip:
+    """A sensor record on its way to the current proposer.
+
+    ``hops`` bounds re-forwarding during leader changes (a replica that
+    is no longer leader forwards gossip to the leader it now follows).
+    """
+
+    record: object
+    sender: int
+    hops: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        return getattr(self.record, "wire_size", 0) + 8
+
+
+@dataclass(frozen=True)
+class Probe:
+    nonce: int
+    sender: int
+    send_time: float
+
+    @property
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class ProbeReply:
+    nonce: int
+    sender: int
+    probe_send_time: float
+
+    @property
+    def wire_size(self) -> int:
+        return 16

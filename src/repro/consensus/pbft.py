@@ -1,0 +1,580 @@
+"""PBFT/BFT-SMaRt engine hosting Aware and OptiAware (§5, Fig. 7).
+
+Three operating modes, matching the Fig. 7 baselines:
+
+* ``"static"`` -- BFT-SMaRt: fixed leader 0, uniform weights, no
+  measurement machinery.
+* ``"aware"`` -- Aware: probe-based latency measurement plus periodic
+  (leader, Vmax) optimization; **no** suspicion handling, so a leader
+  that answers probes promptly but delays protocol messages is never
+  detected.
+* ``"optiaware"`` -- OptiAware: Aware plus OptiLog's suspicion pipeline;
+  delayed protocol messages raise suspicions, the attacker drops out of
+  the candidate set ``K``, and the next reconfiguration excludes it.
+
+Message pattern (BFT-SMaRt names; PBFT's in parentheses): Propose
+(Pre-Prepare) → Write (Prepare) → Accept (Commit), with Wheat weighted
+quorums.  One instance runs at a time (BFT-SMaRt's default), driven by a
+closed-loop client; measurement records ride in the leader's blocks.
+
+Condition (a) of the suspicion table (proposal-timestamp pacing) is not
+armed in this engine: with closed-loop clients, round spacing is
+client-driven, so only saturated pipelines (Kauri/OptiTree) can
+meaningfully pace-check the leader.  Condition (b) -- late protocol
+messages relative to the proposal timestamp -- is what detects the
+Pre-Prepare delay attack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from repro.aware.optiaware import OptiAware
+from repro.aware.weights import WeightConfiguration
+from repro.consensus.base import ReplicaBase, RunMetrics
+from repro.consensus.messages import (
+    Block,
+    ClientRequest,
+    Commit,
+    PrePrepare,
+    Prepare,
+    Probe,
+    ProbeReply,
+    RecordGossip,
+    Reply,
+)
+from repro.core.pipeline import PipelineSettings
+from repro.core.records import LatencyVectorRecord
+from repro.crypto.signatures import KeyRegistry
+from repro.net.deployments import Deployment
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+class PbftReplica(ReplicaBase):
+    """One PBFT replica, optionally wrapped with Aware/OptiAware."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        n: int,
+        f: int,
+        sim: Simulator,
+        network: Network,
+        registry: KeyRegistry,
+        mode: str = "static",
+        delta: float = 1.0,
+        batch_size: int = 64,
+    ):
+        super().__init__(replica_id, n, f, sim, network, registry)
+        if mode not in ("static", "aware", "optiaware"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.batch_size = batch_size
+        self.delta = delta
+        # Consensus state.
+        self.seq = 0
+        self.executed_seq = 0
+        self.pending_requests: List[ClientRequest] = []
+        self.pending_records: List = []
+        self.preprepares: Dict[int, PrePrepare] = {}
+        self.prepare_weight: Dict[int, float] = {}
+        self.prepare_senders: Dict[int, Set[int]] = {}
+        self.commit_weight: Dict[int, float] = {}
+        self.commit_senders: Dict[int, Set[int]] = {}
+        self.sent_commit: Set[int] = set()
+        self.executed: Set[int] = set()
+        self.in_flight: Optional[int] = None
+        self.running = False
+        # Aware / OptiAware stack.
+        self.optilog: Optional[OptiAware] = None
+        if mode in ("aware", "optiaware"):
+            self.optilog = OptiAware(
+                replica_id,
+                n,
+                f,
+                registry=registry,
+                settings=PipelineSettings(n=n, f=f, delta=delta),
+                propose=self._gossip_record,
+                use_suspicions=(mode == "optiaware"),
+                on_reconfigure=self._on_reconfigure,
+            )
+            self.config = self.optilog.default_configuration()
+        else:
+            self.config = WeightConfiguration(
+                n=n, f=f, leader=0, vmax_replicas=frozenset(range(2 * f))
+            )
+        #: BFT-SMaRt without Wheat: uniform votes, majority quorum.
+        self.uniform_voting = mode == "static"
+        self.pending_config: Optional[WeightConfiguration] = None
+        self.reconfigure_times: List[float] = []
+        #: PrePrepares from replicas that are not (yet) our leader; they
+        #: are replayed after a reconfiguration adopts that leader.
+        self.stale_preprepares: Dict[int, List[PrePrepare]] = {}
+        self._committed_requests: Set = set()
+
+    # ------------------------------------------------------------------
+    # Roles and weights
+    # ------------------------------------------------------------------
+    @property
+    def leader(self) -> int:
+        return self.config.leader
+
+    @property
+    def is_leader(self) -> bool:
+        return self.leader == self.id
+
+    def _weight(self, sender: int) -> float:
+        if self.uniform_voting:
+            return 1.0
+        return self.config.weight_of(sender)
+
+    @property
+    def _quorum_weight(self) -> float:
+        if self.uniform_voting:
+            return float(-(-(self.n + self.f + 1) // 2))  # ceil majority
+        return self.config.quorum_weight
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.running = True
+
+    def stop(self) -> None:
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # Client path
+    # ------------------------------------------------------------------
+    def handle_ClientRequest(self, src: int, request: ClientRequest) -> None:  # noqa: N802
+        if not self.running:
+            return
+        # Every replica buffers requests (BFT-SMaRt clients send to all);
+        # whoever is leader when proposing drains the buffer, so requests
+        # survive leader changes.
+        key = (request.client_id, request.request_id)
+        if key in self._committed_requests:
+            return
+        self.pending_requests.append(request)
+        if self.is_leader:
+            self._maybe_propose()
+
+    def _maybe_propose(self) -> None:
+        if not self.running or not self.is_leader or self.in_flight is not None:
+            return
+        if not self.pending_requests and not self.pending_records:
+            return
+        batch = self.pending_requests[: self.batch_size]
+        self.pending_requests = self.pending_requests[len(batch):]
+        records = tuple(self.pending_records)
+        self.pending_records = []
+        self.seq += 1
+        block = Block(
+            height=self.seq,
+            proposer=self.id,
+            parent="",
+            payload_count=len(batch),
+            records=records,
+            timestamp=self.sim.now,
+            request_ids=tuple((r.client_id, r.request_id, r.send_time) for r in batch),
+        )
+        self.in_flight = self.seq
+        message = PrePrepare(
+            view=self.log_view, seq=self.seq, block=block, timestamp=self.sim.now
+        )
+        self.broadcast(message)
+
+    @property
+    def log_view(self) -> int:
+        return len(self.reconfigure_times)
+
+    # ------------------------------------------------------------------
+    # Three phases
+    # ------------------------------------------------------------------
+    def handle_PrePrepare(self, src: int, message: PrePrepare) -> None:  # noqa: N802
+        if not self.running:
+            return
+        if src != self.leader:
+            # Possibly a new leader we have not adopted yet; replay later.
+            self.stale_preprepares.setdefault(src, []).append(message)
+            return
+        if message.seq in self.preprepares:
+            return
+        self.preprepares[message.seq] = message
+        self._arm_suspicion_round(message)
+        self._note_arrival(message.seq, src, "propose")
+        self.broadcast(
+            Prepare(
+                view=message.view,
+                seq=message.seq,
+                block_hash=message.block.hash,
+                sender=self.id,
+            )
+        )
+
+    def handle_Prepare(self, src: int, message: Prepare) -> None:  # noqa: N802
+        if not self.running:
+            return
+        senders = self.prepare_senders.setdefault(message.seq, set())
+        if src in senders:
+            return
+        senders.add(src)
+        self._note_arrival(message.seq, src, "write")
+        self.prepare_weight[message.seq] = (
+            self.prepare_weight.get(message.seq, 0.0) + self._weight(src)
+        )
+        self._maybe_send_commit(message.seq)
+
+    def _maybe_send_commit(self, seq: int) -> None:
+        if seq in self.sent_commit or seq not in self.preprepares:
+            return
+        if self.prepare_weight.get(seq, 0.0) < self._quorum_weight:
+            return
+        self.sent_commit.add(seq)
+        preprepare = self.preprepares[seq]
+        self.broadcast(
+            Commit(
+                view=preprepare.view,
+                seq=seq,
+                block_hash=preprepare.block.hash,
+                sender=self.id,
+            )
+        )
+
+    def handle_Commit(self, src: int, message: Commit) -> None:  # noqa: N802
+        if not self.running:
+            return
+        senders = self.commit_senders.setdefault(message.seq, set())
+        if src in senders:
+            return
+        senders.add(src)
+        self._note_arrival(message.seq, src, "accept")
+        self.commit_weight[message.seq] = (
+            self.commit_weight.get(message.seq, 0.0) + self._weight(src)
+        )
+        self._maybe_execute(message.seq)
+
+    def _maybe_execute(self, seq: int) -> None:
+        if seq in self.executed or seq not in self.preprepares:
+            return
+        if seq in self.sent_commit and self.commit_weight.get(seq, 0.0) >= self._quorum_weight:
+            self.executed.add(seq)
+            self.executed_seq = max(self.executed_seq, seq)
+            block = self.preprepares[seq].block
+            self.metrics.record_commit(
+                seq, self.sim.now, block.timestamp, block.payload_count
+            )
+            committed_keys = set()
+            for client_id, request_id, _send_time in block.request_ids:
+                self.send(client_id, Reply(self.id, request_id, self.sim.now))
+                committed_keys.add((client_id, request_id))
+            self._committed_requests |= committed_keys
+            self.pending_requests = [
+                request
+                for request in self.pending_requests
+                if (request.client_id, request.request_id) not in committed_keys
+            ]
+            if self.optilog is not None:
+                for record in block.records:
+                    self.optilog.pipeline.log.append(record)
+            self._adopt_pending_config()
+            if self.in_flight == seq:
+                self.in_flight = None
+            self._maybe_propose()
+
+    # ------------------------------------------------------------------
+    # OptiLog integration
+    # ------------------------------------------------------------------
+    def _gossip_record(self, record) -> None:
+        """Sensor-app transport: ship the record to the current leader."""
+        self.send(self.leader, RecordGossip(record=record, sender=self.id))
+
+    def handle_RecordGossip(self, src: int, message: RecordGossip) -> None:  # noqa: N802
+        if not self.running:
+            return
+        if not self.is_leader:
+            # Forward to whoever we currently follow (bounded hops so a
+            # transient leadership disagreement cannot loop forever).
+            if message.hops < 3:
+                self.send(
+                    self.leader,
+                    RecordGossip(
+                        record=message.record,
+                        sender=message.sender,
+                        hops=message.hops + 1,
+                    ),
+                )
+            return
+        self.pending_records.append(message.record)
+        self._maybe_propose()
+
+    def _arm_suspicion_round(self, message: PrePrepare) -> None:
+        """Feed the SuspicionSensor for this round (OptiAware only)."""
+        if self.optilog is None or self.mode != "optiaware":
+            return
+        monitor = self.optilog.pipeline.latency_monitor
+        if not monitor.is_complete():
+            return
+        sensor = self.optilog.pipeline.suspicion_sensor
+        timeouts = self.optilog.timeouts_for(self.config)
+        expected = timeouts.expected_messages(self.id)
+        sensor.begin_round(
+            round_id=message.seq,
+            leader=self.leader,
+            proposal_timestamp=message.timestamp,
+            d_rnd=math.inf,  # condition (a) unarmed: client-paced rounds
+            expected=expected,
+            view=self.log_view,
+        )
+        self.optilog.pipeline.suspicion_monitor.note_round_leader(
+            message.seq, self.leader
+        )
+        horizon = sensor.round_horizon(message.seq)
+        if horizon is not None and horizon > self.sim.now:
+            slack = 0.005
+            self.sim.schedule(
+                horizon - self.sim.now + slack, self._check_round, message.seq
+            )
+
+    def _check_round(self, seq: int) -> None:
+        if self.optilog is None or not self.running:
+            return
+        self.optilog.pipeline.suspicion_sensor.check_round(
+            seq, self.sim.now, view=self.log_view
+        )
+        self.optilog.pipeline.suspicion_sensor.forget_round(seq)
+
+    def _note_arrival(self, seq: int, sender: int, msg_type: str) -> None:
+        if self.optilog is None:
+            return
+        self.optilog.pipeline.suspicion_sensor.on_message(
+            seq, sender, msg_type, self.sim.now
+        )
+
+    # ------------------------------------------------------------------
+    # Probes (Aware's latency infrastructure)
+    # ------------------------------------------------------------------
+    def probe_peers(self) -> None:
+        for peer in range(self.n):
+            if peer != self.id:
+                self.send(peer, Probe(nonce=self.id, sender=self.id, send_time=self.sim.now))
+
+    def handle_Probe(self, src: int, message: Probe) -> None:  # noqa: N802
+        self.send(
+            src,
+            ProbeReply(
+                nonce=message.nonce,
+                sender=self.id,
+                probe_send_time=message.send_time,
+            ),
+        )
+
+    def handle_ProbeReply(self, src: int, message: ProbeReply) -> None:  # noqa: N802
+        if self.optilog is None:
+            return
+        rtt = self.sim.now - message.probe_send_time
+        self.optilog.pipeline.latency_sensor.observe_rtt(src, rtt)
+
+    def publish_latency_vector(self) -> None:
+        if self.optilog is not None:
+            self.optilog.pipeline.latency_sensor.measure_and_record(
+                view=self.log_view
+            )
+
+    def run_config_search(self) -> None:
+        if self.optilog is not None:
+            sensor = self.optilog.pipeline.config_sensor
+            sensor.search_and_propose(
+                view=self.log_view,
+                basis_seq=self.optilog.pipeline.log.last_seq,
+            )
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def _on_reconfigure(self, decision) -> None:
+        self.pending_config = decision.configuration
+
+    def _adopt_pending_config(self) -> None:
+        if self.pending_config is None:
+            return
+        self.config = self.pending_config
+        self.pending_config = None
+        self.reconfigure_times.append(self.sim.now)
+        if self.optilog is not None:
+            self.optilog.pipeline.advance_view(self.log_view)
+        # Sequence numbers continue from everything we have seen, so the
+        # new leader does not collide with the old history.
+        highest_seen = max(self.preprepares, default=0)
+        self.seq = max(self.seq, highest_seen)
+        self.in_flight = None
+        # Replay proposals that arrived from the new leader before we
+        # adopted it.
+        stale = self.stale_preprepares.pop(self.leader, [])
+        for message in stale:
+            self.handle_PrePrepare(self.leader, message)
+        self._maybe_propose()
+
+
+class ClosedLoopClient:
+    """One closed-loop client (the paper's per-city clients; Fig. 7
+    measures a representative one)."""
+
+    def __init__(
+        self,
+        client_id: int,
+        n: int,
+        f: int,
+        sim: Simulator,
+        network: Network,
+        think_time: float = 0.0,
+    ):
+        self.id = client_id
+        self.n = n
+        self.f = f
+        self.sim = sim
+        self.network = network
+        self.think_time = think_time
+        self.next_request = 0
+        self.replies: Dict[int, Set[int]] = {}
+        self.latencies: List = []  # (complete_time, latency)
+        self.outstanding: Optional[int] = None
+        self.running = False
+        self._last_send_time = 0.0
+        network.register(client_id, self.on_message)
+
+    def start(self) -> None:
+        self.running = True
+        self._send_next()
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _send_next(self) -> None:
+        if not self.running:
+            return
+        self.next_request += 1
+        request = ClientRequest(
+            client_id=self.id,
+            request_id=self.next_request,
+            send_time=self.sim.now,
+        )
+        self.outstanding = self.next_request
+        self._last_send_time = self.sim.now
+        self.replies[self.next_request] = set()
+        for replica in range(self.n):
+            self.network.send(self.id, replica, request, request.wire_size)
+
+    def on_message(self, src: int, message) -> None:
+        if not isinstance(message, Reply) or not self.running:
+            return
+        if message.request_id != self.outstanding:
+            return
+        voters = self.replies.setdefault(message.request_id, set())
+        voters.add(src)
+        if len(voters) == self.f + 1:
+            # Latency from request send to the f+1-th matching reply.
+            self.latencies.append(
+                (self.sim.now, self.sim.now - self._last_send_time)
+            )
+            self.outstanding = None
+            if self.think_time > 0:
+                self.sim.schedule(self.think_time, self._send_next)
+            else:
+                self._send_next()
+
+    def latency_series(self, duration: float, bucket: float = 1.0):
+        """Mean end-to-end latency per time bucket, Fig. 7's series."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for time, latency in self.latencies:
+            index = int(time / bucket)
+            sums[index] = sums.get(index, 0.0) + latency
+            counts[index] = counts.get(index, 0) + 1
+        return [
+            (index * bucket, sums[index] / counts[index]) for index in sorted(sums)
+        ]
+
+
+class PbftCluster:
+    """A PBFT deployment with one observer client (Fig. 7 setup)."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        mode: str = "static",
+        f: Optional[int] = None,
+        delta: float = 1.0,
+        seed: int = 0,
+        jitter: float = 0.02,
+        client_city_index: Optional[int] = None,
+    ):
+        self.deployment = deployment
+        n = deployment.n
+        self.n = n
+        self.f = f if f is not None else (n - 1) // 3
+        self.mode = mode
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, self._link_delay, jitter=jitter)
+        self.registry = KeyRegistry(n, seed=seed)
+        self.replicas: List[PbftReplica] = [
+            PbftReplica(
+                replica_id, n, self.f, self.sim, self.network, self.registry,
+                mode=mode, delta=delta,
+            )
+            for replica_id in range(n)
+        ]
+        # The client lives in one of the cities (Fig. 7: Nuremberg) and is
+        # co-located with that city's replica (1 ms local RTT).
+        self.client_city = (
+            client_city_index if client_city_index is not None else 0
+        )
+        self.client = ClosedLoopClient(
+            client_id=1000, n=n, f=self.f, sim=self.sim, network=self.network
+        )
+
+    def _link_delay(self, a: int, b: int) -> float:
+        def site(node: int) -> int:
+            return self.client_city if node >= 1000 else node
+
+        return self.deployment.latency.one_way(site(a), site(b)) or 0.0005
+
+    # ------------------------------------------------------------------
+    # Measurement cadence (probes, vectors, searches)
+    # ------------------------------------------------------------------
+    def schedule_measurements(
+        self,
+        probe_at: float = 5.0,
+        publish_at: float = 15.0,
+        first_search_at: float = 40.0,
+        search_period: float = 25.0,
+        horizon: float = 180.0,
+    ) -> None:
+        """Arrange the Fig. 7 cadence: probe, publish vectors, then run
+        periodic configuration searches on every replica."""
+        if self.mode == "static":
+            return
+        for replica in self.replicas:
+            self.sim.schedule_at(probe_at, replica.probe_peers)
+            self.sim.schedule_at(publish_at, replica.publish_latency_vector)
+        search_time = first_search_at
+        while search_time <= horizon:
+            for replica in self.replicas:
+                self.sim.schedule_at(search_time, replica.run_config_search)
+            search_time += search_period
+
+    def run(self, duration: float) -> RunMetrics:
+        for replica in self.replicas:
+            replica.start()
+        self.client.start()
+        self.sim.run(until=duration)
+        self.client.stop()
+        for replica in self.replicas:
+            replica.stop()
+        return self.replicas[0].metrics
+
+    @property
+    def current_leader(self) -> int:
+        return self.replicas[0].config.leader

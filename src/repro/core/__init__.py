@@ -1,0 +1,40 @@
+"""OptiLog framework: append-only log, sensors, monitors and the pipeline.
+
+This package implements the paper's primary contribution (§4): a shared
+append-only log of measurements, the sensor/monitor abstraction
+(non-deterministic capture, deterministic evaluation), and the four-stage
+pipeline for low-latency role assignment:
+
+* :mod:`repro.core.latency` -- LatencySensor / LatencyMonitor (§4.2.1)
+* :mod:`repro.core.misbehavior` -- MisbehaviorSensor / Monitor (§4.2.2)
+* :mod:`repro.core.suspicion` -- SuspicionSensor / Monitor (§4.2.3)
+* :mod:`repro.core.config` -- ConfigSensor / ConfigMonitor (§4.2.4)
+
+:mod:`repro.core.timeouts` derives the per-message and per-round timeouts
+(TR1-TR3, Appendix C) and :mod:`repro.core.pipeline` wires one replica's
+sensors and monitors together.
+"""
+
+from repro.core.log import AppendOnlyLog, LogEntry
+from repro.core.pipeline import OptiLogPipeline, PipelineSettings
+from repro.core.records import (
+    ComplaintRecord,
+    Configuration,
+    ConfigProposalRecord,
+    LatencyVectorRecord,
+    SuspicionKind,
+    SuspicionRecord,
+)
+
+__all__ = [
+    "AppendOnlyLog",
+    "ComplaintRecord",
+    "ConfigProposalRecord",
+    "Configuration",
+    "LatencyVectorRecord",
+    "LogEntry",
+    "OptiLogPipeline",
+    "PipelineSettings",
+    "SuspicionKind",
+    "SuspicionRecord",
+]

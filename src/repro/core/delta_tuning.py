@@ -1,0 +1,102 @@
+"""History-based selection of the timer multiplier δ (§7.6).
+
+"OptiLog enables selecting an optimal δ through historical analysis of
+recorded latencies.  By systematically analyzing past latency data,
+OptiLog could determine δ values best suited for varying network
+conditions" -- the paper leaves the evaluation to future work; this
+module implements the mechanism.
+
+The trade-off: a small δ turns benign latency variation into false
+suspicions (and reconfiguration churn); a large δ hands Byzantine
+replicas that much delay budget for free (Fig. 11).  Given a history of
+per-link latency samples, :func:`recommend_delta` picks the smallest δ
+that would have kept the false-suspicion rate below a target quantile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class LatencyHistory:
+    """Per-link latency observations accumulated from committed vectors.
+
+    Each sample is a (baseline, observed) pair: the latency the link
+    *reported* into the matrix ``L`` versus a later protocol-message
+    observation.  The ratio distribution is exactly what δ must cover.
+    """
+
+    samples: Dict[Tuple[int, int], List[Tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    def observe(self, a: int, b: int, baseline: float, observed: float) -> None:
+        if baseline <= 0 or observed <= 0:
+            return
+        key = (a, b) if a < b else (b, a)
+        self.samples.setdefault(key, []).append((baseline, observed))
+
+    def ratios(self) -> List[float]:
+        """Observed/baseline ratios over every link, sorted ascending."""
+        result = [
+            observed / baseline
+            for pairs in self.samples.values()
+            for baseline, observed in pairs
+        ]
+        result.sort()
+        return result
+
+    @property
+    def sample_count(self) -> int:
+        return sum(len(pairs) for pairs in self.samples.values())
+
+
+def quantile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted values, q in [0, 1]."""
+    if not sorted_values:
+        raise ValueError("no samples")
+    if q <= 0:
+        return sorted_values[0]
+    if q >= 1:
+        return sorted_values[-1]
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def recommend_delta(
+    history: LatencyHistory,
+    false_suspicion_quantile: float = 0.999,
+    headroom: float = 1.02,
+    floor: float = 1.0,
+    ceiling: float = 2.0,
+) -> float:
+    """Smallest δ covering the benign latency-variation distribution.
+
+    ``false_suspicion_quantile`` is the fraction of benign messages that
+    must arrive within ``δ·d_m`` (each miss is a false suspicion);
+    ``headroom`` adds a small safety margin; the result is clamped to
+    ``[floor, ceiling]`` -- the ceiling caps the delay budget handed to
+    Byzantine replicas (Fig. 11's concern).
+    """
+    if not (0.0 < false_suspicion_quantile <= 1.0):
+        raise ValueError("quantile must be in (0, 1]")
+    ratios = history.ratios()
+    if not ratios:
+        return ceiling  # no evidence: be conservative about suspicions
+    required = quantile(ratios, false_suspicion_quantile) * headroom
+    return min(max(required, floor), ceiling)
+
+
+def expected_false_suspicion_rate(history: LatencyHistory, delta: float) -> float:
+    """Fraction of historical benign messages that δ would have suspected."""
+    ratios = history.ratios()
+    if not ratios:
+        return 0.0
+    late = sum(1 for ratio in ratios if ratio > delta)
+    return late / len(ratios)

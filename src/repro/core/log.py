@@ -1,0 +1,110 @@
+"""The append-only measurement log (§4, Fig. 1).
+
+The log is OptiLog's central data structure: replicas append authenticated
+measurements through the consensus engine, and every replica's monitors
+observe the *same committed prefix in the same order*, which is what makes
+their derived metrics consistent system-wide.
+
+Two usage modes:
+
+* **Replicated** -- each replica holds its own :class:`AppendOnlyLog`
+  instance that the consensus engine feeds in commit order (the consensus
+  engines in :mod:`repro.consensus` do this through the sensor app).
+* **Standalone** -- analytical experiments (Figs. 8, 10, 12, 14) drive a
+  single log directly, bypassing consensus; determinism of the monitors
+  guarantees the outcome equals the replicated run with the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Type
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A committed record with its position in the total order."""
+
+    seq: int
+    record: Any
+    view: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        return getattr(self.record, "wire_size", 0)
+
+
+class AppendOnlyLog:
+    """Totally-ordered, append-only record log with typed subscriptions.
+
+    Subscribers registered for a record type are notified synchronously,
+    in registration order, whenever a record of that type (or a subclass)
+    commits.  Monitors rely on this ordering being identical on every
+    replica; it is, because it is a pure function of the append order.
+    """
+
+    def __init__(self):
+        self._entries: List[LogEntry] = []
+        self._subscribers: List[tuple] = []  # (record_type, callback)
+        self.current_view = 0
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, record: Any, view: Optional[int] = None) -> LogEntry:
+        """Commit ``record`` at the next sequence number and notify."""
+        entry = LogEntry(
+            seq=len(self._entries),
+            record=record,
+            view=self.current_view if view is None else view,
+        )
+        self._entries.append(entry)
+        for record_type, callback in list(self._subscribers):
+            if isinstance(record, record_type):
+                callback(entry)
+        return entry
+
+    def advance_view(self, view: int) -> None:
+        """Record a view change; later appends carry the new view number."""
+        if view < self.current_view:
+            raise ValueError(
+                f"view must not go backwards ({view} < {self.current_view})"
+            )
+        self.current_view = view
+
+    # ------------------------------------------------------------------
+    # Subscription and access
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, record_type: Type, callback: Callable[[LogEntry], None]
+    ) -> None:
+        """Call ``callback(entry)`` for every committed record of the type."""
+        self._subscribers.append((record_type, callback))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, seq: int) -> LogEntry:
+        return self._entries[seq]
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def entries_of_type(self, record_type: Type) -> List[LogEntry]:
+        return [e for e in self._entries if isinstance(e.record, record_type)]
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest entry, or -1 when empty."""
+        return len(self._entries) - 1
+
+    def total_wire_size(self) -> int:
+        """Sum of record wire sizes; used by the overhead study."""
+        return sum(entry.wire_size for entry in self._entries)
+
+    def type_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for entry in self._entries:
+            kind = type(entry.record).__name__
+            histogram[kind] = histogram.get(kind, 0) + 1
+        return histogram

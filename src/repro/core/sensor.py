@@ -1,0 +1,72 @@
+"""Sensor abstraction and the sensor app (§4, §4.1).
+
+Sensors capture *local*, possibly non-deterministic measurements and hand
+them to the **sensor app**, which disseminates them through the consensus
+engine so they commit to the shared log.  In this reproduction the sensor
+app's transport is pluggable: a ``propose`` callable that either routes a
+record through a consensus engine or, in standalone mode, appends directly
+to a local log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class SensorApp:
+    """Collects sensor records and proposes them to the log (Fig. 1).
+
+    Parameters
+    ----------
+    replica_id:
+        The local replica; stamped on outgoing records for accountability.
+    propose:
+        Transport used to replicate a record.  Defaults to a buffer that a
+        consensus engine (or a test) drains with :meth:`drain`.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        propose: Optional[Callable[[Any], None]] = None,
+    ):
+        self.replica_id = replica_id
+        self._propose = propose
+        self._outbox: List[Any] = []
+        self.records_submitted = 0
+
+    def submit(self, record: Any) -> None:
+        """Queue ``record`` for replication through the consensus engine."""
+        self.records_submitted += 1
+        if self._propose is not None:
+            self._propose(record)
+        else:
+            self._outbox.append(record)
+
+    def drain(self) -> List[Any]:
+        """Take all buffered records (buffered transport mode only)."""
+        drained, self._outbox = self._outbox, []
+        return drained
+
+    @property
+    def pending(self) -> int:
+        return len(self._outbox)
+
+
+class Sensor:
+    """Base class for sensors (Table 1: non-deterministic, local input).
+
+    Subclasses capture measurements from the system or from local monitors
+    and call :meth:`record` to submit them.  Sensors never read the log
+    directly; consistency is the monitors' job.
+    """
+
+    name: str = "sensor"
+
+    def __init__(self, replica_id: int, app: SensorApp):
+        self.replica_id = replica_id
+        self.app = app
+
+    def record(self, record: Any) -> None:
+        """Submit a measurement for replication."""
+        self.app.submit(record)

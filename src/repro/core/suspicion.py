@@ -1,0 +1,583 @@
+"""Suspicion sensor and monitor (§4.2.3, Appendix C).
+
+The SuspicionSensor detects timing and omission faults relative to the
+latencies replicas *reported* (the latency matrix ``L``):
+
+========  ============================================================
+(a)       consecutive proposal timestamps more than ``δ·d_rnd`` apart
+          → ⟨Slow, A d L⟩ against the leader
+(b)       message ``m`` from B missing ``δ·d_m`` after round start
+          → ⟨Slow, A d B⟩
+(c)       a suspicion ⟨_, B d A⟩ against the local replica
+          → reciprocate ⟨False, A d B⟩
+========  ============================================================
+
+The SuspicionMonitor consumes committed suspicions, filters causally
+related ones, distinguishes crash suspicions (never reciprocated within
+``f+1`` views → crashed set ``C``) from mutual suspicions (edges of the
+suspicion graph ``G``), and produces:
+
+* the candidate set ``K`` -- a maximum independent set of ``G`` plus every
+  unsuspected replica, always of size ≥ ``n − f`` (Lemma 1);
+* the estimate ``u = |V| − |K|`` of misbehaving replicas.
+
+Aging: after ``w`` stable views old suspicions are evicted oldest-first;
+eviction also triggers when ``G`` no longer contains an independent set of
+size ``n − f``.
+
+OptiTree's alternative candidate rule (``E_d``/``T``, §6.4) subclasses
+this monitor in :mod:`repro.tree.candidates`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.log import AppendOnlyLog, LogEntry
+from repro.core.misbehavior import MisbehaviorMonitor
+from repro.core.monitor import Monitor
+from repro.core.records import SuspicionKind, SuspicionRecord
+from repro.core.sensor import Sensor, SensorApp
+from repro.optimize.graphs import Graph
+from repro.optimize.maxindset import greedy_independent_set, maximum_independent_set
+
+
+# ----------------------------------------------------------------------
+# Sensor
+# ----------------------------------------------------------------------
+@dataclass
+class ExpectedMessage:
+    """One message the protocol expects during a round.
+
+    ``d_m`` is the expected delay from the round's proposal timestamp to
+    the message's arrival (TR1/TR2); ``phase`` orders messages causally
+    within the round (0 = proposal) and feeds the monitor's filtering.
+    """
+
+    sender: int
+    msg_type: str
+    phase: int
+    d_m: float
+
+
+@dataclass
+class _RoundState:
+    round_id: int
+    leader: int
+    proposal_timestamp: float
+    expected: Dict[Tuple[int, str], ExpectedMessage] = field(default_factory=dict)
+    received: Set[Tuple[int, str]] = field(default_factory=set)
+    checked: bool = False
+    #: Lowest phase already suspected this round; one late message delays
+    #: every later phase, so later-phase suspicions are causally implied
+    #: and not raised (the monitor filters them anyway, §4.2.3).
+    suspected_phase: float = math.inf
+
+
+class SuspicionSensor(Sensor):
+    """Raises suspicions per conditions (a)-(c) of §4.2.3.
+
+    The protocol adapter drives the sensor:
+
+    * :meth:`begin_round` when a proposal (with the leader's timestamp)
+      arrives, together with the round's expected messages and ``d_rnd``;
+    * :meth:`on_message` when an expected message arrives;
+    * :meth:`check_round` once the local clock passes the round's horizon
+      (simulation engines schedule this; analytical tests call it with an
+      explicit ``now``);
+    * :meth:`on_suspicion_logged` for every committed suspicion, to
+      reciprocate per condition (c).
+
+    The sensor requires synchronised clocks (§4.2.3); in the simulator all
+    replicas share virtual time, and clock skew can be injected through
+    the ``clock_skew`` parameter for robustness experiments.
+    """
+
+    name = "suspicion-sensor"
+
+    def __init__(
+        self,
+        replica_id: int,
+        app: SensorApp,
+        delta: float = 1.0,
+        clock_skew: float = 0.0,
+    ):
+        super().__init__(replica_id, app)
+        self.delta = delta
+        self.clock_skew = clock_skew
+        self._rounds: Dict[int, _RoundState] = {}
+        self._last_proposal: Optional[Tuple[int, float, int]] = None  # (round, ts, leader)
+        self._last_d_rnd: float = math.inf
+        self._reciprocated: Set[Tuple[int, int]] = set()
+        #: (suspect, round) pairs already reported slow: one ⟨Slow⟩ per
+        #: suspect per round keeps reports rare (§7.8) while still giving
+        #: the monitor one fresh edge per round of continued misbehavior.
+        self._slow_reported: Set[Tuple[int, int]] = set()
+        self.suspicions_raised = 0
+
+    # -- protocol driving ------------------------------------------------
+    def begin_round(
+        self,
+        round_id: int,
+        leader: int,
+        proposal_timestamp: float,
+        d_rnd: float,
+        expected: List[ExpectedMessage],
+        view: int = 0,
+    ) -> None:
+        """Start tracking a round; checks condition (a) against the last one."""
+        timestamp = proposal_timestamp + self.clock_skew
+        if self._last_proposal is not None:
+            last_round, last_ts, last_leader = self._last_proposal
+            same_leader_next = leader == last_leader and round_id == last_round + 1
+            gap = timestamp - last_ts
+            if same_leader_next and gap > self.delta * self._last_d_rnd:
+                self._raise_slow(
+                    suspect=leader,
+                    round_id=round_id,
+                    msg_type="proposal-timestamp",
+                    phase=0,
+                    view=view,
+                )
+        self._last_proposal = (round_id, timestamp, leader)
+        self._last_d_rnd = d_rnd
+        self._rounds[round_id] = _RoundState(
+            round_id=round_id,
+            leader=leader,
+            proposal_timestamp=timestamp,
+            expected={(m.sender, m.msg_type): m for m in expected},
+        )
+
+    def on_message(self, round_id: int, sender: int, msg_type: str, now: float) -> None:
+        """Record arrival of an expected message (condition (b) bookkeeping).
+
+        A message arriving *after* its ``δ·d_m`` deadline is still a
+        condition-(b) violation -- the suspicion is raised immediately
+        rather than waiting for the round check.
+        """
+        state = self._rounds.get(round_id)
+        if state is None:
+            return
+        expected = state.expected.get((sender, msg_type))
+        if expected is not None and expected.phase <= state.suspected_phase:
+            deadline = state.proposal_timestamp + self.delta * expected.d_m
+            if now > deadline:
+                if self._raise_slow(
+                    suspect=sender,
+                    round_id=round_id,
+                    msg_type=msg_type,
+                    phase=expected.phase,
+                    view=0,
+                ) is not None:
+                    state.suspected_phase = min(state.suspected_phase, expected.phase)
+        state.received.add((sender, msg_type))
+
+    def round_horizon(self, round_id: int) -> Optional[float]:
+        """Absolute time by which every expected message should have arrived."""
+        state = self._rounds.get(round_id)
+        if state is None or not state.expected:
+            return None
+        latest = max(m.d_m for m in state.expected.values())
+        return state.proposal_timestamp + self.delta * latest
+
+    def check_round(self, round_id: int, now: float, view: int = 0) -> List[SuspicionRecord]:
+        """Raise ⟨Slow⟩ for every expected message still missing at ``now``.
+
+        Idempotent per round; returns the suspicions raised (already
+        submitted through the sensor app).
+        """
+        state = self._rounds.get(round_id)
+        if state is None or state.checked:
+            return []
+        raised = []
+        missing = sorted(
+            (
+                (expected.phase, sender, msg_type, expected)
+                for (sender, msg_type), expected in state.expected.items()
+                if (sender, msg_type) not in state.received
+            ),
+        )
+        for phase, sender, msg_type, expected in missing:
+            if phase > state.suspected_phase:
+                break  # causally implied by the earlier-phase suspicion
+            deadline = state.proposal_timestamp + self.delta * expected.d_m
+            if now >= deadline:
+                record = self._raise_slow(
+                    suspect=sender,
+                    round_id=round_id,
+                    msg_type=msg_type,
+                    phase=phase,
+                    view=view,
+                )
+                if record is not None:
+                    raised.append(record)
+                    state.suspected_phase = min(state.suspected_phase, phase)
+        state.checked = True
+        return raised
+
+    def forget_round(self, round_id: int) -> None:
+        """Drop bookkeeping for an old round."""
+        self._rounds.pop(round_id, None)
+
+    # -- condition (c) ----------------------------------------------------
+    def on_suspicion_logged(self, record: SuspicionRecord, view: int = 0) -> None:
+        """Reciprocate a suspicion raised against the local replica."""
+        if record.suspect != self.replica_id:
+            return
+        if record.reporter == self.replica_id:
+            return
+        key = (record.reporter, record.round_id)
+        if key in self._reciprocated:
+            return
+        self._reciprocated.add(key)
+        self._raise(
+            suspect=record.reporter,
+            kind=SuspicionKind.FALSE,
+            round_id=record.round_id,
+            msg_type="reciprocation",
+            phase=record.phase,
+            view=view,
+        )
+
+    def forgive(self, suspect: int) -> None:
+        """Allow reporting ``suspect`` slow again (e.g. after a
+        reconfiguration gave it a fresh start)."""
+        self._slow_reported = {
+            (reported, round_id)
+            for reported, round_id in self._slow_reported
+            if reported != suspect
+        }
+
+    # -- helpers ----------------------------------------------------------
+    def _raise_slow(
+        self,
+        suspect: int,
+        round_id: int,
+        msg_type: str,
+        phase: int,
+        view: int,
+    ) -> Optional[SuspicionRecord]:
+        """Raise ⟨Slow⟩ at most once per (suspect, round)."""
+        if (suspect, round_id) in self._slow_reported or suspect == self.replica_id:
+            return None
+        self._slow_reported.add((suspect, round_id))
+        return self._raise(
+            suspect=suspect,
+            kind=SuspicionKind.SLOW,
+            round_id=round_id,
+            msg_type=msg_type,
+            phase=phase,
+            view=view,
+        )
+
+    def _raise(
+        self,
+        suspect: int,
+        kind: SuspicionKind,
+        round_id: int,
+        msg_type: str,
+        phase: int,
+        view: int,
+    ) -> SuspicionRecord:
+        record = SuspicionRecord(
+            reporter=self.replica_id,
+            suspect=suspect,
+            kind=kind,
+            round_id=round_id,
+            msg_type=msg_type,
+            phase=phase,
+            view=view,
+        )
+        self.suspicions_raised += 1
+        self.record(record)
+        return record
+
+
+# ----------------------------------------------------------------------
+# Monitor
+# ----------------------------------------------------------------------
+@dataclass
+class _SuspicionItem:
+    """An accepted (unfiltered) suspicion and its lifecycle state."""
+
+    seq: int
+    reporter: int
+    suspect: int
+    kind: SuspicionKind
+    round_id: int
+    phase: int
+    view: int
+    reciprocated: bool = False
+    deadline_view: int = 0
+    one_way: bool = False  # aged into a crash suspicion
+
+
+class SuspicionMonitor(Monitor):
+    """Builds C, G, K and u from committed suspicions (§4.2.3).
+
+    Parameters
+    ----------
+    n, f:
+        System size and fault threshold.
+    misbehavior:
+        The local MisbehaviorMonitor providing ``F``; vertices in ``F``
+        are excluded from the graph (and the candidate set).
+    stability_window:
+        ``w``: views without new suspicions before aging starts.
+    exact_mis_threshold:
+        Largest graph solved with exact Bron-Kerbosch; beyond it the
+        greedy heuristic is used (the paper likewise uses a heuristic
+        variant, §7.2).
+    """
+
+    name = "suspicion-monitor"
+    record_types = (SuspicionRecord,)
+
+    def __init__(
+        self,
+        replica_id: int,
+        log: AppendOnlyLog,
+        n: int,
+        f: int,
+        misbehavior: Optional[MisbehaviorMonitor] = None,
+        stability_window: int = 10,
+        exact_mis_threshold: int = 25,
+    ):
+        self.n = n
+        self.f = f
+        self.misbehavior = misbehavior
+        self.stability_window = stability_window
+        self.exact_mis_threshold = exact_mis_threshold
+        self._items: List[_SuspicionItem] = []
+        self.current_view = 0
+        self._last_suspicion_view = 0
+        self.filtered_count = 0
+        # Rounds in which the *leader* raised a suspicion (suppresses
+        # proposal-timestamp suspicions for round+1, §4.2.3).
+        self._leader_suspected_round: Set[int] = set()
+        self._round_leaders: Dict[int, int] = {}
+        # Derived state, rebuilt after every change.
+        self.crashed: Set[int] = set()
+        self.graph = Graph(vertices=range(n))
+        self.candidates: FrozenSet[int] = frozenset(range(n))
+        self.u = 0
+        super().__init__(replica_id, log)
+        # A new proof-of-misbehavior changes F and therefore V = Π\F\C.
+        if misbehavior is not None:
+            misbehavior.add_listener(self._rebuild)
+
+    # ------------------------------------------------------------------
+    # Log consumption
+    # ------------------------------------------------------------------
+    def note_round_leader(self, round_id: int, leader: int) -> None:
+        """Tell the monitor who led a round (for leader-suspicion filtering)."""
+        self._round_leaders[round_id] = leader
+
+    def on_entry(self, entry: LogEntry) -> None:
+        record: SuspicionRecord = entry.record
+        if record.reporter == record.suspect:
+            return
+        if not (0 <= record.reporter < self.n and 0 <= record.suspect < self.n):
+            return
+        if record.kind == SuspicionKind.FALSE:
+            self._apply_reciprocation(record)
+            # A reciprocation also proves two-way-ness; it does not create
+            # a new edge by itself if none exists (nothing to reciprocate).
+            self._rebuild()
+            return
+        if self._is_filtered(record):
+            self.filtered_count += 1
+            return
+        self._last_suspicion_view = max(self._last_suspicion_view, record.view, self.current_view)
+        self._items.append(
+            _SuspicionItem(
+                seq=entry.seq,
+                reporter=record.reporter,
+                suspect=record.suspect,
+                kind=record.kind,
+                round_id=record.round_id,
+                phase=record.phase,
+                view=record.view,
+                deadline_view=max(record.view, self.current_view) + self.f + 1,
+            )
+        )
+        self._note_phase(record)
+        self._rebuild()
+
+    def _is_filtered(self, record: SuspicionRecord) -> bool:
+        """Arrival-time filtering per §4.2.3 plus structural checks.
+
+        * Proposal-phase suspicions (``propose``/``proposal-timestamp``)
+          can only legitimately target the round's leader -- a Byzantine
+          reporter cannot smuggle early-phase edges against arbitrary
+          replicas.
+        * If the leader raised a suspicion in round ``i``, suspicions
+          against a delayed proposal timestamp in round ``i+1`` are
+          filtered (the late round start is causally explained).
+
+        Retention of only the *earliest-phase* suspicions of each round
+        happens retroactively in :meth:`_rebuild`, so log-order races
+        cannot defeat it.
+        """
+        leader = self._round_leaders.get(record.round_id)
+        if (
+            record.msg_type in ("propose", "proposal-timestamp")
+            and leader is not None
+            and record.suspect != leader
+        ):
+            return True
+        if (
+            record.msg_type == "proposal-timestamp"
+            and (record.round_id - 1) in self._leader_suspected_round
+        ):
+            return True
+        return False
+
+    def _note_phase(self, record: SuspicionRecord) -> None:
+        leader = self._round_leaders.get(record.round_id)
+        if leader is not None and record.reporter == leader:
+            self._leader_suspected_round.add(record.round_id)
+
+    def _apply_reciprocation(self, record: SuspicionRecord) -> None:
+        # record is ⟨False, A d B⟩: A (reporter) answers B's (suspect's)
+        # earlier suspicion; it confirms the (A, B) edge as two-way.
+        for item in self._items:
+            if item.one_way:
+                continue
+            if {item.reporter, item.suspect} == {record.reporter, record.suspect}:
+                item.reciprocated = True
+
+    # ------------------------------------------------------------------
+    # View progression, aging and overflow
+    # ------------------------------------------------------------------
+    def advance_view(self, view: int) -> None:
+        """Advance the view; expires reciprocation deadlines and ages items."""
+        if view <= self.current_view:
+            return
+        self.current_view = view
+        changed = False
+        for item in self._items:
+            if (
+                not item.one_way
+                and not item.reciprocated
+                and item.kind == SuspicionKind.SLOW
+                and view >= item.deadline_view
+            ):
+                item.one_way = True  # suspect considered crashed
+                changed = True
+        if (
+            self._items
+            and view - self._last_suspicion_view >= self.stability_window
+        ):
+            # Stable system: remove the oldest suspicion per view (aging).
+            self._items.pop(0)
+            self._last_suspicion_view = view  # pace removals one per view
+            changed = True
+        if changed:
+            self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    def _faulty_set(self) -> Set[int]:
+        if self.misbehavior is None:
+            return set()
+        return set(self.misbehavior.faulty)
+
+    def _effective_items(self) -> List[_SuspicionItem]:
+        """Causal filtering (§4.2.3), applied retroactively.
+
+        For each round only the suspicions from the earliest phase are
+        effective: a single delayed message delays every later phase, so
+        later-phase suspicions of the same round are causally implied.
+        Computing this over the full item set (rather than online) means
+        a Byzantine replica cannot win by racing its later-phase
+        suspicions into the log ahead of the legitimate ones.
+        """
+        min_phase: Dict[int, int] = {}
+        for item in self._items:
+            current = min_phase.get(item.round_id)
+            if current is None or item.phase < current:
+                min_phase[item.round_id] = item.phase
+        return [
+            item for item in self._items if item.phase == min_phase[item.round_id]
+        ]
+
+    def _rebuild(self) -> None:
+        """Recompute C, G, K, u from the effective items (deterministic)."""
+        while True:
+            effective = self._effective_items()
+            faulty = self._faulty_set()
+            crashed: Set[int] = set()
+            for item in effective:
+                if item.one_way and item.suspect not in faulty:
+                    crashed.add(item.suspect)
+            vertices = [
+                v for v in range(self.n) if v not in faulty and v not in crashed
+            ]
+            vertex_set = set(vertices)
+            graph = Graph(vertices=vertices)
+            for item in effective:
+                if item.one_way:
+                    continue
+                if item.reporter in vertex_set and item.suspect in vertex_set:
+                    graph.add_edge(item.reporter, item.suspect)
+            candidates, u = self._derive(graph)
+            # Overflow rule: evict oldest suspicions until K is large
+            # enough ("too many suspicions occur when G no longer contains
+            # an independent set of size n - f", Lemma 1).
+            if len(candidates) >= self._min_candidates() or not self._items:
+                break
+            self._items.pop(0)
+        self.crashed = crashed
+        self.graph = graph
+        self.candidates = candidates
+        self.u = u
+
+    def _min_candidates(self) -> int:
+        """Smallest tolerable candidate set (n - f for the base monitor)."""
+        return self.n - self.f
+
+    def _derive(self, graph: Graph) -> Tuple[FrozenSet[int], int]:
+        """(K, u) from the suspicion graph; overridden by the tree variant."""
+        candidates = self._candidate_set(graph)
+        u = max(0, len(graph) - len(candidates))
+        return candidates, u
+
+    def _candidate_set(self, graph: Graph) -> FrozenSet[int]:
+        """Maximum independent set over the suspicion graph.
+
+        Replicas with no suspicions at all are isolated vertices and are
+        always included.  Overridden by the tree variant (§6.4).
+        """
+        contested = [v for v in graph.vertices() if graph.degree(v) > 0]
+        isolated = frozenset(v for v in graph.vertices() if graph.degree(v) == 0)
+        if not contested:
+            return isolated
+        sub = graph.subgraph(contested)
+        if len(contested) <= self.exact_mis_threshold:
+            mis = maximum_independent_set(sub)
+        else:
+            mis = greedy_independent_set(sub)
+        return isolated | mis
+
+    # ------------------------------------------------------------------
+    # Queries (paper notation)
+    # ------------------------------------------------------------------
+    @property
+    def C(self) -> FrozenSet[int]:  # noqa: N802 - paper notation
+        return frozenset(self.crashed)
+
+    @property
+    def K(self) -> FrozenSet[int]:  # noqa: N802 - paper notation
+        return self.candidates
+
+    def estimate(self) -> Tuple[FrozenSet[int], int]:
+        """The pair (K, u) consumed by the ConfigSensor."""
+        return self.candidates, self.u
+
+    def active_suspicions(self) -> List[Tuple[int, int]]:
+        """Currently active (reporter, suspect) pairs, in log order."""
+        return [(item.reporter, item.suspect) for item in self._items]

@@ -1,0 +1,188 @@
+"""Timeout derivation for clique protocols (TR1-TR3, Appendix C).
+
+The SuspicionSensor needs, for every expected message ``m``, the delay
+``d_m`` from the round's proposal timestamp to ``m``'s arrival, and the
+expected round duration ``d_rnd``.  Appendix C gives three requirements:
+
+* TR1: a message sent by the leader right after proposing has
+  ``d_m = L(L, A)``;
+* TR2: a message from A to B sent on receipt of an earlier message ``m'``
+  has ``d_m = d_{m'} + L(A, B)``;
+* TR3: ``d_rnd`` equals ``d_m`` of some message to the leader.
+
+This module implements the PBFT/Aware instantiation (Example C.1):
+Propose → Write (all-to-all) → Accept (all-to-all), with weighted quorums.
+``pbft_round_duration`` *is* Aware's score function -- "the d_rnd developed
+above is the same as the result of the score function defined by Aware."
+
+Tree timeouts (Lemma 6) live in :mod:`repro.tree.score`.
+
+Phases (used by suspicion filtering): 0 proposal timestamp, 1 propose,
+2 write, 3 accept.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.suspicion import ExpectedMessage
+
+PHASE_PROPOSAL = 0
+PHASE_PROPOSE = 1
+PHASE_WRITE = 2
+PHASE_ACCEPT = 3
+
+
+def quorum_formation_time(
+    arrivals: Mapping[int, float],
+    weights: Mapping[int, float],
+    threshold: float,
+) -> float:
+    """Earliest time at which arrived messages reach ``threshold`` weight.
+
+    This is the "min over quorums of max arrival" of Example C.1: sorting
+    arrivals ascending and accumulating weight gives the fastest quorum.
+    Returns ``inf`` when even all messages are too light.
+    """
+    total = 0.0
+    for sender in sorted(arrivals, key=lambda s: (arrivals[s], s)):
+        time = arrivals[sender]
+        if math.isinf(time):
+            break
+        total += weights.get(sender, 0.0)
+        if total >= threshold:
+            return time
+    return math.inf
+
+
+def uniform_weights(n: int) -> Dict[int, float]:
+    """Unweighted voting: every replica has weight 1 (quorum = 2f+1)."""
+    return {replica: 1.0 for replica in range(n)}
+
+
+class PbftTimeouts:
+    """Expected message delays for one PBFT/Aware configuration.
+
+    Parameters
+    ----------
+    latency:
+        Symmetric link-latency matrix (seconds, one-way per hop).
+    leader:
+        The round's leader.
+    weights:
+        Voting weights per replica (Wheat/Aware); uniform for plain PBFT.
+    quorum_weight:
+        Weight a quorum must reach (``2(f+Δ)+1`` for Aware, ``2f+1``
+        unweighted).
+    """
+
+    def __init__(
+        self,
+        latency: np.ndarray,
+        leader: int,
+        weights: Mapping[int, float],
+        quorum_weight: float,
+    ):
+        self.latency = latency
+        self.leader = leader
+        self.n = latency.shape[0]
+        self.weights = dict(weights)
+        self.quorum_weight = quorum_weight
+        self._accept_send: Optional[Dict[int, float]] = None
+
+    # -- building blocks ------------------------------------------------
+    def propose_arrival(self, receiver: int) -> float:
+        """TR1: the leader's Propose reaches ``receiver`` at L(L, A)."""
+        return float(self.latency[self.leader, receiver])
+
+    def write_arrival(self, sender: int, receiver: int) -> float:
+        """TR2: Write(sender→receiver) = propose-to-sender + link.
+
+        The leader's Propose doubles as its own Write (BFT-SMaRt
+        convention), so for ``sender == leader`` this is just the link.
+        """
+        return self.propose_arrival(sender) + float(self.latency[sender, receiver])
+
+    def accept_send_time(self, sender: int) -> float:
+        """When ``sender`` has a Write quorum and can send its Accept."""
+        if self._accept_send is None:
+            self._accept_send = {}
+            for replica in range(self.n):
+                arrivals = {
+                    writer: self.write_arrival(writer, replica)
+                    for writer in range(self.n)
+                }
+                self._accept_send[replica] = quorum_formation_time(
+                    arrivals, self.weights, self.quorum_weight
+                )
+        return self._accept_send[sender]
+
+    def accept_arrival(self, sender: int, receiver: int) -> float:
+        return self.accept_send_time(sender) + float(self.latency[sender, receiver])
+
+    # -- TR3 --------------------------------------------------------------
+    def round_duration(self) -> float:
+        """``d_rnd``: the leader's Accept quorum time (Aware's score)."""
+        arrivals = {
+            sender: self.accept_arrival(sender, self.leader)
+            for sender in range(self.n)
+        }
+        return quorum_formation_time(arrivals, self.weights, self.quorum_weight)
+
+    # -- SuspicionSensor feed ----------------------------------------------
+    def expected_messages(self, receiver: int) -> list[ExpectedMessage]:
+        """All messages ``receiver`` expects in a round, with their d_m."""
+        expected = []
+        if receiver != self.leader:
+            expected.append(
+                ExpectedMessage(
+                    sender=self.leader,
+                    msg_type="propose",
+                    phase=PHASE_PROPOSE,
+                    d_m=self.propose_arrival(receiver),
+                )
+            )
+        for sender in range(self.n):
+            if sender == receiver:
+                continue
+            if sender != self.leader:
+                expected.append(
+                    ExpectedMessage(
+                        sender=sender,
+                        msg_type="write",
+                        phase=PHASE_WRITE,
+                        d_m=self.write_arrival(sender, receiver),
+                    )
+                )
+            expected.append(
+                ExpectedMessage(
+                    sender=sender,
+                    msg_type="accept",
+                    phase=PHASE_ACCEPT,
+                    d_m=self.accept_arrival(sender, receiver),
+                )
+            )
+        return expected
+
+
+def pbft_round_duration(
+    latency: np.ndarray,
+    leader: int,
+    weights: Optional[Mapping[int, float]] = None,
+    quorum_weight: Optional[float] = None,
+) -> float:
+    """Predicted round duration for a (leader, weights) configuration.
+
+    With uniform weights this is PBFT's expected commit latency; with
+    Wheat weights it is Aware's score function.
+    """
+    n = latency.shape[0]
+    if weights is None:
+        weights = uniform_weights(n)
+    if quorum_weight is None:
+        f = (n - 1) // 3
+        quorum_weight = 2 * f + 1
+    return PbftTimeouts(latency, leader, weights, quorum_weight).round_duration()

@@ -1,0 +1,27 @@
+"""Simulated cryptographic substrate.
+
+Consensus engines and OptiLog's misbehavior proofs need *attributable* and
+*verifiable* artefacts: signatures on protocol messages and quorum
+certificates aggregating votes.  We simulate Ed25519 with keyed
+HMAC-SHA256: a :class:`KeyRegistry` holds per-replica secrets and acts as
+the public-key infrastructure (verification looks up the signer's key).
+Sizes are accounted as Ed25519-equivalent (64-byte signatures) so the
+proposal-size experiment (Fig. 13) reports realistic byte counts.
+"""
+
+from repro.crypto.signatures import (
+    SIGNATURE_SIZE,
+    InvalidSignature,
+    KeyRegistry,
+    Signature,
+)
+from repro.crypto.threshold import AggregateSignature, QuorumCertificate
+
+__all__ = [
+    "AggregateSignature",
+    "InvalidSignature",
+    "KeyRegistry",
+    "QuorumCertificate",
+    "SIGNATURE_SIZE",
+    "Signature",
+]

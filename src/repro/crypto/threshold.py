@@ -1,0 +1,106 @@
+"""Aggregate signatures and quorum certificates.
+
+Kauri aggregates votes up the tree and HotStuff forms quorum certificates;
+OptiTree's extra misbehavior rule inspects aggregates for completeness
+(every child position must contribute a vote *or* a suspicion).  We model
+an aggregate as a verified multiset of per-signer signatures over a common
+payload; wire size is accounted per contained signature so that the
+overhead experiment sees realistic certificate sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterable, Tuple
+
+from repro.crypto.signatures import (
+    SIGNATURE_SIZE,
+    InvalidSignature,
+    KeyRegistry,
+    Signature,
+)
+
+
+@dataclass(frozen=True)
+class AggregateSignature:
+    """A set of signatures over the same payload, e.g. tree vote aggregates.
+
+    ``suspected`` carries the ids of children whose vote is replaced by a
+    suspicion, as required by OptiTree's aggregation-completeness rule
+    (§6.3): an aggregate covering ``b+1`` child positions must contain a
+    vote or a suspicion for each position.
+    """
+
+    payload: Any
+    signatures: Tuple[Signature, ...]
+    suspected: FrozenSet[int] = field(default_factory=frozenset)
+
+    @property
+    def signers(self) -> FrozenSet[int]:
+        return frozenset(sig.signer for sig in self.signatures)
+
+    @property
+    def wire_size(self) -> int:
+        return SIGNATURE_SIZE * len(self.signatures) + 8 * len(self.suspected)
+
+    def merge(self, other: "AggregateSignature") -> "AggregateSignature":
+        """Combine two aggregates over the same payload."""
+        if other.payload != self.payload:
+            raise ValueError("cannot merge aggregates over different payloads")
+        merged = {sig.signer: sig for sig in self.signatures}
+        for sig in other.signatures:
+            merged[sig.signer] = sig
+        return AggregateSignature(
+            payload=self.payload,
+            signatures=tuple(sorted(merged.values(), key=lambda s: s.signer)),
+            suspected=self.suspected | other.suspected,
+        )
+
+    def verify(self, registry: KeyRegistry) -> bool:
+        """True iff every contained signature verifies over the payload."""
+        return all(registry.verify(sig, self.payload) for sig in self.signatures)
+
+
+def aggregate(
+    registry: KeyRegistry,
+    payload: Any,
+    signers: Iterable[int],
+    suspected: Iterable[int] = (),
+) -> AggregateSignature:
+    """Build an aggregate by signing ``payload`` with each signer's key."""
+    sigs = tuple(registry.sign(signer, payload) for signer in sorted(set(signers)))
+    return AggregateSignature(
+        payload=payload, signatures=sigs, suspected=frozenset(suspected)
+    )
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """Proof that a quorum voted for ``block_hash`` in ``view``.
+
+    ``weight`` supports Wheat/Aware weighted quorums: the certificate
+    records the summed voting weight so validity does not depend on the
+    verifier re-deriving the weight assignment.
+    """
+
+    view: int
+    block_hash: str
+    aggregate: AggregateSignature
+    weight: float
+
+    @property
+    def signers(self) -> FrozenSet[int]:
+        return self.aggregate.signers
+
+    @property
+    def wire_size(self) -> int:
+        return self.aggregate.wire_size + 16
+
+    def verify(self, registry: KeyRegistry, required_weight: float) -> None:
+        """Raise :class:`InvalidSignature` unless the QC is well-formed."""
+        if not self.aggregate.verify(registry):
+            raise InvalidSignature(f"QC for view {self.view} has bad signatures")
+        if self.weight < required_weight:
+            raise InvalidSignature(
+                f"QC weight {self.weight} below required {required_weight}"
+            )

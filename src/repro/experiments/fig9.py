@@ -1,0 +1,159 @@
+"""Fig. 9: throughput and latency of HotStuff, Kauri and OptiTree.
+
+Deployments Europe21 / NA-EU43 / Stellar56 / Global73 (§7.4).  Protocols:
+HotStuff-fixed, HotStuff-rr, pipelined Kauri with a random tree, OptiTree
+with and without pipelining (tree found by one second of simulated
+annealing, ranked with k = 2f+1 as §7.3 specifies).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.consensus.hotstuff import HotStuffCluster
+from repro.consensus.kauri import KauriCluster
+from repro.experiments.tables import format_table
+from repro.net.deployments import Deployment, deployment_for
+from repro.optimize.annealing import AnnealingSchedule
+from repro.tree.kauri_reconfig import KauriReconfigurer
+from repro.tree.optitree import optitree_search
+from repro.workloads import PIPELINE_DEPTH
+
+DEPLOYMENTS = ("Europe21", "NA-EU43", "Stellar56", "Global73")
+PROTOCOLS = (
+    "OptiTree",
+    "OptiTree (no pipeline)",
+    "Kauri (pipeline)",
+    "HotStuff-rr",
+    "HotStuff-fixed",
+)
+
+
+@dataclass
+class Fig9Cell:
+    deployment: str
+    protocol: str
+    throughput: float
+    latency: float
+
+
+def _optitree_tree(deployment: Deployment, f: int, seed: int, search_iterations: int):
+    latency = deployment.latency.matrix_seconds() / 2.0
+    n = deployment.n
+    result = optitree_search(
+        latency,
+        n,
+        f,
+        candidates=frozenset(range(n)),
+        u=0,
+        rng=random.Random(seed),
+        schedule=AnnealingSchedule(
+            iterations=search_iterations, initial_temperature=0.05, cooling=0.9995
+        ),
+        k=2 * f + 1,  # §7.3 default ranking
+    )
+    return result.best_state
+
+
+def run_cell(
+    deployment_name: str,
+    protocol: str,
+    duration: float = 20.0,
+    seed: int = 0,
+    search_iterations: int = 20_000,
+) -> Fig9Cell:
+    deployment = deployment_for(deployment_name)
+    n = deployment.n
+    f = (n - 1) // 3
+    if protocol == "HotStuff-fixed":
+        # Random fixed leader, per §7.4.
+        leader = random.Random(seed).randrange(n)
+        cluster = HotStuffCluster(
+            deployment, leader_mode="fixed", fixed_leader=leader, seed=seed
+        )
+        metrics = cluster.run(duration)
+    elif protocol == "HotStuff-rr":
+        cluster = HotStuffCluster(deployment, leader_mode="rr", seed=seed)
+        metrics = cluster.run(duration)
+    elif protocol == "Kauri (pipeline)":
+        tree = KauriReconfigurer(n, rng=random.Random(seed)).tree_for_bin(0)
+        cluster = KauriCluster(
+            deployment, tree, pipeline_depth=PIPELINE_DEPTH, seed=seed
+        )
+        metrics = cluster.run(duration)
+    elif protocol in ("OptiTree", "OptiTree (no pipeline)"):
+        tree = _optitree_tree(deployment, f, seed, search_iterations)
+        depth = PIPELINE_DEPTH if protocol == "OptiTree" else 1
+        cluster = KauriCluster(deployment, tree, pipeline_depth=depth, seed=seed)
+        metrics = cluster.run(duration)
+    else:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    return Fig9Cell(
+        deployment=deployment_name,
+        protocol=protocol,
+        throughput=metrics.throughput(duration),
+        latency=metrics.mean_latency(),
+    )
+
+
+def run(
+    deployments=DEPLOYMENTS,
+    protocols=PROTOCOLS,
+    duration: float = 20.0,
+    seed: int = 0,
+    search_iterations: int = 20_000,
+) -> List[Fig9Cell]:
+    return [
+        run_cell(
+            deployment,
+            protocol,
+            duration=duration,
+            seed=seed,
+            search_iterations=search_iterations,
+        )
+        for deployment in deployments
+        for protocol in protocols
+    ]
+
+
+def improvement_summary(cells: List[Fig9Cell], deployment: str) -> Dict[str, float]:
+    """OptiTree-vs-Kauri deltas the paper highlights (+159% tput, −39%
+    latency at Global73; +67.5% / −36% at Stellar56)."""
+    by_protocol = {c.protocol: c for c in cells if c.deployment == deployment}
+    opti = by_protocol.get("OptiTree")
+    kauri = by_protocol.get("Kauri (pipeline)")
+    if opti is None or kauri is None or kauri.throughput == 0:
+        return {}
+    return {
+        "throughput_gain": opti.throughput / kauri.throughput - 1.0,
+        "latency_reduction": 1.0 - opti.latency / kauri.latency,
+    }
+
+
+def main(duration: float = 20.0, seed: int = 0) -> str:
+    cells = run(duration=duration, seed=seed)
+    rows = [
+        [c.deployment, c.protocol, round(c.throughput), round(c.latency, 3)]
+        for c in cells
+    ]
+    table = format_table(
+        ["deployment", "protocol", "throughput [op/s]", "latency [s]"],
+        rows,
+        title="Fig. 9 -- throughput and latency across geographic distributions",
+    )
+    lines = [table, ""]
+    for deployment in ("Global73", "Stellar56"):
+        summary = improvement_summary(cells, deployment)
+        if summary:
+            lines.append(
+                f"{deployment}: OptiTree vs Kauri(pipeline): "
+                f"throughput {summary['throughput_gain']:+.1%}, "
+                f"latency {-summary['latency_reduction']:+.1%}"
+            )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

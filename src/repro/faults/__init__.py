@@ -1,0 +1,20 @@
+"""Byzantine behaviours used across the evaluation.
+
+* :mod:`repro.faults.delay` -- the Pre-Prepare delay attack (Fig. 7) and
+  δ-bounded malicious delays by internal tree nodes (Fig. 11);
+* :mod:`repro.faults.false_suspicion` -- the targeted false-suspicion
+  attack against OptiTree's internal nodes (Fig. 10);
+* :mod:`repro.faults.crash` -- crash faults, e.g. the failing root of the
+  reconfiguration experiment (Fig. 15).
+"""
+
+from repro.faults.crash import CrashSchedule
+from repro.faults.delay import DelayAttack, DeltaDelayAttack
+from repro.faults.false_suspicion import TargetedSuspicionAttack
+
+__all__ = [
+    "CrashSchedule",
+    "DelayAttack",
+    "DeltaDelayAttack",
+    "TargetedSuspicionAttack",
+]

@@ -1,0 +1,55 @@
+"""Crash faults (Fig. 15's failing root, crash suspicions in §4.2.3)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+class CrashSchedule:
+    """Crashes (and optionally revives) replicas at scheduled times.
+
+    Fig. 15 crashes the current tree root every 10 seconds; the schedule
+    supports both fixed victims and a callable resolving "whoever holds
+    the role right now" at crash time.
+    """
+
+    def __init__(self, sim: Simulator, network: Network):
+        self.sim = sim
+        self.network = network
+        self.crashes: List[Tuple[float, int]] = []
+
+    def crash_at(self, time: float, victim: int) -> None:
+        self.sim.schedule_at(time, self._crash, victim)
+
+    def crash_role_every(
+        self,
+        period: float,
+        victim_fn: Callable[[], Optional[int]],
+        start: float = 0.0,
+        end: float = float("inf"),
+    ) -> None:
+        """Crash whatever replica ``victim_fn`` returns, every ``period``."""
+
+        def fire() -> None:
+            victim = victim_fn()
+            if victim is not None:
+                self._crash(victim)
+            next_time = self.sim.now + period
+            if next_time <= end:
+                self.sim.schedule(period, fire)
+
+        self.sim.schedule_at(max(start, self.sim.now) + period, fire)
+
+    def revive_at(self, time: float, victim: int) -> None:
+        self.sim.schedule_at(time, self.network.set_down, victim, False)
+
+    def _crash(self, victim: int) -> None:
+        self.network.set_down(victim)
+        self.crashes.append((self.sim.now, victim))
+
+    @property
+    def crashed(self) -> List[int]:
+        return [victim for _time, victim in self.crashes]

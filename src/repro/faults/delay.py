@@ -1,0 +1,79 @@
+"""Delay attacks (Fig. 7, Fig. 11).
+
+Both attacks are installed as network interceptors (see
+:class:`repro.sim.network.Network`), so protocol code is untouched: a
+Byzantine replica's *outgoing* messages of selected types are delivered
+late, exactly like a replica that processes them slowly on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+
+class DelayAttack:
+    """Fixed extra delay on selected message types from an attacker.
+
+    The Pre-Prepare delay attack of §7.1 [7, 21]: a Byzantine leader
+    delays its proposals to inflate client-observed latency while staying
+    below the view-change timeout.  Active between ``start`` and ``end``
+    (simulation seconds).
+    """
+
+    def __init__(
+        self,
+        attacker: int,
+        message_types: Iterable[str],
+        extra_delay: float,
+        start: float = 0.0,
+        end: float = float("inf"),
+        now_fn=None,
+    ):
+        self.attacker = attacker
+        self.message_types = set(message_types)
+        self.extra_delay = extra_delay
+        self.start = start
+        self.end = end
+        self._now = now_fn or (lambda: 0.0)
+        self.messages_delayed = 0
+
+    def active(self) -> bool:
+        return self.start <= self._now() <= self.end
+
+    def __call__(self, src: int, dst: int, message, delay: float) -> Optional[Tuple]:
+        if src != self.attacker or not self.active():
+            return message, delay
+        if type(message).__name__ not in self.message_types:
+            return message, delay
+        self.messages_delayed += 1
+        return message, delay + self.extra_delay
+
+
+class DeltaDelayAttack:
+    """δ-bounded delays by faulty internal tree nodes (§7.6).
+
+    Faulty intermediates stretch their link delays by a factor ``delta``
+    (e.g. 1.1, 1.2, 1.4): requests to leaf nodes and aggregates to the
+    root arrive late, but within the suspicion threshold ``δ·d_m``, so no
+    suspicion is ever raised -- the attack the paper uses to expose the
+    δ trade-off.
+    """
+
+    def __init__(
+        self,
+        attackers: Iterable[int],
+        delta: float,
+        message_types: Iterable[str] = ("Forward", "AggregateVote"),
+    ):
+        self.attackers: Set[int] = set(attackers)
+        self.delta = delta
+        self.message_types = set(message_types)
+        self.messages_delayed = 0
+
+    def __call__(self, src: int, dst: int, message, delay: float) -> Optional[Tuple]:
+        if src not in self.attackers:
+            return message, delay
+        if type(message).__name__ not in self.message_types:
+            return message, delay
+        self.messages_delayed += 1
+        return message, delay * self.delta

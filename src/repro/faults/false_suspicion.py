@@ -1,0 +1,92 @@
+"""Targeted false-suspicion attack (§7.5, Fig. 10).
+
+Faulty replicas pre-compute the optimal tree from the recorded latencies
+and then raise suspicions against its *correct internal nodes*: each
+suspicion is reciprocated (condition (c)), so both the faulty reporter
+and its correct target end up excluded from the candidate set.  Repeated
+``f`` times, the attack degrades the best achievable tree.
+
+The attack operates at the log level (it fabricates SuspicionRecords),
+which is exactly the power a Byzantine replica has: it may log any
+measurement it likes; it cannot forge records from others.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from repro.core.log import AppendOnlyLog
+from repro.core.records import SuspicionKind, SuspicionRecord
+from repro.tree.topology import TreeConfiguration
+
+
+class TargetedSuspicionAttack:
+    """Drives one false suspicion per reconfiguration round.
+
+    Parameters
+    ----------
+    faulty_pool:
+        Replicas the adversary controls; each attack round consumes one
+        (a faulty replica is itself excluded once its suspicion is
+        reciprocated, so it cannot be reused).
+    """
+
+    def __init__(self, faulty_pool: List[int], rng: Optional[random.Random] = None):
+        self.remaining = list(faulty_pool)
+        self.rng = rng or random.Random(0)
+        self.used: Set[int] = set()
+        self.attacks_launched = 0
+
+    def attack_round(
+        self,
+        log: AppendOnlyLog,
+        tree: TreeConfiguration,
+        round_id: int,
+    ) -> Optional[SuspicionRecord]:
+        """Suspect a random internal node of the current best tree.
+
+        Picks a faulty replica that is still unexposed and logs its
+        ⟨Slow⟩ suspicion against a correct internal node, followed by the
+        target's ⟨False⟩ reciprocation (the target is correct, so it
+        always reciprocates).  Returns the attack suspicion, or None when
+        the adversary has no replicas left.
+        """
+        attackers = [
+            replica
+            for replica in self.remaining
+            if replica not in tree.internal_nodes
+        ]
+        if not attackers:
+            return None
+        attacker = attackers[0]
+        # Target a random internal node (paper: "randomly selecting an
+        # internal node to raise suspicion against the root" -- both the
+        # reporter and the target leave the candidate set).
+        targets = sorted(set(tree.internal_nodes) - self.used)
+        if not targets:
+            return None
+        target = self.rng.choice(targets)
+        self.remaining.remove(attacker)
+        self.used.update((attacker, target))
+        self.attacks_launched += 1
+        suspicion = SuspicionRecord(
+            reporter=attacker,
+            suspect=target,
+            kind=SuspicionKind.SLOW,
+            round_id=round_id,
+            msg_type="aggregate",
+            phase=4,
+        )
+        log.append(suspicion)
+        log.append(
+            SuspicionRecord(
+                reporter=target,
+                suspect=attacker,
+                kind=SuspicionKind.FALSE,
+                round_id=round_id,
+                msg_type="reciprocation",
+                phase=4,
+            )
+        )
+        return suspicion

@@ -1,0 +1,113 @@
+"""Distance-based round-trip-time model.
+
+The paper reports that its emulator's intercontinental delays range from
+150 to 250 ms, plus the 1 ms actual network delay of the cluster.  We
+reproduce that envelope analytically:
+
+``rtt_ms(A, B) = LOCAL_RTT_MS + distance_km(A, B) * MS_PER_KM``
+
+with ``MS_PER_KM = 0.0125``: light in fibre covers ~100 km per millisecond
+of RTT on a great-circle path, and real routes are ~25% longer than the
+great circle.  Antipodal pairs (~20,000 km) then see ~250 ms and nearby
+European pairs 5-40 ms, matching the paper's envelope.
+
+The model is symmetric and deterministic; per-message jitter is applied by
+the network layer, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.cities import City
+from repro.net.geo import haversine_km
+
+LOCAL_RTT_MS = 1.0
+MS_PER_KM = 0.0125
+
+
+class LatencyModel:
+    """Round-trip and one-way latencies for a fixed list of locations.
+
+    The model is indexed by replica id (position in ``cities``), matching
+    how the consensus engines address replicas.  Latencies are cached in a
+    dense matrix at construction.
+
+    Parameters
+    ----------
+    cities:
+        One entry per replica; the same city may appear multiple times
+        (co-located replicas see only the 1 ms local RTT).
+    """
+
+    def __init__(self, cities: Sequence[City]):
+        self.cities = list(cities)
+        n = len(self.cities)
+        self._rtt_ms = np.zeros((n, n), dtype=float)
+        for i in range(n):
+            for j in range(i + 1, n):
+                rtt = self._pair_rtt_ms(self.cities[i], self.cities[j])
+                self._rtt_ms[i, j] = rtt
+                self._rtt_ms[j, i] = rtt
+
+    @staticmethod
+    def _pair_rtt_ms(a: City, b: City) -> float:
+        distance = haversine_km(a.lat, a.lon, b.lat, b.lon)
+        return LOCAL_RTT_MS + distance * MS_PER_KM
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cities)
+
+    def rtt(self, a: int, b: int) -> float:
+        """Round-trip time between replicas ``a`` and ``b`` in seconds."""
+        if a == b:
+            return 0.0
+        return float(self._rtt_ms[a, b]) / 1000.0
+
+    def rtt_ms(self, a: int, b: int) -> float:
+        """Round-trip time in milliseconds (paper's unit)."""
+        if a == b:
+            return 0.0
+        return float(self._rtt_ms[a, b])
+
+    def one_way(self, a: int, b: int) -> float:
+        """One-way delay in seconds (half the RTT)."""
+        return self.rtt(a, b) / 2.0
+
+    def matrix_seconds(self) -> np.ndarray:
+        """Full symmetric RTT matrix in seconds (zero diagonal)."""
+        return self._rtt_ms / 1000.0
+
+    def matrix_ms(self) -> np.ndarray:
+        """Full symmetric RTT matrix in milliseconds (zero diagonal)."""
+        return self._rtt_ms.copy()
+
+    def stats_ms(self) -> Dict[str, float]:
+        """Envelope statistics over all distinct pairs, in milliseconds."""
+        n = len(self.cities)
+        upper = self._rtt_ms[np.triu_indices(n, k=1)]
+        if upper.size == 0:
+            return {"min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "min": float(upper.min()),
+            "max": float(upper.max()),
+            "mean": float(upper.mean()),
+        }
+
+    def closest_index(self, lat: float, lon: float) -> int:
+        """Index of the model city closest to (lat, lon).
+
+        Used to map external validator locations (e.g. the Stellar set)
+        onto the emulated network, as the paper does.
+        """
+        best: Tuple[float, int] = (float("inf"), -1)
+        for idx, city in enumerate(self.cities):
+            dist = haversine_km(lat, lon, city.lat, city.lon)
+            if dist < best[0]:
+                best = (dist, idx)
+        return best[1]

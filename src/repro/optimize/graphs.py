@@ -1,0 +1,117 @@
+"""Small deterministic undirected-graph type for suspicion graphs.
+
+The suspicion graph ``G`` (§4.2.3) has replicas as vertices and two-way
+suspicions as edges.  Candidate selection needs deterministic iteration
+(all replicas must compute identical candidate sets), so every accessor
+returns sorted data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def ordered_edge(a: int, b: int) -> Edge:
+    """Canonical (low, high) form of an undirected edge."""
+    if a == b:
+        raise ValueError(f"self-loop on {a}")
+    return (a, b) if a < b else (b, a)
+
+
+class Graph:
+    """Undirected graph with deterministic, sorted iteration order."""
+
+    def __init__(self, vertices: Iterable[int] = (), edges: Iterable[Edge] = ()):
+        self._adj: Dict[int, Set[int]] = {}
+        for vertex in vertices:
+            self.add_vertex(vertex)
+        for a, b in edges:
+            self.add_edge(a, b)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: int) -> None:
+        self._adj.setdefault(v, set())
+
+    def remove_vertex(self, v: int) -> None:
+        for neighbor in self._adj.pop(v, set()):
+            self._adj[neighbor].discard(v)
+
+    def add_edge(self, a: int, b: int) -> None:
+        a, b = ordered_edge(a, b)
+        self.add_vertex(a)
+        self.add_vertex(b)
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+
+    def remove_edge(self, a: int, b: int) -> None:
+        self._adj.get(a, set()).discard(b)
+        self._adj.get(b, set()).discard(a)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, v: int) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return b in self._adj.get(a, set())
+
+    def vertices(self) -> List[int]:
+        return sorted(self._adj)
+
+    def edges(self) -> List[Edge]:
+        result = [
+            (a, b) for a in self._adj for b in self._adj[a] if a < b
+        ]
+        return sorted(result)
+
+    def neighbors(self, v: int) -> List[int]:
+        return sorted(self._adj.get(v, set()))
+
+    def degree(self, v: int) -> int:
+        return len(self._adj.get(v, set()))
+
+    def edge_count(self) -> int:
+        return sum(len(neighbors) for neighbors in self._adj.values()) // 2
+
+    def subgraph(self, keep: Iterable[int]) -> "Graph":
+        keep_set = set(keep)
+        sub = Graph(vertices=(v for v in self._adj if v in keep_set))
+        for a, b in self.edges():
+            if a in keep_set and b in keep_set:
+                sub.add_edge(a, b)
+        return sub
+
+    def complement(self) -> "Graph":
+        verts = self.vertices()
+        comp = Graph(vertices=verts)
+        for i, a in enumerate(verts):
+            for b in verts[i + 1 :]:
+                if not self.has_edge(a, b):
+                    comp.add_edge(a, b)
+        return comp
+
+    def copy(self) -> "Graph":
+        clone = Graph(vertices=self._adj)
+        for a, b in self.edges():
+            clone.add_edge(a, b)
+        return clone
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.vertices())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(|V|={len(self)}, |E|={self.edge_count()})"
+
+
+def triangles_through_edge(graph: Graph, a: int, b: int) -> FrozenSet[int]:
+    """Vertices forming a triangle with the edge (a, b)."""
+    common = set(graph.neighbors(a)) & set(graph.neighbors(b))
+    return frozenset(common)

@@ -1,0 +1,127 @@
+"""Maximum independent set computation (§4.2.3, Fig. 8).
+
+The SuspicionMonitor derives its candidate set ``K`` as a maximum
+independent set of the suspicion graph.  The paper computes it "using a
+heuristic variant of the Bron-Kerbosch algorithm, which detects cliques on
+the inverted graph"; an independent set in ``G`` is exactly a clique in the
+complement of ``G``.
+
+Two implementations are provided:
+
+* :func:`maximum_independent_set` -- exact Bron-Kerbosch with pivoting on
+  the complement graph; deterministic tie-breaking (largest set, then
+  lexicographically smallest vertex tuple) so every replica computes the
+  same ``K``.
+* :func:`greedy_independent_set` -- the min-degree greedy heuristic, used
+  as the fast path for large graphs and as a comparison point in the
+  scalability study (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.optimize.graphs import Graph
+
+
+def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    """True iff no two of ``vertices`` are adjacent in ``graph``."""
+    chosen = list(vertices)
+    for i, a in enumerate(chosen):
+        for b in chosen[i + 1 :]:
+            if graph.has_edge(a, b):
+                return False
+    return True
+
+
+def _bron_kerbosch_max_clique(adj: Dict[int, Set[int]]) -> Tuple[int, ...]:
+    """Maximum clique via Bron-Kerbosch with pivoting.
+
+    Deterministic: candidate iteration is in sorted order and ties between
+    equal-sized cliques resolve to the lexicographically smallest tuple.
+    """
+    best: List[Tuple[int, ...]] = [()]
+
+    def consider(clique: Tuple[int, ...]) -> None:
+        current = best[0]
+        if len(clique) > len(current) or (
+            len(clique) == len(current) and clique < current
+        ):
+            best[0] = clique
+
+    def expand(r: Tuple[int, ...], p: Set[int], x: Set[int]) -> None:
+        if not p and not x:
+            consider(tuple(sorted(r)))
+            return
+        # Prune: even taking all of P cannot beat the current best.
+        if len(r) + len(p) < len(best[0]):
+            return
+        # Pivot on the vertex of P ∪ X with the most neighbours in P.
+        pivot = max(sorted(p | x), key=lambda v: len(adj[v] & p))
+        for v in sorted(p - adj[pivot]):
+            expand(r + (v,), p & adj[v], x & adj[v])
+            p = p - {v}
+            x = x | {v}
+
+    expand((), set(adj), set())
+    return best[0]
+
+
+def maximum_independent_set(graph: Graph) -> FrozenSet[int]:
+    """Exact maximum independent set with deterministic tie-breaking.
+
+    Computed as a maximum clique of the complement graph.  Isolated
+    vertices of ``graph`` are universal in the complement, so they always
+    appear in the result, matching the intuition that an unsuspected
+    replica is always a candidate.
+    """
+    vertices = graph.vertices()
+    if not vertices:
+        return frozenset()
+    complement_adj: Dict[int, Set[int]] = {v: set() for v in vertices}
+    vertex_set = set(vertices)
+    for v in vertices:
+        complement_adj[v] = vertex_set - set(graph.neighbors(v)) - {v}
+    return frozenset(_bron_kerbosch_max_clique(complement_adj))
+
+
+def greedy_independent_set(graph: Graph) -> FrozenSet[int]:
+    """Min-degree greedy heuristic for a large independent set.
+
+    Deterministic: ties on degree resolve to the smallest vertex id.  The
+    result is maximal (cannot be extended) but not necessarily maximum.
+    """
+    remaining = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    chosen: Set[int] = set()
+    while remaining:
+        v = min(remaining, key=lambda u: (len(remaining[u]), u))
+        chosen.add(v)
+        dropped = remaining.pop(v)
+        for u in dropped:
+            if u in remaining:
+                for w in remaining[u]:
+                    if w in remaining:
+                        remaining[w].discard(u)
+                del remaining[u]
+    return frozenset(chosen)
+
+
+def independent_set_of_size(
+    graph: Graph, size: int, exact_threshold: int = 40
+) -> Optional[FrozenSet[int]]:
+    """An independent set with at least ``size`` vertices, or None.
+
+    Used by the SuspicionMonitor's overflow rule ("too many suspicions
+    occur when G no longer contains an independent set of size n-f").  For
+    graphs up to ``exact_threshold`` vertices the check is exact; beyond
+    that the greedy heuristic provides a sound (never falsely positive)
+    approximation.
+    """
+    greedy = greedy_independent_set(graph)
+    if len(greedy) >= size:
+        return greedy
+    if len(graph) <= exact_threshold:
+        exact = maximum_independent_set(graph)
+        if len(exact) >= size:
+            return exact
+    return None

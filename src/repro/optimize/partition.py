@@ -1,0 +1,78 @@
+"""Collaborative configuration search (§4.2.4, §3).
+
+"Optimizing RSM configurations by exploring the search space on a single
+replica creates a performance bottleneck.  Throughput can be improved by
+partitioning the search space and distributing the partitions across
+replicas" -- OptiLog supports this because the *selection* among proposed
+configurations is deterministic at the monitor; the sensors may each
+search a different slice.
+
+Two partitioning helpers are provided:
+
+* :func:`partition_candidates` -- deterministic round-robin split of a
+  candidate set, so replica ``i`` explores configurations whose primary
+  role comes from slice ``i`` (Aware: the leader; OptiTree: the root).
+* :func:`scatter_search` -- runs one search per slice and returns the
+  per-slice winners, modelling the scatter-gather the paper cites;
+  the gather step *is* the ConfigMonitor's best-of-(f+1) selection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, FrozenSet, List, Optional, Sequence, TypeVar
+
+Configuration = TypeVar("Configuration")
+
+# A slice-restricted search: (slice, full candidate set, rng) -> config.
+SliceSearch = Callable[
+    [FrozenSet[int], FrozenSet[int], random.Random], Optional[Configuration]
+]
+
+
+def partition_candidates(
+    candidates: FrozenSet[int], parts: int
+) -> List[FrozenSet[int]]:
+    """Split ``candidates`` into ``parts`` deterministic round-robin slices.
+
+    Slices are balanced within one element and identical on every replica
+    (sorted order), so replicas agree on who searches what without
+    coordination.  Empty slices are possible when ``parts`` exceeds the
+    candidate count.
+    """
+    if parts < 1:
+        raise ValueError("parts must be positive")
+    ordered = sorted(candidates)
+    slices: List[List[int]] = [[] for _ in range(parts)]
+    for index, candidate in enumerate(ordered):
+        slices[index % parts].append(candidate)
+    return [frozenset(chunk) for chunk in slices]
+
+
+def slice_for_replica(
+    candidates: FrozenSet[int], parts: int, replica_id: int
+) -> FrozenSet[int]:
+    """The slice replica ``replica_id`` is responsible for searching."""
+    return partition_candidates(candidates, parts)[replica_id % parts]
+
+
+def scatter_search(
+    candidates: FrozenSet[int],
+    parts: int,
+    search: SliceSearch,
+    rng: random.Random,
+) -> List[Configuration]:
+    """Run one slice-restricted search per partition (scatter phase).
+
+    Returns the non-None winners of each slice; in the replicated system
+    each result would be proposed to the log and the ConfigMonitor's
+    deterministic selection performs the gather.
+    """
+    winners = []
+    for chunk in partition_candidates(candidates, parts):
+        if not chunk:
+            continue
+        result = search(chunk, candidates, rng)
+        if result is not None:
+            winners.append(result)
+    return winners

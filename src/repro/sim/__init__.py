@@ -1,0 +1,13 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper evaluates OptiLog on a 30-machine cluster with an in-process
+latency emulator (and the Phantom simulator for OptiAware).  This package
+replaces that testbed with a single-process, deterministic discrete-event
+simulator: virtual time, an event queue, cancellable timers and a message
+network whose per-link delays come from :mod:`repro.net`.
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import Network, NetworkStats
+
+__all__ = ["EventHandle", "Network", "NetworkStats", "Simulator"]

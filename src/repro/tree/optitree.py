@@ -1,0 +1,205 @@
+"""OptiTree: annealed search for correct, low-latency trees (§6.2-§6.4).
+
+OptiTree assigns internal-node roles only to replicas from the candidate
+set ``K`` (maintained by the :class:`TreeSuspicionMonitor`) and ranks
+trees with Definition 1's ``score(k, τ)`` where ``k = q + u``; the
+estimate ``u`` lets the score budget for the *actual* number of
+misbehaving replicas instead of the worst-case ``f`` (§6.1.2, Challenge 2).
+
+The search is simulated annealing over layouts: the ``mutate`` swaps two
+positions and keeps internal positions inside ``K`` (§4.2.4).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, FrozenSet, Optional
+
+import numpy as np
+
+from repro.core.pipeline import OptiLogPipeline, PipelineSettings
+from repro.core.records import Configuration
+from repro.crypto.signatures import KeyRegistry
+from repro.optimize.annealing import AnnealingResult, AnnealingSchedule, anneal
+from repro.tree.candidates import TreeSuspicionMonitor
+from repro.tree.score import TreeTimeouts, default_k, tree_score
+from repro.tree.topology import TreeConfiguration, branch_factor_for
+
+
+def random_tree(
+    n: int,
+    candidates: FrozenSet[int],
+    rng: random.Random,
+    branch_factor: int = 0,
+) -> Optional[TreeConfiguration]:
+    """A uniformly random layout whose internal nodes come from ``K``."""
+    b = branch_factor or branch_factor_for(n)
+    internal_count = b + 1
+    pool = sorted(candidates)
+    if len(pool) < internal_count:
+        return None
+    internal = rng.sample(pool, internal_count)
+    internal_set = set(internal)
+    others = [replica for replica in range(n) if replica not in internal_set]
+    rng.shuffle(others)
+    return TreeConfiguration(layout=tuple(internal + others), branch_factor=b)
+
+
+def mutate_tree(
+    tree: TreeConfiguration,
+    candidates: FrozenSet[int],
+    rng: random.Random,
+) -> TreeConfiguration:
+    """Swap two positions; internal positions only receive candidates."""
+    n = tree.n
+    internal_count = tree.branch_factor + 1
+    position_a = rng.randrange(n)
+    position_b = rng.randrange(n)
+    if position_b == position_a:
+        position_b = (position_a + 1) % n
+    low, high = min(position_a, position_b), max(position_a, position_b)
+    # If the swap moves a replica INTO an internal position, that replica
+    # must be a candidate; otherwise resample the source from candidates
+    # occupying non-internal positions.
+    if low < internal_count <= high and tree.layout[high] not in candidates:
+        candidate_positions = [
+            position
+            for position in range(internal_count, n)
+            if tree.layout[position] in candidates
+        ]
+        if not candidate_positions:
+            return tree
+        high = rng.choice(candidate_positions)
+    return tree.swap(low, high)
+
+
+def optitree_search(
+    latency: np.ndarray,
+    n: int,
+    f: int,
+    candidates: FrozenSet[int],
+    u: int,
+    rng: Optional[random.Random] = None,
+    schedule: Optional[AnnealingSchedule] = None,
+    k: Optional[int] = None,
+    initial: Optional[TreeConfiguration] = None,
+) -> Optional[AnnealingResult]:
+    """Annealed tree search; returns None when K is too small for a tree.
+
+    ``k`` defaults to ``q + u = (n - f) + u`` (Definition 1); experiments
+    exploring the robustness/latency trade-off (Fig. 14) override it.
+    """
+    rng = rng or random.Random(0)
+    votes_needed = k if k is not None else default_k(n, f, u)
+
+    if initial is None:
+        initial = random_tree(n, candidates, rng)
+        if initial is None:
+            return None
+
+    def score(tree: TreeConfiguration) -> float:
+        if not tree.internal_nodes <= candidates:
+            return math.inf
+        return tree_score(latency, tree, votes_needed)
+
+    def mutate(tree: TreeConfiguration, mutation_rng: random.Random) -> TreeConfiguration:
+        return mutate_tree(tree, candidates, mutation_rng)
+
+    schedule = schedule or AnnealingSchedule(
+        iterations=20_000, initial_temperature=0.05, cooling=0.9995
+    )
+    return anneal(initial, score, mutate, rng, schedule)
+
+
+class OptiTree:
+    """One replica's OptiTree stack: tree scoring + OptiLog pipeline.
+
+    Wires the tree variant of the SuspicionMonitor into the pipeline and
+    attaches the annealed search as the ConfigSensor's strategy.  Used by
+    the Kauri engine in :mod:`repro.consensus.kauri` and standalone by the
+    analytical experiments.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        n: int,
+        f: int,
+        registry: Optional[KeyRegistry] = None,
+        settings: Optional[PipelineSettings] = None,
+        propose: Optional[Callable] = None,
+        on_reconfigure: Optional[Callable] = None,
+        search_schedule: Optional[AnnealingSchedule] = None,
+    ):
+        self.n = n
+        self.f = f
+        self.branch_factor = branch_factor_for(n)
+        self.search_schedule = search_schedule
+        settings = settings or PipelineSettings(n=n, f=f)
+        self.pipeline = OptiLogPipeline(
+            replica_id,
+            settings,
+            registry=registry,
+            propose=propose,
+            suspicion_monitor_factory=TreeSuspicionMonitor,
+        )
+        self.pipeline.attach_config(
+            search=self._search,
+            score=self._score,
+            validator=self._validate,
+            on_reconfigure=on_reconfigure,
+        )
+
+    # ------------------------------------------------------------------
+    # OptiLog hooks (§6.3: score + timeout derivation)
+    # ------------------------------------------------------------------
+    def _score(self, configuration: Configuration) -> float:
+        if not isinstance(configuration, TreeConfiguration):
+            return math.inf
+        k = default_k(self.n, self.f, self.pipeline.suspicion_monitor.u)
+        return tree_score(self.pipeline.latency_matrix, configuration, k)
+
+    def _search(
+        self, candidates: FrozenSet[int], u: int, rng: random.Random
+    ) -> Optional[TreeConfiguration]:
+        result = optitree_search(
+            self.pipeline.latency_matrix,
+            self.n,
+            self.f,
+            candidates,
+            u,
+            rng=rng,
+            schedule=self.search_schedule,
+        )
+        return result.best_state if result is not None else None
+
+    def _validate(self, configuration: Configuration) -> bool:
+        if not isinstance(configuration, TreeConfiguration):
+            return False
+        return (
+            configuration.n == self.n
+            and configuration.branch_factor == self.branch_factor
+        )
+
+    def timeouts_for(self, tree: TreeConfiguration) -> TreeTimeouts:
+        """``d_m``/``d_rnd`` provider for the active tree (Lemma 6)."""
+        k = default_k(self.n, self.f, self.pipeline.suspicion_monitor.u)
+        return TreeTimeouts(self.pipeline.latency_matrix, tree, k)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def candidates(self) -> FrozenSet[int]:
+        return self.pipeline.candidates
+
+    @property
+    def u(self) -> int:
+        return self.pipeline.u
+
+    @property
+    def current_tree(self) -> Optional[TreeConfiguration]:
+        monitor = self.pipeline.config_monitor
+        current = monitor.current if monitor is not None else None
+        return current if isinstance(current, TreeConfiguration) else None

@@ -1,0 +1,188 @@
+"""Tree scoring (Definition 1) and tree timeouts (Lemma 6).
+
+``score(k, τ)`` is the minimum latency for the root to collect votes from
+``k = q + u`` nodes: with aggregation latency
+``Lagg(I) = max_{V ∈ Ch(I)} L[I][V]`` and subtree coverage
+``|Ch(I)| + 1``, the score is
+
+    score(k, τ) = min_{M ∈ M_{k-1}} max_{I ∈ M} (Lagg(I) + L[I][R])
+
+where ``M_{k-1}`` are intermediate subsets whose subtrees cover at least
+``k - 1`` votes (the root's own vote counts separately).  Because every
+feasible set must cover ``k-1`` votes and each intermediate's contribution
+is independent of the others, the optimum takes intermediates in ascending
+``Lagg(I) + L[I][R]`` order until coverage is reached -- an O(b log b)
+greedy rather than an exponential subset scan.
+
+``tree_round_duration`` additionally counts dissemination
+(``L[R][I] + 2·Lagg(I) + L[I][R]``), which is the ``d_rnd`` used for
+timeouts (TR3 via Lemma 6);  Definition 1's score is the ranking metric
+and the figures report it, like the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.suspicion import ExpectedMessage
+from repro.tree.topology import TreeConfiguration
+
+PHASE_PROPOSE = 1
+PHASE_FORWARD = 2
+PHASE_VOTE = 3
+PHASE_AGGREGATE = 4
+
+
+def aggregation_latency(
+    latency: np.ndarray, tree: TreeConfiguration, intermediate: int
+) -> float:
+    """Lagg(I): the slowest child link of an intermediate node."""
+    children = tree.children[intermediate]
+    if not children:
+        return 0.0
+    return max(float(latency[intermediate, child]) for child in children)
+
+
+def _collect_time(
+    costs: List[Tuple[float, int]], votes_needed: int
+) -> float:
+    """Min-max cost to cover ``votes_needed`` votes from (cost, votes) subtrees."""
+    if votes_needed <= 0:
+        return 0.0
+    covered = 0
+    for cost, votes in sorted(costs):
+        covered += votes
+        if covered >= votes_needed:
+            return cost
+    return math.inf
+
+
+def tree_score(
+    latency: np.ndarray, tree: TreeConfiguration, k: int
+) -> float:
+    """Definition 1: minimum latency to collect votes from ``k`` nodes."""
+    root = tree.root
+    costs = [
+        (
+            aggregation_latency(latency, tree, intermediate)
+            + float(latency[intermediate, root]),
+            tree.subtree_size(intermediate),
+        )
+        for intermediate in tree.intermediates
+    ]
+    return _collect_time(costs, k - 1)  # the root's vote is added separately
+
+
+def tree_round_duration(
+    latency: np.ndarray, tree: TreeConfiguration, k: int
+) -> float:
+    """``d_rnd``: dissemination + aggregation along the critical subtrees."""
+    root = tree.root
+    costs = []
+    for intermediate in tree.intermediates:
+        lagg = aggregation_latency(latency, tree, intermediate)
+        down = float(latency[root, intermediate])
+        up = float(latency[intermediate, root])
+        costs.append((down + 2.0 * lagg + up, tree.subtree_size(intermediate)))
+    return _collect_time(costs, k - 1)
+
+
+class TreeTimeouts:
+    """Per-message ``d_m`` for a tree round (Lemma 6).
+
+    Message pattern: Propose (root → intermediates), Forwarded Propose
+    (intermediate → leaves), Vote (leaf → intermediate), Aggregated Vote
+    (intermediate → root).  Per the optimization note in §6.3, suspicions
+    on Forwarded Proposes are omitted (the vote timeout subsumes them).
+    """
+
+    def __init__(self, latency: np.ndarray, tree: TreeConfiguration, k: int):
+        self.latency = latency
+        self.tree = tree
+        self.k = k
+
+    def propose_arrival(self, intermediate: int) -> float:
+        """TR1: Propose reaches an intermediate at L(R, I)."""
+        return float(self.latency[self.tree.root, intermediate])
+
+    def forward_arrival(self, leaf: int) -> float:
+        """Forwarded Propose reaches a leaf via its parent (TR2)."""
+        parent = self.tree.parent[leaf]
+        return self.propose_arrival(parent) + float(self.latency[parent, leaf])
+
+    def vote_arrival(self, leaf: int) -> float:
+        """A leaf's Vote returns to its parent (TR2, one more link)."""
+        parent = self.tree.parent[leaf]
+        return self.forward_arrival(leaf) + float(self.latency[leaf, parent])
+
+    def aggregate_arrival(self, intermediate: int) -> float:
+        """An intermediate's Aggregated Vote reaches the root (TR2:
+        slowest child vote plus the uplink)."""
+        children = self.tree.children[intermediate]
+        slowest_vote = max(
+            (self.vote_arrival(child) for child in children), default=self.propose_arrival(intermediate)
+        )
+        return slowest_vote + float(self.latency[intermediate, self.tree.root])
+
+    def round_duration(self) -> float:
+        """TR3: d_rnd from the aggregate arrivals (equals
+        :func:`tree_round_duration`)."""
+        costs = [
+            (self.aggregate_arrival(intermediate), self.tree.subtree_size(intermediate))
+            for intermediate in self.tree.intermediates
+        ]
+        return _collect_time(costs, self.k - 1)
+
+    # ------------------------------------------------------------------
+    # SuspicionSensor feeds, per role
+    # ------------------------------------------------------------------
+    def expected_messages(self, replica: int) -> List[ExpectedMessage]:
+        """Messages ``replica`` expects in one round, given its role."""
+        tree = self.tree
+        if replica == tree.root:
+            return [
+                ExpectedMessage(
+                    sender=intermediate,
+                    msg_type="aggregate",
+                    phase=PHASE_AGGREGATE,
+                    d_m=self.aggregate_arrival(intermediate),
+                )
+                for intermediate in tree.intermediates
+            ]
+        if replica in tree.internal_nodes:
+            expected = [
+                ExpectedMessage(
+                    sender=tree.root,
+                    msg_type="propose",
+                    phase=PHASE_PROPOSE,
+                    d_m=self.propose_arrival(replica),
+                )
+            ]
+            expected.extend(
+                ExpectedMessage(
+                    sender=child,
+                    msg_type="vote",
+                    phase=PHASE_VOTE,
+                    d_m=self.vote_arrival(child),
+                )
+                for child in tree.children[replica]
+            )
+            return expected
+        # Leaf: per §6.3 leaves omit condition-(b) suspicion monitoring;
+        # they only expect the forwarded proposal for latency measurement.
+        return [
+            ExpectedMessage(
+                sender=tree.parent[replica],
+                msg_type="forward",
+                phase=PHASE_FORWARD,
+                d_m=self.forward_arrival(replica),
+            )
+        ]
+
+
+def default_k(n: int, f: int, u: int) -> int:
+    """k = q + u with q = n - f (§6.3)."""
+    return (n - f) + u

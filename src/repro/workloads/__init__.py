@@ -1,0 +1,18 @@
+"""Workload generation.
+
+The paper's workloads are simple by design (§7.3): replicas batch client
+requests into blocks of 1000 proposals without transaction payload, and
+clients are closed-loop issuers.  The closed-loop client lives with the
+PBFT engine; this package re-exports it and provides the block-payload
+constants used across experiments.
+"""
+
+from repro.consensus.pbft import ClosedLoopClient
+
+#: Requests per block proposal (§7.3: "blocks of 1000 proposals").
+REQUESTS_PER_BLOCK = 1000
+
+#: Pipeline depth used for all pipelined runs (§7.3: "3 instances").
+PIPELINE_DEPTH = 3
+
+__all__ = ["ClosedLoopClient", "PIPELINE_DEPTH", "REQUESTS_PER_BLOCK"]

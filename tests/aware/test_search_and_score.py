@@ -1,0 +1,78 @@
+"""Tests for Aware's score function and configuration search."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.aware.score import aware_score, weight_config_round_duration
+from repro.aware.search import annealed_weight_search, exhaustive_weight_search
+from repro.aware.weights import WeightConfiguration
+
+
+def test_score_infeasible_outside_candidates(europe21_links):
+    config = WeightConfiguration(
+        n=21, f=6, leader=0, vmax_replicas=frozenset(range(1, 13))
+    )
+    candidates = frozenset(range(21)) - {0}
+    assert aware_score(europe21_links, config, candidates) == math.inf
+    assert aware_score(europe21_links, config) < math.inf
+
+
+def test_exhaustive_search_returns_best_leader(europe21_links):
+    best = exhaustive_weight_search(europe21_links, 21, 6)
+    assert best is not None
+    best_score = weight_config_round_duration(europe21_links, best)
+    # No other leader with the same greedy Vmax strategy does better.
+    for leader in range(21):
+        other = WeightConfiguration(
+            n=21, f=6, leader=leader, vmax_replicas=best.vmax_replicas
+        )
+        assert best_score <= weight_config_round_duration(europe21_links, other) + 1e-12
+
+
+def test_exhaustive_search_respects_candidates(europe21_links):
+    candidates = frozenset(range(13))
+    best = exhaustive_weight_search(europe21_links, 21, 6, candidates=candidates)
+    assert best.special_replicas() <= candidates
+
+
+def test_exhaustive_search_too_few_candidates(europe21_links):
+    assert exhaustive_weight_search(
+        europe21_links, 21, 6, candidates=frozenset(range(5))
+    ) is None
+
+
+def test_exhaustive_search_deterministic(europe21_links):
+    a = exhaustive_weight_search(europe21_links, 21, 6)
+    b = exhaustive_weight_search(europe21_links, 21, 6)
+    assert a == b
+
+
+def test_annealed_search_feasible_and_candidate_respecting(europe21_links):
+    candidates = frozenset(range(2, 20))
+    result = annealed_weight_search(
+        europe21_links, 21, 6, candidates=candidates, rng=random.Random(1)
+    )
+    assert result is not None
+    assert result.special_replicas() <= candidates
+
+
+def test_annealed_close_to_exhaustive(europe21_links):
+    exhaustive = exhaustive_weight_search(europe21_links, 21, 6)
+    annealed = annealed_weight_search(europe21_links, 21, 6, rng=random.Random(3))
+    score_exhaustive = weight_config_round_duration(europe21_links, exhaustive)
+    score_annealed = weight_config_round_duration(europe21_links, annealed)
+    assert score_annealed <= 1.5 * score_exhaustive
+
+
+def test_optimized_beats_static_configuration(europe21_links):
+    """The Fig. 7 effect: optimization beats the static default config."""
+    static = WeightConfiguration(
+        n=21, f=6, leader=0, vmax_replicas=frozenset(range(12))
+    )
+    optimized = exhaustive_weight_search(europe21_links, 21, 6)
+    assert weight_config_round_duration(europe21_links, optimized) < (
+        weight_config_round_duration(europe21_links, static)
+    )

@@ -1,0 +1,39 @@
+"""Shared fixtures: deployments and latency matrices are expensive to
+build, so they are session-scoped."""
+
+import random
+
+import pytest
+
+from repro.net.deployments import deployment_for, random_world_deployment
+
+
+@pytest.fixture(scope="session")
+def europe21():
+    return deployment_for("Europe21")
+
+
+@pytest.fixture(scope="session")
+def global73():
+    return deployment_for("Global73")
+
+
+@pytest.fixture(scope="session")
+def stellar56():
+    return deployment_for("Stellar56")
+
+
+@pytest.fixture(scope="session")
+def world57():
+    return random_world_deployment(57, random.Random(42))
+
+
+@pytest.fixture(scope="session")
+def europe21_links(europe21):
+    """Link-latency matrix (one-way per hop) for Europe21."""
+    return europe21.latency.matrix_seconds() / 2.0
+
+
+@pytest.fixture(scope="session")
+def world57_links(world57):
+    return world57.latency.matrix_seconds() / 2.0

@@ -1,0 +1,63 @@
+"""Tests for the chained HotStuff engine."""
+
+import pytest
+
+from repro.consensus.hotstuff import HotStuffCluster
+
+
+def test_fixed_leader_commits_blocks(europe21):
+    cluster = HotStuffCluster(europe21, leader_mode="fixed", fixed_leader=0, seed=1)
+    metrics = cluster.run(5.0)
+    assert metrics.total_requests() > 0
+    assert metrics.commits[0].height == 1
+    # Heights commit in order, gap-free.
+    heights = [event.height for event in metrics.commits]
+    assert heights == list(range(1, len(heights) + 1))
+
+
+def test_latency_is_three_chain(europe21):
+    """Commit latency ≈ 3 rounds (the 3-chain rule)."""
+    cluster = HotStuffCluster(europe21, leader_mode="fixed", fixed_leader=0,
+                              seed=1, jitter=0.0)
+    metrics = cluster.run(10.0)
+    mean_latency = metrics.mean_latency()
+    # One round = leader->replica->leader over the quorum boundary.
+    round_estimate = mean_latency / 3.0
+    assert 0.005 < round_estimate < 0.05
+
+
+def test_round_robin_rotates_proposers(europe21):
+    cluster = HotStuffCluster(europe21, leader_mode="rr", seed=1)
+    cluster.run(5.0)
+    proposers = {
+        block.proposer
+        for replica in cluster.replicas
+        for block in replica.block_at_height.values()
+    }
+    assert len(proposers) > 5
+
+
+def test_throughput_reflects_block_payload(europe21):
+    cluster = HotStuffCluster(europe21, payload_per_block=500, seed=1)
+    metrics = cluster.run(5.0)
+    assert metrics.total_requests() == 500 * len(metrics.commits)
+
+
+def test_farther_deployment_slower(europe21, global73):
+    fast = HotStuffCluster(europe21, seed=1).run(5.0)
+    slow = HotStuffCluster(global73, seed=1).run(5.0)
+    assert slow.mean_latency() > fast.mean_latency()
+
+
+def test_safety_no_conflicting_commits(europe21):
+    """No two replicas commit different blocks at the same height."""
+    cluster = HotStuffCluster(europe21, leader_mode="rr", seed=3)
+    cluster.run(5.0)
+    by_height = {}
+    for replica in cluster.replicas:
+        for event in replica.metrics.commits:
+            block = replica.block_at_height.get(event.height)
+            if block is None:
+                continue
+            existing = by_height.setdefault(event.height, block.hash)
+            assert existing == block.hash, f"fork at height {event.height}"

@@ -1,0 +1,95 @@
+"""Tests for the Kauri tree engine."""
+
+import random
+
+import pytest
+
+from repro.consensus.kauri import KauriCluster
+from repro.faults.delay import DeltaDelayAttack
+from repro.tree.topology import TreeConfiguration
+
+
+def make_cluster(europe21, depth=1, seed=1, tree_seed=3, **kwargs):
+    layout = list(range(21))
+    random.Random(tree_seed).shuffle(layout)
+    tree = TreeConfiguration.from_layout(layout)
+    return KauriCluster(europe21, tree, pipeline_depth=depth, seed=seed, **kwargs)
+
+
+def test_tree_commits_blocks(europe21):
+    cluster = make_cluster(europe21)
+    metrics = cluster.run(5.0)
+    assert metrics.total_requests() > 0
+
+
+def test_pipelining_multiplies_throughput(europe21):
+    single = make_cluster(europe21, depth=1).run(10.0)
+    piped = make_cluster(europe21, depth=3).run(10.0)
+    ratio = piped.throughput(10.0) / single.throughput(10.0)
+    assert 2.0 < ratio < 4.0
+
+
+def test_tree_latency_above_star(europe21):
+    """Four tree hops cost more than the star's two (§7.4's trade-off)."""
+    from repro.consensus.hotstuff import HotStuffCluster
+
+    star = HotStuffCluster(europe21, seed=1).run(10.0)
+    tree = make_cluster(europe21, depth=1).run(10.0)
+    assert tree.mean_latency() > star.mean_latency()
+
+
+def test_aggregates_flow_through_intermediates(europe21):
+    cluster = make_cluster(europe21)
+    cluster.run(3.0)
+    root = cluster.root_replica
+    assert root.committed_height > 0
+    # Every vote the root counted came via its intermediates or itself.
+    for height, votes in root.root_votes.items():
+        assert votes <= set(range(21))
+
+
+def test_missing_child_votes_become_suspicions(europe21):
+    """§6.3: aggregates must carry suspicions for missing votes."""
+    cluster = make_cluster(europe21)
+    victim = cluster.tree.children[cluster.tree.intermediates[0]][0]
+    cluster.network.set_down(victim)
+    cluster.run(5.0)
+    parent = cluster.replicas[cluster.tree.parent[victim]]
+    suspected = {child for _h, child in parent.aggregation_suspicions}
+    assert victim in suspected
+    # Consensus still lives: q = n - f needs only 15 of 21 votes.
+    assert cluster.root_replica.metrics.total_requests() > 0
+
+
+def test_delta_delay_attack_slows_but_never_suspected(europe21):
+    """Delaying every intermediate guarantees the critical path slows;
+    fewer attackers may hide in quorum slack (which is Fig. 11's point
+    about picking δ)."""
+    clean = make_cluster(europe21, depth=1).run(10.0)
+    attacked_cluster = make_cluster(europe21, depth=1)
+    attackers = list(attacked_cluster.tree.intermediates)
+    attacked_cluster.network.add_interceptor(
+        DeltaDelayAttack(attackers=attackers, delta=1.4)
+    )
+    attacked = attacked_cluster.run(10.0)
+    assert attacked.throughput(10.0) < clean.throughput(10.0)
+    assert attacked.mean_latency() > clean.mean_latency()
+
+
+def test_install_tree_reconfigures_roles(europe21):
+    cluster = make_cluster(europe21)
+    cluster.run(2.0)
+    layout = list(range(21))
+    random.Random(9).shuffle(layout)
+    new_tree = TreeConfiguration.from_layout(layout)
+    next_height = max(replica.next_height for replica in cluster.replicas)
+    for replica in cluster.replicas:
+        replica.next_height = next_height
+        replica.committed_height = max(replica.committed_height, next_height - 1)
+    cluster.install_tree(new_tree)
+    cluster.resume()
+    cluster.sim.run(until=cluster.sim.now + 3.0)
+    cluster.pause()
+    new_root = cluster.replicas[new_tree.root]
+    assert new_root.committed_height >= next_height
+    assert new_root.is_root

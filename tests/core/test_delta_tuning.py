@@ -1,0 +1,74 @@
+"""Tests for history-based δ selection (§7.6 extension)."""
+
+import random
+
+import pytest
+
+from repro.core.delta_tuning import (
+    LatencyHistory,
+    expected_false_suspicion_rate,
+    quantile,
+    recommend_delta,
+)
+
+
+def history_with_ratios(ratios):
+    history = LatencyHistory()
+    for index, ratio in enumerate(ratios):
+        history.observe(0, 1 + index % 3, baseline=0.01, observed=0.01 * ratio)
+    return history
+
+
+def test_quantile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert quantile(values, 0.0) == 1.0
+    assert quantile(values, 1.0) == 4.0
+    assert quantile(values, 0.5) == pytest.approx(2.5)
+
+
+def test_quantile_empty_raises():
+    with pytest.raises(ValueError):
+        quantile([], 0.5)
+
+
+def test_recommended_delta_covers_benign_variation():
+    rng = random.Random(1)
+    ratios = [1.0 + 0.05 * rng.random() for _ in range(1000)]
+    history = history_with_ratios(ratios)
+    delta = recommend_delta(history)
+    assert expected_false_suspicion_rate(history, delta) <= 0.001 + 1e-9
+    assert delta < 1.10  # tight: little variation needs little headroom
+
+
+def test_volatile_network_needs_larger_delta():
+    calm = history_with_ratios([1.0, 1.01, 1.02] * 100)
+    stormy = history_with_ratios([1.0, 1.2, 1.35] * 100)
+    assert recommend_delta(stormy) > recommend_delta(calm)
+
+
+def test_ceiling_caps_adversarial_budget():
+    crazy = history_with_ratios([5.0] * 50)
+    assert recommend_delta(crazy, ceiling=1.5) == 1.5
+
+
+def test_floor_and_no_data_defaults():
+    assert recommend_delta(LatencyHistory()) == 2.0  # conservative default
+    tiny = history_with_ratios([0.9, 0.95])
+    assert recommend_delta(tiny) >= 1.0
+
+
+def test_invalid_samples_ignored():
+    history = LatencyHistory()
+    history.observe(0, 1, baseline=0.0, observed=0.01)
+    history.observe(0, 1, baseline=0.01, observed=-1.0)
+    assert history.sample_count == 0
+
+
+def test_rate_monotone_in_delta():
+    history = history_with_ratios([1.0, 1.1, 1.2, 1.3, 1.4])
+    rates = [
+        expected_false_suspicion_rate(history, delta)
+        for delta in (1.05, 1.15, 1.25, 1.45)
+    ]
+    assert rates == sorted(rates, reverse=True)
+    assert rates[-1] == 0.0

@@ -1,0 +1,90 @@
+"""Tests for the append-only log."""
+
+import pytest
+
+from repro.core.log import AppendOnlyLog
+from repro.core.records import LatencyVectorRecord, SuspicionKind, SuspicionRecord
+
+
+def vector(sender=0, n=3):
+    return LatencyVectorRecord(sender=sender, vector=tuple([0.01] * n))
+
+
+def suspicion(reporter=0, suspect=1):
+    return SuspicionRecord(
+        reporter=reporter, suspect=suspect, kind=SuspicionKind.SLOW, round_id=1
+    )
+
+
+def test_append_assigns_sequential_seqs():
+    log = AppendOnlyLog()
+    entries = [log.append(vector(sender)) for sender in range(3)]
+    assert [entry.seq for entry in entries] == [0, 1, 2]
+    assert len(log) == 3
+    assert log.last_seq == 2
+
+
+def test_subscribers_notified_by_type():
+    log = AppendOnlyLog()
+    vectors, suspicions = [], []
+    log.subscribe(LatencyVectorRecord, lambda entry: vectors.append(entry))
+    log.subscribe(SuspicionRecord, lambda entry: suspicions.append(entry))
+    log.append(vector())
+    log.append(suspicion())
+    assert len(vectors) == 1
+    assert len(suspicions) == 1
+
+
+def test_subscription_order_preserved():
+    log = AppendOnlyLog()
+    order = []
+    log.subscribe(LatencyVectorRecord, lambda entry: order.append("first"))
+    log.subscribe(LatencyVectorRecord, lambda entry: order.append("second"))
+    log.append(vector())
+    assert order == ["first", "second"]
+
+
+def test_view_stamped_on_entries():
+    log = AppendOnlyLog()
+    log.append(vector())
+    log.advance_view(3)
+    entry = log.append(vector())
+    assert log[0].view == 0
+    assert entry.view == 3
+
+
+def test_view_cannot_go_backwards():
+    log = AppendOnlyLog()
+    log.advance_view(2)
+    with pytest.raises(ValueError):
+        log.advance_view(1)
+
+
+def test_entries_of_type_and_histogram():
+    log = AppendOnlyLog()
+    log.append(vector())
+    log.append(suspicion())
+    log.append(suspicion())
+    assert len(log.entries_of_type(SuspicionRecord)) == 2
+    assert log.type_histogram() == {
+        "LatencyVectorRecord": 1,
+        "SuspicionRecord": 2,
+    }
+
+
+def test_total_wire_size_sums_records():
+    log = AppendOnlyLog()
+    a = log.append(vector())
+    b = log.append(suspicion())
+    assert log.total_wire_size() == a.wire_size + b.wire_size
+
+
+def test_same_order_gives_same_entries_on_two_logs():
+    """Determinism underpinning monitor consistency (Table 1)."""
+    records = [vector(0), suspicion(0, 1), vector(1), suspicion(2, 0)]
+    log_a, log_b = AppendOnlyLog(), AppendOnlyLog()
+    for record in records:
+        log_a.append(record)
+        log_b.append(record)
+    assert [e.record for e in log_a] == [e.record for e in log_b]
+    assert [e.seq for e in log_a] == [e.seq for e in log_b]

@@ -1,0 +1,114 @@
+"""Tests for misbehavior proofs and monitoring (§4.2.2)."""
+
+from repro.core.log import AppendOnlyLog
+from repro.core.misbehavior import (
+    EquivocationProof,
+    IncompleteAggregateProof,
+    InvalidSignatureProof,
+    MisbehaviorMonitor,
+    MisbehaviorSensor,
+)
+from repro.core.records import ComplaintRecord
+from repro.core.sensor import SensorApp
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.threshold import aggregate
+
+
+def make_stack(n=4):
+    registry = KeyRegistry(n)
+    log = AppendOnlyLog()
+    app = SensorApp(0, propose=lambda record: log.append(record))
+    sensor = MisbehaviorSensor(0, app)
+    monitor = MisbehaviorMonitor(0, log, registry)
+    return registry, log, sensor, monitor
+
+
+def equivocation(registry, accused=1):
+    payload_a = ("propose", 5, "hash-a")
+    payload_b = ("propose", 5, "hash-b")
+    return EquivocationProof(
+        accused=accused,
+        view=0,
+        round_id=5,
+        payload_a=payload_a,
+        sig_a=registry.sign(accused, payload_a),
+        payload_b=payload_b,
+        sig_b=registry.sign(accused, payload_b),
+    )
+
+
+def test_valid_equivocation_adds_accused_to_F():
+    registry, _, sensor, monitor = make_stack()
+    sensor.complain(1, "equivocation", equivocation(registry))
+    assert monitor.F == {1}
+    assert monitor.valid_complaints == 1
+
+
+def test_equivocation_same_payload_invalid():
+    registry, _, sensor, monitor = make_stack()
+    payload = ("propose", 5, "same")
+    proof = EquivocationProof(
+        accused=1,
+        view=0,
+        round_id=5,
+        payload_a=payload,
+        sig_a=registry.sign(1, payload),
+        payload_b=payload,
+        sig_b=registry.sign(1, payload),
+    )
+    sensor.complain(1, "equivocation", proof)
+    # Invalid complaint: the REPORTER becomes provably faulty.
+    assert monitor.F == {0}
+    assert monitor.invalid_complaints == 1
+
+
+def test_invalid_signature_proof():
+    registry, _, sensor, monitor = make_stack()
+    forged = registry.forge(2, "payload")
+    proof = InvalidSignatureProof(accused=2, payload="payload", signature=forged)
+    sensor.complain(2, "invalid-signature", proof)
+    assert 2 in monitor.F
+
+
+def test_invalid_signature_proof_over_valid_sig_backfires():
+    registry, _, sensor, monitor = make_stack()
+    good = registry.sign(2, "payload")
+    proof = InvalidSignatureProof(accused=2, payload="payload", signature=good)
+    sensor.complain(2, "invalid-signature", proof)
+    assert monitor.F == {0}  # reporter punished
+
+
+def test_incomplete_aggregate_proof():
+    registry, _, sensor, monitor = make_stack(n=6)
+    # Intermediate 1 aggregates only child 2's vote; children {2,3,4}
+    # expected, no suspicion for 3, 4 -> misbehavior.
+    agg = aggregate(registry, "block", [1, 2])
+    proof = IncompleteAggregateProof(
+        accused=1, aggregate=agg, expected_children=frozenset({2, 3, 4})
+    )
+    sensor.complain(1, "incomplete-aggregate", proof)
+    assert 1 in monitor.F
+
+
+def test_complete_aggregate_is_not_misbehavior():
+    registry, _, sensor, monitor = make_stack(n=6)
+    agg = aggregate(registry, "block", [1, 2], suspected=[3, 4])
+    proof = IncompleteAggregateProof(
+        accused=1, aggregate=agg, expected_children=frozenset({2, 3, 4})
+    )
+    sensor.complain(1, "incomplete-aggregate", proof)
+    assert monitor.F == {0}  # complaint was bogus
+
+
+def test_one_complaint_per_accused():
+    registry, log, sensor, _ = make_stack()
+    assert sensor.complain(1, "equivocation", equivocation(registry)) is not None
+    assert sensor.complain(1, "equivocation", equivocation(registry)) is None
+    assert len(log.entries_of_type(ComplaintRecord)) == 1
+
+
+def test_accused_mismatch_invalidates_complaint():
+    registry, log, _, monitor = make_stack()
+    proof = equivocation(registry, accused=1)
+    log.append(ComplaintRecord(reporter=3, accused=2, kind="equivocation", proof=proof))
+    assert monitor.F == {3}

@@ -1,0 +1,210 @@
+"""Tests for the SuspicionMonitor (§4.2.3: C, G, K, u, filtering, aging)."""
+
+from repro.core.log import AppendOnlyLog
+from repro.core.misbehavior import MisbehaviorMonitor
+from repro.core.records import ComplaintRecord, SuspicionKind, SuspicionRecord
+from repro.core.suspicion import SuspicionMonitor
+from repro.crypto.signatures import KeyRegistry
+
+
+def slow(reporter, suspect, round_id=1, phase=2, msg_type="write", view=0):
+    return SuspicionRecord(
+        reporter=reporter, suspect=suspect, kind=SuspicionKind.SLOW,
+        round_id=round_id, msg_type=msg_type, phase=phase, view=view,
+    )
+
+
+def false(reporter, suspect, round_id=1):
+    return SuspicionRecord(
+        reporter=reporter, suspect=suspect, kind=SuspicionKind.FALSE,
+        round_id=round_id, msg_type="reciprocation",
+    )
+
+
+def make_monitor(n=7, f=2, **kwargs):
+    log = AppendOnlyLog()
+    monitor = SuspicionMonitor(0, log, n=n, f=f, **kwargs)
+    return log, monitor
+
+
+def test_no_suspicions_all_candidates():
+    _, monitor = make_monitor()
+    assert monitor.K == frozenset(range(7))
+    assert monitor.u == 0
+
+
+def test_two_way_suspicion_creates_edge_and_u():
+    log, monitor = make_monitor()
+    log.append(slow(1, 2))
+    assert monitor.graph.has_edge(1, 2)
+    # MIS keeps one of {1, 2}: u = 1.
+    assert monitor.u == 1
+    assert len(monitor.K) == 6
+
+
+def test_star_attacker_excluded():
+    """Many replicas suspecting one culprit excludes just the culprit."""
+    log, monitor = make_monitor()
+    for reporter in (1, 2, 3, 4):
+        log.append(slow(reporter, 6, round_id=reporter, phase=1))
+    assert 6 not in monitor.K
+    assert monitor.K == frozenset({0, 1, 2, 3, 4, 5})
+    assert monitor.u == 1
+
+
+def test_unreciprocated_suspicion_becomes_crash():
+    log, monitor = make_monitor(f=2)
+    log.append(slow(1, 2, view=0))
+    monitor.advance_view(1)
+    assert 2 not in monitor.C
+    monitor.advance_view(3)  # deadline = view + f + 1 = 3
+    assert 2 in monitor.C
+    assert not monitor.graph.has_edge(1, 2)
+    assert 2 not in monitor.K
+    assert monitor.u == 0  # crash, not misbehavior
+
+
+def test_reciprocated_suspicion_stays_an_edge():
+    log, monitor = make_monitor(f=2)
+    log.append(slow(1, 2))
+    log.append(false(2, 1))
+    monitor.advance_view(5)
+    assert 2 not in monitor.C
+    assert monitor.graph.has_edge(1, 2)
+    assert monitor.u == 1
+
+
+def test_provably_faulty_removed_from_graph():
+    registry = KeyRegistry(7)
+    log = AppendOnlyLog()
+    misbehavior = MisbehaviorMonitor(0, log, registry)
+    monitor = SuspicionMonitor(0, log, n=7, f=2, misbehavior=misbehavior)
+    log.append(slow(1, 2))
+    # Replica 2 is then proven faulty: vertex leaves G, K excludes it.
+    forged = registry.forge(2, "x")
+    from repro.core.misbehavior import InvalidSignatureProof
+
+    log.append(
+        ComplaintRecord(
+            reporter=1, accused=2, kind="invalid-signature",
+            proof=InvalidSignatureProof(accused=2, payload="x", signature=forged),
+        )
+    )
+    log.append(slow(3, 2))  # suspicions against F members are moot
+    assert 2 not in monitor.K
+    assert 2 not in monitor.graph
+    assert monitor.u == 0  # the edge died with the vertex
+
+
+# ----------------------------------------------------------------------
+# Filtering (§4.2.3)
+# ----------------------------------------------------------------------
+def test_later_phase_suspicions_filtered_per_round():
+    log, monitor = make_monitor()
+    log.append(slow(1, 2, round_id=9, phase=1))
+    log.append(slow(3, 4, round_id=9, phase=3))  # later phase, same round
+    assert monitor.graph.has_edge(1, 2)
+    assert not monitor.graph.has_edge(3, 4)
+
+
+def test_same_phase_suspicions_all_effective():
+    """Independent observations of the same failure (same phase) all
+    count -- e.g. every child of a crashed node suspects it."""
+    log, monitor = make_monitor()
+    log.append(slow(1, 2, round_id=9, phase=2))
+    log.append(slow(3, 2, round_id=9, phase=2))
+    assert monitor.graph.has_edge(1, 2)
+    assert monitor.graph.has_edge(2, 3)
+
+
+def test_earlier_phase_retroactively_masks_later():
+    """A Byzantine replica racing its later-phase suspicions into the
+    log first gains nothing: once the earliest-phase suspicion of the
+    round commits, later-phase ones stop counting (the OptiAware attack
+    regression)."""
+    log, monitor = make_monitor()
+    # Attacker 2 floods phase-2 suspicions first.
+    log.append(slow(2, 5, round_id=9, phase=2))
+    log.append(slow(2, 6, round_id=9, phase=2))
+    assert monitor.graph.has_edge(2, 5)
+    # The legitimate phase-1 suspicion (propose was late) lands later...
+    log.append(slow(4, 2, round_id=9, phase=1))
+    # ...and masks the attacker's flood retroactively.
+    assert monitor.graph.has_edge(2, 4)
+    assert not monitor.graph.has_edge(2, 5)
+    assert not monitor.graph.has_edge(2, 6)
+
+
+def test_propose_suspicion_must_target_round_leader():
+    """Structural check: propose-phase suspicions only make sense
+    against the round's leader."""
+    log, monitor = make_monitor()
+    monitor.note_round_leader(4, leader=1)
+    log.append(slow(2, 5, round_id=4, phase=1, msg_type="propose"))
+    assert not monitor.graph.has_edge(2, 5)
+    assert monitor.filtered_count == 1
+    log.append(slow(2, 1, round_id=4, phase=1, msg_type="propose"))
+    assert monitor.graph.has_edge(1, 2)
+
+
+def test_leader_suspicion_filters_next_round_timestamp():
+    log, monitor = make_monitor()
+    monitor.note_round_leader(5, leader=1)
+    log.append(slow(1, 3, round_id=5, phase=2))  # leader suspects in round 5
+    log.append(
+        slow(2, 1, round_id=6, phase=0, msg_type="proposal-timestamp")
+    )
+    assert not monitor.graph.has_edge(1, 2)
+    assert monitor.filtered_count == 1
+
+
+# ----------------------------------------------------------------------
+# Aging and overflow
+# ----------------------------------------------------------------------
+def test_stable_window_ages_out_suspicions():
+    log, monitor = make_monitor(stability_window=3)
+    log.append(slow(1, 2, view=0))
+    log.append(false(2, 1))
+    assert monitor.u == 1
+    monitor.advance_view(5)  # >= stability window with no new suspicions
+    assert monitor.u == 0
+    assert monitor.K == frozenset(range(7))
+
+
+def test_overflow_evicts_until_candidates_sufficient():
+    """Lemma 1: K always reaches n - f, evicting oldest suspicions."""
+    log, monitor = make_monitor(n=5, f=1)
+    # Clique of suspicions among 0..3 leaves MIS of ~1 + isolated 4 = 2
+    # candidates < n - f = 4 -> old suspicions must be evicted.
+    pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    for index, (a, b) in enumerate(pairs):
+        log.append(slow(a, b, round_id=index, phase=1))
+    assert len(monitor.K) >= 4
+
+
+def test_candidate_lower_bound_random_graphs():
+    """C1 on random suspicion patterns."""
+    import random
+
+    rng = random.Random(9)
+    log, monitor = make_monitor(n=10, f=3)
+    for round_id in range(40):
+        a, b = rng.sample(range(10), 2)
+        log.append(slow(a, b, round_id=round_id, phase=1))
+    assert len(monitor.K) >= 10 - 3
+
+
+def test_estimate_returns_k_and_u():
+    log, monitor = make_monitor()
+    log.append(slow(1, 2, phase=1))
+    candidates, u = monitor.estimate()
+    assert candidates == monitor.K
+    assert u == monitor.u
+
+
+def test_self_and_out_of_range_suspicions_ignored():
+    log, monitor = make_monitor()
+    log.append(slow(1, 1))
+    log.append(slow(1, 99))
+    assert monitor.u == 0
+    assert monitor.K == frozenset(range(7))

@@ -1,0 +1,99 @@
+"""Property-based tests for the SuspicionMonitor's paper guarantees.
+
+C1 (Lemma 1): at least n − f candidates are always available.
+Consistency (Table 1): monitors fed the same log prefix agree exactly.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.log import AppendOnlyLog
+from repro.core.records import SuspicionKind, SuspicionRecord
+from repro.core.suspicion import SuspicionMonitor
+
+
+@st.composite
+def suspicion_streams(draw):
+    n = draw(st.integers(min_value=4, max_value=12))
+    f = (n - 1) // 3
+    count = draw(st.integers(min_value=0, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    records = []
+    for index in range(count):
+        a, b = rng.sample(range(n), 2)
+        kind = SuspicionKind.FALSE if rng.random() < 0.3 else SuspicionKind.SLOW
+        records.append(
+            SuspicionRecord(
+                reporter=a,
+                suspect=b,
+                kind=kind,
+                round_id=rng.randrange(10),
+                phase=rng.randrange(4),
+                view=index // 5,
+            )
+        )
+    return n, f, records
+
+
+@given(suspicion_streams())
+@settings(max_examples=60, deadline=None)
+def test_c1_candidates_at_least_n_minus_f(stream):
+    n, f, records = stream
+    log = AppendOnlyLog()
+    monitor = SuspicionMonitor(0, log, n=n, f=f)
+    for record in records:
+        log.append(record)
+    assert len(monitor.K) >= n - f
+    assert monitor.u >= 0
+
+
+@given(suspicion_streams())
+@settings(max_examples=40, deadline=None)
+def test_monitors_consistent_across_replicas(stream):
+    """Two monitors (different replica ids) replaying the same log agree
+    on K, u, C and G -- the consistency property of Table 1."""
+    n, f, records = stream
+    log_a, log_b = AppendOnlyLog(), AppendOnlyLog()
+    monitor_a = SuspicionMonitor(0, log_a, n=n, f=f)
+    monitor_b = SuspicionMonitor(n - 1, log_b, n=n, f=f)
+    for record in records:
+        log_a.append(record)
+        log_b.append(record)
+    assert monitor_a.K == monitor_b.K
+    assert monitor_a.u == monitor_b.u
+    assert monitor_a.C == monitor_b.C
+    assert monitor_a.graph.edges() == monitor_b.graph.edges()
+
+
+@given(suspicion_streams(), st.integers(min_value=1, max_value=30))
+@settings(max_examples=40, deadline=None)
+def test_view_advance_never_underflows_candidates(stream, views):
+    n, f, records = stream
+    log = AppendOnlyLog()
+    monitor = SuspicionMonitor(0, log, n=n, f=f, stability_window=3)
+    for index, record in enumerate(records):
+        log.append(record)
+        if index % 3 == 0:
+            monitor.advance_view(monitor.current_view + 1)
+    for _ in range(views):
+        monitor.advance_view(monitor.current_view + 1)
+    assert len(monitor.K) >= n - f
+    # Aged-out state converges back to the full candidate set eventually.
+    for _ in range(200):
+        monitor.advance_view(monitor.current_view + 1)
+    assert monitor.u == 0
+
+
+@given(suspicion_streams())
+@settings(max_examples=40, deadline=None)
+def test_candidates_disjoint_from_crashed(stream):
+    n, f, records = stream
+    log = AppendOnlyLog()
+    monitor = SuspicionMonitor(0, log, n=n, f=f)
+    for record in records:
+        log.append(record)
+        monitor.advance_view(monitor.current_view + 1)
+    assert not (monitor.K & monitor.C)

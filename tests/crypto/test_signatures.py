@@ -1,0 +1,70 @@
+"""Tests for the signature substrate."""
+
+import pytest
+
+from repro.crypto.signatures import (
+    SIGNATURE_SIZE,
+    InvalidSignature,
+    KeyRegistry,
+)
+
+
+def test_sign_verify_roundtrip():
+    registry = KeyRegistry(4)
+    signature = registry.sign(2, ("vote", 7))
+    assert registry.verify(signature, ("vote", 7))
+
+
+def test_verify_rejects_wrong_payload():
+    registry = KeyRegistry(4)
+    signature = registry.sign(2, ("vote", 7))
+    assert not registry.verify(signature, ("vote", 8))
+
+
+def test_verify_rejects_wrong_signer_claim():
+    registry = KeyRegistry(4)
+    signature = registry.sign(2, "payload")
+    forged = type(signature)(signer=3, digest=signature.digest)
+    assert not registry.verify(forged, "payload")
+
+
+def test_forge_produces_invalid_signature():
+    registry = KeyRegistry(4)
+    forged = registry.forge(1, "payload")
+    assert not registry.verify(forged, "payload")
+
+
+def test_require_valid_raises():
+    registry = KeyRegistry(4)
+    forged = registry.forge(1, "payload")
+    with pytest.raises(InvalidSignature):
+        registry.require_valid(forged, "payload")
+
+
+def test_registries_with_different_seeds_do_not_cross_verify():
+    registry_a = KeyRegistry(4, seed=1)
+    registry_b = KeyRegistry(4, seed=2)
+    signature = registry_a.sign(0, "x")
+    assert not registry_b.verify(signature, "x")
+
+
+def test_enroll_is_idempotent_and_extends():
+    registry = KeyRegistry(2)
+    registry.enroll(10)
+    registry.enroll(10)
+    signature = registry.sign(10, "client")
+    assert registry.verify(signature, "client")
+
+
+def test_signature_deterministic_and_sized():
+    registry = KeyRegistry(2)
+    first = registry.sign(0, ("a", 1))
+    second = registry.sign(0, ("a", 1))
+    assert first == second
+    assert first.wire_size == SIGNATURE_SIZE
+
+
+def test_dict_payloads_rejected():
+    registry = KeyRegistry(2)
+    with pytest.raises(TypeError):
+        registry.sign(0, {"a": 1})

@@ -1,0 +1,81 @@
+"""Smoke tests for every figure driver, at reduced scale.
+
+These validate that each driver runs end-to-end and that the *shape* of
+its result matches the paper's qualitative claim; the full-scale numbers
+live in the benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import fig8, fig9, fig10, fig11, fig12, fig13, fig14
+from repro.experiments.tables import format_table
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "b"], [[1, 2.5], ["xx", float("inf")]], title="t")
+    lines = table.splitlines()
+    assert lines[0] == "t"
+    assert "inf" in table
+
+
+def test_fig8_time_grows_with_n():
+    rows = fig8.run(sizes=(4, 10, 16), graphs_per_size=10, seed=1)
+    assert rows[0].mean_time_ms < rows[-1].mean_time_ms
+    assert all(row.mean_candidates >= 1 for row in rows)
+
+
+def test_fig9_single_cell_runs():
+    cell = fig9.run_cell("Europe21", "HotStuff-fixed", duration=3.0, seed=1)
+    assert cell.throughput > 0
+    assert cell.latency > 0
+
+
+def test_fig9_optitree_beats_kauri_europe():
+    kauri = fig9.run_cell(
+        "Europe21", "Kauri (pipeline)", duration=5.0, seed=1,
+        search_iterations=2000,
+    )
+    opti = fig9.run_cell(
+        "Europe21", "OptiTree", duration=5.0, seed=1, search_iterations=2000
+    )
+    assert opti.throughput > kauri.throughput
+    assert opti.latency < kauri.latency
+
+
+def test_fig10_optitree_stays_flat_longer():
+    rows = fig10.run(runs=1, max_reconfigs=8, seed=3, sa_iterations=800)
+    assert rows[0].optitree <= rows[0].kauri * 1.1
+    # OptiTree's final score stays within 2x its initial; Kauri's random
+    # trees are consistently worse than OptiTree.
+    assert rows[-1].optitree < rows[-1].kauri
+
+
+def test_fig11_delay_attack_reduces_throughput():
+    baseline = fig11.run_cell(0, None, duration=5.0, seed=1, search_iterations=1500)
+    attacked = fig11.run_cell(3, 1.4, duration=5.0, seed=1, search_iterations=1500)
+    assert attacked.throughput < baseline.throughput
+    assert attacked.latency > baseline.latency
+
+
+def test_fig12_longer_search_never_worse():
+    rows = fig12.run(
+        sizes=(57,), search_times=(0.25, 4.0), runs=3, seed=2,
+        iterations_per_second=2000,
+    )
+    short = next(r for r in rows if r.search_time == 0.25)
+    long = next(r for r in rows if r.search_time == 4.0)
+    assert long.mean_score <= short.mean_score * 1.02
+
+
+def test_fig13_overhead_matches_paper_magnitudes():
+    cells = fig13.run()
+    extra = fig13.overhead_summary(cells, n=80)
+    # Paper: ~270 B for latency+suspicions, ~4.5 KB with proofs.
+    assert 150 <= extra["Suspicion+lv"] <= 500
+    assert 3000 <= extra["Misbehavior+lv"] <= 6000
+
+
+def test_fig14_overprovisioning_costs_latency():
+    rows = fig14.run(sizes=(91,), u_fractions=(0.05, 0.30), runs=2, seed=1,
+                     sa_iterations=1200)
+    assert fig14.degradation(rows, 91) > 0.05

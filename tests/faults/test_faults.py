@@ -1,0 +1,93 @@
+"""Tests for the Byzantine fault library."""
+
+import random
+
+from repro.core.log import AppendOnlyLog
+from repro.faults.crash import CrashSchedule
+from repro.faults.delay import DelayAttack, DeltaDelayAttack
+from repro.faults.false_suspicion import TargetedSuspicionAttack
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.tree.candidates import TreeSuspicionMonitor
+from repro.tree.topology import TreeConfiguration
+
+
+class FakeMsg:
+    pass
+
+
+class PrePrepare(FakeMsg):
+    pass
+
+
+class Forward(FakeMsg):
+    pass
+
+
+def test_delay_attack_only_in_window_and_type():
+    clock = {"now": 0.0}
+    attack = DelayAttack(
+        attacker=2, message_types=("PrePrepare",), extra_delay=0.5,
+        start=10.0, end=20.0, now_fn=lambda: clock["now"],
+    )
+    message = PrePrepare()
+    # Outside the window: untouched.
+    assert attack(2, 1, message, 0.01) == (message, 0.01)
+    clock["now"] = 15.0
+    assert attack(2, 1, message, 0.01) == (message, 0.51)
+    # Other senders and other message types untouched.
+    assert attack(3, 1, message, 0.01) == (message, 0.01)
+    other = Forward()
+    assert attack(2, 1, other, 0.01) == (other, 0.01)
+    assert attack.messages_delayed == 1
+
+
+def test_delta_delay_multiplies_within_bound():
+    attack = DeltaDelayAttack(attackers={1}, delta=1.4, message_types=("Forward",))
+    message = Forward()
+    _, delay = attack(1, 2, message, 0.1)
+    assert delay == 0.1 * 1.4
+    _, delay = attack(3, 2, message, 0.1)
+    assert delay == 0.1
+
+
+def test_crash_schedule_crashes_current_role():
+    sim = Simulator()
+    network = Network(sim, lambda a, b: 0.01)
+    schedule = CrashSchedule(sim, network)
+    role = {"holder": 4}
+    schedule.crash_role_every(10.0, lambda: role["holder"], end=35.0)
+
+    def rotate():
+        role["holder"] += 1
+
+    sim.schedule_at(15.0, rotate)
+    sim.schedule_at(25.0, rotate)
+    sim.run(until=40.0)
+    assert schedule.crashed == [4, 5, 6]
+    assert network.is_down(4)
+
+
+def test_targeted_suspicion_attack_removes_pairs():
+    log = AppendOnlyLog()
+    monitor = TreeSuspicionMonitor(0, log, n=13, f=4)
+    tree = TreeConfiguration.from_layout(range(13))
+    attack = TargetedSuspicionAttack(
+        faulty_pool=[9, 10, 11, 12], rng=random.Random(1)
+    )
+    suspicion = attack.attack_round(log, tree, round_id=1)
+    assert suspicion is not None
+    assert suspicion.reporter in {9, 10, 11, 12}
+    assert suspicion.suspect in tree.internal_nodes
+    # Both the attacker and the targeted internal node left K.
+    assert suspicion.reporter not in monitor.K
+    assert suspicion.suspect not in monitor.K
+    assert monitor.u == 1
+
+
+def test_targeted_attack_exhausts_pool():
+    log = AppendOnlyLog()
+    tree = TreeConfiguration.from_layout(range(13))
+    attack = TargetedSuspicionAttack(faulty_pool=[12], rng=random.Random(1))
+    assert attack.attack_round(log, tree, 1) is not None
+    assert attack.attack_round(log, tree, 2) is None

@@ -1,0 +1,69 @@
+"""Tests for named deployments and the Stellar validator set."""
+
+import random
+
+import pytest
+
+from repro.net.deployments import (
+    EUROPE21,
+    GLOBAL73,
+    NA_EU43,
+    deployment_for,
+    random_world_deployment,
+)
+from repro.net.stellar import STELLAR_VALIDATORS, stellar_deployment
+
+
+def test_deployment_sizes_match_paper():
+    assert len(EUROPE21) == 21
+    assert len(NA_EU43) == 43
+    assert len(GLOBAL73) == 73
+    assert len(STELLAR_VALIDATORS) == 56
+
+
+def test_named_deployments_resolve():
+    for name, n in (
+        ("Europe21", 21),
+        ("NA-EU43", 43),
+        ("Global73", 73),
+        ("Stellar56", 56),
+    ):
+        deployment = deployment_for(name)
+        assert deployment.n == n
+        assert len(deployment.latency) == n
+
+
+def test_unknown_deployment_raises():
+    with pytest.raises(ValueError):
+        deployment_for("Mars1")
+
+
+def test_europe21_contains_nuremberg():
+    assert "Nuremberg" in EUROPE21  # Fig. 7's measured client city
+
+
+def test_nested_deployments():
+    assert set(EUROPE21) <= set(NA_EU43) <= set(GLOBAL73)
+
+
+def test_stellar_concentration_us_eu():
+    """Stellar's validator map is US/EU heavy."""
+    regions = [city.region for city in STELLAR_VALIDATORS]
+    us_eu = sum(1 for region in regions if region in ("NA", "EU"))
+    assert us_eu / len(regions) > 0.6
+
+
+def test_random_world_deployment_deterministic():
+    a = random_world_deployment(30, random.Random(5))
+    b = random_world_deployment(30, random.Random(5))
+    assert [c.name for c in a.cities] == [c.name for c in b.cities]
+
+
+def test_random_world_deployment_oversized():
+    deployment = random_world_deployment(300, random.Random(1))
+    assert deployment.n == 300
+
+
+def test_stellar_deployment_latency_built():
+    deployment = stellar_deployment()
+    assert deployment.latency.rtt_ms(0, deployment.n - 1) >= 0.0

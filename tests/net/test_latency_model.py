@@ -1,0 +1,54 @@
+"""Tests for the RTT model and the paper's latency envelope."""
+
+import numpy as np
+import pytest
+
+from repro.net.cities import city_by_name
+from repro.net.latency_model import LatencyModel
+
+
+def test_symmetry_and_zero_diagonal(europe21):
+    model = europe21.latency
+    matrix = model.matrix_ms()
+    assert np.allclose(matrix, matrix.T)
+    assert np.all(np.diag(matrix) == 0)
+
+
+def test_colocated_replicas_see_local_rtt():
+    city = city_by_name("Frankfurt")
+    model = LatencyModel([city, city])
+    assert model.rtt_ms(0, 1) == pytest.approx(1.0)
+
+
+def test_intercontinental_envelope_matches_paper(global73):
+    """§7.3: intercontinental delays range 150-250 ms (+1 ms local)."""
+    stats = global73.latency.stats_ms()
+    assert stats["max"] <= 260.0
+    assert stats["max"] >= 150.0  # some pair is genuinely intercontinental
+
+
+def test_european_pairs_are_fast(europe21):
+    stats = europe21.latency.stats_ms()
+    assert stats["max"] < 60.0
+    assert stats["min"] >= 1.0
+
+
+def test_one_way_is_half_rtt(europe21):
+    model = europe21.latency
+    assert model.one_way(0, 1) == pytest.approx(model.rtt(0, 1) / 2.0)
+
+
+def test_monotone_with_distance():
+    london = city_by_name("London")
+    paris = city_by_name("Paris")
+    tokyo = city_by_name("Tokyo")
+    model = LatencyModel([london, paris, tokyo])
+    assert model.rtt_ms(0, 1) < model.rtt_ms(0, 2)
+
+
+def test_closest_index_maps_to_nearest_city(europe21):
+    model = europe21.latency
+    # Coordinates of Munich should map to Munich's entry.
+    munich = city_by_name("Munich")
+    index = model.closest_index(munich.lat, munich.lon)
+    assert model.cities[index].name == "Munich"

@@ -1,0 +1,101 @@
+"""Tests for the simulated network."""
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+def make_network(delay=0.01, jitter=0.0):
+    sim = Simulator(seed=1)
+    network = Network(sim, lambda a, b: delay, jitter=jitter)
+    return sim, network
+
+
+def test_message_delivered_after_link_delay():
+    sim, network = make_network(delay=0.05)
+    inbox = []
+    network.register(1, lambda src, msg: inbox.append((sim.now, src, msg)))
+    network.send(0, 1, "hello")
+    sim.run()
+    assert inbox == [(0.05, 0, "hello")]
+
+
+def test_self_delivery_is_instant():
+    sim, network = make_network(delay=0.05)
+    inbox = []
+    network.register(0, lambda src, msg: inbox.append(sim.now))
+    network.send(0, 0, "self")
+    sim.run()
+    assert inbox == [0.0]
+
+
+def test_multicast_reaches_all():
+    sim, network = make_network()
+    inboxes = {i: [] for i in range(3)}
+    for i in range(3):
+        network.register(i, lambda src, msg, i=i: inboxes[i].append(msg))
+    network.multicast(0, range(3), "m")
+    sim.run()
+    assert all(inboxes[i] == ["m"] for i in range(3))
+
+
+def test_down_node_drops_messages_both_ways():
+    sim, network = make_network()
+    inbox = []
+    network.register(1, lambda src, msg: inbox.append(msg))
+    network.set_down(1)
+    network.send(0, 1, "lost")
+    sim.run()
+    assert inbox == []
+    assert network.stats.messages_dropped == 1
+    network.set_down(1, False)
+    network.send(0, 1, "found")
+    sim.run()
+    assert inbox == ["found"]
+
+
+def test_crash_during_flight_drops_delivery():
+    sim, network = make_network(delay=1.0)
+    inbox = []
+    network.register(1, lambda src, msg: inbox.append(msg))
+    network.send(0, 1, "in-flight")
+    sim.schedule(0.5, network.set_down, 1, True)
+    sim.run()
+    assert inbox == []
+
+
+def test_interceptor_can_drop_and_delay():
+    sim, network = make_network(delay=0.01)
+    inbox = []
+    network.register(1, lambda src, msg: inbox.append((sim.now, msg)))
+
+    def interceptor(src, dst, message, delay):
+        if message == "drop":
+            return None
+        return message, delay + 1.0
+
+    network.add_interceptor(interceptor)
+    network.send(0, 1, "drop")
+    network.send(0, 1, "slow")
+    sim.run()
+    assert inbox == [(1.01, "slow")]
+
+
+def test_jitter_stretches_delay_within_bound():
+    sim, network = make_network(delay=0.1, jitter=0.1)
+    times = []
+    network.register(1, lambda src, msg: times.append(sim.now))
+    for _ in range(50):
+        network.send(0, 1, "x")
+    sim.run()
+    assert all(0.1 <= t <= 0.11 + 1e-9 for t in times)
+
+
+def test_stats_count_bytes_per_type():
+    sim, network = make_network()
+    network.register(1, lambda src, msg: None)
+    network.send(0, 1, "abc", size=10)
+    network.send(0, 1, "def", size=5)
+    sim.run()
+    assert network.stats.bytes_sent == 15
+    assert network.stats.per_type_bytes["str"] == 15
+    assert network.stats.messages_delivered == 2

@@ -1,0 +1,97 @@
+"""Tests for the E_d / T candidate rule (§6.4, Fig. 6)."""
+
+from repro.core.log import AppendOnlyLog
+from repro.core.records import SuspicionKind, SuspicionRecord
+from repro.optimize.graphs import Graph
+from repro.tree.candidates import (
+    TreeSuspicionMonitor,
+    build_disjoint_edge_set,
+    triangle_set,
+    tree_candidates,
+)
+
+
+def test_disjoint_edges_basic():
+    graph = Graph(edges=[(0, 1), (2, 3)])
+    e_d = build_disjoint_edge_set(graph, [(0, 1), (2, 3)])
+    assert e_d == [(0, 1), (2, 3)]
+
+
+def test_shared_vertex_second_edge_not_added():
+    graph = Graph(edges=[(0, 1), (1, 2)])
+    e_d = build_disjoint_edge_set(graph, [(0, 1), (1, 2)])
+    assert e_d == [(0, 1)]
+
+
+def test_augmenting_exchange_grows_matching():
+    """§6.4: adding an edge may replace one E_d edge by two new ones."""
+    # Arrivals: (1,2) enters E_d; then (1,0) cannot; but G has (2,3)
+    # with 3 free -> replace (1,2) by (1,0) + (2,3).
+    graph = Graph(edges=[(1, 2), (2, 3), (0, 1)])
+    e_d = build_disjoint_edge_set(graph, [(1, 2), (2, 3), (0, 1)])
+    assert sorted(e_d) == [(0, 1), (2, 3)]
+
+
+def test_triangle_set_matches_paper_figure():
+    """The Fig. 6 example: E_d = {(S1,S4), (S2,S3)}, T = {At}.
+
+    Vertices: S1=0, S2=1, S3=2, S4=3, At=4, N1=5, N2=6, Bc=7, N3=8, R=9.
+    """
+    edges = [(0, 3), (1, 2), (0, 4), (3, 4), (1, 3)]
+    graph = Graph(vertices=range(10), edges=edges)
+    e_d = build_disjoint_edge_set(graph, edges)
+    assert sorted(e_d) == [(0, 3), (1, 2)]
+    t_set = triangle_set(graph, e_d)
+    assert t_set == {4}  # At forms a triangle with (S1, S4)
+    candidates, u, _, _ = tree_candidates(graph, edges)
+    assert candidates == {5, 6, 7, 8, 9}
+    assert u == len(e_d) + len(t_set) == 3
+
+
+def test_u_counts_edges_and_triangles():
+    graph = Graph(vertices=range(6), edges=[(0, 1)])
+    candidates, u, e_d, t_set = tree_candidates(graph, [(0, 1)])
+    assert u == 1
+    assert candidates == {2, 3, 4, 5}
+
+
+def test_monitor_integration():
+    log = AppendOnlyLog()
+    monitor = TreeSuspicionMonitor(0, log, n=13, f=4)
+    log.append(
+        SuspicionRecord(reporter=1, suspect=2, kind=SuspicionKind.SLOW, round_id=1)
+    )
+    assert 1 not in monitor.K
+    assert 2 not in monitor.K
+    assert monitor.u == 1
+    assert monitor.e_d == [(1, 2)]
+
+
+def test_monitor_triangle_exclusion():
+    log = AppendOnlyLog()
+    monitor = TreeSuspicionMonitor(0, log, n=13, f=4)
+    for round_id, (a, b) in enumerate([(1, 2), (3, 1), (3, 2)]):
+        log.append(
+            SuspicionRecord(
+                reporter=a, suspect=b, kind=SuspicionKind.SLOW, round_id=round_id
+            )
+        )
+    # (1,2) in E_d; 3 forms a triangle with it -> excluded, u = 2.
+    assert monitor.u == 2
+    assert {1, 2, 3} & monitor.K == set()
+    assert monitor.t_set == frozenset({3})
+
+
+def test_crashed_replicas_not_in_tree_candidates():
+    log = AppendOnlyLog()
+    monitor = TreeSuspicionMonitor(0, log, n=13, f=4)
+    log.append(
+        SuspicionRecord(
+            reporter=1, suspect=5, kind=SuspicionKind.SLOW, round_id=1, view=0
+        )
+    )
+    monitor.advance_view(6)  # f+1 views, no reciprocation -> crashed
+    assert 5 in monitor.C
+    assert 5 not in monitor.K
+    assert monitor.u == 0  # crash faults are not misbehavior (App. B.1)
+    assert 1 in monitor.K  # the reporter is rehabilitated

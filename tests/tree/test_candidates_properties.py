@@ -1,0 +1,82 @@
+"""Property tests for tree candidate selection (Theorem D.1, Lemma 8)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimize.graphs import Graph, ordered_edge
+from repro.tree.candidates import build_disjoint_edge_set, tree_candidates
+
+
+@st.composite
+def graphs_with_order(draw):
+    n = draw(st.integers(min_value=2, max_value=15))
+    count = draw(st.integers(min_value=0, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = random.Random(seed)
+    order = []
+    graph = Graph(vertices=range(n))
+    for _ in range(count):
+        a, b = rng.sample(range(n), 2)
+        graph.add_edge(a, b)
+        order.append(ordered_edge(a, b))
+    return graph, order
+
+
+@given(graphs_with_order())
+@settings(max_examples=80, deadline=None)
+def test_e_d_is_disjoint_and_maximal(item):
+    graph, order = item
+    e_d = build_disjoint_edge_set(graph, order)
+    covered = [v for edge in e_d for v in edge]
+    assert len(covered) == len(set(covered)), "E_d edges share a vertex"
+    # Maximality: every graph edge touches a covered vertex.
+    covered_set = set(covered)
+    for a, b in graph.edges():
+        assert a in covered_set or b in covered_set, f"edge ({a},{b}) uncovered"
+
+
+@given(graphs_with_order())
+@settings(max_examples=80, deadline=None)
+def test_candidates_not_adjacent_to_e_d_and_u_formula(item):
+    graph, order = item
+    candidates, u, e_d, t_set = tree_candidates(graph, order)
+    covered = {v for edge in e_d for v in edge}
+    assert not (candidates & covered)
+    assert not (candidates & t_set)
+    assert u == len(e_d) + len(t_set)
+
+
+@given(st.integers(min_value=0, max_value=9999))
+@settings(max_examples=60, deadline=None)
+def test_theorem_d1_bound_with_f_faulty_reporters(seed):
+    """Theorem D.1: with at most f faulty replicas raising suspicions
+    (each suspicion involving >= 1 faulty endpoint), at least f+1
+    candidates remain -- enough internal nodes for n >= 13."""
+    rng = random.Random(seed)
+    n = rng.choice([13, 21, 43])
+    f = (n - 1) // 3
+    faulty = set(rng.sample(range(n), f))
+    graph = Graph(vertices=range(n))
+    order = []
+    for _ in range(3 * f):
+        a = rng.choice(sorted(faulty))
+        b = rng.randrange(n)
+        if a == b:
+            continue
+        graph.add_edge(a, b)
+        order.append(ordered_edge(a, b))
+    candidates, _, _, _ = tree_candidates(graph, order)
+    assert len(candidates) >= f + 1
+    # Correct replicas dominate the exclusions only via pairing: each
+    # excluded correct replica is paired with a distinct faulty one.
+    excluded_correct = set(range(n)) - candidates - faulty
+    assert len(excluded_correct) <= f
+
+
+@given(graphs_with_order())
+@settings(max_examples=60, deadline=None)
+def test_deterministic_across_replays(item):
+    graph, order = item
+    assert tree_candidates(graph, order)[:2] == tree_candidates(graph, order)[:2]

@@ -1,0 +1,100 @@
+"""Reconfiguration-bound tests (CT2, CT4: Lemmas 4-5, Theorem D.2).
+
+The adversary model follows §7.5: each failed tree yields suspicions
+whose edges each touch at least one faulty replica (after GST, correct
+pairs never suspect each other -- Lemma 3).  Theorem D.2 then bounds the
+number of failed trees by 2t (t = actual faults), because every failure
+grows |E_d| or grows |T| while |E_d| stays constant.
+"""
+
+import random
+
+import pytest
+
+from repro.core.log import AppendOnlyLog
+from repro.core.records import SuspicionKind, SuspicionRecord
+from repro.tree.candidates import TreeSuspicionMonitor, tree_candidates
+from repro.optimize.graphs import Graph, ordered_edge
+from repro.tree.optitree import random_tree
+
+
+def run_adversarial_reconfigurations(n, f, t, seed):
+    """Simulate tree formation against ``t`` hidden faulty replicas.
+
+    A tree "works" iff no internal node is faulty.  When a tree fails,
+    one faulty internal node is suspected by a correct child (a slow
+    aggregate), creating one new suspicion edge -- the minimal evidence
+    Lemma 4's case (1) guarantees.  Returns the number of failed trees
+    before a working one is found.
+    """
+    rng = random.Random(seed)
+    faulty = set(rng.sample(range(n), t))
+    log = AppendOnlyLog()
+    monitor = TreeSuspicionMonitor(0, log, n=n, f=f)
+    failures = 0
+    for round_id in range(4 * f + 10):
+        candidates, _u = monitor.estimate()
+        tree = random_tree(n, candidates, rng)
+        assert tree is not None, "ran out of candidates (CT1 violated)"
+        faulty_internal = sorted(tree.internal_nodes & faulty)
+        if not faulty_internal:
+            return failures
+        failures += 1
+        culprit = faulty_internal[0]
+        correct_children = [
+            child for child in tree.children.get(culprit, ()) if child not in faulty
+        ]
+        reporter = correct_children[0] if correct_children else tree.root
+        if reporter == culprit or reporter in faulty:
+            reporter = next(
+                r for r in range(n) if r not in faulty and r != culprit
+            )
+        log.append(
+            SuspicionRecord(
+                reporter=reporter, suspect=culprit, kind=SuspicionKind.SLOW,
+                round_id=round_id, msg_type="aggregate", phase=4,
+            )
+        )
+        log.append(
+            SuspicionRecord(
+                reporter=culprit, suspect=reporter, kind=SuspicionKind.FALSE,
+                round_id=round_id, msg_type="reciprocation", phase=4,
+            )
+        )
+    pytest.fail("no working tree found within the trial bound")
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_ct4_at_most_2t_reconfigurations(seed):
+    n = 21
+    f = 6
+    t = 4
+    failures = run_adversarial_reconfigurations(n, f, t, seed)
+    assert failures <= 2 * t
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_ct4_full_fault_budget(seed):
+    n = 43
+    f = 14
+    failures = run_adversarial_reconfigurations(n, f, t=f, seed=seed)
+    assert failures <= 2 * f
+
+
+def test_lemma5_e_d_or_t_grows_on_failure():
+    """Each new suspicion grows |E_d|, or grows |T| keeping |E_d|."""
+    rng = random.Random(3)
+    n = 21
+    graph = Graph(vertices=range(n))
+    order = []
+    previous = (0, 0)
+    for _ in range(25):
+        a, b = rng.sample(range(n), 2)
+        if graph.has_edge(a, b):
+            continue
+        graph.add_edge(a, b)
+        order.append(ordered_edge(a, b))
+        _, _, e_d, t_set = tree_candidates(graph, order)
+        current = (len(e_d), len(t_set))
+        assert current[0] > previous[0] or current >= previous
+        previous = current
