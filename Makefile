@@ -1,0 +1,27 @@
+# OptiLog reproduction -- developer entry points.
+#
+#   make test    tier-1 test suite (the CI gate)
+#   make bench   figure benchmarks at CI scale (REPRO_FULL=1 for paper scale)
+#   make lint    bytecode-compile the tree + import-check the package
+#
+# Everything runs from the source tree via PYTHONPATH; `pip install -e .`
+# additionally provides the `repro` console script.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench lint quickstart
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -c "import repro, repro.experiments.runner, repro.workloads, repro.__main__"
+	$(PYTHON) -m repro list > /dev/null
+
+quickstart:
+	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,100 @@
+"""Defining your own workload and running it through the scenario runner.
+
+Two user-defined traffic shapes:
+
+* ``DiurnalWorkload`` subclasses :class:`repro.workloads.OpenLoopWorkload`
+  and only overrides the rate profile -- a sinusoidal day/night cycle,
+  discretized into piecewise-constant steps so the base class's
+  boundary-exact Poisson sampling stays exact.
+* ``FlashCrowdWorkload`` composes an existing shape: a quiet baseline
+  with one huge spike, built by overriding ``rate_at``/``next_change``
+  directly.
+
+Because a :class:`~repro.experiments.runner.Scenario` accepts a
+``Workload`` *instance* (not just a registered name), custom shapes plug
+straight into ``run_scenario`` -- and registering them in
+``repro.workloads.WORKLOADS`` would expose them to the CLI too.
+
+Run:  PYTHONPATH=src python examples/custom_workload.py
+"""
+
+import math
+
+from repro.experiments.runner import Scenario, run_scenario
+from repro.workloads import OpenLoopWorkload
+
+
+class DiurnalWorkload(OpenLoopWorkload):
+    """Sinusoidal day/night rate: mean +/- amplitude over one period."""
+
+    name = "diurnal"
+
+    def __init__(self, mean_rate=60.0, amplitude=40.0, period=30.0,
+                 steps_per_period=12, clients=1, sites=None):
+        super().__init__(rate=mean_rate, clients=clients, sites=sites)
+        self.mean_rate = mean_rate
+        self.amplitude = amplitude
+        self.period = period
+        self.step = period / steps_per_period
+
+    def rate_at(self, t):
+        # Piecewise-constant over each step, sampled at the step start.
+        start = (t // self.step) * self.step
+        phase = 2.0 * math.pi * (start % self.period) / self.period
+        return max(0.0, self.mean_rate + self.amplitude * math.sin(phase))
+
+    def next_change(self, t):
+        boundary = ((t // self.step) + 1) * self.step
+        # Strictly after t, or float noise at a boundary livelocks the sim.
+        return boundary if boundary > t else boundary + self.step
+
+
+class FlashCrowdWorkload(OpenLoopWorkload):
+    """Quiet baseline, then a short massive spike (a 'flash crowd')."""
+
+    name = "flash-crowd"
+
+    def __init__(self, base_rate=20.0, spike_rate=300.0,
+                 spike_start=20.0, spike_duration=5.0, clients=1, sites=None):
+        super().__init__(rate=base_rate, clients=clients, sites=sites)
+        self.base_rate = base_rate
+        self.spike_rate = spike_rate
+        self.spike_start = spike_start
+        self.spike_end = spike_start + spike_duration
+
+    def in_spike(self, t):
+        return self.spike_start <= t < self.spike_end
+
+    def rate_at(self, t):
+        return self.spike_rate if self.in_spike(t) else self.base_rate
+
+    def next_change(self, t):
+        if t < self.spike_start:
+            return self.spike_start
+        if t < self.spike_end:
+            return self.spike_end
+        return None  # constant baseline forever after
+
+
+def main() -> None:
+    for workload in (
+        DiurnalWorkload(mean_rate=60.0, amplitude=40.0, period=30.0),
+        FlashCrowdWorkload(base_rate=20.0, spike_rate=300.0, spike_start=20.0),
+    ):
+        scenario = Scenario(
+            protocol="hotstuff-rr",
+            deployment="wonderproxy-10",
+            workload=workload,          # a Workload instance plugs in directly
+            duration=45.0,
+            seed=0,
+        )
+        metrics = run_scenario(scenario).metrics()
+        client = metrics["client"]
+        print(f"{workload.name:12s}: sent {client['requests_sent']:5d}, "
+              f"completed {client['requests_completed']:5d}, "
+              f"mean latency {client['mean_latency'] * 1000:6.1f} ms, "
+              f"p99 {client['p99_latency'] * 1000:6.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

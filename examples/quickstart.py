@@ -1,51 +1,92 @@
-"""Quickstart: OptiLog's sensors and monitors on a standalone log.
+"""Quickstart: run scenarios through the unified runner, then peek
+inside OptiLog's sensor/monitor pipeline.
 
-Builds a 21-replica European deployment, measures link latencies through
-probes, commits the latency vectors to a (local) OptiLog log, lets a
-Byzantine replica under-perform, and watches the suspicion pipeline expel
-it from the candidate set -- all without running a full consensus engine.
+Part 1 uses :mod:`repro.experiments.runner` -- the same entry point as
+``python -m repro run`` -- to race a static PBFT leader against
+OptiAware under a bursty workload and a delaying leader.
 
-Run:  python examples/quickstart.py
+Part 2 drives one replica's OptiLog pipeline standalone (no consensus
+engine) to show how committed measurements turn into the agreed
+candidate set that role assignment draws from.
+
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro.core.latency import probe_all_peers
-from repro.core.pipeline import OptiLogPipeline, PipelineSettings
-from repro.core.records import SuspicionKind, SuspicionRecord
-from repro.net import deployment_for
-
-N, F = 21, 6
+from repro.experiments.runner import FaultSpec, MeasurementPolicy, Scenario, run_scenario
 
 
-def main() -> None:
+def part1_scenarios() -> None:
+    print("=" * 66)
+    print("Part 1: the scenario runner")
+    print("=" * 66)
+
+    common = dict(
+        deployment="wonderproxy-10",   # seeded random 10-city placement
+        workload="bursty",
+        workload_params={"on_rate": 60.0, "on_duration": 4.0, "off_duration": 4.0},
+        duration=60.0,
+        seed=0,
+        delta=1.25,
+        # A Byzantine leader starts delaying its proposals at t=30 s.
+        faults=[FaultSpec(kind="delay", start=30.0, attacker="leader",
+                          extra_delay=0.8, message_types=("PrePrepare",))],
+        # Compressed Aware/OptiAware cadence so reconfiguration happens
+        # inside the 60 s window (no-op for static PBFT).
+        measurements=MeasurementPolicy(probe_at=2.0, publish_at=5.0,
+                                       first_search_at=13.0, search_period=9.0),
+    )
+
+    for protocol in ("pbft", "pbft-optiaware"):
+        result = run_scenario(Scenario(protocol=protocol, **common))
+        metrics = result.metrics()
+        client = metrics["client"]
+        print(f"\n{protocol}:")
+        print(f"  completed requests : {client['requests_completed']}")
+        print(f"  mean client latency: {client['mean_latency'] * 1000:.1f} ms "
+              f"(p99 {client['p99_latency'] * 1000:.1f} ms)")
+        print(f"  reconfigurations   : {metrics['reconfigurations']}")
+    print("\nOptiAware reconfigures away from the delaying leader; static")
+    print("PBFT stays degraded. Try the same from the shell:")
+    print("  python -m repro run --protocol pbft-optiaware "
+          "--deployment wonderproxy-10 --workload bursty "
+          "--fault delay:start=30,attacker=leader,extra_delay=0.8")
+
+
+def part2_pipeline() -> None:
+    from repro.aware.optiaware import OptiAware
+    from repro.core.latency import probe_all_peers
+    from repro.core.pipeline import OptiLogPipeline, PipelineSettings
+    from repro.core.records import LatencyVectorRecord, SuspicionKind, SuspicionRecord
+    from repro.net import deployment_for
+
+    n, f = 21, 6
+    print()
+    print("=" * 66)
+    print("Part 2: inside the sensor -> log -> monitor pipeline")
+    print("=" * 66)
     deployment = deployment_for("Europe21")
     print(f"deployment: {deployment.name} with {deployment.n} replicas")
-    print(f"RTT envelope [ms]: {deployment.latency.stats_ms()}")
 
     # One replica's OptiLog pipeline; in a live system every replica runs
     # one and the log is replicated by the consensus engine.
-    pipeline = OptiLogPipeline(0, PipelineSettings(n=N, f=F, delta=1.25))
+    pipeline = OptiLogPipeline(0, PipelineSettings(n=n, f=f, delta=1.25))
 
     # 1. LatencySensor: probe all peers, publish the latency vector.
     probe_all_peers(pipeline.latency_sensor, deployment.latency.rtt)
-    vector = pipeline.latency_sensor.measure_and_record()
+    pipeline.latency_sensor.measure_and_record()
     for record in pipeline.app.drain():
         pipeline.log.append(record)  # standalone mode: append directly
-    print(f"\nlatency vector of replica 0 (first 5 entries, s): "
-          f"{[round(v, 4) for v in vector.vector[:5]]}")
-
     # Feed the other replicas' vectors (all measure the same links here).
-    for sender in range(1, N):
+    for sender in range(1, n):
         row = tuple(
             0.0 if peer == sender else deployment.latency.one_way(sender, peer)
-            for peer in range(N)
+            for peer in range(n)
         )
-        from repro.core.records import LatencyVectorRecord
-
         pipeline.log.append(LatencyVectorRecord(sender=sender, vector=row))
     print(f"latency matrix complete: {pipeline.latency_monitor.is_complete()}")
 
     # 2. SuspicionMonitor: replica 13 keeps missing its deadlines; each
-    # round one replica reports it (⟨Slow⟩), and 13 reciprocates
+    # round one replica reports it ("Slow"), and 13 reciprocates
     # (condition (c)) so it is treated as misbehaving, not crashed.
     villain = 13
     for round_id, reporter in enumerate((1, 2, 5)):
@@ -57,26 +98,29 @@ def main() -> None:
             reporter=villain, suspect=reporter, kind=SuspicionKind.FALSE,
             round_id=round_id,
         ))
-    print(f"\nafter suspicions against replica {villain}:")
+    print(f"after suspicions against replica {villain}:")
     print(f"  candidate set K ({len(pipeline.candidates)} replicas): "
           f"{sorted(pipeline.candidates)}")
     print(f"  estimated misbehaving replicas u = {pipeline.u}")
     assert villain not in pipeline.candidates
 
     # 3. ConfigSensor/Monitor: attach Aware's search and reconfigure.
-    from repro.aware.optiaware import OptiAware
-
-    stack = OptiAware(0, N, F)
+    stack = OptiAware(0, n, f)
     for entry in pipeline.log:
         stack.pipeline.log.append(entry.record)
     proposal = stack.pipeline.config_sensor.search_and_propose()
     stack.pipeline.log.append(proposal)
     config = stack.current_configuration
-    print(f"\noptimized configuration: leader={config.leader}, "
+    print(f"optimized configuration: leader={config.leader}, "
           f"Vmax={sorted(config.vmax_replicas)}")
     print(f"predicted round duration: {proposal.claimed_score * 1000:.2f} ms")
     assert villain not in config.special_replicas()
-    print(f"\nreplica {villain} holds no special role -- OptiLog at work.")
+    print(f"replica {villain} holds no special role -- OptiLog at work.")
+
+
+def main() -> None:
+    part1_scenarios()
+    part2_pipeline()
 
 
 if __name__ == "__main__":

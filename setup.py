@@ -2,6 +2,21 @@
 (no ``wheel`` package available offline), so ``pip install -e .`` needs a
 setup.py to fall back to develop-mode installs."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="optilog-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'OptiLog: Assigning Roles in Byzantine Consensus'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            # The unified scenario runner / figure driver CLI.
+            "repro=repro.__main__:main",
+        ],
+    },
+)

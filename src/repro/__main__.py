@@ -1,0 +1,201 @@
+"""``python -m repro``: run scenarios and figure drivers from the shell.
+
+Subcommands
+-----------
+``run``
+    Execute an ad-hoc :class:`~repro.experiments.runner.Scenario` and
+    print its JSON metrics (deterministic under ``--seed``)::
+
+        python -m repro run --protocol pbft --workload bursty \
+            --deployment wonderproxy-16 --seed 0
+
+``fig``
+    Execute a figure driver (``fig7`` ... ``fig15``, ``fast`` where
+    supported) and print its table.
+
+``list``
+    Show the available protocols, workloads, deployments and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import importlib
+import inspect
+import json
+import re
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import FaultSpec, Scenario, run_scenario
+from repro.workloads import WORKLOADS
+
+FIGURES = tuple(f"fig{i}" for i in range(7, 16))
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort literal parsing: numbers/tuples/bools, else string."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_params(pairs: Optional[List[str]]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        params[key.replace("-", "_")] = _parse_value(value)
+    return params
+
+
+def _parse_fault(text: str) -> FaultSpec:
+    """``kind:key=value,key=value`` -> FaultSpec, e.g.
+    ``delay:start=60,attacker=leader,extra_delay=0.8``.
+
+    Multiple message types are parenthesised so the comma split leaves
+    them intact: ``delay:message_types=(PrePrepare,Prepare),start=60``.
+    """
+    kind, _, rest = text.partition(":")
+    kwargs: Dict[str, Any] = {}
+    if rest:
+        for pair in re.split(r",(?![^(]*\))", rest):
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise SystemExit(f"--fault expects kind:key=value,..., got {text!r}")
+            if value.startswith("(") and value.endswith(")"):
+                kwargs[key.replace("-", "_")] = tuple(
+                    item.strip().strip("'\"")
+                    for item in value[1:-1].split(",")
+                    if item.strip()
+                )
+            else:
+                kwargs[key.replace("-", "_")] = _parse_value(value)
+    try:
+        return FaultSpec(kind=kind, **kwargs)
+    except (TypeError, ValueError) as error:
+        raise SystemExit(f"bad --fault {text!r}: {error}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        protocol=args.protocol,
+        deployment=args.deployment,
+        workload=args.workload,
+        workload_params=_parse_params(args.param),
+        duration=args.duration,
+        seed=args.seed,
+        delta=args.delta,
+        jitter=args.jitter,
+        client_city=args.client_city,
+        faults=[_parse_fault(fault) for fault in args.fault or []],
+        search_iterations=args.search_iterations,
+        pipeline_depth=args.pipeline_depth,
+    )
+    try:
+        result = run_scenario(scenario)
+    except (ValueError, TypeError) as error:
+        # Bad protocol/workload/deployment names or workload params; the
+        # exception text already names the offender and the known values.
+        raise SystemExit(f"error: {error}")
+    text = result.to_json(indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_fig(args: argparse.Namespace) -> int:
+    if args.figure not in FIGURES:
+        raise SystemExit(f"unknown figure {args.figure!r} (known: {', '.join(FIGURES)})")
+    module = importlib.import_module(f"repro.experiments.{args.figure}")
+    main = module.main
+    accepted = inspect.signature(main).parameters
+    kwargs: Dict[str, Any] = {}
+    for knob in ("duration", "seed", "fast"):
+        value = getattr(args, knob, None)
+        if value is not None and knob in accepted:
+            kwargs[knob] = value
+    print(main(**kwargs))
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("protocols:")
+    for name, (family, variant) in sorted(runner_mod.PROTOCOLS.items()):
+        print(f"  {name:18s} ({family}/{variant})")
+    print("workloads:")
+    for name in sorted(WORKLOADS):
+        print(f"  {name}")
+    print("  saturated          (no clients; engines self-clock full blocks)")
+    print("deployments:")
+    for name in sorted(runner_mod.NAMED_DEPLOYMENTS.values()):
+        print(f"  {name}")
+    print("  wonderproxy-N      (seeded random world placement, N >= 4)")
+    print("figures:")
+    print("  " + " ".join(FIGURES))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OptiLog reproduction: scenario runner and figure drivers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run an ad-hoc scenario, print JSON metrics")
+    run_parser.add_argument("--protocol", default="pbft",
+                            choices=sorted(runner_mod.PROTOCOLS))
+    run_parser.add_argument("--deployment", default="Europe21",
+                            help="Europe21 | NA-EU43 | Global73 | Stellar56 | wonderproxy-N")
+    run_parser.add_argument("--workload", default="closed-loop",
+                            help=f"{' | '.join(sorted(WORKLOADS))} | saturated")
+    run_parser.add_argument("--param", action="append", metavar="KEY=VALUE",
+                            help="workload parameter (repeatable), e.g. --param on_rate=80")
+    run_parser.add_argument("--duration", type=float, default=30.0,
+                            help="simulated seconds (default 30)")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--delta", type=float, default=1.0,
+                            help="suspicion timer multiplier delta")
+    run_parser.add_argument("--jitter", type=float, default=0.02,
+                            help="fractional link jitter (default 0.02)")
+    run_parser.add_argument("--client-city", type=int, default=None,
+                            help="city index the default client is pinned to")
+    run_parser.add_argument("--fault", action="append", metavar="KIND:K=V,...",
+                            help="fault spec (repeatable), e.g. "
+                                 "delay:start=60,attacker=leader,extra_delay=0.8")
+    run_parser.add_argument("--search-iterations", type=int, default=20_000,
+                            help="OptiTree annealing iterations")
+    run_parser.add_argument("--pipeline-depth", type=int, default=None)
+    run_parser.add_argument("--output", metavar="FILE",
+                            help="write JSON here instead of stdout")
+    run_parser.set_defaults(func=cmd_run)
+
+    fig_parser = sub.add_parser("fig", help="run a figure driver, print its table")
+    fig_parser.add_argument("figure", help="fig7 ... fig15")
+    fig_parser.add_argument("--duration", type=float, default=None)
+    fig_parser.add_argument("--seed", type=int, default=None)
+    fig_parser.add_argument("--fast", action="store_true", default=None,
+                            help="compressed timeline where the driver supports it")
+    fig_parser.set_defaults(func=cmd_fig)
+
+    list_parser = sub.add_parser("list", help="list protocols, workloads, deployments")
+    list_parser.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

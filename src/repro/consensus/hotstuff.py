@@ -17,12 +17,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.consensus.base import ReplicaBase, RunMetrics
-from repro.consensus.messages import Block, Proposal, Vote
+from repro.consensus.messages import Block, ClientRequest, Proposal, Reply, Vote
 from repro.crypto.signatures import KeyRegistry
 from repro.crypto.threshold import QuorumCertificate, aggregate
 from repro.net.deployments import Deployment
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
+from repro.workloads.base import ClientSiteRouter, ClusterBinding, Workload
 
 GENESIS_HASH = "genesis"
 
@@ -56,6 +57,15 @@ class HotStuffReplica(ReplicaBase):
         self.last_voted_height = 0
         self.committed_height = 0
         self.running = False
+        #: Request-driven mode (workload attached): blocks batch buffered
+        #: client requests instead of the fixed synthetic payload, and
+        #: every replica replies to clients on commit.
+        self.request_driven = False
+        self.pending_requests: List[ClientRequest] = []
+        #: Requests already claimed by some proposal (every replica sees
+        #: every Proposal, so rotating leaders do not re-batch requests a
+        #: previous leader already put in flight) or already committed.
+        self._claimed_requests: set = set()
 
     # ------------------------------------------------------------------
     # Roles
@@ -83,14 +93,41 @@ class HotStuffReplica(ReplicaBase):
     def propose(self, height: int, parent: str) -> None:
         if not self.running:
             return
-        block = Block(
-            height=height,
-            proposer=self.id,
-            parent=parent,
-            payload_count=self.payload_per_block,
-            timestamp=self.sim.now,
-        )
+        if self.request_driven:
+            # Empty blocks are allowed: the chain must keep extending for
+            # liveness (later requests ride on later heights).
+            batch = self.pending_requests[: self.payload_per_block]
+            self.pending_requests = self.pending_requests[len(batch):]
+            block = Block(
+                height=height,
+                proposer=self.id,
+                parent=parent,
+                payload_count=len(batch),
+                timestamp=self.sim.now,
+                request_ids=tuple(
+                    (r.client_id, r.request_id, r.send_time) for r in batch
+                ),
+            )
+        else:
+            block = Block(
+                height=height,
+                proposer=self.id,
+                parent=parent,
+                payload_count=self.payload_per_block,
+                timestamp=self.sim.now,
+            )
         self.broadcast(Proposal(height=height, block=block, qc=self.high_qc))
+
+    # ------------------------------------------------------------------
+    # Client path (request-driven mode only)
+    # ------------------------------------------------------------------
+    def handle_ClientRequest(self, src: int, request: ClientRequest) -> None:  # noqa: N802
+        if not self.running or not self.request_driven:
+            return
+        key = (request.client_id, request.request_id)
+        if key in self._claimed_requests:
+            return
+        self.pending_requests.append(request)
 
     # ------------------------------------------------------------------
     # Handlers
@@ -101,6 +138,11 @@ class HotStuffReplica(ReplicaBase):
         block = proposal.block
         if src != self.leader_of(block.height) or block.proposer != src:
             return
+        # Claim before the height check: a proposal observed out of order
+        # still proves its requests are in flight, and skipping the claim
+        # would let a later leader re-batch (and re-commit) them.
+        if self.request_driven and block.request_ids:
+            self._claim_requests(block)
         if block.height <= self.last_voted_height:
             return
         if proposal.qc is not None:
@@ -158,7 +200,22 @@ class HotStuffReplica(ReplicaBase):
             self.metrics.record_commit(
                 commit_height, self.sim.now, block.timestamp, block.payload_count
             )
+            if self.request_driven and block.request_ids:
+                self._reply_to_clients(block)
         self.committed_height = max(self.committed_height, target)
+
+    def _claim_requests(self, block: Block) -> None:
+        keys = {(cid, rid) for cid, rid, _send_time in block.request_ids}
+        self._claimed_requests |= keys
+        self.pending_requests = [
+            request
+            for request in self.pending_requests
+            if (request.client_id, request.request_id) not in keys
+        ]
+
+    def _reply_to_clients(self, block: Block) -> None:
+        for client_id, request_id, _send_time in block.request_ids:
+            self.send(client_id, Reply(self.id, request_id, self.sim.now))
 
 
 class HotStuffCluster:
@@ -195,6 +252,32 @@ class HotStuffCluster:
             )
             for replica_id in range(n)
         ]
+        self.workload: Optional[Workload] = None
+
+    def attach_workload(self, workload: Workload, client_city: int = 0) -> None:
+        """Switch the cluster to request-driven mode under ``workload``.
+
+        Blocks then batch real client requests (payload capped at
+        ``payload_per_block``) instead of the fixed synthetic payload,
+        and clients collect ``f + 1`` replies per request.
+        """
+        self.router = ClientSiteRouter(
+            self.deployment.one_way, self.n, default_site=client_city
+        )
+        self.network.one_way_delay = self.router.delay
+        for replica in self.replicas:
+            replica.request_driven = True
+        workload.bind(
+            ClusterBinding(
+                sim=self.sim,
+                network=self.network,
+                n=self.n,
+                f=self.f,
+                replies_needed=self.f + 1,
+                place_client=self.router.place,
+            )
+        )
+        self.workload = workload
 
     def run(self, duration: float) -> RunMetrics:
         """Run for ``duration`` simulated seconds; returns observer metrics.
@@ -204,7 +287,11 @@ class HotStuffCluster:
         """
         for replica in self.replicas:
             replica.start()
+        if self.workload is not None:
+            self.workload.start()
         self.sim.run(until=duration)
+        if self.workload is not None:
+            self.workload.stop()
         for replica in self.replicas:
             replica.stop()
         return self.observer.metrics

@@ -24,13 +24,22 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.consensus.base import ReplicaBase, RunMetrics
-from repro.consensus.messages import AggregateVote, Block, Forward, Proposal, Vote
+from repro.consensus.messages import (
+    AggregateVote,
+    Block,
+    ClientRequest,
+    Forward,
+    Proposal,
+    Reply,
+    Vote,
+)
 from repro.crypto.signatures import KeyRegistry
 from repro.crypto.threshold import QuorumCertificate, aggregate
 from repro.net.deployments import Deployment
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.tree.topology import TreeConfiguration
+from repro.workloads.base import ClientSiteRouter, ClusterBinding, Workload
 
 GENESIS_HASH = "genesis"
 
@@ -85,6 +94,12 @@ class KauriReplica(ReplicaBase):
         #: Suspicions produced by aggregation timeouts, drained by the
         #: OptiTree integration.
         self.aggregation_suspicions: List[Tuple[int, int]] = []
+        #: Request-driven mode (workload attached): the root batches
+        #: buffered client requests into proposals and replies on commit.
+        self.request_driven = False
+        self.pending_requests: List[ClientRequest] = []
+        #: Requests claimed by an observed proposal or already committed.
+        self._claimed_requests: Set = set()
 
     # ------------------------------------------------------------------
     # Role helpers
@@ -138,13 +153,37 @@ class KauriReplica(ReplicaBase):
         self.next_height += 1
         records = tuple(self.pending_records)
         self.pending_records = []
+        if self.request_driven:
+            # Claim while draining: a key already claimed (in flight under
+            # this tree, committed, or duplicated in the buffer after a
+            # recovery) is never proposed twice.
+            batch: List[ClientRequest] = []
+            remaining: List[ClientRequest] = []
+            for request in self.pending_requests:
+                key = (request.client_id, request.request_id)
+                if key in self._claimed_requests:
+                    continue
+                if len(batch) < self.payload_per_block:
+                    batch.append(request)
+                    self._claimed_requests.add(key)
+                else:
+                    remaining.append(request)
+            self.pending_requests = remaining
+            payload_count = len(batch)
+            request_ids = tuple(
+                (r.client_id, r.request_id, r.send_time) for r in batch
+            )
+        else:
+            payload_count = self.payload_per_block
+            request_ids = ()
         block = Block(
             height=height,
             proposer=self.id,
             parent=self.last_parent,
-            payload_count=self.payload_per_block,
+            payload_count=payload_count,
             records=records,
             timestamp=self.sim.now,
+            request_ids=request_ids,
         )
         self.last_parent = block.hash
         self.blocks[block.hash] = block
@@ -177,7 +216,12 @@ class KauriReplica(ReplicaBase):
     # Intermediates: forwarding and aggregation
     # ------------------------------------------------------------------
     def handle_Proposal(self, src: int, proposal: Proposal) -> None:  # noqa: N802
-        if not self.running or src != self.tree.root:
+        if not self.running:
+            return
+        # Claim before the role checks so an in-flight proposal still
+        # prunes our buffer even when we are not this block's forwarder.
+        self._claim_requests(proposal.block)
+        if src != self.tree.root:
             return
         if not self.is_intermediate:
             return
@@ -241,11 +285,53 @@ class KauriReplica(ReplicaBase):
         )
 
     # ------------------------------------------------------------------
+    # Client path (request-driven mode only)
+    # ------------------------------------------------------------------
+    def handle_ClientRequest(self, src: int, request: ClientRequest) -> None:  # noqa: N802
+        """Buffer client traffic; only the root drains the buffer.
+
+        Clients broadcast to every replica, so a future root already
+        holds the backlog after a tree change.
+        """
+        if not self.running or not self.request_driven:
+            return
+        key = (request.client_id, request.request_id)
+        if key in self._claimed_requests:
+            return
+        self.pending_requests.append(request)
+
+    def _claim_requests(self, block: Block) -> None:
+        """Drop requests the current root already put in flight.
+
+        Every non-root replica sees each block (Proposal at
+        intermediates, Forward at leaves), so after a tree change the new
+        root does not re-propose -- and re-commit -- requests the old
+        root already handled.  Blocks from a *previous* root are ignored:
+        their uncommitted requests are recovered explicitly by
+        :meth:`KauriCluster.install_tree`, and claiming them here would
+        drop that recovery on the floor.
+        """
+        if not self.request_driven or not block.request_ids:
+            return
+        if block.proposer != self.tree.root:
+            return
+        keys = {(cid, rid) for cid, rid, _send_time in block.request_ids}
+        self._claimed_requests |= keys
+        self.pending_requests = [
+            request
+            for request in self.pending_requests
+            if (request.client_id, request.request_id) not in keys
+        ]
+
+    # ------------------------------------------------------------------
     # Leaves
     # ------------------------------------------------------------------
     def handle_Forward(self, src: int, message: Forward) -> None:  # noqa: N802
         if not self.running:
             return
+        # Claim before the parent check: a Forward from a stale parent
+        # still proves the current root has these requests in flight.
+        self._claim_requests(message.block)
         if self.tree.parent.get(self.id) != src:
             return
         self.blocks[message.block.hash] = message.block
@@ -274,6 +360,12 @@ class KauriReplica(ReplicaBase):
             self.metrics.record_commit(
                 commit_height, self.sim.now, block.timestamp, block.payload_count
             )
+            if self.request_driven and block.request_ids:
+                # Only the root observes commits, so it alone replies and
+                # clients accept a single reply (replies_needed = 1).
+                self._claim_requests(block)
+                for client_id, request_id, _send_time in block.request_ids:
+                    self.send(client_id, Reply(self.id, request_id, self.sim.now))
         self.committed_height = max(self.committed_height, target)
 
     def submit_record(self, record) -> None:
@@ -320,20 +412,80 @@ class KauriCluster:
             )
             for replica_id in range(n)
         ]
+        self.workload: Optional[Workload] = None
 
     @property
     def root_replica(self) -> KauriReplica:
         return self.replicas[self.tree.root]
 
+    def attach_workload(self, workload: Workload, client_city: int = 0) -> None:
+        """Switch the cluster to request-driven mode under ``workload``.
+
+        Clients accept a single reply (``replies_needed=1``) because only
+        the tree root tracks commits in Kauri.
+        """
+        self.router = ClientSiteRouter(
+            self.deployment.one_way, self.n, default_site=client_city
+        )
+        self.network.one_way_delay = self.router.delay
+        for replica in self.replicas:
+            replica.request_driven = True
+        workload.bind(
+            ClusterBinding(
+                sim=self.sim,
+                network=self.network,
+                n=self.n,
+                f=self.f,
+                replies_needed=1,
+                place_client=self.router.place,
+            )
+        )
+        self.workload = workload
+
     def install_tree(self, tree: TreeConfiguration) -> None:
+        old_root = self.replicas[self.tree.root]
+        new_root = self.replicas[tree.root]
+        recovered = self._uncommitted_requests(old_root) if old_root is not new_root else []
         self.tree = tree
         for replica in self.replicas:
             replica.install_tree(tree)
+        if recovered:
+            # Blocks the old root had in flight die with the old tree
+            # (aggregation state is reset and stale AggregateVotes are
+            # rejected), so their requests move to the new root; un-claim
+            # them there or the recovery would be dropped on the floor.
+            for request in recovered:
+                new_root._claimed_requests.discard(
+                    (request.client_id, request.request_id)
+                )
+            new_root.pending_requests.extend(recovered)
+
+    def _uncommitted_requests(self, root: KauriReplica) -> List[ClientRequest]:
+        """Requests the given root proposed but never committed, plus its
+        undrained backlog -- the traffic a tree change must not lose."""
+        if not root.request_driven:
+            return []
+        recovered: List[ClientRequest] = []
+        for height in range(root.committed_height + 1, root.next_height):
+            block = root.block_at_height.get(height)
+            if block is None or block.proposer != root.id:
+                continue
+            recovered.extend(
+                ClientRequest(client_id=cid, request_id=rid, send_time=st)
+                for cid, rid, st in block.request_ids
+            )
+        recovered.extend(root.pending_requests)
+        root.pending_requests = []
+        return recovered
 
     def run(self, duration: float) -> RunMetrics:
         for replica in self.replicas:
             replica.start()
+        if self.workload is not None:
+            self.workload.start()
         self.sim.run(until=duration)
+        if self.workload is not None:
+            self.workload.stop()
         for replica in self.replicas:
             replica.stop()
         return self.root_replica.metrics

@@ -50,6 +50,9 @@ from repro.crypto.signatures import KeyRegistry
 from repro.net.deployments import Deployment
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
+from repro.workloads.base import ClientSiteRouter, ClusterBinding, Workload
+from repro.workloads.closed_loop import ClosedLoopClient  # noqa: F401  (back-compat re-export)
+from repro.workloads.closed_loop import ClosedLoopWorkload
 
 
 class PbftReplica(ReplicaBase):
@@ -418,88 +421,9 @@ class PbftReplica(ReplicaBase):
         self._maybe_propose()
 
 
-class ClosedLoopClient:
-    """One closed-loop client (the paper's per-city clients; Fig. 7
-    measures a representative one)."""
-
-    def __init__(
-        self,
-        client_id: int,
-        n: int,
-        f: int,
-        sim: Simulator,
-        network: Network,
-        think_time: float = 0.0,
-    ):
-        self.id = client_id
-        self.n = n
-        self.f = f
-        self.sim = sim
-        self.network = network
-        self.think_time = think_time
-        self.next_request = 0
-        self.replies: Dict[int, Set[int]] = {}
-        self.latencies: List = []  # (complete_time, latency)
-        self.outstanding: Optional[int] = None
-        self.running = False
-        self._last_send_time = 0.0
-        network.register(client_id, self.on_message)
-
-    def start(self) -> None:
-        self.running = True
-        self._send_next()
-
-    def stop(self) -> None:
-        self.running = False
-
-    def _send_next(self) -> None:
-        if not self.running:
-            return
-        self.next_request += 1
-        request = ClientRequest(
-            client_id=self.id,
-            request_id=self.next_request,
-            send_time=self.sim.now,
-        )
-        self.outstanding = self.next_request
-        self._last_send_time = self.sim.now
-        self.replies[self.next_request] = set()
-        for replica in range(self.n):
-            self.network.send(self.id, replica, request, request.wire_size)
-
-    def on_message(self, src: int, message) -> None:
-        if not isinstance(message, Reply) or not self.running:
-            return
-        if message.request_id != self.outstanding:
-            return
-        voters = self.replies.setdefault(message.request_id, set())
-        voters.add(src)
-        if len(voters) == self.f + 1:
-            # Latency from request send to the f+1-th matching reply.
-            self.latencies.append(
-                (self.sim.now, self.sim.now - self._last_send_time)
-            )
-            self.outstanding = None
-            if self.think_time > 0:
-                self.sim.schedule(self.think_time, self._send_next)
-            else:
-                self._send_next()
-
-    def latency_series(self, duration: float, bucket: float = 1.0):
-        """Mean end-to-end latency per time bucket, Fig. 7's series."""
-        sums: Dict[int, float] = {}
-        counts: Dict[int, int] = {}
-        for time, latency in self.latencies:
-            index = int(time / bucket)
-            sums[index] = sums.get(index, 0.0) + latency
-            counts[index] = counts.get(index, 0) + 1
-        return [
-            (index * bucket, sums[index] / counts[index]) for index in sorted(sums)
-        ]
-
-
 class PbftCluster:
-    """A PBFT deployment with one observer client (Fig. 7 setup)."""
+    """A PBFT deployment driven by a workload (Fig. 7: one closed-loop
+    observer client; any :class:`repro.workloads.Workload` attaches)."""
 
     def __init__(
         self,
@@ -510,14 +434,25 @@ class PbftCluster:
         seed: int = 0,
         jitter: float = 0.02,
         client_city_index: Optional[int] = None,
+        workload: Optional[Workload] = None,
     ):
         self.deployment = deployment
         n = deployment.n
         self.n = n
         self.f = f if f is not None else (n - 1) // 3
         self.mode = mode
+        # The default client lives in one of the cities (Fig. 7:
+        # Nuremberg), co-located with that city's replica (sub-ms RTT);
+        # multi-client workloads pin their clients to other cities via
+        # ``place_client``.
+        self.client_city = (
+            client_city_index if client_city_index is not None else 0
+        )
+        self.router = ClientSiteRouter(
+            deployment.one_way, n, default_site=self.client_city
+        )
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim, self._link_delay, jitter=jitter)
+        self.network = Network(self.sim, self.router.delay, jitter=jitter)
         self.registry = KeyRegistry(n, seed=seed)
         self.replicas: List[PbftReplica] = [
             PbftReplica(
@@ -526,20 +461,20 @@ class PbftCluster:
             )
             for replica_id in range(n)
         ]
-        # The client lives in one of the cities (Fig. 7: Nuremberg) and is
-        # co-located with that city's replica (1 ms local RTT).
-        self.client_city = (
-            client_city_index if client_city_index is not None else 0
+        self.workload = workload if workload is not None else ClosedLoopWorkload()
+        self.workload.bind(
+            ClusterBinding(
+                sim=self.sim,
+                network=self.network,
+                n=n,
+                f=self.f,
+                replies_needed=self.f + 1,
+                place_client=self.router.place,
+            )
         )
-        self.client = ClosedLoopClient(
-            client_id=1000, n=n, f=self.f, sim=self.sim, network=self.network
-        )
-
-    def _link_delay(self, a: int, b: int) -> float:
-        def site(node: int) -> int:
-            return self.client_city if node >= 1000 else node
-
-        return self.deployment.latency.one_way(site(a), site(b)) or 0.0005
+        #: The observer endpoint (first client), kept for Fig. 7-style
+        #: ``cluster.client.latency_series(...)`` access.
+        self.client = self.workload.clients[0] if self.workload.clients else None
 
     # ------------------------------------------------------------------
     # Measurement cadence (probes, vectors, searches)
@@ -568,9 +503,9 @@ class PbftCluster:
     def run(self, duration: float) -> RunMetrics:
         for replica in self.replicas:
             replica.start()
-        self.client.start()
+        self.workload.start()
         self.sim.run(until=duration)
-        self.client.stop()
+        self.workload.stop()
         for replica in self.replicas:
             replica.stop()
         return self.replicas[0].metrics

@@ -12,16 +12,27 @@ remain degraded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.consensus.pbft import PbftCluster
+from repro.experiments.runner import (
+    FaultSpec,
+    MeasurementPolicy,
+    Scenario,
+    run_scenario,
+)
 from repro.experiments.tables import format_table
-from repro.faults.delay import DelayAttack
-from repro.net.deployments import EUROPE21, deployment_for
+from repro.net.deployments import EUROPE21
 
 ATTACK_START = 82.0
 ATTACK_DELAY = 0.8  # seconds added to every delayed proposal
 DURATION = 180.0
+
+#: Fig. 7 timeline modes -> runner protocol names.
+PROTOCOL_OF_MODE = {
+    "static": "pbft",
+    "aware": "pbft-aware",
+    "optiaware": "pbft-optiaware",
+}
 
 
 @dataclass
@@ -46,45 +57,46 @@ def run_mode(
 ) -> Fig7Result:
     """Run one protocol mode through the Fig. 7 timeline.
 
-    ``fast`` compresses the measurement cadence and timeline three-fold
-    for CI-speed benchmarks; the phase structure is unchanged.
+    Expressed as a :class:`~repro.experiments.runner.Scenario`: PBFT in
+    the given mode, Europe21, one closed-loop client in Nuremberg, and a
+    delay fault against whoever leads when the attack starts.  ``fast``
+    compresses the measurement cadence and timeline three-fold for
+    CI-speed benchmarks; the phase structure is unchanged.
     """
-    deployment = deployment_for("Europe21")
-    client_city = EUROPE21.index("Nuremberg")
+    if fast:
+        duration = duration / 3.0
+        attack_start = attack_start / 3.0
+        measurements = MeasurementPolicy(
+            probe_at=2.0, publish_at=5.0, first_search_at=13.0, search_period=9.0
+        )
+    else:
+        measurements = MeasurementPolicy()
     # δ=1.25 absorbs the network's delivery jitter (compounded over the
     # three protocol phases) so correct replicas are never suspected,
     # while the 0.8 s attack delay exceeds every δ·d_m by far (§7.6
     # discusses exactly this trade-off).
-    cluster = PbftCluster(
-        deployment,
-        mode=mode,
+    scenario = Scenario(
+        name=f"fig7/{mode}",
+        protocol=PROTOCOL_OF_MODE[mode],
+        deployment="Europe21",
+        workload="closed-loop",
+        duration=duration,
         seed=seed,
         delta=1.25,
-        client_city_index=client_city,
+        client_city=EUROPE21.index("Nuremberg"),
+        measurements=measurements,
+        faults=[
+            # The Byzantine leader is whoever leads when the attack starts.
+            FaultSpec(
+                kind="delay",
+                start=attack_start,
+                attacker="leader",
+                extra_delay=attack_delay,
+                message_types=("PrePrepare",),
+            )
+        ],
     )
-    if fast:
-        duration = duration / 3.0
-        attack_start = attack_start / 3.0
-        cluster.schedule_measurements(
-            probe_at=2.0, publish_at=5.0, first_search_at=13.0,
-            search_period=9.0, horizon=duration,
-        )
-    else:
-        cluster.schedule_measurements(horizon=duration)
-
-    # The Byzantine leader is whoever leads when the attack starts.
-    def launch_attack() -> None:
-        attack = DelayAttack(
-            attacker=cluster.current_leader,
-            message_types=("PrePrepare",),
-            extra_delay=attack_delay,
-            start=attack_start,
-            now_fn=lambda: cluster.sim.now,
-        )
-        cluster.network.add_interceptor(attack)
-
-    cluster.sim.schedule_at(attack_start, launch_attack)
-    cluster.run(duration)
+    cluster = run_scenario(scenario).cluster
 
     result = Fig7Result(
         mode=mode,

@@ -8,18 +8,11 @@ annealing, ranked with k = 2f+1 as §7.3 specifies).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.consensus.hotstuff import HotStuffCluster
-from repro.consensus.kauri import KauriCluster
+from repro.experiments.runner import Scenario, run_scenario
 from repro.experiments.tables import format_table
-from repro.net.deployments import Deployment, deployment_for
-from repro.optimize.annealing import AnnealingSchedule
-from repro.tree.kauri_reconfig import KauriReconfigurer
-from repro.tree.optitree import optitree_search
-from repro.workloads import PIPELINE_DEPTH
 
 DEPLOYMENTS = ("Europe21", "NA-EU43", "Stellar56", "Global73")
 PROTOCOLS = (
@@ -30,6 +23,15 @@ PROTOCOLS = (
     "HotStuff-fixed",
 )
 
+#: Fig. 9 labels -> runner protocol names.
+RUNNER_PROTOCOL = {
+    "HotStuff-fixed": "hotstuff-fixed",
+    "HotStuff-rr": "hotstuff-rr",
+    "Kauri (pipeline)": "kauri",
+    "OptiTree": "optitree",
+    "OptiTree (no pipeline)": "optitree-nopipe",
+}
+
 
 @dataclass
 class Fig9Cell:
@@ -39,24 +41,6 @@ class Fig9Cell:
     latency: float
 
 
-def _optitree_tree(deployment: Deployment, f: int, seed: int, search_iterations: int):
-    latency = deployment.latency.matrix_seconds() / 2.0
-    n = deployment.n
-    result = optitree_search(
-        latency,
-        n,
-        f,
-        candidates=frozenset(range(n)),
-        u=0,
-        rng=random.Random(seed),
-        schedule=AnnealingSchedule(
-            iterations=search_iterations, initial_temperature=0.05, cooling=0.9995
-        ),
-        k=2 * f + 1,  # §7.3 default ranking
-    )
-    return result.best_state
-
-
 def run_cell(
     deployment_name: str,
     protocol: str,
@@ -64,32 +48,18 @@ def run_cell(
     seed: int = 0,
     search_iterations: int = 20_000,
 ) -> Fig9Cell:
-    deployment = deployment_for(deployment_name)
-    n = deployment.n
-    f = (n - 1) // 3
-    if protocol == "HotStuff-fixed":
-        # Random fixed leader, per §7.4.
-        leader = random.Random(seed).randrange(n)
-        cluster = HotStuffCluster(
-            deployment, leader_mode="fixed", fixed_leader=leader, seed=seed
-        )
-        metrics = cluster.run(duration)
-    elif protocol == "HotStuff-rr":
-        cluster = HotStuffCluster(deployment, leader_mode="rr", seed=seed)
-        metrics = cluster.run(duration)
-    elif protocol == "Kauri (pipeline)":
-        tree = KauriReconfigurer(n, rng=random.Random(seed)).tree_for_bin(0)
-        cluster = KauriCluster(
-            deployment, tree, pipeline_depth=PIPELINE_DEPTH, seed=seed
-        )
-        metrics = cluster.run(duration)
-    elif protocol in ("OptiTree", "OptiTree (no pipeline)"):
-        tree = _optitree_tree(deployment, f, seed, search_iterations)
-        depth = PIPELINE_DEPTH if protocol == "OptiTree" else 1
-        cluster = KauriCluster(deployment, tree, pipeline_depth=depth, seed=seed)
-        metrics = cluster.run(duration)
-    else:
+    if protocol not in RUNNER_PROTOCOL:
         raise ValueError(f"unknown protocol {protocol!r}")
+    scenario = Scenario(
+        name=f"fig9/{deployment_name}/{protocol}",
+        protocol=RUNNER_PROTOCOL[protocol],
+        deployment=deployment_name,
+        workload="saturated",  # §7.3: self-clocked blocks of 1000 proposals
+        duration=duration,
+        seed=seed,
+        search_iterations=search_iterations,
+    )
+    metrics = run_scenario(scenario).run_metrics
     return Fig9Cell(
         deployment=deployment_name,
         protocol=protocol,

@@ -1,0 +1,404 @@
+"""Unified scenario runner: protocol x deployment x workload x faults.
+
+A :class:`Scenario` declaratively combines
+
+* a **protocol** -- ``pbft`` / ``pbft-aware`` / ``pbft-optiaware``
+  (three-phase engine hosting Aware/OptiAware), ``hotstuff-fixed`` /
+  ``hotstuff-rr``, ``kauri`` (pipelined, random tree), ``optitree`` /
+  ``optitree-nopipe`` (tree from simulated annealing);
+* a **deployment** -- one of the paper's named city sets (``Europe21``,
+  ``NA-EU43``, ``Global73``, ``Stellar56``) or ``wonderproxy-N`` for a
+  seeded random world placement of ``N`` replicas drawn from the
+  WonderProxy-derived city table;
+* a **workload** -- any name registered in :data:`repro.workloads.WORKLOADS`
+  plus ``saturated`` (no clients; HotStuff/Kauri self-clock full blocks,
+  the paper's §7.3 regime);
+* a **fault schedule** -- :class:`FaultSpec` entries (delay attacks,
+  crashes) resolved against the live cluster at their start times;
+* a **reconfiguration policy** -- :class:`MeasurementPolicy`, the
+  probe/publish/search cadence driving Aware/OptiAware reconfiguration.
+
+:func:`run_scenario` builds the cluster, attaches everything, runs the
+simulation and returns a :class:`ScenarioResult` whose
+:meth:`ScenarioResult.metrics` dict (throughput, commit-latency
+percentiles, reconfiguration count, message totals) serialises to
+bit-identical JSON for identical scenarios.  The figure drivers (fig7,
+fig9) and the ``python -m repro`` CLI are thin layers over this module.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.consensus.base import RunMetrics
+from repro.consensus.hotstuff import HotStuffCluster
+from repro.consensus.kauri import KauriCluster
+from repro.consensus.pbft import PbftCluster
+from repro.faults.delay import DelayAttack
+from repro.net.deployments import Deployment, deployment_for, random_world_deployment
+from repro.optimize.annealing import AnnealingSchedule
+from repro.tree.kauri_reconfig import KauriReconfigurer
+from repro.tree.optitree import optitree_search
+from repro.workloads import PIPELINE_DEPTH, Workload, make_workload, percentile
+
+#: Protocols the runner can build, mapped to (family, variant).
+PROTOCOLS: Dict[str, Tuple[str, str]] = {
+    "pbft": ("pbft", "static"),
+    "pbft-aware": ("pbft", "aware"),
+    "pbft-optiaware": ("pbft", "optiaware"),
+    "hotstuff-fixed": ("hotstuff", "fixed"),
+    "hotstuff-rr": ("hotstuff", "rr"),
+    "kauri": ("kauri", "random-tree"),
+    "optitree": ("kauri", "optitree"),
+    "optitree-nopipe": ("kauri", "optitree-nopipe"),
+}
+
+#: Named deployments, keyed by lowercase alias.
+NAMED_DEPLOYMENTS = {
+    "europe21": "Europe21",
+    "na-eu43": "NA-EU43",
+    "global73": "Global73",
+    "stellar56": "Stellar56",
+}
+
+_WONDERPROXY = re.compile(r"^wonderproxy-(\d+)$")
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled Byzantine/crash behaviour.
+
+    ``attacker`` is a replica id, or a role name resolved when the fault
+    fires: ``"leader"`` (PBFT's current leader) / ``"root"`` (Kauri's
+    tree root).
+    """
+
+    kind: str = "delay"  # "delay" | "crash"
+    start: float = 0.0
+    attacker: Union[int, str] = "leader"
+    extra_delay: float = 0.5
+    message_types: Tuple[str, ...] = ("PrePrepare",)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("delay", "crash"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if isinstance(self.message_types, str):
+            # A bare string would iterate as characters inside DelayAttack
+            # and silently never match any message type.
+            self.message_types = (self.message_types,)
+        elif isinstance(self.message_types, list):
+            self.message_types = tuple(self.message_types)
+        if self.kind == "delay":
+            from repro.consensus import messages as protocol_messages
+
+            for name in self.message_types:
+                # A typo'd type would make the attack match nothing and
+                # the experiment silently report healthy numbers.
+                if not isinstance(getattr(protocol_messages, name, None), type):
+                    raise ValueError(
+                        f"unknown message type {name!r} in fault spec"
+                    )
+
+
+@dataclass
+class MeasurementPolicy:
+    """Aware/OptiAware reconfiguration cadence (the Fig. 7 schedule):
+    probe peers, publish latency vectors, then search periodically."""
+
+    probe_at: float = 5.0
+    publish_at: float = 15.0
+    first_search_at: float = 40.0
+    search_period: float = 25.0
+    horizon: Optional[float] = None  # defaults to the scenario duration
+
+
+@dataclass
+class Scenario:
+    """A declarative experiment: everything needed to reproduce one run."""
+
+    protocol: str = "pbft"
+    deployment: str = "Europe21"
+    workload: Union[str, Workload] = "closed-loop"
+    workload_params: Dict[str, Any] = field(default_factory=dict)
+    duration: float = 30.0
+    seed: int = 0
+    delta: float = 1.0
+    jitter: float = 0.02
+    client_city: Optional[int] = None
+    faults: List[FaultSpec] = field(default_factory=list)
+    measurements: Optional[MeasurementPolicy] = None
+    search_iterations: int = 20_000  # OptiTree's annealing budget
+    pipeline_depth: Optional[int] = None
+    name: str = ""
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able identity of the scenario (what was run)."""
+        workload = (
+            self.workload if isinstance(self.workload, str) else self.workload.name
+        )
+        return {
+            "name": self.name or f"{self.protocol}/{self.deployment}/{workload}",
+            "protocol": self.protocol,
+            "deployment": self.deployment,
+            "workload": workload,
+            "workload_params": dict(sorted(self.workload_params.items())),
+            "duration": self.duration,
+            "seed": self.seed,
+            "delta": self.delta,
+            "jitter": self.jitter,
+            "client_city": self.client_city,
+            "search_iterations": self.search_iterations,
+            "pipeline_depth": self.pipeline_depth,
+            "measurements": (
+                asdict(self.measurements) if self.measurements is not None else None
+            ),
+            "faults": [asdict(fault) for fault in self.faults],
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario: live objects plus JSON-able metrics."""
+
+    scenario: Scenario
+    cluster: Any
+    run_metrics: RunMetrics
+    workload: Optional[Workload]
+
+    def metrics(self) -> Dict[str, Any]:
+        duration = self.scenario.duration
+        commit_latencies = sorted(
+            event.latency for event in self.run_metrics.commits
+        )
+        out: Dict[str, Any] = {
+            "scenario": self.scenario.describe(),
+            "throughput_rps": self.run_metrics.throughput(duration),
+            "committed_requests": self.run_metrics.total_requests(),
+            "committed_blocks": len(self.run_metrics.commits),
+            "reconfigurations": self.reconfiguration_count(),
+            "messages_sent": self.cluster.network.stats.messages_sent,
+            "messages_delivered": self.cluster.network.stats.messages_delivered,
+            "bytes_sent": self.cluster.network.stats.bytes_sent,
+        }
+        if commit_latencies:
+            out["commit_latency"] = {
+                "mean": sum(commit_latencies) / len(commit_latencies),
+                "p50": percentile(commit_latencies, 0.50),
+                "p90": percentile(commit_latencies, 0.90),
+                "p99": percentile(commit_latencies, 0.99),
+            }
+        if self.workload is not None:
+            out["client"] = self.workload.summary()
+        return out
+
+    def reconfiguration_count(self) -> int:
+        replicas = getattr(self.cluster, "replicas", None)
+        if replicas and hasattr(replicas[0], "reconfigure_times"):
+            return len(replicas[0].reconfigure_times)
+        return 0
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.metrics(), sort_keys=True, indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Resolution helpers
+# ----------------------------------------------------------------------
+def resolve_deployment(name: str, seed: int = 0) -> Deployment:
+    """Named city set, or ``wonderproxy-N`` for a seeded random one."""
+    match = _WONDERPROXY.match(name.lower())
+    if match:
+        n = int(match.group(1))
+        if n < 4:
+            raise ValueError("wonderproxy deployments need >= 4 replicas")
+        return random_world_deployment(
+            n, random.Random(seed), name=f"wonderproxy-{n}"
+        )
+    canonical = NAMED_DEPLOYMENTS.get(name.lower())
+    if canonical is None:
+        known = ", ".join(sorted(NAMED_DEPLOYMENTS.values()))
+        raise ValueError(
+            f"unknown deployment {name!r} (known: {known}, wonderproxy-N)"
+        )
+    return deployment_for(canonical)
+
+
+def optitree_tree(
+    deployment: Deployment, f: int, seed: int, search_iterations: int
+):
+    """The Fig. 9 OptiTree construction: one annealing search over the
+    link-latency matrix, ranked with k = 2f+1 (§7.3)."""
+    latency = deployment.latency.matrix_seconds() / 2.0
+    n = deployment.n
+    result = optitree_search(
+        latency,
+        n,
+        f,
+        candidates=frozenset(range(n)),
+        u=0,
+        rng=random.Random(seed),
+        schedule=AnnealingSchedule(
+            iterations=search_iterations, initial_temperature=0.05, cooling=0.9995
+        ),
+        k=2 * f + 1,
+    )
+    return result.best_state
+
+
+def _resolve_workload(scenario: Scenario) -> Optional[Workload]:
+    if isinstance(scenario.workload, Workload):
+        if scenario.workload_params:
+            raise ValueError(
+                "workload_params only apply to named workloads; configure "
+                "the Workload instance directly instead"
+            )
+        return scenario.workload
+    if scenario.workload == "saturated":
+        if scenario.workload_params:
+            raise ValueError("'saturated' takes no workload params")
+        return None
+    return make_workload(scenario.workload, **scenario.workload_params)
+
+
+# ----------------------------------------------------------------------
+# Cluster construction
+# ----------------------------------------------------------------------
+def _build_cluster(
+    scenario: Scenario, deployment: Deployment, workload: Optional[Workload]
+):
+    family, variant = PROTOCOLS[scenario.protocol]
+    n = deployment.n
+    f = (n - 1) // 3
+    if family == "pbft":
+        if workload is None:
+            raise ValueError(
+                "PBFT is client-driven; pick a client workload, not 'saturated'"
+            )
+        cluster = PbftCluster(
+            deployment,
+            mode=variant,
+            seed=scenario.seed,
+            delta=scenario.delta,
+            jitter=scenario.jitter,
+            client_city_index=scenario.client_city,
+            workload=workload,
+        )
+        policy = scenario.measurements or MeasurementPolicy()
+        if variant != "static":
+            cluster.schedule_measurements(
+                probe_at=policy.probe_at,
+                publish_at=policy.publish_at,
+                first_search_at=policy.first_search_at,
+                search_period=policy.search_period,
+                horizon=policy.horizon
+                if policy.horizon is not None
+                else scenario.duration,
+            )
+        return cluster
+    if family == "hotstuff":
+        if variant == "fixed":
+            # Random fixed leader, per §7.4.
+            leader = random.Random(scenario.seed).randrange(n)
+            cluster = HotStuffCluster(
+                deployment,
+                leader_mode="fixed",
+                fixed_leader=leader,
+                seed=scenario.seed,
+                jitter=scenario.jitter,
+            )
+        else:
+            cluster = HotStuffCluster(
+                deployment, leader_mode="rr", seed=scenario.seed,
+                jitter=scenario.jitter,
+            )
+        if workload is not None:
+            cluster.attach_workload(workload, client_city=scenario.client_city or 0)
+        return cluster
+    # family == "kauri"
+    if variant == "random-tree":
+        tree = KauriReconfigurer(n, rng=random.Random(scenario.seed)).tree_for_bin(0)
+        depth = (
+            scenario.pipeline_depth
+            if scenario.pipeline_depth is not None
+            else PIPELINE_DEPTH
+        )
+    else:
+        tree = optitree_tree(deployment, f, scenario.seed, scenario.search_iterations)
+        if scenario.pipeline_depth is not None:
+            depth = scenario.pipeline_depth
+        else:
+            depth = 1 if variant == "optitree-nopipe" else PIPELINE_DEPTH
+    cluster = KauriCluster(
+        deployment,
+        tree,
+        pipeline_depth=depth,
+        seed=scenario.seed,
+        jitter=scenario.jitter,
+        delta=scenario.delta,
+    )
+    if workload is not None:
+        cluster.attach_workload(workload, client_city=scenario.client_city or 0)
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# Fault scheduling
+# ----------------------------------------------------------------------
+def _resolve_attacker(spec: FaultSpec, cluster) -> int:
+    if isinstance(spec.attacker, int):
+        return spec.attacker
+    if spec.attacker == "leader":
+        if hasattr(cluster, "current_leader"):
+            return cluster.current_leader
+        raise ValueError("'leader' fault target needs a PBFT cluster")
+    if spec.attacker == "root":
+        if hasattr(cluster, "tree"):
+            return cluster.tree.root
+        raise ValueError("'root' fault target needs a Kauri cluster")
+    raise ValueError(f"unknown fault target {spec.attacker!r}")
+
+
+def _schedule_fault(spec: FaultSpec, cluster) -> None:
+    def launch() -> None:
+        victim = _resolve_attacker(spec, cluster)
+        if spec.kind == "crash":
+            cluster.network.set_down(victim)
+            return
+        attack = DelayAttack(
+            attacker=victim,
+            message_types=spec.message_types,
+            extra_delay=spec.extra_delay,
+            start=spec.start,
+            now_fn=lambda: cluster.sim.now,
+        )
+        cluster.network.add_interceptor(attack)
+
+    cluster.sim.schedule_at(spec.start, launch)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute one scenario end-to-end, deterministically under its seed."""
+    if scenario.protocol not in PROTOCOLS:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ValueError(
+            f"unknown protocol {scenario.protocol!r} (known: {known})"
+        )
+    deployment = resolve_deployment(scenario.deployment, seed=scenario.seed)
+    workload = _resolve_workload(scenario)
+    cluster = _build_cluster(scenario, deployment, workload)
+    for fault in scenario.faults:
+        _schedule_fault(fault, cluster)
+    run_metrics = cluster.run(scenario.duration)
+    return ScenarioResult(
+        scenario=scenario,
+        cluster=cluster,
+        run_metrics=run_metrics,
+        workload=workload,
+    )

@@ -92,17 +92,22 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _next_pending(self) -> Optional[EventHandle]:
+        """Drop cancelled heads and return the next live event (unpopped)."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self.now = handle.time
-            self.events_processed += 1
-            handle.callback(*handle.args)
-            return True
-        return False
+        handle = self._next_pending()
+        if handle is None:
+            return False
+        heapq.heappop(self._queue)
+        self.now = handle.time
+        self.events_processed += 1
+        handle.callback(*handle.args)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` passes, or the budget ends.
@@ -110,26 +115,29 @@ class Simulator:
         ``until`` is an absolute virtual time; events scheduled exactly at
         ``until`` are executed.  When the run stops because of ``until``,
         the clock is advanced to ``until`` so subsequent ``schedule`` calls
-        are relative to the horizon.
+        are relative to the horizon.  ``max_events`` counts events actually
+        executed (cancelled entries never count), so the budget matches the
+        growth of :attr:`events_processed` exactly.
         """
         self._running = True
-        processed = 0
+        budget = self.events_processed + max_events if max_events is not None else None
+        stopped_by_budget = False
         try:
-            while self._queue:
-                nxt = self._queue[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
+            while True:
+                nxt = self._next_pending()
+                if nxt is None:
+                    break
                 if until is not None and nxt.time > until:
                     break
-                if max_events is not None and processed >= max_events:
+                if budget is not None and self.events_processed >= budget:
+                    stopped_by_budget = True
                     break
-                if not self.step():
-                    break
-                processed += 1
+                self.step()
         finally:
             self._running = False
-        if until is not None and self.now < until:
+        # A budget stop may leave live events before the horizon; jumping
+        # the clock over them would let later runs move time backwards.
+        if until is not None and not stopped_by_budget and self.now < until:
             self.now = until
 
     @property

@@ -1,13 +1,41 @@
 """Workload generation.
 
-The paper's workloads are simple by design (§7.3): replicas batch client
-requests into blocks of 1000 proposals without transaction payload, and
-clients are closed-loop issuers.  The closed-loop client lives with the
-PBFT engine; this package re-exports it and provides the block-payload
-constants used across experiments.
+The paper evaluates under a single closed-loop, fixed-batch workload
+(§7.3); this package generalises that into pluggable traffic shapes so
+the role-assignment machinery can be stressed under bursts, skew and
+open-loop saturation:
+
+* :class:`ClosedLoopWorkload` -- the paper's client: one outstanding
+  request per client, next issued on completion;
+* :class:`OpenLoopWorkload` -- Poisson arrivals at a constant rate,
+  independent of service progress;
+* :class:`BurstyWorkload` -- on/off phases with sharp transitions;
+* :class:`SkewedWorkload` -- Zipf-weighted clients pinned to the
+  deployment's cities (multi-region skew);
+* :class:`RampWorkload` -- rate ramping up to find the saturation knee.
+
+All workloads draw randomness from
+:meth:`repro.sim.engine.Simulator.derive_rng`, so runs are bit-identical
+under a fixed seed.  Engines attach workloads through
+``attach_workload`` / the ``workload=`` constructor argument on their
+cluster classes, or declaratively through
+:mod:`repro.experiments.runner`.
 """
 
-from repro.consensus.pbft import ClosedLoopClient
+from typing import Any, Dict, Type
+
+from repro.workloads.base import (
+    CLIENT_ID_BASE,
+    ClusterBinding,
+    Workload,
+    WorkloadClient,
+    percentile,
+)
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.closed_loop import ClosedLoopClient, ClosedLoopWorkload
+from repro.workloads.open_loop import OpenLoopWorkload
+from repro.workloads.ramp import RampWorkload
+from repro.workloads.skewed import SkewedWorkload, zipf_weights
 
 #: Requests per block proposal (§7.3: "blocks of 1000 proposals").
 REQUESTS_PER_BLOCK = 1000
@@ -15,4 +43,43 @@ REQUESTS_PER_BLOCK = 1000
 #: Pipeline depth used for all pipelined runs (§7.3: "3 instances").
 PIPELINE_DEPTH = 3
 
-__all__ = ["ClosedLoopClient", "PIPELINE_DEPTH", "REQUESTS_PER_BLOCK"]
+#: Registry used by the scenario runner and the ``python -m repro`` CLI.
+#: ``"saturated"`` (no client traffic, engines self-clocked at
+#: REQUESTS_PER_BLOCK per block) is handled by the runner, not here.
+WORKLOADS: Dict[str, Type[Workload]] = {
+    ClosedLoopWorkload.name: ClosedLoopWorkload,
+    OpenLoopWorkload.name: OpenLoopWorkload,
+    BurstyWorkload.name: BurstyWorkload,
+    SkewedWorkload.name: SkewedWorkload,
+    RampWorkload.name: RampWorkload,
+}
+
+
+def make_workload(name: str, **params: Any) -> Workload:
+    """Instantiate a registered workload by name with keyword params."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise ValueError(f"unknown workload {name!r} (known: {known})") from None
+    return factory(**params)
+
+
+__all__ = [
+    "CLIENT_ID_BASE",
+    "BurstyWorkload",
+    "ClosedLoopClient",
+    "ClosedLoopWorkload",
+    "ClusterBinding",
+    "OpenLoopWorkload",
+    "PIPELINE_DEPTH",
+    "RampWorkload",
+    "REQUESTS_PER_BLOCK",
+    "SkewedWorkload",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadClient",
+    "make_workload",
+    "percentile",
+    "zipf_weights",
+]

@@ -1,0 +1,262 @@
+"""Workload abstraction: pluggable traffic generators for the engines.
+
+A :class:`Workload` is a traffic source that can be attached to any
+cluster (PBFT, HotStuff, Kauri).  The cluster hands the workload a
+:class:`ClusterBinding` -- simulator, network, replica count and reply
+quorum -- and the workload creates one or more :class:`WorkloadClient`
+endpoints that issue :class:`~repro.consensus.messages.ClientRequest`
+messages and collect :class:`~repro.consensus.messages.Reply` messages.
+
+All randomness comes from generators derived via
+:meth:`repro.sim.engine.Simulator.derive_rng`, so a scenario replays
+bit-identically under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+#: Client node ids start here; ids below are replica ids.
+CLIENT_ID_BASE = 1000
+
+# The message classes live in repro.consensus, whose engine modules import
+# this module at class-definition time -- so they resolve lazily (on first
+# client construction) to break the import cycle, then stay cached in the
+# module globals for the per-message hot path.
+ClientRequest = None
+Reply = None
+
+
+def _import_messages() -> None:
+    global ClientRequest, Reply
+    if ClientRequest is None:
+        from repro.consensus.messages import ClientRequest, Reply  # noqa: F811
+
+
+@dataclass
+class ClusterBinding:
+    """What a cluster exposes to a workload when attaching it.
+
+    Attributes
+    ----------
+    replies_needed:
+        Distinct replica replies a client waits for before it counts a
+        request as complete.  ``f + 1`` for PBFT/HotStuff (matching
+        replies outvote faulty replicas); ``1`` for Kauri, where only the
+        tree root tracks commits.
+    place_client:
+        Callback ``(client_id, site_index)`` registering where a client
+        lives so the cluster's link-delay function can route its traffic;
+        ``site_index=None`` leaves the cluster default (the observer
+        city) in place.
+    """
+
+    sim: Simulator
+    network: Network
+    n: int
+    f: int
+    replies_needed: int
+    place_client: Callable[[int, Optional[int]], None]
+
+
+class ClientSiteRouter:
+    """Routes client node ids onto replica cities for link-delay lookup.
+
+    Clusters share this instead of each reimplementing the id-to-site
+    mapping: replicas map to themselves, clients map to their pinned city
+    (or ``default_site``), and co-located pairs fall back to a sub-ms
+    local delay.
+    """
+
+    def __init__(self, one_way: Callable[[int, int], float], n: int,
+                 default_site: int = 0, local_delay: float = 0.0005):
+        self.one_way = one_way
+        self.n = n
+        self.default_site = default_site % n
+        self.local_delay = local_delay
+        self.sites: Dict[int, int] = {}
+
+    def place(self, client_id: int, site: Optional[int]) -> None:
+        """`place_client` callback for :class:`ClusterBinding`."""
+        if site is not None:
+            self.sites[client_id] = site % self.n
+
+    def site_of(self, node: int) -> int:
+        if node >= CLIENT_ID_BASE:
+            return self.sites.get(node, self.default_site)
+        return node
+
+    def delay(self, a: int, b: int) -> float:
+        return self.one_way(self.site_of(a), self.site_of(b)) or self.local_delay
+
+
+class WorkloadClient:
+    """One client endpoint; supports multiple outstanding requests.
+
+    Latency is measured from request send to the ``replies_needed``-th
+    distinct replica reply, as in the paper's closed-loop clients.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        binding: ClusterBinding,
+        on_complete: Optional[Callable[[int], None]] = None,
+    ):
+        _import_messages()
+        self.id = client_id
+        self.n = binding.n
+        self.sim = binding.sim
+        self.network = binding.network
+        self.replies_needed = binding.replies_needed
+        self.on_complete = on_complete
+        self.next_request = 0
+        self.sent = 0
+        self.completed = 0
+        self.latencies: List[Tuple[float, float]] = []  # (complete_time, latency)
+        self._send_times: Dict[int, float] = {}
+        self._voters: Dict[int, set] = {}
+        binding.network.register(client_id, self.on_message)
+
+    def submit(self) -> int:
+        """Broadcast one request to every replica; returns its id."""
+        self.next_request += 1
+        self.sent += 1
+        request = ClientRequest(
+            client_id=self.id,
+            request_id=self.next_request,
+            send_time=self.sim.now,
+        )
+        self._send_times[self.next_request] = self.sim.now
+        self._voters[self.next_request] = set()
+        for replica in range(self.n):
+            self.network.send(self.id, replica, request, request.wire_size)
+        return self.next_request
+
+    def on_message(self, src: int, message) -> None:
+        if not isinstance(message, Reply):
+            return
+        voters = self._voters.get(message.request_id)
+        if voters is None:
+            return
+        voters.add(src)
+        if len(voters) >= self.replies_needed:
+            send_time = self._send_times.pop(message.request_id)
+            del self._voters[message.request_id]
+            self.completed += 1
+            self.latencies.append((self.sim.now, self.sim.now - send_time))
+            if self.on_complete is not None:
+                self.on_complete(message.request_id)
+
+    def latency_series(self, duration: float, bucket: float = 1.0):
+        """Mean end-to-end latency per time bucket."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for time, latency in self.latencies:
+            index = int(time / bucket)
+            sums[index] = sums.get(index, 0.0) + latency
+            counts[index] = counts.get(index, 0) + 1
+        return [
+            (index * bucket, sums[index] / counts[index]) for index in sorted(sums)
+        ]
+
+
+class Workload:
+    """Base class for traffic generators.
+
+    Lifecycle: construct with shape parameters, :meth:`bind` to a
+    cluster, :meth:`start` when the run begins, :meth:`stop` at the end.
+    Subclasses override :meth:`_make_clients` (how many endpoints, where
+    they live) and the generation logic.
+    """
+
+    name = "base"
+
+    def __init__(self, clients: int = 1, sites: Optional[Sequence[int]] = None):
+        if clients < 1:
+            raise ValueError(f"need at least one client, got {clients}")
+        self.num_clients = clients
+        self.sites = list(sites) if sites is not None else None
+        self.clients: List[WorkloadClient] = []
+        self.binding: Optional[ClusterBinding] = None
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, binding: ClusterBinding) -> None:
+        # Re-binding (the same Workload instance run through a second
+        # cluster) starts from a clean slate: clients wired to the old
+        # simulator are dropped so metrics never mix runs.
+        self.clients = []
+        self.running = False
+        self.binding = binding
+        self.rng = binding.sim.derive_rng(f"workload:{self.name}")
+        self._make_clients(binding)
+
+    def _make_clients(self, binding: ClusterBinding) -> None:
+        for k in range(self.num_clients):
+            site = self._site_of(k, binding)
+            binding.place_client(CLIENT_ID_BASE + k, site)
+            self.clients.append(
+                WorkloadClient(CLIENT_ID_BASE + k, binding, self._on_complete)
+            )
+
+    def _site_of(self, k: int, binding: ClusterBinding) -> Optional[int]:
+        if self.sites is not None:
+            return self.sites[k % len(self.sites)]
+        # Multi-client workloads spread clients across replica cities;
+        # a single client keeps the cluster's default observer city.
+        return k % binding.n if self.num_clients > 1 else None
+
+    def start(self) -> None:
+        self.running = True
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _on_complete(self, request_id: int) -> None:
+        """Hook called when any client's request completes."""
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def sent(self) -> int:
+        return sum(client.sent for client in self.clients)
+
+    @property
+    def completed(self) -> int:
+        return sum(client.completed for client in self.clients)
+
+    def latencies(self) -> List[Tuple[float, float]]:
+        """All (complete_time, latency) pairs, merged and time-sorted."""
+        merged: List[Tuple[float, float]] = []
+        for client in self.clients:
+            merged.extend(client.latencies)
+        merged.sort()
+        return merged
+
+    def summary(self) -> Dict[str, float]:
+        values = sorted(latency for _, latency in self.latencies())
+        out = {"requests_sent": self.sent, "requests_completed": self.completed}
+        if values:
+            out.update(
+                mean_latency=sum(values) / len(values),
+                p50_latency=percentile(values, 0.50),
+                p90_latency=percentile(values, 0.90),
+                p99_latency=percentile(values, 0.99),
+            )
+        return out
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[index]

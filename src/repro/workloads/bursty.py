@@ -1,0 +1,63 @@
+"""Bursty (on/off) open-loop workload.
+
+The rate alternates between ``on_rate`` for ``on_duration`` seconds and
+``off_rate`` for ``off_duration`` seconds, starting in the on phase.
+With ``off_rate=0`` the off phases are completely silent -- the
+transition handling in :class:`~repro.workloads.open_loop.OpenLoopWorkload`
+restarts the exponential draw at each boundary, so bursts have sharp
+edges rather than exponential tails bleeding across phases.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.workloads.open_loop import OpenLoopWorkload
+
+
+class BurstyWorkload(OpenLoopWorkload):
+    """On/off phases: bursts of ``on_rate`` separated by quiet periods."""
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        on_rate: float = 100.0,
+        off_rate: float = 0.0,
+        on_duration: float = 5.0,
+        off_duration: float = 5.0,
+        clients: int = 1,
+        sites: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(rate=on_rate, clients=clients, sites=sites)
+        if on_duration <= 0 or off_duration <= 0:
+            raise ValueError("phase durations must be positive")
+        self.on_rate = on_rate
+        self.off_rate = off_rate
+        self.on_duration = on_duration
+        self.off_duration = off_duration
+
+    @property
+    def period(self) -> float:
+        return self.on_duration + self.off_duration
+
+    def in_on_phase(self, t: float) -> bool:
+        return (t % self.period) < self.on_duration
+
+    def rate_at(self, t: float) -> float:
+        return self.on_rate if self.in_on_phase(t) else self.off_rate
+
+    def next_change(self, t: float) -> Optional[float]:
+        # Must return a boundary STRICTLY after ``t``: with non-float-exact
+        # durations, t // period noise can land a candidate exactly at (or
+        # before) the clock, and rescheduling at the same virtual time
+        # would livelock the simulation.
+        cycle_start = (t // self.period) * self.period
+        for boundary in (
+            cycle_start + self.on_duration,
+            cycle_start + self.period,
+            cycle_start + self.period + self.on_duration,
+        ):
+            if boundary > t:
+                return boundary
+        return cycle_start + 2.0 * self.period  # float-noise backstop

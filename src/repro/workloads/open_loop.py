@@ -1,0 +1,101 @@
+"""Open-loop Poisson workload and its time-varying subclasses.
+
+Arrivals form a Poisson process whose rate may vary piecewise over time:
+:meth:`OpenLoopWorkload.rate_at` gives the instantaneous rate and
+:meth:`OpenLoopWorkload.next_change` the next time the rate changes.
+Sampling exploits the memorylessness of the exponential: a gap is drawn
+at the current rate, and if it would cross a rate boundary the draw is
+restarted at the boundary instead of firing -- exact for
+piecewise-constant rates, and how the bursty/ramp subclasses get crisp
+phase transitions (an off phase with rate 0 generates no traffic at
+all).
+
+Unlike the closed loop, an open-loop source does not wait for replies:
+load keeps arriving while the system is saturated, which is exactly the
+regime that stresses leader and tree reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.workloads.base import Workload
+
+
+class OpenLoopWorkload(Workload):
+    """Constant-rate Poisson arrivals spread round-robin over clients."""
+
+    name = "open-loop"
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        clients: int = 1,
+        sites: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(clients=clients, sites=sites)
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        self.rate = rate
+        self._round_robin = 0
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    # Rate profile (overridden by bursty/ramp)
+    # ------------------------------------------------------------------
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at virtual time ``t`` (req/s)."""
+        return self.rate
+
+    def next_change(self, t: float) -> Optional[float]:
+        """Absolute time the rate next changes after ``t``; None if never."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def bind(self, binding) -> None:
+        self._timer = None  # never carry a timer across rebinds
+        self._round_robin = 0
+        super().bind(binding)
+
+    def start(self) -> None:
+        super().start()
+        self._schedule_next()
+
+    def stop(self) -> None:
+        super().stop()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _schedule_next(self) -> None:
+        if not self.running:
+            return
+        now = self.binding.sim.now
+        rate = self.rate_at(now)
+        boundary = self.next_change(now)
+        if rate <= 0.0:
+            if boundary is None:
+                return  # rate dried up for good
+            self._timer = self.binding.sim.schedule_at(boundary, self._schedule_next)
+            return
+        gap = self.rng.expovariate(rate)
+        if boundary is not None and now + gap >= boundary:
+            # The draw crosses a rate change; restart at the boundary
+            # (valid by memorylessness, exact for piecewise rates).
+            self._timer = self.binding.sim.schedule_at(boundary, self._schedule_next)
+            return
+        self._timer = self.binding.sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        self._timer = None
+        if not self.running:
+            return
+        self._pick_client().submit()
+        self._schedule_next()
+
+    def _pick_client(self):
+        client = self.clients[self._round_robin % len(self.clients)]
+        self._round_robin += 1
+        return client

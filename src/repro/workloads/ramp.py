@@ -1,0 +1,58 @@
+"""Ramp workload: offered load rises from ``start_rate`` to ``end_rate``.
+
+The ramp is discretized into ``steps`` piecewise-constant segments over
+``ramp_duration`` seconds (then holds ``end_rate``), keeping the
+boundary-restart sampling of the open-loop base class exact.  Used to
+find the saturation knee of a protocol/deployment combination.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.workloads.open_loop import OpenLoopWorkload
+
+
+class RampWorkload(OpenLoopWorkload):
+    """Linearly increasing Poisson rate, discretized into steps."""
+
+    name = "ramp"
+
+    def __init__(
+        self,
+        start_rate: float = 10.0,
+        end_rate: float = 200.0,
+        ramp_duration: float = 30.0,
+        steps: int = 20,
+        clients: int = 1,
+        sites: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(rate=start_rate, clients=clients, sites=sites)
+        if ramp_duration <= 0 or steps < 1:
+            raise ValueError("ramp_duration must be positive and steps >= 1")
+        self.start_rate = start_rate
+        self.end_rate = end_rate
+        self.ramp_duration = ramp_duration
+        self.steps = steps
+
+    def _step_of(self, t: float) -> int:
+        if t >= self.ramp_duration:
+            return self.steps
+        return int(t / (self.ramp_duration / self.steps))
+
+    def rate_at(self, t: float) -> float:
+        step = self._step_of(t)
+        if step >= self.steps:
+            return self.end_rate
+        fraction = step / (self.steps - 1) if self.steps > 1 else 1.0
+        return self.start_rate + fraction * (self.end_rate - self.start_rate)
+
+    def next_change(self, t: float) -> Optional[float]:
+        step_size = self.ramp_duration / self.steps
+        step = self._step_of(t)
+        while step < self.steps:
+            boundary = (step + 1) * step_size
+            if boundary > t:  # strictly after t, or the sim would livelock
+                return boundary
+            step += 1
+        return None

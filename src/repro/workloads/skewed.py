@@ -1,0 +1,64 @@
+"""Skewed multi-region workload: Zipf-weighted clients pinned to cities.
+
+One client per region (a replica city from ``net.cities`` via the
+deployment), with arrival mass distributed by a Zipf law: region ``i``
+(0-based rank) receives weight proportional to ``1 / (i + 1)**skew``.
+``skew=0`` is uniform; larger values concentrate traffic in the first
+regions, producing the geographically-skewed demand under which role
+placement (leader city, tree shape) matters most.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from itertools import accumulate
+from typing import List, Optional, Sequence
+
+from repro.workloads.base import ClusterBinding
+from repro.workloads.open_loop import OpenLoopWorkload
+
+
+def zipf_weights(k: int, skew: float = 1.0) -> List[float]:
+    """Normalized Zipf weights for ``k`` ranks (sum exactly 1.0)."""
+    if k < 1:
+        raise ValueError("need at least one rank")
+    raw = [1.0 / (rank + 1) ** skew for rank in range(k)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+class SkewedWorkload(OpenLoopWorkload):
+    """Poisson arrivals split across region-pinned clients by Zipf rank."""
+
+    name = "skewed"
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        clients: int = 8,
+        skew: float = 1.0,
+        sites: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(rate=rate, clients=clients, sites=sites)
+        self.skew = skew
+        self.requested_clients = clients
+        self.weights: List[float] = []
+        self._cumulative: List[float] = []
+
+    def bind(self, binding: ClusterBinding) -> None:
+        # Never more regions than cities in the deployment; recomputed
+        # from the requested count so rebinding to a larger cluster is
+        # not stuck with an earlier, smaller clamp.
+        self.num_clients = min(self.requested_clients, binding.n)
+        super().bind(binding)
+        self.weights = zipf_weights(len(self.clients), self.skew)
+        self._cumulative = list(accumulate(self.weights))
+        self._cumulative[-1] = 1.0  # guard against float drift
+
+    def _site_of(self, k: int, binding: ClusterBinding) -> Optional[int]:
+        if self.sites is not None:
+            return self.sites[k % len(self.sites)]
+        return k % binding.n  # client k lives in replica k's city
+
+    def _pick_client(self):
+        return self.clients[bisect_left(self._cumulative, self.rng.random())]

@@ -93,3 +93,56 @@ def test_install_tree_reconfigures_roles(europe21):
     new_root = cluster.replicas[new_tree.root]
     assert new_root.committed_height >= next_height
     assert new_root.is_root
+
+
+def test_tree_change_does_not_recommit_requests(europe21):
+    """A new root must not re-propose requests the old root already put
+    in flight: committed payload stays bounded by requests sent."""
+    import random
+
+    from repro.tree.kauri_reconfig import KauriReconfigurer
+    from repro.workloads import OpenLoopWorkload
+
+    reconfigurer = KauriReconfigurer(europe21.n, rng=random.Random(1))
+    cluster = KauriCluster(
+        europe21, reconfigurer.tree_for_bin(0), pipeline_depth=1, seed=1
+    )
+    workload = OpenLoopWorkload(rate=50.0)
+    cluster.attach_workload(workload)
+    cluster.sim.schedule_at(
+        5.0, lambda: cluster.install_tree(reconfigurer.tree_for_bin(1))
+    )
+    cluster.run(10.0)
+    total_committed = sum(
+        event.payload_count
+        for replica in cluster.replicas
+        for event in replica.metrics.commits
+    )
+    assert workload.sent > 0
+    assert total_committed <= workload.sent
+
+
+def test_tree_change_does_not_starve_closed_loop_client(europe21):
+    """Requests in flight when the tree changes must be recovered by the
+    new root, or a closed-loop client (one outstanding request) would
+    deadlock for the rest of the run."""
+    import random
+
+    from repro.tree.kauri_reconfig import KauriReconfigurer
+    from repro.workloads import ClosedLoopWorkload
+
+    reconfigurer = KauriReconfigurer(europe21.n, rng=random.Random(2))
+    cluster = KauriCluster(
+        europe21, reconfigurer.tree_for_bin(0), pipeline_depth=1, seed=2
+    )
+    workload = ClosedLoopWorkload()
+    cluster.attach_workload(workload)
+    completed_at_switch = {}
+
+    def switch():
+        completed_at_switch["n"] = workload.clients[0].completed
+        cluster.install_tree(reconfigurer.tree_for_bin(1))
+
+    cluster.sim.schedule_at(5.0, switch)
+    cluster.run(12.0)
+    assert workload.clients[0].completed > completed_at_switch["n"] + 5

@@ -1,0 +1,211 @@
+"""Scenario runner tests: determinism, protocol x workload coverage,
+fault scheduling, and equivalence with the pre-runner driver code."""
+
+import random
+
+import pytest
+
+from repro.consensus.hotstuff import HotStuffCluster
+from repro.experiments import fig9
+from repro.experiments.runner import (
+    FaultSpec,
+    PROTOCOLS,
+    Scenario,
+    ScenarioResult,
+    resolve_deployment,
+    run_scenario,
+)
+
+
+def small_scenario(**overrides):
+    base = dict(
+        protocol="pbft",
+        deployment="wonderproxy-7",
+        workload="bursty",
+        workload_params={"on_rate": 60.0, "on_duration": 2.0, "off_duration": 2.0},
+        duration=8.0,
+        seed=0,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def test_scenario_json_is_bit_identical_across_runs():
+    first = run_scenario(small_scenario()).to_json()
+    second = run_scenario(small_scenario()).to_json()
+    assert first == second
+    assert '"protocol": "pbft"' in first
+
+
+def test_scenario_seed_changes_metrics():
+    first = run_scenario(small_scenario(seed=0)).to_json()
+    second = run_scenario(small_scenario(seed=1)).to_json()
+    assert first != second
+
+
+def test_wonderproxy_deployment_is_seeded_and_bounded():
+    a = resolve_deployment("wonderproxy-16", seed=3)
+    b = resolve_deployment("wonderproxy-16", seed=3)
+    c = resolve_deployment("wonderproxy-16", seed=4)
+    assert a.n == 16
+    assert [city.name for city in a.cities] == [city.name for city in b.cities]
+    assert [city.name for city in a.cities] != [city.name for city in c.cities]
+    with pytest.raises(ValueError):
+        resolve_deployment("wonderproxy-2")
+    with pytest.raises(ValueError, match="unknown deployment"):
+        resolve_deployment("atlantis9")
+
+
+def test_hotstuff_commits_client_requests():
+    result = run_scenario(
+        small_scenario(protocol="hotstuff-rr", workload="open-loop",
+                       workload_params={"rate": 40.0}, duration=10.0)
+    )
+    metrics = result.metrics()
+    assert metrics["client"]["requests_completed"] > 0
+    assert metrics["committed_requests"] <= metrics["client"]["requests_sent"]
+
+
+def test_kauri_serves_closed_loop_clients():
+    result = run_scenario(
+        small_scenario(protocol="kauri", workload="closed-loop",
+                       workload_params={}, duration=10.0)
+    )
+    metrics = result.metrics()
+    assert metrics["client"]["requests_completed"] > 0
+    assert metrics["throughput_rps"] > 0
+
+
+def test_optitree_skewed_scenario_runs():
+    result = run_scenario(
+        small_scenario(
+            protocol="optitree",
+            deployment="wonderproxy-10",
+            workload="skewed",
+            workload_params={"rate": 50.0, "clients": 4, "skew": 1.2},
+            duration=6.0,
+            search_iterations=500,
+        )
+    )
+    assert result.metrics()["client"]["requests_completed"] > 0
+
+
+def test_delay_fault_degrades_pbft_latency():
+    quiet = run_scenario(small_scenario(workload="open-loop",
+                                        workload_params={"rate": 20.0},
+                                        duration=12.0))
+    attacked = run_scenario(
+        small_scenario(
+            workload="open-loop",
+            workload_params={"rate": 20.0},
+            duration=12.0,
+            faults=[FaultSpec(kind="delay", start=4.0, attacker="leader",
+                              extra_delay=0.5)],
+        )
+    )
+    assert (
+        attacked.metrics()["client"]["mean_latency"]
+        > quiet.metrics()["client"]["mean_latency"]
+    )
+
+
+def test_crash_fault_stops_fixed_leader_progress():
+    healthy = run_scenario(
+        small_scenario(protocol="hotstuff-fixed", workload="saturated",
+                       workload_params={}, duration=10.0)
+    )
+    crashed = run_scenario(
+        small_scenario(
+            protocol="hotstuff-fixed",
+            workload="saturated",
+            workload_params={},
+            duration=10.0,
+            faults=[FaultSpec(kind="crash", start=3.0, attacker=0)],
+        )
+    )
+    # Replica 0 is the seed-0 fixed leader; crashing it halts commits.
+    assert crashed.metrics()["committed_blocks"] < healthy.metrics()["committed_blocks"]
+
+
+def test_invalid_combinations_are_rejected():
+    with pytest.raises(ValueError, match="unknown protocol"):
+        run_scenario(small_scenario(protocol="paxos"))
+    with pytest.raises(ValueError, match="client-driven"):
+        run_scenario(small_scenario(workload="saturated", workload_params={}))
+    with pytest.raises(ValueError, match="unknown workload"):
+        run_scenario(small_scenario(workload="tsunami"))
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="meteor")
+
+
+def test_runner_matches_pre_refactor_hotstuff_construction():
+    """The fig9 HotStuff-fixed cell through the runner must equal the
+    original direct construction (the pre-runner driver code)."""
+    duration, seed = 3.0, 1
+    deployment = resolve_deployment("Europe21")
+    leader = random.Random(seed).randrange(deployment.n)
+    cluster = HotStuffCluster(
+        deployment, leader_mode="fixed", fixed_leader=leader, seed=seed
+    )
+    expected = cluster.run(duration)
+    cell = fig9.run_cell("Europe21", "HotStuff-fixed", duration=duration, seed=seed)
+    assert cell.throughput == expected.throughput(duration)
+    assert cell.latency == expected.mean_latency()
+
+
+def test_every_protocol_is_buildable():
+    for protocol in PROTOCOLS:
+        workload = "saturated" if not protocol.startswith("pbft") else "closed-loop"
+        result = run_scenario(
+            small_scenario(protocol=protocol, workload=workload,
+                           workload_params={}, duration=2.0,
+                           search_iterations=200)
+        )
+        assert isinstance(result, ScenarioResult)
+        assert result.run_metrics is not None
+
+
+def test_fault_spec_accepts_bare_message_type_string():
+    spec = FaultSpec(kind="delay", message_types="PrePrepare")
+    assert spec.message_types == ("PrePrepare",)
+    spec = FaultSpec(kind="delay", message_types=["Prepare", "Commit"])
+    assert spec.message_types == ("Prepare", "Commit")
+
+
+def test_workload_instance_can_be_rerun():
+    """Rebinding the same Workload instance (Scenario reuse) must reset
+    clients and metrics instead of accumulating across runs."""
+    from repro.workloads import ClosedLoopWorkload
+
+    workload = ClosedLoopWorkload()
+    first = run_scenario(
+        small_scenario(workload=workload, workload_params={}, duration=4.0)
+    )
+    first_completed = first.metrics()["client"]["requests_completed"]
+    second = run_scenario(
+        small_scenario(workload=workload, workload_params={}, duration=4.0)
+    )
+    assert len(workload.clients) == 1
+    assert second.metrics()["client"]["requests_completed"] == first_completed
+    assert first.to_json() == second.to_json()
+
+
+def test_workload_params_rejected_for_instances():
+    from repro.workloads import OpenLoopWorkload
+
+    with pytest.raises(ValueError, match="workload_params only apply"):
+        run_scenario(
+            small_scenario(
+                workload=OpenLoopWorkload(rate=10.0),
+                workload_params={"rate": 200.0},
+                duration=2.0,
+            )
+        )
+
+
+def test_delay_fault_rejects_unknown_message_types():
+    with pytest.raises(ValueError, match="unknown message type"):
+        FaultSpec(kind="delay", message_types="PrePrepar")  # typo
+    with pytest.raises(ValueError, match="unknown message type"):
+        FaultSpec(kind="delay", message_types="(PrePrepare")  # malformed
+    FaultSpec(kind="delay", message_types=("PrePrepare", "Prepare"))  # valid

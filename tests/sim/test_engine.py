@@ -115,3 +115,57 @@ def test_determinism_same_seed():
 
     assert run_once(7) == run_once(7)
     assert run_once(7) != run_once(8)
+
+
+def test_until_respected_when_head_is_cancelled():
+    # A cancelled head used to be popped inside step() without re-checking
+    # ``until``, letting an event beyond the horizon execute.
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(5.0, fired.append, "beyond-horizon")
+    handle.cancel()
+    sim.run(until=2.0)
+    assert fired == []
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["beyond-horizon"]
+
+
+def test_max_events_counts_only_executed_events():
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(float(i + 1), fired.append, i) for i in range(10)]
+    for i in (0, 2, 4):  # cancelled entries must not consume the budget
+        handles[i].cancel()
+    sim.run(max_events=3)
+    assert fired == [1, 3, 5]
+    assert sim.events_processed == 3
+
+
+def test_events_processed_matches_across_runs():
+    sim = Simulator()
+    for i in range(6):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run(max_events=2)
+    assert sim.events_processed == 2
+    sim.run(max_events=2)
+    assert sim.events_processed == 4
+    sim.run()
+    assert sim.events_processed == 6
+
+
+def test_budget_stop_does_not_jump_clock_past_pending_events():
+    # run(until=..., max_events=...) stopping on the budget must not
+    # advance the clock over still-pending events, or a later run would
+    # move time backwards.
+    sim = Simulator()
+    seen = []
+    for i in range(6):
+        sim.schedule(float(i + 1), lambda t=i + 1: seen.append((t, sim.now)))
+    sim.run(until=10.0, max_events=2)
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert [t for t, _ in seen] == [1, 2, 3, 4, 5, 6]
+    assert all(t == now for t, now in seen)
+    assert sim.now == 10.0
