@@ -9,30 +9,45 @@ Subcommands
         python -m repro run --protocol pbft --workload bursty \
             --deployment wonderproxy-16 --seed 0
 
+``scenario``
+    Execute a named adversarial scenario from the registry
+    (``partition-heal``, ``churn-storm``, ``stealth-delta``,
+    ``lossy-wan``, ``smear-campaign``) and print its JSON metrics::
+
+        python -m repro scenario churn-storm --seed 3
+
 ``fig``
     Execute a figure driver (``fig7`` ... ``fig15``, ``fast`` where
     supported) and print its table.
 
 ``list``
-    Show the available protocols, workloads, deployments and figures.
+    Show the available protocols, workloads, deployments, fault kinds,
+    scenarios and figures.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import dataclasses
 import importlib
 import inspect
 import json
-import re
 import sys
 from typing import Any, Dict, List, Optional
 
 from repro.experiments import runner as runner_mod
+from repro.experiments import scenarios as scenarios_mod
 from repro.experiments.runner import FaultSpec, Scenario, run_scenario
 from repro.workloads import WORKLOADS
 
 FIGURES = tuple(f"fig{i}" for i in range(7, 16))
+
+#: FaultSpec's own dataclass fields; any other key=value in a --fault
+#: string is routed into the kind-specific ``params`` dict.
+_FAULT_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(FaultSpec)
+) - {"kind", "params"}
 
 
 def _parse_value(text: str) -> Any:
@@ -53,30 +68,70 @@ def _parse_params(pairs: Optional[List[str]]) -> Dict[str, Any]:
     return params
 
 
-def _parse_fault(text: str) -> FaultSpec:
-    """``kind:key=value,key=value`` -> FaultSpec, e.g.
-    ``delay:start=60,attacker=leader,extra_delay=0.8``.
+def _split_top_level(text: str) -> List[str]:
+    """Split on commas outside any parentheses/brackets (nesting-aware,
+    so ``groups=((0,1),(2,3))`` survives intact)."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char in "([":
+            depth += 1
+        elif char in ")]":
+            depth = max(0, depth - 1)
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts
 
-    Multiple message types are parenthesised so the comma split leaves
-    them intact: ``delay:message_types=(PrePrepare,Prepare),start=60``.
+
+def _parse_fault_value(value: str) -> Any:
+    """Literal where possible; a parenthesised list of bare names becomes
+    a tuple of strings: ``(PrePrepare,Prepare)`` -> ("PrePrepare", "Prepare")."""
+    parsed = _parse_value(value)
+    if (
+        isinstance(parsed, str)
+        and value.startswith("(")
+        and value.endswith(")")
+    ):
+        return tuple(
+            item.strip().strip("'\"")
+            for item in value[1:-1].split(",")
+            if item.strip()
+        )
+    return parsed
+
+
+def _parse_fault(text: str) -> FaultSpec:
+    """``kind:key=value,key=value`` -> FaultSpec.
+
+    Keys that are not FaultSpec fields go into the kind-specific params,
+    so the whole vocabulary is reachable from the shell::
+
+        delay:start=60,attacker=leader,extra_delay=0.8
+        delta_delay:attacker=intermediates,delta=1.25,adaptive=True
+        partition:groups=((0,1,2),(3,4,5,6)),start=10,end=20
+        loss:rate=0.03,message_types=(Prepare,Commit)
+        churn:period=10,downtime=3,random=True
+        false_suspicion:attacker=(17,18,19),target=leader,period=10
     """
     kind, _, rest = text.partition(":")
     kwargs: Dict[str, Any] = {}
+    params: Dict[str, Any] = {}
     if rest:
-        for pair in re.split(r",(?![^(]*\))", rest):
+        for pair in _split_top_level(rest):
             key, sep, value = pair.partition("=")
             if not sep:
                 raise SystemExit(f"--fault expects kind:key=value,..., got {text!r}")
-            if value.startswith("(") and value.endswith(")"):
-                kwargs[key.replace("-", "_")] = tuple(
-                    item.strip().strip("'\"")
-                    for item in value[1:-1].split(",")
-                    if item.strip()
-                )
-            else:
-                kwargs[key.replace("-", "_")] = _parse_value(value)
+            key = key.replace("-", "_")
+            target = kwargs if key in _FAULT_FIELDS else params
+            target[key] = _parse_fault_value(value)
     try:
-        return FaultSpec(kind=kind, **kwargs)
+        return FaultSpec(kind=kind, params=params, **kwargs)
     except (TypeError, ValueError) as error:
         raise SystemExit(f"bad --fault {text!r}: {error}")
 
@@ -101,6 +156,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     except (ValueError, TypeError) as error:
         # Bad protocol/workload/deployment names or workload params; the
         # exception text already names the offender and the known values.
+        raise SystemExit(f"error: {error}")
+    text = result.to_json(indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    try:
+        result = scenarios_mod.run_named(
+            args.name, seed=args.seed, duration=args.duration
+        )
+    except (ValueError, TypeError) as error:
         raise SystemExit(f"error: {error}")
     text = result.to_json(indent=2)
     if args.output:
@@ -139,6 +211,13 @@ def cmd_list(_args: argparse.Namespace) -> int:
     for name in sorted(runner_mod.NAMED_DEPLOYMENTS.values()):
         print(f"  {name}")
     print("  wonderproxy-N      (seeded random world placement, N >= 4)")
+    print("fault kinds:")
+    print("  " + " ".join(runner_mod.FAULT_KINDS))
+    print("scenarios:")
+    for name, (_factory, description) in sorted(
+        scenarios_mod.ADVERSARIAL_SCENARIOS.items()
+    ):
+        print(f"  {name:18s} {description}")
     print("figures:")
     print("  " + " ".join(FIGURES))
     return 0
@@ -170,14 +249,32 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--client-city", type=int, default=None,
                             help="city index the default client is pinned to")
     run_parser.add_argument("--fault", action="append", metavar="KIND:K=V,...",
-                            help="fault spec (repeatable), e.g. "
-                                 "delay:start=60,attacker=leader,extra_delay=0.8")
+                            help="fault spec (repeatable); kinds: "
+                                 "delay | delta_delay | crash | churn | partition "
+                                 "| loss | false_suspicion, e.g. "
+                                 "delay:start=60,attacker=leader,extra_delay=0.8 "
+                                 "or loss:rate=0.03,start=5,end=25")
     run_parser.add_argument("--search-iterations", type=int, default=20_000,
                             help="OptiTree annealing iterations")
     run_parser.add_argument("--pipeline-depth", type=int, default=None)
     run_parser.add_argument("--output", metavar="FILE",
                             help="write JSON here instead of stdout")
     run_parser.set_defaults(func=cmd_run)
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="run a named adversarial scenario, print JSON metrics"
+    )
+    scenario_parser.add_argument(
+        "name", help=" | ".join(sorted(scenarios_mod.ADVERSARIAL_SCENARIOS))
+    )
+    scenario_parser.add_argument("--seed", type=int, default=0)
+    scenario_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="override the scenario's default duration (fault windows scale)",
+    )
+    scenario_parser.add_argument("--output", metavar="FILE",
+                                 help="write JSON here instead of stdout")
+    scenario_parser.set_defaults(func=cmd_scenario)
 
     fig_parser = sub.add_parser("fig", help="run a figure driver, print its table")
     fig_parser.add_argument("figure", help="fig7 ... fig15")

@@ -13,8 +13,10 @@ A :class:`Scenario` declaratively combines
 * a **workload** -- any name registered in :data:`repro.workloads.WORKLOADS`
   plus ``saturated`` (no clients; HotStuff/Kauri self-clock full blocks,
   the paper's §7.3 regime);
-* a **fault schedule** -- :class:`FaultSpec` entries (delay attacks,
-  crashes) resolved against the live cluster at their start times;
+* a **fault schedule** -- :class:`FaultSpec` entries (delay / δ-bounded /
+  stealth delay attacks, crashes with revival, churn cycles, link-level
+  partitions, probabilistic message loss, fabricated false suspicions)
+  resolved against the live cluster at their start times;
 * a **reconfiguration policy** -- :class:`MeasurementPolicy`, the
   probe/publish/search cadence driving Aware/OptiAware reconfiguration.
 
@@ -29,6 +31,7 @@ fig9) and the ``python -m repro`` CLI are thin layers over this module.
 from __future__ import annotations
 
 import json
+import math
 import random
 import re
 from dataclasses import asdict, dataclass, field
@@ -38,7 +41,10 @@ from repro.consensus.base import RunMetrics
 from repro.consensus.hotstuff import HotStuffCluster
 from repro.consensus.kauri import KauriCluster
 from repro.consensus.pbft import PbftCluster
-from repro.faults.delay import DelayAttack
+from repro.core.records import SuspicionKind, SuspicionRecord
+from repro.faults.churn import ChurnSchedule
+from repro.faults.delay import DelayAttack, DeltaDelayAttack, StealthDelayAttack
+from repro.faults.loss import MessageLoss
 from repro.net.deployments import Deployment, deployment_for, random_world_deployment
 from repro.optimize.annealing import AnnealingSchedule
 from repro.tree.kauri_reconfig import KauriReconfigurer
@@ -68,31 +74,82 @@ NAMED_DEPLOYMENTS = {
 _WONDERPROXY = re.compile(r"^wonderproxy-(\d+)$")
 
 
+#: Every fault kind the runner can schedule.
+FAULT_KINDS = (
+    "delay",
+    "delta_delay",
+    "crash",
+    "churn",
+    "partition",
+    "loss",
+    "false_suspicion",
+)
+
+#: Per-kind ``params`` vocabulary; an unknown key is a loud error so a
+#: typo'd knob cannot silently leave an adversary unconfigured.
+_FAULT_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "delay": (),
+    "delta_delay": ("delta", "adaptive", "headroom"),
+    "crash": (),
+    "churn": ("period", "downtime", "victims", "random"),
+    "partition": ("groups", "isolate"),
+    "loss": ("rate", "senders"),
+    "false_suspicion": ("target", "period", "rounds"),
+}
+
+
 @dataclass
 class FaultSpec:
-    """One scheduled Byzantine/crash behaviour.
+    """One scheduled adversarial behaviour, active ``[start, end]``.
 
-    ``attacker`` is a replica id, or a role name resolved when the fault
-    fires: ``"leader"`` (PBFT's current leader) / ``"root"`` (Kauri's
-    tree root).
+    ``attacker`` is a replica id, a tuple of ids, or a role name resolved
+    when the fault fires: ``"leader"`` (PBFT's current leader), ``"root"``
+    (Kauri's tree root), ``"intermediates"`` (Kauri's internal tree
+    nodes).  ``params`` carries kind-specific knobs:
+
+    ============== =====================================================
+    ``delay``      fixed ``extra_delay`` on ``message_types`` (Fig. 7)
+    ``delta_delay`` link stretch by ``delta``; ``adaptive=True`` switches
+                   to the stay-below-``δ·d_m`` stealth adversary with
+                   ``headroom`` (Fig. 11 / §7.6)
+    ``crash``      node down at ``start``; a finite ``end`` revives it
+                   with catch-up
+    ``churn``      crash/recover cycles: ``period``, ``downtime``,
+                   ``victims`` (ids or ``"intermediates"``/``"all"``),
+                   ``random`` victim choice
+    ``partition``  link-level split: ``groups`` (iterables of ids) or
+                   ``isolate`` (id or role); heals at ``end``
+    ``loss``       drop probability ``rate``, optional ``senders`` filter
+    ``false_suspicion`` fabricated ⟨Slow⟩ records from the ``attacker``
+                   pool against ``target`` (Fig. 10's smear campaign),
+                   one round every ``period`` s, up to ``rounds``
+    ============== =====================================================
     """
 
-    kind: str = "delay"  # "delay" | "crash"
+    kind: str = "delay"
     start: float = 0.0
-    attacker: Union[int, str] = "leader"
+    end: float = math.inf
+    attacker: Union[int, str, Tuple[int, ...]] = "leader"
     extra_delay: float = 0.5
-    message_types: Tuple[str, ...] = ("PrePrepare",)
+    message_types: Optional[Tuple[str, ...]] = None
+    params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("delay", "crash"):
-            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (known: {', '.join(FAULT_KINDS)})"
+            )
+        if self.end < self.start:
+            raise ValueError(
+                f"fault end {self.end} precedes start {self.start}"
+            )
         if isinstance(self.message_types, str):
             # A bare string would iterate as characters inside DelayAttack
             # and silently never match any message type.
             self.message_types = (self.message_types,)
         elif isinstance(self.message_types, list):
             self.message_types = tuple(self.message_types)
-        if self.kind == "delay":
+        if self.message_types is not None:
             from repro.consensus import messages as protocol_messages
 
             for name in self.message_types:
@@ -102,6 +159,60 @@ class FaultSpec:
                     raise ValueError(
                         f"unknown message type {name!r} in fault spec"
                     )
+        allowed = _FAULT_PARAMS[self.kind]
+        for key in self.params:
+            if key not in allowed:
+                raise ValueError(
+                    f"unknown param {key!r} for fault kind {self.kind!r}"
+                    f" (known: {', '.join(allowed) or 'none'})"
+                )
+        if self.kind == "loss":
+            rate = self.params.get("rate")
+            if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+                raise ValueError(f"loss fault needs params rate in [0, 1], got {rate!r}")
+            senders = self.params.get("senders")
+            if senders is not None:
+                if isinstance(senders, int):
+                    self.params["senders"] = (senders,)
+                elif isinstance(senders, (tuple, list, set)) and all(
+                    isinstance(node, int) for node in senders
+                ):
+                    self.params["senders"] = tuple(sorted(senders))
+                else:
+                    # set("leader") would silently match nothing.
+                    raise ValueError(
+                        f"loss senders must be replica ids, got {senders!r}"
+                    )
+        if self.kind == "partition":
+            if ("groups" in self.params) == ("isolate" in self.params):
+                raise ValueError(
+                    "partition fault needs exactly one of params "
+                    "'groups' (iterables of ids) or 'isolate' (id or role)"
+                )
+        if self.kind == "churn":
+            for knob in ("period", "downtime"):
+                value = self.params.get(knob)
+                if value is not None and (
+                    not isinstance(value, (int, float)) or value <= 0
+                ):
+                    raise ValueError(f"churn {knob} must be positive, got {value!r}")
+        if self.kind == "delta_delay":
+            delta = self.params.get("delta")
+            if delta is not None and (
+                not isinstance(delta, (int, float)) or delta <= 0
+            ):
+                raise ValueError(f"delta_delay delta must be positive, got {delta!r}")
+        if self.kind == "false_suspicion":
+            pool = (
+                self.attacker
+                if isinstance(self.attacker, (tuple, list))
+                else (self.attacker,)
+            )
+            if not pool or not all(isinstance(a, int) for a in pool):
+                raise ValueError(
+                    "false_suspicion needs explicit attacker replica ids "
+                    f"(the faulty pool), got {self.attacker!r}"
+                )
 
 
 @dataclass
@@ -168,6 +279,10 @@ class ScenarioResult:
     cluster: Any
     run_metrics: RunMetrics
     workload: Optional[Workload]
+    #: Live adversary objects created while the run executed, as
+    #: ``(fault_index, kind, instrument)`` tuples -- empty for fault-free
+    #: scenarios (whose metrics JSON is therefore unchanged).
+    fault_instruments: List[Tuple[int, str, Any]] = field(default_factory=list)
 
     def metrics(self) -> Dict[str, Any]:
         duration = self.scenario.duration
@@ -193,7 +308,35 @@ class ScenarioResult:
             }
         if self.workload is not None:
             out["client"] = self.workload.summary()
+        if self.fault_instruments:
+            out["fault_activity"] = [
+                self._instrument_summary(fault_index, kind, instrument)
+                for fault_index, kind, instrument in sorted(
+                    self.fault_instruments, key=lambda entry: entry[0]
+                )
+            ]
         return out
+
+    @staticmethod
+    def _instrument_summary(fault_index: int, kind: str, instrument: Any) -> Dict[str, Any]:
+        summary: Dict[str, Any] = {"fault": fault_index, "kind": kind}
+        if kind in ("delay", "delta_delay"):
+            summary["messages_delayed"] = instrument.messages_delayed
+        elif kind == "loss":
+            summary["messages_lost"] = instrument.messages_lost
+            summary["messages_seen"] = instrument.messages_seen
+        elif kind == "churn":
+            summary["crashes"] = len(instrument.crashes)
+            summary["revivals"] = len(instrument.revivals)
+        elif kind == "crash":
+            summary["victim"] = instrument.get("victim")
+            if "revived_at" in instrument:
+                summary["revived_at"] = instrument["revived_at"]
+        elif kind == "partition":
+            summary["groups"] = [list(group) for group in instrument]
+        elif kind == "false_suspicion":
+            summary["rounds_launched"] = instrument["rounds_launched"]
+        return summary
 
     def reconfiguration_count(self) -> int:
         replicas = getattr(self.cluster, "replicas", None)
@@ -348,36 +491,308 @@ def _build_cluster(
 # ----------------------------------------------------------------------
 # Fault scheduling
 # ----------------------------------------------------------------------
-def _resolve_attacker(spec: FaultSpec, cluster) -> int:
-    if isinstance(spec.attacker, int):
-        return spec.attacker
-    if spec.attacker == "leader":
+def _resolve_attacker(attacker: Union[int, str], cluster) -> int:
+    """One replica id from an id or a live-resolved role name."""
+    if isinstance(attacker, int):
+        return attacker
+    if attacker == "leader":
         if hasattr(cluster, "current_leader"):
             return cluster.current_leader
         raise ValueError("'leader' fault target needs a PBFT cluster")
-    if spec.attacker == "root":
+    if attacker == "root":
         if hasattr(cluster, "tree"):
             return cluster.tree.root
         raise ValueError("'root' fault target needs a Kauri cluster")
-    raise ValueError(f"unknown fault target {spec.attacker!r}")
+    raise ValueError(f"unknown fault target {attacker!r}")
 
 
-def _schedule_fault(spec: FaultSpec, cluster) -> None:
-    def launch() -> None:
-        victim = _resolve_attacker(spec, cluster)
-        if spec.kind == "crash":
-            cluster.network.set_down(victim)
-            return
-        attack = DelayAttack(
-            attacker=victim,
-            message_types=spec.message_types,
-            extra_delay=spec.extra_delay,
-            start=spec.start,
-            now_fn=lambda: cluster.sim.now,
+def _resolve_attackers(attacker: Union[int, str, Tuple[int, ...]], cluster) -> List[int]:
+    """A set of replica ids: id, tuple of ids, or a role name."""
+    if isinstance(attacker, (tuple, list)):
+        return [int(a) for a in attacker]
+    if attacker == "intermediates":
+        if hasattr(cluster, "tree"):
+            return sorted(cluster.tree.intermediates)
+        raise ValueError("'intermediates' fault target needs a Kauri cluster")
+    return [_resolve_attacker(attacker, cluster)]
+
+
+def _catch_up(cluster, victim: int) -> None:
+    """Fast-forward a revived replica from the most advanced live peer.
+
+    Models the state transfer every production BFT system performs on
+    rejoin: the replica adopts committed state so it cannot propose stale
+    sequence numbers, vote on heights it slept through, or follow a
+    leader that was voted out while it was down.
+    """
+    replicas = getattr(cluster, "replicas", None)
+    if not replicas:
+        return
+    network = cluster.network
+    peers = [
+        replica
+        for replica in replicas
+        if replica.id != victim and not network.is_down(replica.id)
+    ]
+    if not peers:
+        return
+    replica = replicas[victim]
+    if hasattr(replica, "next_height"):  # Kauri / OptiTree
+        donor = max(peers, key=lambda peer: peer.committed_height)
+        # Blocks the victim proposed into the void while down are dead
+        # (every send from a down node is dropped): hand their stranded
+        # requests to the live root, exactly as a tree change does.
+        # N.B. a revived *root* additionally needs a reconfiguration
+        # (Fig. 15's install_tree) before it proposes again; catch-up
+        # restores state, it does not resurrect a stalled pipeline.
+        recovered = (
+            cluster._uncommitted_requests(replica)
+            if hasattr(cluster, "_uncommitted_requests")
+            else []
         )
-        cluster.network.add_interceptor(attack)
+        replica.next_height = max(replica.next_height, donor.next_height)
+        replica.committed_height = max(
+            replica.committed_height, donor.committed_height
+        )
+        replica._claimed_requests |= donor._claimed_requests
+        if recovered:
+            root = replicas[cluster.tree.root]
+            for request in recovered:
+                root._claimed_requests.discard(
+                    (request.client_id, request.request_id)
+                )
+            root.pending_requests.extend(recovered)
+    elif hasattr(replica, "high_qc"):  # HotStuff
+        donor = max(peers, key=lambda peer: peer.committed_height)
+        replica.blocks.update(donor.blocks)
+        replica.block_at_height.update(donor.block_at_height)
+        replica.committed_height = max(replica.committed_height, donor.committed_height)
+        replica.last_voted_height = max(
+            replica.last_voted_height, donor.last_voted_height
+        )
+        if donor.high_qc is not None and (
+            replica.high_qc is None or donor.high_qc.view > replica.high_qc.view
+        ):
+            replica.high_qc = donor.high_qc
+        replica._claimed_requests |= donor._claimed_requests
+    elif hasattr(replica, "executed_seq"):  # PBFT
+        donor = max(peers, key=lambda peer: peer.executed_seq)
+        replica.config = donor.config
+        replica.pending_config = None
+        replica.seq = max(replica.seq, donor.seq)
+        replica.executed_seq = max(replica.executed_seq, donor.executed_seq)
+        replica._committed_requests |= donor._committed_requests
+        replica.in_flight = None
+        if replica.optilog is not None and donor.optilog is not None:
+            # Replay the committed records the replica slept through, so
+            # its monitors converge with the fleet (the log is a prefix
+            # of the donor's: commit order is total).
+            mine = replica.optilog.pipeline.log
+            theirs = donor.optilog.pipeline.log
+            for entry in list(theirs)[len(mine):]:
+                mine.append(entry.record, view=entry.view)
 
-    cluster.sim.schedule_at(spec.start, launch)
+
+def _partition_groups(spec: FaultSpec, cluster) -> List[List[int]]:
+    if "groups" in spec.params:
+        return [[int(node) for node in group] for group in spec.params["groups"]]
+    victim = _resolve_attacker(spec.params["isolate"], cluster)
+    others = [node for node in range(cluster.n) if node != victim]
+    return [[victim], others]
+
+
+def _churn_pool(spec: FaultSpec, cluster) -> List[int]:
+    victims = spec.params.get("victims", "all")
+    if victims == "all":
+        return list(range(cluster.n))
+    return _resolve_attackers(victims, cluster)
+
+
+def _schedule_fault(spec: FaultSpec, cluster, index: int, instruments: List) -> None:
+    """Arm one FaultSpec against the live cluster.
+
+    Role names resolve when the fault *fires* (``schedule_at(start, ...)``),
+    so ``attacker="leader"`` means whoever leads at that moment.  Any
+    private randomness (loss draws, random churn victims) is derived here,
+    at scheduling time, in fault-list order -- scenarios without such
+    faults perform no extra ``derive_rng`` calls and stay bit-identical.
+    """
+    sim = cluster.sim
+    network = cluster.network
+    params = spec.params
+
+    def now_fn() -> float:
+        return sim.now
+
+    if spec.kind == "delay":
+
+        def launch_delay() -> None:
+            attack = DelayAttack(
+                attacker=_resolve_attacker(spec.attacker, cluster),
+                message_types=spec.message_types or ("PrePrepare",),
+                extra_delay=spec.extra_delay,
+                start=spec.start,
+                end=spec.end,
+                now_fn=now_fn,
+            )
+            network.add_interceptor(attack)
+            instruments.append((index, "delay", attack))
+
+        sim.schedule_at(spec.start, launch_delay)
+
+    elif spec.kind == "delta_delay":
+
+        def launch_delta() -> None:
+            attackers = _resolve_attackers(spec.attacker, cluster)
+            delta = params.get("delta", 1.2)
+            if params.get("adaptive", False):
+                attack = StealthDelayAttack(
+                    attackers,
+                    delta,
+                    expected_delay=network.one_way_delay,
+                    headroom=params.get("headroom", 0.95),
+                    message_types=spec.message_types,
+                    start=spec.start,
+                    end=spec.end,
+                    now_fn=now_fn,
+                )
+            else:
+                attack = DeltaDelayAttack(
+                    attackers,
+                    delta,
+                    message_types=spec.message_types or ("Forward", "AggregateVote"),
+                    start=spec.start,
+                    end=spec.end,
+                    now_fn=now_fn,
+                )
+            network.add_interceptor(attack)
+            instruments.append((index, "delta_delay", attack))
+
+        sim.schedule_at(spec.start, launch_delta)
+
+    elif spec.kind == "crash":
+        state: Dict[str, Any] = {}
+
+        def launch_crash() -> None:
+            victim = _resolve_attacker(spec.attacker, cluster)
+            network.set_down(victim)
+            state["victim"] = victim
+            instruments.append((index, "crash", state))
+
+        sim.schedule_at(spec.start, launch_crash)
+        if spec.end != math.inf:
+
+            def revive_crash() -> None:
+                victim = state.get("victim")
+                if victim is not None:
+                    network.set_down(victim, False)
+                    _catch_up(cluster, victim)
+                    state["revived_at"] = sim.now
+
+            sim.schedule_at(spec.end, revive_crash)
+
+    elif spec.kind == "churn":
+        churn_rng = (
+            sim.derive_rng(f"fault-{index}-churn")
+            if params.get("random", False)
+            else None
+        )
+
+        def launch_churn() -> None:
+            schedule = ChurnSchedule(
+                sim, network, on_revive=lambda node: _catch_up(cluster, node)
+            )
+            schedule.cycle(
+                _churn_pool(spec, cluster),
+                period=params.get("period", 10.0),
+                downtime=params.get("downtime", 3.0),
+                start=sim.now,
+                end=spec.end,
+                rng=churn_rng,
+            )
+            instruments.append((index, "churn", schedule))
+
+        sim.schedule_at(spec.start, launch_churn)
+
+    elif spec.kind == "partition":
+        partition_state: Dict[str, Any] = {}
+
+        def launch_partition() -> None:
+            groups = _partition_groups(spec, cluster)
+            partition_state["epoch"] = network.partition(groups)
+            instruments.append((index, "partition", groups))
+
+        def heal_partition() -> None:
+            # The epoch keeps overlapping partition specs honest: if a
+            # later spec re-partitioned the network, this heal is a no-op
+            # rather than wiping the newer partition early.
+            if "epoch" in partition_state:
+                network.heal(partition_state["epoch"])
+
+        sim.schedule_at(spec.start, launch_partition)
+        if spec.end != math.inf:
+            sim.schedule_at(spec.end, heal_partition)
+
+    elif spec.kind == "loss":
+        attack = MessageLoss(
+            rate=params["rate"],
+            rng=sim.derive_rng(f"fault-{index}-loss"),
+            senders=params.get("senders"),
+            message_types=spec.message_types,
+            start=spec.start,
+            end=spec.end,
+            now_fn=now_fn,
+        )
+        network.add_interceptor(attack)
+        instruments.append((index, "loss", attack))
+
+    elif spec.kind == "false_suspicion":
+        if getattr(cluster.replicas[0], "optilog", None) is None:
+            raise ValueError(
+                "false_suspicion faults need an OptiLog-bearing cluster "
+                "(protocol pbft-aware or pbft-optiaware)"
+            )
+        pool = (
+            list(spec.attacker)
+            if isinstance(spec.attacker, (tuple, list))
+            else [spec.attacker]
+        )
+        period = params.get("period", 10.0)
+        rounds = params.get("rounds", len(pool))
+        counters = {"rounds_launched": 0}
+        instruments.append((index, "false_suspicion", counters))
+
+        def fire_suspicion(round_index: int) -> None:
+            attacker = pool[round_index % len(pool)]
+            target = _resolve_attacker(params.get("target", "leader"), cluster)
+            if target == attacker:
+                # Self-suspicions are dropped by the monitor; smear the
+                # next replica instead so the round is not wasted.
+                target = (target + 1) % cluster.n
+            replica = cluster.replicas[attacker]
+            # The full power of a Byzantine replica: log any measurement
+            # it likes.  The fabricated ⟨Slow⟩ rides the normal record
+            # path (gossip -> leader block -> commit); once committed,
+            # the correct target reciprocates (condition (c)) and the
+            # resulting edge degrades the candidate set K.
+            record = SuspicionRecord(
+                reporter=attacker,
+                suspect=target,
+                kind=SuspicionKind.SLOW,
+                round_id=1_000_000 + counters["rounds_launched"],
+                msg_type="write",
+                phase=2,
+                view=replica.log_view,
+            )
+            replica._gossip_record(record)
+            counters["rounds_launched"] += 1
+            if round_index + 1 < rounds and sim.now + period <= spec.end:
+                sim.schedule(period, fire_suspicion, round_index + 1)
+
+        sim.schedule_at(spec.start, fire_suspicion, 0)
+
+    else:  # pragma: no cover - __post_init__ rejects unknown kinds
+        raise ValueError(f"unknown fault kind {spec.kind!r}")
 
 
 # ----------------------------------------------------------------------
@@ -393,12 +808,14 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     deployment = resolve_deployment(scenario.deployment, seed=scenario.seed)
     workload = _resolve_workload(scenario)
     cluster = _build_cluster(scenario, deployment, workload)
-    for fault in scenario.faults:
-        _schedule_fault(fault, cluster)
+    instruments: List[Tuple[int, str, Any]] = []
+    for index, fault in enumerate(scenario.faults):
+        _schedule_fault(fault, cluster, index, instruments)
     run_metrics = cluster.run(scenario.duration)
     return ScenarioResult(
         scenario=scenario,
         cluster=cluster,
         run_metrics=run_metrics,
         workload=workload,
+        fault_instruments=instruments,
     )

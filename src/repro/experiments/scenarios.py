@@ -1,0 +1,205 @@
+"""Named adversarial scenarios, registered alongside the figure drivers.
+
+Each entry is a :class:`~repro.experiments.runner.Scenario` factory
+parameterised by ``seed`` and (optionally) ``duration``; fault windows
+scale with the duration so a CI-speed run exercises the same phase
+structure as the full-length one.  They complement the paper figures:
+fig7/fig9 reproduce published plots, these probe the fault space the
+paper's evaluation motivates but does not enumerate -- partitions that
+heal, sustained churn, undetectable δ-bounded delays, lossy WAN links,
+and log-level smear campaigns.
+
+Run them from the shell::
+
+    python -m repro scenario partition-heal
+    python -m repro scenario churn-storm --seed 3 --duration 20
+
+or programmatically via :func:`make_scenario` / :func:`run_named`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments.runner import (
+    FaultSpec,
+    MeasurementPolicy,
+    Scenario,
+    ScenarioResult,
+    run_scenario,
+)
+
+
+def _partition_heal(seed: int, duration: Optional[float]) -> Scenario:
+    d = 30.0 if duration is None else duration
+    # Europe21, f = 6: a six-replica minority (15..20) splits off, the
+    # weighted-quorum majority keeps committing, then the fabric heals
+    # and the minority catches back up from live traffic.
+    minority = tuple(range(15, 21))
+    majority = tuple(range(0, 15))
+    return Scenario(
+        name="partition-heal",
+        protocol="pbft",
+        deployment="Europe21",
+        workload="open-loop",
+        workload_params={"rate": 40.0},
+        duration=d,
+        seed=seed,
+        faults=[
+            FaultSpec(
+                kind="partition",
+                start=d / 3.0,
+                end=2.0 * d / 3.0,
+                params={"groups": (minority, majority)},
+            )
+        ],
+    )
+
+
+def _churn_storm(seed: int, duration: Optional[float]) -> Scenario:
+    d = 30.0 if duration is None else duration
+    # Rotating-leader HotStuff under relentless random churn: one replica
+    # of sixteen down at a time, revived with catch-up, for most of the
+    # run.  Stresses the revival path and leader rotation together.
+    return Scenario(
+        name="churn-storm",
+        protocol="hotstuff-rr",
+        deployment="wonderproxy-16",
+        workload="open-loop",
+        workload_params={"rate": 60.0},
+        duration=d,
+        seed=seed,
+        faults=[
+            FaultSpec(
+                kind="churn",
+                start=0.1 * d,
+                end=0.9 * d,
+                params={
+                    "period": d / 10.0,
+                    "downtime": d / 20.0,
+                    "random": True,
+                },
+            )
+        ],
+    )
+
+
+def _stealth_delta(seed: int, duration: Optional[float]) -> Scenario:
+    d = 20.0 if duration is None else duration
+    # Fig. 11's trade-off, live: faulty intermediates stretch every link
+    # to 95% of the suspicion budget delta*d_m -- maximal damage, zero
+    # suspicions -- from a quarter of the run onward.
+    return Scenario(
+        name="stealth-delta",
+        protocol="kauri",
+        deployment="Europe21",
+        workload="saturated",
+        duration=d,
+        seed=seed,
+        delta=1.25,
+        faults=[
+            FaultSpec(
+                kind="delta_delay",
+                start=d / 4.0,
+                attacker="intermediates",
+                params={"delta": 1.25, "adaptive": True},
+            )
+        ],
+    )
+
+
+def _lossy_wan(seed: int, duration: Optional[float]) -> Scenario:
+    d = 30.0 if duration is None else duration
+    # 1% symmetric message loss on every link for the whole run: the
+    # quorum-redundancy test (PBFT commits need quorum weight, not every
+    # vote).  The engines deliberately have no retransmission or view
+    # change, so a round that loses too many copies of one message
+    # deadlocks -- at 1% that is vanishingly rare; push the rate up to
+    # see the knee.
+    return Scenario(
+        name="lossy-wan",
+        protocol="pbft",
+        deployment="Europe21",
+        workload="open-loop",
+        workload_params={"rate": 40.0},
+        duration=d,
+        seed=seed,
+        faults=[FaultSpec(kind="loss", params={"rate": 0.01})],
+    )
+
+
+def _smear_campaign(seed: int, duration: Optional[float]) -> Scenario:
+    d = 90.0 if duration is None else duration
+    # Fig. 10's false-suspicion attack on the OptiAware leader pipeline:
+    # three faulty replicas take turns fabricating ⟨Slow⟩ records against
+    # whoever leads; reciprocation excludes the smeared leader from K and
+    # forces reconfigurations onto ever-worse candidates.
+    return Scenario(
+        name="smear-campaign",
+        protocol="pbft-optiaware",
+        deployment="Europe21",
+        workload="closed-loop",
+        duration=d,
+        seed=seed,
+        delta=1.25,
+        measurements=MeasurementPolicy(
+            probe_at=d / 18.0,
+            publish_at=d / 6.0,
+            first_search_at=4.0 * d / 9.0,
+            search_period=2.0 * d / 9.0,
+        ),
+        faults=[
+            FaultSpec(
+                kind="false_suspicion",
+                start=d / 3.0,
+                attacker=(17, 18, 19),
+                params={"period": d / 9.0, "rounds": 3},
+            )
+        ],
+    )
+
+
+#: name -> (factory, one-line description shown by ``python -m repro list``).
+ADVERSARIAL_SCENARIOS: Dict[
+    str, Tuple[Callable[[int, Optional[float]], Scenario], str]
+] = {
+    "partition-heal": (
+        _partition_heal,
+        "minority partition splits off mid-run, then heals (pbft/Europe21)",
+    ),
+    "churn-storm": (
+        _churn_storm,
+        "random crash/recover cycles under rotating leaders (hotstuff-rr)",
+    ),
+    "stealth-delta": (
+        _stealth_delta,
+        "intermediates delay to 95% of the suspicion budget (kauri, Fig. 11)",
+    ),
+    "lossy-wan": (
+        _lossy_wan,
+        "1% message loss on every link for the whole run (pbft/Europe21)",
+    ),
+    "smear-campaign": (
+        _smear_campaign,
+        "faulty replicas fabricate suspicions against the leader (optiaware)",
+    ),
+}
+
+
+def make_scenario(
+    name: str, seed: int = 0, duration: Optional[float] = None
+) -> Scenario:
+    """Build a registered adversarial scenario by name."""
+    try:
+        factory, _ = ADVERSARIAL_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(ADVERSARIAL_SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r} (known: {known})")
+    return factory(seed, duration)
+
+
+def run_named(
+    name: str, seed: int = 0, duration: Optional[float] = None
+) -> ScenarioResult:
+    """Run a registered adversarial scenario end to end."""
+    return run_scenario(make_scenario(name, seed=seed, duration=duration))

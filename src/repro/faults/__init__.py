@@ -1,20 +1,39 @@
-"""Byzantine behaviours used across the evaluation.
+"""Byzantine and benign-fault behaviours used across the evaluation.
 
-* :mod:`repro.faults.delay` -- the Pre-Prepare delay attack (Fig. 7) and
-  δ-bounded malicious delays by internal tree nodes (Fig. 11);
+* :mod:`repro.faults.delay` -- the Pre-Prepare delay attack (Fig. 7),
+  δ-bounded malicious delays by internal tree nodes (Fig. 11), and the
+  adaptive stay-below-``δ·d_m`` stealth adversary;
+* :mod:`repro.faults.loss` -- probabilistic message loss on selected
+  links, drawing from a dedicated ``derive_rng`` stream;
 * :mod:`repro.faults.false_suspicion` -- the targeted false-suspicion
   attack against OptiTree's internal nodes (Fig. 10);
-* :mod:`repro.faults.crash` -- crash faults, e.g. the failing root of the
-  reconfiguration experiment (Fig. 15).
+* :mod:`repro.faults.crash` -- one-shot crash faults, e.g. the failing
+  root of the reconfiguration experiment (Fig. 15);
+* :mod:`repro.faults.churn` -- crash -> recover cycles with catch-up-safe
+  revival;
+* :mod:`repro.faults.window` -- the shared ``start``/``end`` activation
+  window every interceptor-based adversary uses.
+
+Network partitions are a property of the fabric, not of one adversary,
+so they live on :class:`repro.sim.network.Network` directly
+(``partition(groups)`` / ``heal()``).  The scenario-level vocabulary that
+composes all of these is :class:`repro.experiments.runner.FaultSpec`.
 """
 
+from repro.faults.churn import ChurnSchedule
 from repro.faults.crash import CrashSchedule
-from repro.faults.delay import DelayAttack, DeltaDelayAttack
+from repro.faults.delay import DelayAttack, DeltaDelayAttack, StealthDelayAttack
 from repro.faults.false_suspicion import TargetedSuspicionAttack
+from repro.faults.loss import MessageLoss
+from repro.faults.window import ActivationWindow
 
 __all__ = [
+    "ActivationWindow",
+    "ChurnSchedule",
     "CrashSchedule",
     "DelayAttack",
     "DeltaDelayAttack",
+    "MessageLoss",
+    "StealthDelayAttack",
     "TargetedSuspicionAttack",
 ]

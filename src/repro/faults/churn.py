@@ -1,0 +1,117 @@
+"""Node churn: crash -> recover cycles (§4.2.3's crash suspicions, plus
+the recovering executions the role-assignment evaluation needs).
+
+:class:`ChurnSchedule` extends :class:`repro.faults.crash.CrashSchedule`
+from one-shot crashes to cycles: every ``period`` seconds a victim from a
+pool goes down for ``downtime`` seconds and then comes back.  Revival is
+*catch-up safe*: an ``on_revive`` hook runs right after the node rejoins
+the network, so the host can fast-forward the replica's state (committed
+height, sequence numbers) before traffic reaches it -- a replica reviving
+into a pipelined protocol with stale state would otherwise poison the run
+with phantom conflicts no real recovery procedure produces.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.faults.crash import CrashSchedule
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+class ChurnSchedule(CrashSchedule):
+    """Crash/recover cycles over a victim pool.
+
+    Victims are taken round-robin from ``pool`` unless an ``rng`` (from
+    ``sim.derive_rng``) is supplied, in which case each cycle picks a
+    uniformly random pool member.  A victim that is still down when its
+    next turn comes around is skipped, so overlapping cycles cannot
+    double-crash a node.  Crash/revival bookkeeping (``crashes``,
+    ``revivals``, the live :attr:`crashed` set) is inherited from
+    :class:`CrashSchedule`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        on_revive: Optional[Callable[[int], None]] = None,
+    ):
+        super().__init__(sim, network)
+        self.on_revive = on_revive
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def cycle(
+        self,
+        pool: Sequence[int],
+        period: float,
+        downtime: float,
+        start: float = 0.0,
+        end: float = math.inf,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Crash one pool member every ``period`` s for ``downtime`` s.
+
+        The first crash fires at ``start + period``; cycles whose crash
+        time would fall after ``end`` are not scheduled.  Overlapping
+        cycles (``downtime > period``) are legal.
+        """
+        pool = list(pool)
+        if not pool:
+            raise ValueError("churn needs a non-empty victim pool")
+        if period <= 0 or downtime <= 0:
+            raise ValueError("churn period and downtime must be positive")
+
+        def fire() -> None:
+            victim = self._pick(pool, rng)
+            if victim is not None:
+                self.crash(victim)
+                self.sim.schedule(downtime, self.revive, victim)
+            next_time = self.sim.now + period
+            if next_time <= end:
+                self.sim.schedule(period, fire)
+
+        first = max(start, self.sim.now) + period
+        if first <= end:
+            self.sim.schedule_at(first, fire)
+
+    def _pick(self, pool: Sequence[int], rng: Optional[random.Random]) -> Optional[int]:
+        """Next victim that is currently up, or None if the pool is down."""
+        up = [victim for victim in pool if not self.network.is_down(victim)]
+        if not up:
+            return None
+        if rng is not None:
+            return rng.choice(up)
+        victim = up[self._cursor % len(up)]
+        self._cursor += 1
+        return victim
+
+    # ------------------------------------------------------------------
+    # Immediate actions
+    # ------------------------------------------------------------------
+    def crash(self, victim: int) -> None:
+        self._crash(victim)
+
+    def revive(self, victim: int) -> None:
+        self._revive(victim)
+        if self.on_revive is not None:
+            self.on_revive(victim)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def down(self) -> List[int]:
+        """Victims currently crashed, in crash order (alias of
+        :attr:`CrashSchedule.crashed` in churn vocabulary)."""
+        return self.crashed
+
+    @property
+    def cycles_completed(self) -> int:
+        return len(self.revivals)

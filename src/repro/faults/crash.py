@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
@@ -13,13 +13,15 @@ class CrashSchedule:
 
     Fig. 15 crashes the current tree root every 10 seconds; the schedule
     supports both fixed victims and a callable resolving "whoever holds
-    the role right now" at crash time.
+    the role right now" at crash time.  Revivals are recorded alongside
+    crashes, so :attr:`crashed` always reflects the *live* down set.
     """
 
     def __init__(self, sim: Simulator, network: Network):
         self.sim = sim
         self.network = network
         self.crashes: List[Tuple[float, int]] = []
+        self.revivals: List[Tuple[float, int]] = []
 
     def crash_at(self, time: float, victim: int) -> None:
         self.sim.schedule_at(time, self._crash, victim)
@@ -31,7 +33,12 @@ class CrashSchedule:
         start: float = 0.0,
         end: float = float("inf"),
     ) -> None:
-        """Crash whatever replica ``victim_fn`` returns, every ``period``."""
+        """Crash whatever replica ``victim_fn`` returns, every ``period``.
+
+        No crash ever fires after ``end``: when ``start + period > end``
+        the schedule is empty (it used to fire one stray crash past the
+        window).
+        """
 
         def fire() -> None:
             victim = victim_fn()
@@ -41,15 +48,34 @@ class CrashSchedule:
             if next_time <= end:
                 self.sim.schedule(period, fire)
 
-        self.sim.schedule_at(max(start, self.sim.now) + period, fire)
+        first = max(start, self.sim.now) + period
+        if first <= end:
+            self.sim.schedule_at(first, fire)
 
     def revive_at(self, time: float, victim: int) -> None:
-        self.sim.schedule_at(time, self.network.set_down, victim, False)
+        self.sim.schedule_at(time, self._revive, victim)
 
     def _crash(self, victim: int) -> None:
         self.network.set_down(victim)
         self.crashes.append((self.sim.now, victim))
 
+    def _revive(self, victim: int) -> None:
+        self.network.set_down(victim, False)
+        self.revivals.append((self.sim.now, victim))
+
     @property
     def crashed(self) -> List[int]:
-        return [victim for _time, victim in self.crashes]
+        """Victims currently down (crashed and not since revived), in
+        crash order."""
+        live: List[int] = []
+        events = sorted(
+            [(time, 0, victim) for time, victim in self.crashes]
+            + [(time, 1, victim) for time, victim in self.revivals]
+        )
+        for _time, kind, victim in events:
+            if kind == 0:
+                if victim not in live:
+                    live.append(victim)
+            elif victim in live:
+                live.remove(victim)
+        return live

@@ -1,0 +1,47 @@
+"""Windowed activation shared by all interceptor-based adversaries.
+
+Every fault in :mod:`repro.faults` that acts as a network interceptor is
+*windowed*: it only manipulates traffic between ``start`` and ``end``
+(simulation seconds).  The window needs a clock -- in a simulation,
+``lambda: sim.now``.  Constructing a non-trivial window without one is a
+silent no-op (the adversary never activates, the experiment reports
+healthy numbers), so :class:`ActivationWindow` fails loudly instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+
+class ActivationWindow:
+    """Gate for ``start <= now <= end`` with a mandatory clock.
+
+    ``now_fn`` may be omitted only for the trivial always-active window
+    (``start == 0`` and ``end == inf``); any real window without a clock
+    raises ``ValueError`` at construction time.
+    """
+
+    __slots__ = ("start", "end", "_now")
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        end: float = math.inf,
+        now_fn: Optional[Callable[[], float]] = None,
+    ):
+        if end < start:
+            raise ValueError(f"window end {end} precedes start {start}")
+        if now_fn is None:
+            if start > 0.0 or end != math.inf:
+                raise ValueError(
+                    "a start/end window needs now_fn (e.g. lambda: sim.now); "
+                    "without a clock the window would silently never trigger"
+                )
+            now_fn = lambda: 0.0  # noqa: E731 - trivial always-active clock
+        self.start = start
+        self.end = end
+        self._now = now_fn
+
+    def active(self) -> bool:
+        return self.start <= self._now() <= self.end

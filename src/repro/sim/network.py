@@ -22,7 +22,13 @@ Interceptor = Callable[[int, int, Any, float], Optional[tuple]]
 
 @dataclass
 class NetworkStats:
-    """Counters kept by the network for overhead accounting (Fig. 13)."""
+    """Counters kept by the network for overhead accounting (Fig. 13).
+
+    ``messages_sent``/``bytes_sent``/``per_type_bytes`` count only traffic
+    actually put on the wire: a message dropped at send time (down node,
+    partition, interceptor drop) increments ``messages_dropped`` alone, so
+    fault scenarios do not inflate the overhead accounting.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
@@ -66,6 +72,13 @@ class Network:
         self._handlers: Dict[int, Callable[[int, Any], None]] = {}
         self._interceptors: list[Interceptor] = []
         self._down: set[int] = set()
+        #: node id -> partition group; nodes in different groups cannot
+        #: exchange messages.  Nodes absent from the map (e.g. clients)
+        #: keep full connectivity.
+        self._partition_group: Dict[int, int] = {}
+        #: Incremented by every partition(); lets a scheduled heal detect
+        #: that a newer partition superseded the one it belongs to.
+        self._partition_epoch = 0
         self._jitter_rng = sim.derive_rng("network-jitter")
 
     # ------------------------------------------------------------------
@@ -88,6 +101,56 @@ class Network:
     def is_down(self, node_id: int) -> bool:
         return node_id in self._down
 
+    def partition(self, groups: Iterable[Iterable[int]]) -> int:
+        """Split the network into isolated ``groups`` of nodes.
+
+        Links inside a group keep working; messages between nodes of
+        different groups are dropped -- at send time for new traffic and
+        at delivery time for messages already in flight, mirroring the
+        node-down semantics.  Unlike :meth:`set_down` the nodes stay
+        alive: they keep processing timers and intra-group traffic, which
+        is what distinguishes a partition from a crash.
+
+        Nodes not named in any group (clients, late joiners) retain full
+        connectivity.  Calling :meth:`partition` again replaces the
+        previous partition; :meth:`heal` removes it.
+
+        Returns an epoch token: pass it to :meth:`heal` so a heal
+        scheduled for *this* partition becomes a no-op if a newer
+        partition has replaced it in the meantime.
+        """
+        mapping: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                if node in mapping:
+                    raise ValueError(f"node {node} appears in two partition groups")
+                mapping[node] = index
+        self._partition_group = mapping
+        self._partition_epoch += 1
+        return self._partition_epoch
+
+    def heal(self, epoch: Optional[int] = None) -> None:
+        """Remove the current partition; all links work again.
+
+        With ``epoch`` (from :meth:`partition`), only heal if that
+        partition is still the active one -- a later partition survives
+        an earlier partition's scheduled heal.
+        """
+        if epoch is not None and epoch != self._partition_epoch:
+            return
+        self._partition_group = {}
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Can a message currently flow ``src`` -> ``dst``?"""
+        if src in self._down or dst in self._down:
+            return False
+        return not self._partitioned(src, dst)
+
+    def _partitioned(self, a: int, b: int) -> bool:
+        group_a = self._partition_group.get(a)
+        group_b = self._partition_group.get(b)
+        return group_a is not None and group_b is not None and group_a != group_b
+
     def add_interceptor(self, interceptor: Interceptor) -> None:
         """Install a fault-injection hook; interceptors run in order."""
         self._interceptors.append(interceptor)
@@ -104,9 +167,12 @@ class Network:
         ``size`` is the serialized size in bytes, used only for statistics.
         Self-delivery is supported with zero latency (plus jitter) because
         protocol code treats the local replica uniformly.
+
+        Only messages that actually reach the wire are counted as sent;
+        send-time drops (down endpoint, partition, interceptor) count as
+        dropped instead.
         """
-        self.stats.record_send(message, size)
-        if src in self._down or dst in self._down:
+        if src in self._down or dst in self._down or self._partitioned(src, dst):
             self.stats.messages_dropped += 1
             return
         delay = 0.0 if src == dst else self.one_way_delay(src, dst)
@@ -118,6 +184,7 @@ class Network:
                 self.stats.messages_dropped += 1
                 return
             message, delay = result
+        self.stats.record_send(message, size)
         self.sim.schedule(delay, self._deliver, src, dst, message)
 
     def multicast(self, src: int, dsts: Iterable[int], message: Any, size: int = 0) -> None:
@@ -129,7 +196,7 @@ class Network:
     # Delivery
     # ------------------------------------------------------------------
     def _deliver(self, src: int, dst: int, message: Any) -> None:
-        if dst in self._down or src in self._down:
+        if dst in self._down or src in self._down or self._partitioned(src, dst):
             self.stats.messages_dropped += 1
             return
         handler = self._handlers.get(dst)

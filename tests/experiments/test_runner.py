@@ -2,6 +2,7 @@
 fault scheduling, and equivalence with the pre-runner driver code."""
 
 import random
+from pathlib import Path
 
 import pytest
 
@@ -15,6 +16,8 @@ from repro.experiments.runner import (
     resolve_deployment,
     run_scenario,
 )
+
+GOLDEN_DIR = Path(__file__).parent / "data"
 
 
 def small_scenario(**overrides):
@@ -35,6 +38,23 @@ def test_scenario_json_is_bit_identical_across_runs():
     second = run_scenario(small_scenario()).to_json()
     assert first == second
     assert '"protocol": "pbft"' in first
+
+
+def test_no_fault_scenario_matches_pre_adversary_golden():
+    """Determinism contract: a seeded run with ``faults=[]`` must stay
+    bit-identical to the output recorded before the adversary subsystem
+    existed (same ``derive_rng`` call order on the no-fault path).
+
+    If this fails after an intentional behaviour change, regenerate with::
+
+        PYTHONPATH=src python -c "
+        from tests.experiments.test_runner import small_scenario
+        from repro.experiments.runner import run_scenario
+        print(run_scenario(small_scenario()).to_json(indent=2))" \
+            > tests/experiments/data/golden_no_fault.json
+    """
+    golden = (GOLDEN_DIR / "golden_no_fault.json").read_text().rstrip("\n")
+    assert run_scenario(small_scenario()).to_json(indent=2) == golden
 
 
 def test_scenario_seed_changes_metrics():
@@ -125,6 +145,223 @@ def test_crash_fault_stops_fixed_leader_progress():
     )
     # Replica 0 is the seed-0 fixed leader; crashing it halts commits.
     assert crashed.metrics()["committed_blocks"] < healthy.metrics()["committed_blocks"]
+
+
+def test_partition_halves_progress_until_heal():
+    """Splitting off a super-minority must not stop commits; isolating
+    the leader's majority side from too many voters must."""
+    quiet = run_scenario(small_scenario(workload="open-loop",
+                                        workload_params={"rate": 30.0},
+                                        duration=10.0))
+    # n=7, f=2: quorum 5.  Cutting 2 replicas off leaves 5 -- progress.
+    minority_cut = run_scenario(
+        small_scenario(
+            workload="open-loop", workload_params={"rate": 30.0}, duration=10.0,
+            faults=[FaultSpec(kind="partition", start=0.0,
+                              params={"groups": ((5, 6), (0, 1, 2, 3, 4))})],
+        )
+    )
+    # Cutting 3 off leaves 4 < 5 -- no commits at all.
+    majority_cut = run_scenario(
+        small_scenario(
+            workload="open-loop", workload_params={"rate": 30.0}, duration=10.0,
+            faults=[FaultSpec(kind="partition", start=0.0,
+                              params={"groups": ((4, 5, 6), (0, 1, 2, 3))})],
+        )
+    )
+    healed = run_scenario(
+        small_scenario(
+            workload="open-loop", workload_params={"rate": 30.0}, duration=10.0,
+            faults=[FaultSpec(kind="partition", start=2.0, end=4.0,
+                              params={"groups": ((4, 5, 6), (0, 1, 2, 3))})],
+        )
+    )
+    assert minority_cut.metrics()["committed_blocks"] > 0
+    assert majority_cut.metrics()["committed_blocks"] == 0
+    assert (
+        0
+        < healed.metrics()["committed_blocks"]
+        <= quiet.metrics()["committed_blocks"]
+    )
+
+
+def test_loss_fault_is_deterministic_and_counted():
+    def run():
+        return run_scenario(
+            small_scenario(
+                workload="open-loop", workload_params={"rate": 30.0}, duration=8.0,
+                faults=[FaultSpec(kind="loss", start=1.0, end=6.0,
+                                  params={"rate": 0.1})],
+            )
+        )
+
+    first, second = run(), run()
+    assert first.to_json() == second.to_json()
+    activity = first.metrics()["fault_activity"][0]
+    assert activity["kind"] == "loss"
+    assert 0 < activity["messages_lost"] < activity["messages_seen"]
+
+
+def test_crash_with_end_revives_and_recovers_progress():
+    crashed_forever = run_scenario(
+        small_scenario(protocol="hotstuff-fixed", workload="saturated",
+                       workload_params={}, duration=10.0,
+                       faults=[FaultSpec(kind="crash", start=3.0, attacker=0)])
+    )
+    revived = run_scenario(
+        small_scenario(protocol="hotstuff-fixed", workload="saturated",
+                       workload_params={}, duration=10.0,
+                       faults=[FaultSpec(kind="crash", start=3.0, end=5.0,
+                                         attacker=0)])
+    )
+    # Replica 0 is the seed-0 fixed leader; reviving it (with catch-up)
+    # must restart commits that stay dead without the revival.
+    assert (
+        revived.metrics()["committed_blocks"]
+        > crashed_forever.metrics()["committed_blocks"]
+    )
+    assert revived.metrics()["fault_activity"][0]["revived_at"] == 5.0
+
+
+def test_churn_fault_cycles_and_keeps_cluster_live():
+    result = run_scenario(
+        small_scenario(
+            protocol="hotstuff-rr", workload="open-loop",
+            workload_params={"rate": 30.0}, duration=12.0,
+            faults=[FaultSpec(kind="churn", start=2.0, end=10.0,
+                              params={"period": 2.0, "downtime": 1.0})],
+        )
+    )
+    activity = result.metrics()["fault_activity"][0]
+    assert activity["crashes"] >= 3
+    assert activity["revivals"] == activity["crashes"]
+    assert result.metrics()["committed_blocks"] > 0
+
+
+def test_kauri_leaf_revival_does_not_overshoot_commit_point():
+    """Catch-up must copy the donor's *committed* height; under
+    pipelining next_height-1 runs ahead of it, and marking those heights
+    committed would strand their requests."""
+    result = run_scenario(
+        small_scenario(
+            protocol="kauri", workload="closed-loop", workload_params={},
+            duration=10.0,
+            faults=[FaultSpec(kind="crash", start=3.0, end=5.0, attacker=5)],
+        )
+    )
+    root = result.cluster.replicas[result.cluster.tree.root]
+    revived = result.cluster.replicas[5]
+    assert revived.committed_height <= root.committed_height
+    assert result.metrics()["committed_blocks"] > 0
+    assert result.metrics()["fault_activity"][0]["revived_at"] == 5.0
+
+
+def test_loss_senders_param_is_validated_and_normalised():
+    assert FaultSpec(kind="loss", params={"rate": 0.1, "senders": 3}).params[
+        "senders"
+    ] == (3,)
+    assert FaultSpec(
+        kind="loss", params={"rate": 0.1, "senders": [4, 2]}
+    ).params["senders"] == (2, 4)
+    with pytest.raises(ValueError, match="senders"):
+        FaultSpec(kind="loss", params={"rate": 0.1, "senders": "leader"})
+
+
+def test_false_suspicion_fault_degrades_candidate_set():
+    from repro.experiments.runner import MeasurementPolicy
+
+    result = run_scenario(
+        Scenario(
+            protocol="pbft-optiaware", deployment="wonderproxy-7",
+            workload="closed-loop", duration=30.0, seed=0, delta=1.25,
+            measurements=MeasurementPolicy(probe_at=2.0, publish_at=5.0,
+                                           first_search_at=12.0,
+                                           search_period=10.0),
+            faults=[FaultSpec(kind="false_suspicion", start=15.0,
+                              attacker=(5, 6), params={"period": 5.0})],
+        )
+    )
+    assert result.metrics()["fault_activity"][0]["rounds_launched"] == 2
+    monitor = result.cluster.replicas[0].optilog.pipeline.suspicion_monitor
+    # The fabricated suspicions and their reciprocations put edges in G:
+    # the smeared correct replica (or an attacker) left K.
+    assert monitor.active_suspicions()
+    assert len(monitor.K) < 7
+
+
+def test_false_suspicion_requires_optilog_cluster():
+    with pytest.raises(ValueError, match="pbft-aware"):
+        run_scenario(
+            small_scenario(protocol="hotstuff-rr", workload="saturated",
+                           workload_params={},
+                           faults=[FaultSpec(kind="false_suspicion",
+                                             attacker=(5,))])
+        )
+
+
+def test_fault_spec_validation_is_loud():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec(kind="meteor")
+    with pytest.raises(ValueError, match="unknown param"):
+        FaultSpec(kind="loss", params={"rte": 0.1})
+    with pytest.raises(ValueError, match="rate"):
+        FaultSpec(kind="loss", params={"rate": 1.5})
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultSpec(kind="partition")
+    with pytest.raises(ValueError, match="exactly one"):
+        FaultSpec(kind="partition",
+                  params={"groups": ((0,), (1,)), "isolate": 2})
+    with pytest.raises(ValueError, match="precedes"):
+        FaultSpec(kind="delay", start=10.0, end=5.0)
+    with pytest.raises(ValueError, match="attacker replica ids"):
+        FaultSpec(kind="false_suspicion", attacker="leader")
+    with pytest.raises(ValueError, match="period"):
+        FaultSpec(kind="churn", params={"period": -1.0})
+    with pytest.raises(ValueError, match="delta"):
+        FaultSpec(kind="delta_delay", params={"delta": 0.0})
+
+
+def test_cli_fault_parsing_routes_params_and_nested_groups():
+    from repro.__main__ import _parse_fault
+
+    spec = _parse_fault("partition:groups=((0,1,2),(3,4,5,6)),start=10,end=20")
+    assert spec.kind == "partition"
+    assert spec.params["groups"] == ((0, 1, 2), (3, 4, 5, 6))
+    assert (spec.start, spec.end) == (10, 20)
+
+    spec = _parse_fault("delay:start=60,attacker=leader,extra_delay=0.8,"
+                        "message_types=(PrePrepare,Prepare)")
+    assert spec.attacker == "leader"
+    assert spec.message_types == ("PrePrepare", "Prepare")
+
+    spec = _parse_fault("false_suspicion:attacker=(5,6),target=leader,period=5")
+    assert spec.attacker == (5, 6)
+    assert spec.params == {"target": "leader", "period": 5}
+
+    with pytest.raises(SystemExit, match="unknown param"):
+        _parse_fault("loss:rte=0.1")
+
+
+def test_named_adversarial_scenarios_registered_and_runnable():
+    from repro.experiments.scenarios import (
+        ADVERSARIAL_SCENARIOS,
+        make_scenario,
+        run_named,
+    )
+
+    expected = {"partition-heal", "churn-storm", "stealth-delta",
+                "lossy-wan", "smear-campaign"}
+    assert expected <= set(ADVERSARIAL_SCENARIOS)
+    for name in expected:
+        scenario = make_scenario(name, seed=1)
+        assert scenario.name == name
+        assert scenario.faults
+    with pytest.raises(ValueError, match="unknown scenario"):
+        make_scenario("meteor-strike")
+    # One end-to-end spot check at CI scale.
+    result = run_named("partition-heal", seed=0, duration=9.0)
+    assert result.metrics()["committed_blocks"] > 0
+    assert result.metrics()["fault_activity"][0]["kind"] == "partition"
 
 
 def test_invalid_combinations_are_rejected():

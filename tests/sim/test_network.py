@@ -99,3 +99,123 @@ def test_stats_count_bytes_per_type():
     assert network.stats.bytes_sent == 15
     assert network.stats.per_type_bytes["str"] == 15
     assert network.stats.messages_delivered == 2
+
+
+def test_stats_exclude_messages_dropped_at_send():
+    """A message dropped before it reaches the wire (down node or
+    interceptor) must not inflate the Fig. 13 overhead accounting."""
+    sim, network = make_network()
+    network.register(1, lambda src, msg: None)
+    network.set_down(1)
+    network.send(0, 1, "to-down-node", size=100)
+    network.set_down(1, False)
+    network.add_interceptor(lambda src, dst, msg, d: None if msg == "drop" else (msg, d))
+    network.send(0, 1, "drop", size=50)
+    network.send(0, 1, "keep", size=7)
+    sim.run()
+    assert network.stats.messages_sent == 1
+    assert network.stats.bytes_sent == 7
+    assert network.stats.per_type_bytes == {"str": 7}
+    assert network.stats.messages_dropped == 2
+    assert network.stats.messages_delivered == 1
+
+
+def test_interceptors_run_in_installation_order():
+    sim, network = make_network(delay=0.01)
+    inbox = []
+    network.register(1, lambda src, msg: inbox.append((sim.now, msg)))
+
+    def double(src, dst, message, delay):
+        return message, delay * 2.0
+
+    def drop_if_slow(src, dst, message, delay):
+        # Sees the delay *after* `double`: proof of chain ordering.
+        return None if delay > 0.015 else (message, delay)
+
+    network.add_interceptor(double)
+    network.add_interceptor(drop_if_slow)
+    network.send(0, 1, "x")
+    sim.run()
+    assert inbox == []
+    network.remove_interceptor(double)
+    network.send(0, 1, "y")
+    sim.run()
+    assert inbox == [(0.01, "y")]
+    assert network.stats.messages_dropped == 1
+
+
+def test_partition_blocks_cross_group_traffic_both_directions():
+    sim, network = make_network(delay=0.01)
+    inboxes = {i: [] for i in range(4)}
+    for i in range(4):
+        network.register(i, lambda src, msg, i=i: inboxes[i].append(msg))
+    network.partition([(0, 1), (2, 3)])
+    network.send(0, 1, "intra")
+    network.send(0, 2, "cross")
+    network.send(3, 1, "cross-back")
+    sim.run()
+    assert inboxes[1] == ["intra"]
+    assert inboxes[2] == []
+    assert network.stats.messages_dropped == 2
+    assert not network.reachable(0, 2)
+    assert network.reachable(0, 1)
+
+
+def test_partition_drops_in_flight_messages_and_heals():
+    sim, network = make_network(delay=1.0)
+    inbox = []
+    network.register(1, lambda src, msg: inbox.append(msg))
+    network.send(0, 1, "in-flight")
+    sim.schedule(0.5, network.partition, [(0,), (1,)])
+    sim.run()
+    assert inbox == []
+    network.heal()
+    network.send(0, 1, "after-heal")
+    sim.run()
+    assert inbox == ["after-heal"]
+
+
+def test_partition_leaves_unlisted_nodes_connected():
+    """Nodes absent from every group (e.g. clients) keep talking to all."""
+    sim, network = make_network(delay=0.01)
+    inboxes = {i: [] for i in range(3)}
+    for i in range(3):
+        network.register(i, lambda src, msg, i=i: inboxes[i].append(msg))
+    network.partition([(0,), (1,)])
+    network.send(2, 0, "to-a")
+    network.send(2, 1, "to-b")
+    sim.run()
+    assert inboxes[0] == ["to-a"]
+    assert inboxes[1] == ["to-b"]
+
+
+def test_stale_heal_epoch_does_not_wipe_newer_partition():
+    """A heal scheduled for an old partition must not clear a newer one."""
+    sim, network = make_network(delay=0.01)
+    inbox = []
+    network.register(1, lambda src, msg: inbox.append(msg))
+    first = network.partition([(0,), (1,)])
+    second = network.partition([(0, 2), (1,)])
+    network.heal(first)  # stale: superseded by `second`
+    network.send(0, 1, "still-cut")
+    sim.run()
+    assert inbox == []
+    network.heal(second)
+    network.send(0, 1, "healed")
+    sim.run()
+    assert inbox == ["healed"]
+
+
+def test_partition_rejects_overlapping_groups_and_replaces_old():
+    import pytest
+
+    sim, network = make_network(delay=0.01)
+    inbox = []
+    network.register(1, lambda src, msg: inbox.append(msg))
+    with pytest.raises(ValueError, match="two partition groups"):
+        network.partition([(0, 1), (1, 2)])
+    network.partition([(0,), (1,)])
+    network.partition([(0, 1), (2,)])  # replaces: 0 and 1 reunited
+    network.send(0, 1, "reunited")
+    sim.run()
+    assert inbox == ["reunited"]
