@@ -1,8 +1,11 @@
 # OptiLog reproduction -- developer entry points.
 #
-#   make test    tier-1 test suite (the CI gate)
-#   make bench   figure benchmarks at CI scale (REPRO_FULL=1 for paper scale)
-#   make lint    bytecode-compile the tree + import-check the package
+#   make test           tier-1 test suite (the CI gate)
+#   make bench          `repro bench` perf suite -> BENCH_full.json
+#   make bench-quick    CI variant (n <= 32, capped durations) -> BENCH_quick.json
+#   make bench-figures  figure benchmarks at CI scale (REPRO_FULL=1 for paper scale)
+#   make profile        cProfile over the fixed hot-path scenario
+#   make lint           bytecode-compile the tree + import-check the package
 #
 # Everything runs from the source tree via PYTHONPATH; `pip install -e .`
 # additionally provides the `repro` console script.
@@ -10,17 +13,26 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench lint quickstart
+.PHONY: test bench bench-quick bench-figures profile lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
+	$(PYTHON) -m repro bench --output BENCH_full.json
+
+bench-quick:
+	$(PYTHON) -m repro bench --quick --output BENCH_quick.json
+
+bench-figures:
 	$(PYTHON) -m pytest benchmarks -q
+
+profile:
+	$(PYTHON) -m repro.bench.profile
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
-	$(PYTHON) -c "import repro, repro.experiments.runner, repro.workloads, repro.__main__"
+	$(PYTHON) -c "import repro, repro.experiments.runner, repro.workloads, repro.bench, repro.__main__"
 	$(PYTHON) -m repro list > /dev/null
 
 quickstart:

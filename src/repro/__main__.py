@@ -20,6 +20,13 @@ Subcommands
     Execute a figure driver (``fig7`` ... ``fig15``, ``fast`` where
     supported) and print its table.
 
+``bench``
+    Run the fixed performance suite and write a ``BENCH_*.json`` that
+    embeds the recorded pre-refactor baseline next to the fresh
+    numbers::
+
+        python -m repro bench --quick --output BENCH_quick.json
+
 ``list``
     Show the available protocols, workloads, deployments, fault kinds,
     scenarios and figures.
@@ -199,6 +206,30 @@ def cmd_fig(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import SUITE, format_table, run_suite, write_report
+
+    try:
+        report = run_suite(
+            quick=args.quick,
+            only=args.entry or None,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    print(format_table(report))
+    output = args.output
+    if output is None:
+        # A partial run must not clobber a previously written full report.
+        if args.entry:
+            output = "BENCH_partial.json"
+        else:
+            output = "BENCH_quick.json" if args.quick else "BENCH_full.json"
+    write_report(report, output)
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("protocols:")
     for name, (family, variant) in sorted(runner_mod.PROTOCOLS.items()):
@@ -283,6 +314,23 @@ def build_parser() -> argparse.ArgumentParser:
     fig_parser.add_argument("--fast", action="store_true", default=None,
                             help="compressed timeline where the driver supports it")
     fig_parser.set_defaults(func=cmd_fig)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the fixed perf suite, write a BENCH_*.json"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="CI variant: n <= 32 entries only, capped durations, single run",
+    )
+    bench_parser.add_argument(
+        "--entry", action="append", metavar="ID",
+        help="run only this suite entry (repeatable), e.g. hotstuff/n128",
+    )
+    bench_parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="report path (default BENCH_full.json / BENCH_quick.json)",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
 
     list_parser = sub.add_parser("list", help="list protocols, workloads, deployments")
     list_parser.set_defaults(func=cmd_list)

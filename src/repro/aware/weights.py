@@ -89,7 +89,14 @@ class WeightConfiguration(Configuration):
 
     @property
     def parameters(self) -> WheatParameters:
-        return WheatParameters(self.n, self.f)
+        # Cached on the (frozen, immutable) instance: weight_of runs once
+        # per Prepare/Commit on the PBFT hot path, and building a fresh
+        # validated WheatParameters there is pure overhead.
+        cached = self.__dict__.get("_parameters")
+        if cached is None:
+            cached = WheatParameters(self.n, self.f)
+            object.__setattr__(self, "_parameters", cached)
+        return cached
 
     def weights(self) -> Dict[int, float]:
         params = self.parameters
@@ -99,12 +106,20 @@ class WeightConfiguration(Configuration):
         }
 
     def weight_of(self, replica: int) -> float:
-        params = self.parameters
-        return params.vmax if replica in self.vmax_replicas else params.vmin
+        pair = self.__dict__.get("_vmax_vmin")
+        if pair is None:
+            params = self.parameters
+            pair = (params.vmax, params.vmin)
+            object.__setattr__(self, "_vmax_vmin", pair)
+        return pair[0] if replica in self.vmax_replicas else pair[1]
 
     @property
     def quorum_weight(self) -> float:
-        return self.parameters.quorum_weight
+        cached = self.__dict__.get("_quorum_weight")
+        if cached is None:
+            cached = self.parameters.quorum_weight
+            object.__setattr__(self, "_quorum_weight", cached)
+        return cached
 
     # -- Configuration interface ----------------------------------------
     def special_replicas(self) -> FrozenSet[int]:

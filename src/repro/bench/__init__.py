@@ -1,0 +1,17 @@
+"""``repro bench``: the fixed performance suite pinning the perf trajectory.
+
+Every PR that touches the hot path (sim engine, network, crypto, log)
+runs the same suite -- per-engine saturated/closed-loop scenarios at
+n ∈ {4, 32, 128, 256} -- and emits a ``BENCH_*.json`` whose entries embed
+the recorded pre-refactor baseline, so speedups (and regressions) are
+visible as a single ratio per entry.
+"""
+
+from repro.bench.suite import (  # noqa: F401
+    SUITE,
+    BenchEntry,
+    format_table,
+    run_entry,
+    run_suite,
+    write_report,
+)

@@ -1,0 +1,42 @@
+"""``make profile``: cProfile over a fixed hot-path scenario.
+
+Profiles the same scenario every time (HotStuff-rr, wonderproxy-128,
+saturated, 30 simulated seconds, seed 0) so successive profiles are
+comparable, and prints the top functions by internal time::
+
+    PYTHONPATH=src python -m repro.bench.profile [top_n]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    top = int(argv[0]) if argv else 30
+    from repro.experiments.runner import Scenario, run_scenario
+
+    scenario = Scenario(
+        protocol="hotstuff-rr",
+        deployment="wonderproxy-128",
+        workload="saturated",
+        duration=30.0,
+        seed=0,
+        name="profile:hotstuff/n128",
+    )
+    run_scenario(scenario)  # warm imports and caches outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_scenario(scenario)
+    profiler.disable()
+    sim = result.cluster.sim
+    print(f"events: {sim.events_processed}  peak queue depth: {sim.max_queue_depth}")
+    pstats.Stats(profiler).sort_stats("tottime").print_stats(top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

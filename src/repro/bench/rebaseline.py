@@ -1,0 +1,52 @@
+"""Rewrite :mod:`repro.bench.baseline` from a fresh full-suite run.
+
+Run this *before* a hot-path change lands (or at a known-good commit) so
+subsequent ``repro bench`` reports compare against it::
+
+    PYTHONPATH=src python -m repro.bench.rebaseline "note about the commit"
+"""
+
+from __future__ import annotations
+
+import pprint
+import sys
+from pathlib import Path
+
+from repro.bench.suite import run_suite
+
+_HEADER = '''"""Pre-refactor baseline for the ``repro bench`` suite.
+
+Machine-local wall-clock numbers: comparable only to reports produced on
+the same host.  Regenerate (see :mod:`repro.bench.rebaseline`) when the
+suite changes shape or the trajectory gets a new anchor commit.
+"""
+
+BASELINE = '''
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    note = argv[0] if argv else "rebaselined"
+    report = run_suite(quick=False, progress=lambda msg: print(msg, file=sys.stderr))
+    baseline = {
+        "note": note,
+        "entries": {
+            rec["id"]: {
+                "events": rec["events"],
+                "events_per_sec": rec["events_per_sec"],
+                "wall_seconds": rec["wall_seconds"],
+                "throughput_rps": rec["throughput_rps"],
+                "committed_blocks": rec["committed_blocks"],
+                "sim_duration": rec["sim_duration"],
+            }
+            for rec in report["entries"]
+        },
+    }
+    path = Path(__file__).with_name("baseline.py")
+    path.write_text(_HEADER + pprint.pformat(baseline, sort_dicts=True) + "\n")
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

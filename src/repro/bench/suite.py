@@ -1,0 +1,204 @@
+"""The ``repro bench`` suite: fixed scenarios, measured wall-clock.
+
+The suite is deliberately boring: the *same* scenarios (protocol,
+deployment, workload, duration, seed) every run, so the only thing that
+changes between two reports is the code under test.  Simulated results
+(committed blocks, messages) are deterministic under the fixed seeds and
+double as a smoke check that an optimisation did not change behaviour;
+wall-clock numbers (``wall_seconds``, ``events_per_sec``) are the
+trajectory being pinned.
+
+``BASELINE`` (see :mod:`repro.bench.baseline`) holds the pre-refactor
+measurements; every report embeds it next to the fresh numbers so a
+``BENCH_*.json`` is self-contained evidence of a speedup.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.bench.baseline import BASELINE
+
+#: Sim-seconds per (engine, n): long enough to dominate setup cost,
+#: short enough that the full suite stays a couple of minutes.
+_QUICK_MAX_N = 32
+_QUICK_MAX_DURATION = 10.0
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One fixed suite scenario."""
+
+    id: str
+    engine: str
+    protocol: str
+    n: int
+    workload: str
+    duration: float
+    seed: int = 0
+
+    @property
+    def deployment(self) -> str:
+        return f"wonderproxy-{self.n}"
+
+
+def _entries() -> List[BenchEntry]:
+    entries: List[BenchEntry] = []
+    durations = {
+        # Saturated engines self-clock; event volume grows ~n per round.
+        # Large-n entries run long enough that per-run noise (scheduler,
+        # allocator) stays small relative to the simulation loop.
+        "hotstuff": {4: 60.0, 32: 30.0, 128: 60.0, 256: 30.0},
+        "kauri": {4: 60.0, 32: 30.0, 128: 60.0, 256: 30.0},
+        # PBFT broadcasts quadratically (n^2 Prepares/Commits per batch),
+        # so large-n entries get short horizons.
+        "pbft": {4: 60.0, 32: 20.0, 128: 5.0, 256: 2.0},
+    }
+    protocols = {"hotstuff": "hotstuff-rr", "kauri": "kauri", "pbft": "pbft"}
+    workloads = {"hotstuff": "saturated", "kauri": "saturated", "pbft": "closed-loop"}
+    for engine in ("pbft", "hotstuff", "kauri"):
+        for n in (4, 32, 128, 256):
+            entries.append(
+                BenchEntry(
+                    id=f"{engine}/n{n}",
+                    engine=engine,
+                    protocol=protocols[engine],
+                    n=n,
+                    workload=workloads[engine],
+                    duration=durations[engine][n],
+                )
+            )
+    return entries
+
+
+SUITE: List[BenchEntry] = _entries()
+
+
+def run_entry(
+    entry: BenchEntry, quick: bool = False, repeats: int = 3
+) -> Dict[str, object]:
+    """Run one suite entry and return its measured record.
+
+    The scenario executes ``repeats`` times (once in quick mode) and the
+    best wall clock wins -- standard best-of-N to shed scheduler and
+    allocator noise.  The simulated outcome is deterministic, so repeats
+    differ only in wall time.
+    """
+    from repro.experiments.runner import Scenario, run_scenario
+
+    duration = min(entry.duration, _QUICK_MAX_DURATION) if quick else entry.duration
+    scenario = Scenario(
+        protocol=entry.protocol,
+        deployment=entry.deployment,
+        workload=entry.workload,
+        duration=duration,
+        seed=entry.seed,
+        name=f"bench:{entry.id}",
+    )
+    wall = float("inf")
+    result = None
+    for _ in range(1 if quick else max(1, repeats)):
+        # Collect leftovers first so a previous run's garbage is not
+        # charged to this run's wall clock.
+        gc.collect()
+        start = time.perf_counter()
+        attempt = run_scenario(scenario)
+        elapsed = time.perf_counter() - start
+        if elapsed < wall:
+            wall = elapsed
+            result = attempt
+    sim = result.cluster.sim
+    events = sim.events_processed
+    record: Dict[str, object] = {
+        **asdict(entry),
+        "deployment": entry.deployment,
+        "sim_duration": duration,
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+        "throughput_rps": round(result.run_metrics.throughput(duration), 2),
+        "committed_blocks": len(result.run_metrics.commits),
+        "messages_sent": result.cluster.network.stats.messages_sent,
+        "messages_multicast": getattr(
+            result.cluster.network.stats, "messages_multicast", 0
+        ),
+        "peak_queue_depth": getattr(sim, "max_queue_depth", 0),
+    }
+    baseline = BASELINE.get("entries", {}).get(entry.id)
+    if baseline is not None and not quick:
+        record["baseline"] = baseline
+        base_eps = baseline.get("events_per_sec", 0.0)
+        if base_eps:
+            record["speedup_events_per_sec"] = round(
+                float(record["events_per_sec"]) / float(base_eps), 2
+            )
+    return record
+
+
+def run_suite(
+    quick: bool = False,
+    only: Optional[Iterable[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the suite (or the ``only`` subset) and return the report dict.
+
+    ``quick`` restricts to entries with n <= 32 and caps durations -- the
+    CI variant, cheap enough to run on every push.  Entries named
+    explicitly via ``only`` are always run (quick then only caps their
+    durations), so a requested entry can never silently drop out.
+    """
+    wanted = set(only) if only is not None else None
+    if wanted is not None:
+        unknown = wanted - {entry.id for entry in SUITE}
+        if unknown:
+            known = ", ".join(entry.id for entry in SUITE)
+            raise ValueError(
+                f"unknown bench entries {sorted(unknown)} (known: {known})"
+            )
+        entries = [entry for entry in SUITE if entry.id in wanted]
+    else:
+        entries = [
+            entry for entry in SUITE if not quick or entry.n <= _QUICK_MAX_N
+        ]
+    results = []
+    for entry in entries:
+        if progress is not None:
+            progress(f"bench {entry.id} (n={entry.n}, {entry.workload}) ...")
+        results.append(run_entry(entry, quick=quick))
+    return {
+        "bench_version": 1,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "baseline_note": BASELINE.get("note", ""),
+        "entries": results,
+    }
+
+
+def format_table(report: Dict[str, object]) -> str:
+    """Human-readable summary of a report (the CLI's stdout)."""
+    lines = [
+        f"{'entry':<14} {'n':>4} {'events':>9} {'wall_s':>8} "
+        f"{'events/s':>10} {'tput_rps':>9} {'queue':>6} {'speedup':>8}"
+    ]
+    for rec in report["entries"]:
+        speedup = rec.get("speedup_events_per_sec")
+        lines.append(
+            f"{rec['id']:<14} {rec['n']:>4} {rec['events']:>9} "
+            f"{rec['wall_seconds']:>8.2f} {rec['events_per_sec']:>10,.0f} "
+            f"{rec['throughput_rps']:>9,.0f} {rec['peak_queue_depth']:>6} "
+            + (f"{speedup:>7.2f}x" if speedup is not None else f"{'-':>8}")
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

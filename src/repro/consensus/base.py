@@ -3,16 +3,19 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.crypto.signatures import KeyRegistry
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 
 
-@dataclass
-class CommitEvent:
-    """One committed block, for throughput/latency accounting."""
+class CommitEvent(NamedTuple):
+    """One committed block, for throughput/latency accounting.
+
+    A ``NamedTuple``: every replica records every commit, so construction
+    sits on the hot path at large n.
+    """
 
     height: int
     commit_time: float
@@ -98,18 +101,32 @@ class ReplicaBase:
         self.network = network
         self.registry = registry
         self.metrics = RunMetrics()
+        #: Unweighted quorum size q = n - f.  A plain attribute (not a
+        #: property): it is read once per vote on the hot path.
+        self.quorum = n - f
+        #: message class -> bound handler (or None), so the per-delivery
+        #: dispatch is one dict hit instead of an f-string + getattr.
+        self._handler_cache: Dict[type, Optional[Callable[[int, Any], None]]] = {}
+        #: Pre-bound hot-path callables: one send per protocol message and
+        #: one commit record per block make the descriptor lookups
+        #: measurable.
+        self._network_send = network.send
+        self._commits_append = self.metrics.commits.append
         network.register(replica_id, self.on_message)
+        # The live cache doubles as the network's delivery fast path:
+        # classes it already maps skip the on_message dispatch frame.
+        network.register_dispatch(replica_id, self._handler_cache)
 
     # ------------------------------------------------------------------
     # Messaging
     # ------------------------------------------------------------------
     def send(self, dst: int, message: Any) -> None:
-        self.network.send(self.id, dst, message, getattr(message, "wire_size", 0))
+        # Direct attribute, not getattr-with-default: every protocol
+        # message defines wire_size (class constant or property).
+        self._network_send(self.id, dst, message, message.wire_size)
 
     def multicast(self, dsts, message: Any) -> None:
-        self.network.multicast(
-            self.id, dsts, message, getattr(message, "wire_size", 0)
-        )
+        self.network.multicast(self.id, dsts, message, message.wire_size)
 
     def broadcast(self, message: Any, include_self: bool = True) -> None:
         dsts = range(self.n) if include_self else (
@@ -121,11 +138,11 @@ class ReplicaBase:
     # Dispatch: handle_<MessageType> methods by convention
     # ------------------------------------------------------------------
     def on_message(self, src: int, message: Any) -> None:
-        handler = getattr(self, f"handle_{type(message).__name__}", None)
+        cls = message.__class__
+        try:
+            handler = self._handler_cache[cls]
+        except KeyError:
+            handler = getattr(self, f"handle_{cls.__name__}", None)
+            self._handler_cache[cls] = handler
         if handler is not None:
             handler(src, message)
-
-    @property
-    def quorum(self) -> int:
-        """Unweighted quorum size q = n - f."""
-        return self.n - self.f

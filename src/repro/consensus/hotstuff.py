@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.consensus.base import ReplicaBase, RunMetrics
+from repro.consensus.base import CommitEvent, ReplicaBase, RunMetrics
 from repro.consensus.messages import Block, ClientRequest, Proposal, Reply, Vote
 from repro.crypto.signatures import KeyRegistry
 from repro.crypto.threshold import QuorumCertificate, aggregate
@@ -26,6 +26,8 @@ from repro.sim.network import Network
 from repro.workloads.base import ClientSiteRouter, ClusterBinding, Workload
 
 GENESIS_HASH = "genesis"
+
+_VOTE_SIZE = Vote.wire_size
 
 
 class HotStuffReplica(ReplicaBase):
@@ -48,6 +50,8 @@ class HotStuffReplica(ReplicaBase):
             raise ValueError(f"unknown leader mode {leader_mode!r}")
         self.leader_mode = leader_mode
         self.fixed_leader = fixed_leader
+        #: leader_of() inlined as a flag for the per-message handlers.
+        self._round_robin = leader_mode == "rr"
         self.payload_per_block = payload_per_block
         self.blocks: Dict[str, Block] = {}
         self.block_at_height: Dict[int, Block] = {}
@@ -136,64 +140,106 @@ class HotStuffReplica(ReplicaBase):
         if not self.running:
             return
         block = proposal.block
-        if src != self.leader_of(block.height) or block.proposer != src:
+        height = block.height
+        leader = height % self.n if self._round_robin else self.fixed_leader
+        if src != leader or block.proposer != src:
             return
         # Claim before the height check: a proposal observed out of order
         # still proves its requests are in flight, and skipping the claim
         # would let a later leader re-batch (and re-commit) them.
         if self.request_driven and block.request_ids:
             self._claim_requests(block)
-        if block.height <= self.last_voted_height:
+        if height <= self.last_voted_height:
             return
-        if proposal.qc is not None:
-            self._observe_qc(proposal.qc)
-        self.blocks[block.hash] = block
-        self.block_at_height[block.height] = block
-        self.last_voted_height = block.height
-        self.send(
-            self.vote_target(block.height),
-            Vote(height=block.height, block_hash=block.hash, sender=self.id),
-        )
+        qc = proposal.qc
+        if qc is not None:
+            # _observe_qc(), inlined: the piggybacked QC is new at every
+            # follower, so this runs once per proposal delivery.
+            view = qc.view
+            qc_heights = self.qc_heights
+            if view not in qc_heights:
+                qc_heights.add(view)
+                high = self.high_qc
+                if high is None or view > high.view:
+                    self.high_qc = qc
+                self._try_commit(view)
+        block_hash = block.hash
+        self.blocks[block_hash] = block
+        self.block_at_height[height] = block
+        self.last_voted_height = height
+        # Chained rule: votes for h go to the proposer of h+1 (vote_target).
+        # tuple.__new__ bypasses the NamedTuple __new__ wrapper frame; this
+        # is the single hottest allocation in a saturated run.
+        target = (height + 1) % self.n if self._round_robin else self.fixed_leader
+        vote = tuple.__new__(Vote, (height, block_hash, self.id))
+        self._network_send(self.id, target, vote, _VOTE_SIZE)
 
     def handle_Vote(self, src: int, vote: Vote) -> None:  # noqa: N802
         if not self.running:
             return
-        if self.leader_of(vote.height + 1) != self.id:
+        height = vote.height
+        next_leader = (height + 1) % self.n if self._round_robin else self.fixed_leader
+        if next_leader != self.id:
             return
-        voters = self.votes.setdefault(vote.height, set())
+        voters = self.votes.get(height)
+        if voters is None:
+            voters = self.votes[height] = set()
         voters.add(vote.sender)
-        if len(voters) >= self.quorum and vote.height not in self.qc_heights:
-            block = self.block_at_height.get(vote.height)
+        if len(voters) >= self.quorum and height not in self.qc_heights:
+            block = self.block_at_height.get(height)
             if block is None or block.hash != vote.block_hash:
                 return
             qc = QuorumCertificate(
-                view=vote.height,
+                view=height,
                 block_hash=vote.block_hash,
                 aggregate=aggregate(self.registry, vote.block_hash, voters),
                 weight=float(len(voters)),
             )
             self._observe_qc(qc)
-            self.propose(vote.height + 1, vote.block_hash)
+            self.propose(height + 1, vote.block_hash)
 
     # ------------------------------------------------------------------
     # QCs and commit rule
     # ------------------------------------------------------------------
     def _observe_qc(self, qc: QuorumCertificate) -> None:
-        if qc.view in self.qc_heights:
+        view = qc.view
+        qc_heights = self.qc_heights
+        if view in qc_heights:
             return
-        self.qc_heights.add(qc.view)
-        if self.high_qc is None or qc.view > self.high_qc.view:
+        qc_heights.add(view)
+        high = self.high_qc
+        if high is None or view > high.view:
             self.high_qc = qc
-        self._try_commit(qc.view)
+        self._try_commit(view)
 
     def _try_commit(self, height: int) -> None:
         """3-chain rule: QCs at h, h-1, h-2 commit the block at h-2."""
         if height < 3:
             return
-        if not {height - 1, height - 2} <= self.qc_heights:
+        qc_heights = self.qc_heights
+        if height - 1 not in qc_heights or height - 2 not in qc_heights:
             return
         target = height - 2
-        for commit_height in range(self.committed_height + 1, target + 1):
+        committed = self.committed_height
+        if target <= committed:
+            return
+        if target == committed + 1:
+            # Common case: QCs arrive in height order, one new commit.
+            # record_commit() inlined (one commit per replica per height),
+            # with the same fast construction as the vote path.
+            block = self.block_at_height.get(target)
+            if block is not None:
+                self._commits_append(
+                    tuple.__new__(
+                        CommitEvent,
+                        (target, self.sim.now, block.timestamp, block.payload_count),
+                    )
+                )
+                if self.request_driven and block.request_ids:
+                    self._reply_to_clients(block)
+            self.committed_height = target
+            return
+        for commit_height in range(committed + 1, target + 1):
             block = self.block_at_height.get(commit_height)
             if block is None:
                 continue
@@ -202,7 +248,7 @@ class HotStuffReplica(ReplicaBase):
             )
             if self.request_driven and block.request_ids:
                 self._reply_to_clients(block)
-        self.committed_height = max(self.committed_height, target)
+        self.committed_height = target
 
     def _claim_requests(self, block: Block) -> None:
         keys = {(cid, rid) for cid, rid, _send_time in block.request_ids}

@@ -20,7 +20,6 @@ Kauri-sa, or OptiTree search) and installs the new tree on every replica.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.consensus.base import ReplicaBase, RunMetrics
@@ -43,15 +42,23 @@ from repro.workloads.base import ClientSiteRouter, ClusterBinding, Workload
 
 GENESIS_HASH = "genesis"
 
+_VOTE_SIZE = Vote.wire_size
 
-@dataclass
+
 class _Collection:
-    """Vote collection state at an intermediate node, per height."""
+    """Vote collection state at an intermediate node, per height.
 
-    block: Block
-    votes: Set[int] = field(default_factory=set)
-    sent: bool = False
-    timer: Optional[object] = None
+    A ``__slots__`` class: one is allocated per height per intermediate,
+    and slot access is what the per-vote path touches.
+    """
+
+    __slots__ = ("block", "votes", "sent", "timer")
+
+    def __init__(self, block: Block):
+        self.block = block
+        self.votes: Set[int] = set()
+        self.sent = False
+        self.timer: Optional[object] = None
 
 
 class KauriReplica(ReplicaBase):
@@ -74,6 +81,7 @@ class KauriReplica(ReplicaBase):
     ):
         super().__init__(replica_id, n, f, sim, network, registry)
         self.tree = tree
+        self._adopt_tree_roles(tree)
         self.payload_per_block = payload_per_block
         self.pipeline_depth = pipeline_depth
         self.delta = delta
@@ -104,6 +112,25 @@ class KauriReplica(ReplicaBase):
     # ------------------------------------------------------------------
     # Role helpers
     # ------------------------------------------------------------------
+    def _adopt_tree_roles(self, tree: TreeConfiguration) -> None:
+        """Cache this replica's role lookups for the per-message path.
+
+        ``tree.intermediates`` is a fresh tuple slice per access and
+        ``children``/``parent`` are dict hits; the per-message handlers
+        instead read the plain attributes cached here (re-cached by
+        :meth:`install_tree` on reconfiguration).
+        """
+        self._root = tree.root
+        self._my_children = tree.children.get(self.id, ())
+        self._child_set = frozenset(self._my_children)
+        self._my_parent = tree.parent.get(self.id)
+        self._expected_votes = len(self._my_children) + 1
+        self._intermediate_set = frozenset(tree.intermediates)
+        self._is_intermediate = self.id in self._intermediate_set
+        #: Lazily computed aggregation-timer horizon (max child timeout);
+        #: only cacheable for the default, run-static timeout rule.
+        self._flush_horizon: Optional[float] = None
+
     @property
     def is_root(self) -> bool:
         return self.tree.root == self.id
@@ -133,6 +160,7 @@ class KauriReplica(ReplicaBase):
     def install_tree(self, tree: TreeConfiguration) -> None:
         """Adopt a new tree (reconfiguration); collection state resets."""
         self.tree = tree
+        self._adopt_tree_roles(tree)
         self.collections.clear()
         self.root_votes.clear()
         self.in_flight.clear()
@@ -194,9 +222,9 @@ class KauriReplica(ReplicaBase):
         self.multicast(self.tree.intermediates, proposal)
 
     def handle_AggregateVote(self, src: int, message: AggregateVote) -> None:  # noqa: N802
-        if not self.running or not self.is_root:
+        if not self.running or self._root != self.id:
             return
-        if src not in self.tree.intermediates:
+        if src not in self._intermediate_set:
             return
         votes = self.root_votes.get(message.height)
         if votes is None:
@@ -221,39 +249,44 @@ class KauriReplica(ReplicaBase):
         # Claim before the role checks so an in-flight proposal still
         # prunes our buffer even when we are not this block's forwarder.
         self._claim_requests(proposal.block)
-        if src != self.tree.root:
+        if src != self._root:
             return
-        if not self.is_intermediate:
+        if not self._is_intermediate:
             return
         block = proposal.block
+        height = block.height
         self.blocks[block.hash] = block
-        self.block_at_height[block.height] = block
-        collection = _Collection(block=block)
+        self.block_at_height[height] = block
+        collection = _Collection(block)
         collection.votes.add(self.id)  # own vote
-        self.collections[block.height] = collection
-        children = self.tree.children[self.id]
-        self.multicast(
-            children, Forward(height=block.height, block=block, forwarder=self.id)
-        )
+        self.collections[height] = collection
+        children = self._my_children
+        self.multicast(children, Forward(height, block, self.id))
         if children:
-            horizon = max(self.child_timeout(child) for child in children)
+            horizon = self._flush_horizon
+            if horizon is None:
+                horizon = max(self.child_timeout(child) for child in children)
+                if self._child_timeout is None:
+                    # The default rule is a pure function of the (static)
+                    # link delays, so the max is the same every height.
+                    self._flush_horizon = horizon
             collection.timer = self.sim.schedule(
-                horizon, self._flush_aggregate, block.height
+                horizon, self._flush_aggregate, height
             )
         else:
-            self._flush_aggregate(block.height)
+            self._flush_aggregate(height)
 
     def handle_Vote(self, src: int, vote: Vote) -> None:  # noqa: N802
-        if not self.running or not self.is_intermediate:
+        if not self.running or not self._is_intermediate:
             return
         collection = self.collections.get(vote.height)
         if collection is None or collection.sent:
             return
-        if src not in self.tree.children[self.id]:
+        if src not in self._child_set:
             return
-        collection.votes.add(src)
-        expected = len(self.tree.children[self.id]) + 1
-        if len(collection.votes) >= expected:
+        votes = collection.votes
+        votes.add(src)
+        if len(votes) >= self._expected_votes:
             if collection.timer is not None:
                 collection.timer.cancel()
             self._flush_aggregate(vote.height)
@@ -263,8 +296,7 @@ class KauriReplica(ReplicaBase):
         if collection is None or collection.sent or not self.running:
             return
         collection.sent = True
-        children = set(self.tree.children[self.id])
-        missing = children - collection.votes
+        missing = self._child_set - collection.votes
         # §6.3: the aggregate must carry a suspicion for each missing vote.
         for child in sorted(missing):
             self.aggregation_suspicions.append((height, child))
@@ -313,7 +345,7 @@ class KauriReplica(ReplicaBase):
         """
         if not self.request_driven or not block.request_ids:
             return
-        if block.proposer != self.tree.root:
+        if block.proposer != self._root:
             return
         keys = {(cid, rid) for cid, rid, _send_time in block.request_ids}
         self._claimed_requests |= keys
@@ -332,17 +364,14 @@ class KauriReplica(ReplicaBase):
         # Claim before the parent check: a Forward from a stale parent
         # still proves the current root has these requests in flight.
         self._claim_requests(message.block)
-        if self.tree.parent.get(self.id) != src:
+        if self._my_parent != src:
             return
-        self.blocks[message.block.hash] = message.block
-        self.send(
-            src,
-            Vote(
-                height=message.height,
-                block_hash=message.block.hash,
-                sender=self.id,
-            ),
-        )
+        block = message.block
+        block_hash = block.hash
+        self.blocks[block_hash] = block
+        # Same fast construction as HotStuff's vote path: one per Forward.
+        vote = tuple.__new__(Vote, (message.height, block_hash, self.id))
+        self._network_send(self.id, src, vote, _VOTE_SIZE)
 
     # ------------------------------------------------------------------
     # Commit rule (3-chain, root's view)
@@ -350,10 +379,14 @@ class KauriReplica(ReplicaBase):
     def _try_commit(self, height: int) -> None:
         if height < 3:
             return
-        if not {height - 1, height - 2} <= self.qc_heights:
+        qc_heights = self.qc_heights
+        if height - 1 not in qc_heights or height - 2 not in qc_heights:
             return
         target = height - 2
-        for commit_height in range(self.committed_height + 1, target + 1):
+        committed = self.committed_height
+        if target <= committed:
+            return
+        for commit_height in range(committed + 1, target + 1):
             block = self.block_at_height.get(commit_height)
             if block is None:
                 continue
@@ -366,7 +399,7 @@ class KauriReplica(ReplicaBase):
                 self._claim_requests(block)
                 for client_id, request_id, _send_time in block.request_ids:
                     self.send(client_id, Reply(self.id, request_id, self.sim.now))
-        self.committed_height = max(self.committed_height, target)
+        self.committed_height = target
 
     def submit_record(self, record) -> None:
         """Queue an OptiLog record for inclusion in the next proposal."""

@@ -3,13 +3,22 @@
 Wire sizes model compact binary encodings with Ed25519-equivalent
 signatures; the proposal-size experiment (Fig. 13) sums the record sizes
 piggybacked on :class:`Block` proposals.
+
+Representation note: simulations create one message object per protocol
+step, millions per large run, so the fixed-shape messages are
+``NamedTuple``\\ s (C-speed construction, immutable, keyword-friendly)
+rather than frozen dataclasses, whose generated ``__init__`` costs ~2x
+more per instance.  :class:`Block` stays a frozen dataclass: it is
+created once per consensus instance and needs an instance ``__dict__``
+to cache its digest and wire size.  Fixed-size messages expose
+``wire_size`` as a class constant; variable-size ones as a property.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import NamedTuple, Optional, Tuple
 
 from repro.crypto.signatures import SIGNATURE_SIZE
 from repro.crypto.threshold import AggregateSignature, QuorumCertificate
@@ -33,11 +42,21 @@ class Block:
     timestamp: float = 0.0
     request_ids: Tuple = ()
 
-    @property
-    def hash(self) -> str:
-        return _digest(
-            self.height, self.proposer, self.parent, self.payload_count,
-            self.records, self.request_ids,
+    # The block digest ``hash`` is computed once at construction and
+    # stored as a plain instance attribute (not a dataclass field, not a
+    # property): the same Block object is shared by every replica's
+    # Proposal/Forward deliveries, which used to re-hash it on every
+    # access, and even a cached property would pay a descriptor call per
+    # access on the per-message path.  Every block that exists gets hashed
+    # (its proposer chains on it immediately), so eagerness wastes nothing.
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "hash",
+            _digest(
+                self.height, self.proposer, self.parent, self.payload_count,
+                self.records, self.request_ids,
+            ),
         )
 
     @property
@@ -47,45 +66,42 @@ class Block:
     @property
     def wire_size(self) -> int:
         # Payload entries are request digests (32 B each) in the paper's
-        # no-payload setting.
-        return (
-            BLOCK_HEADER_SIZE
-            + 32 * len(self.request_ids)
-            + self.records_size
-            + SIGNATURE_SIZE
-        )
+        # no-payload setting.  Cached: records/request_ids are immutable.
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            cached = (
+                BLOCK_HEADER_SIZE
+                + 32 * len(self.request_ids)
+                + self.records_size
+                + SIGNATURE_SIZE
+            )
+            object.__setattr__(self, "_wire_size", cached)
+        return cached
 
 
 # ----------------------------------------------------------------------
 # Client traffic
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class ClientRequest:
+class ClientRequest(NamedTuple):
     client_id: int
     request_id: int
     send_time: float
 
-    @property
-    def wire_size(self) -> int:
-        return 32 + SIGNATURE_SIZE
+    wire_size = 32 + SIGNATURE_SIZE
 
 
-@dataclass(frozen=True)
-class Reply:
+class Reply(NamedTuple):
     replica: int
     request_id: int
     commit_time: float
 
-    @property
-    def wire_size(self) -> int:
-        return 16 + SIGNATURE_SIZE
+    wire_size = 16 + SIGNATURE_SIZE
 
 
 # ----------------------------------------------------------------------
 # PBFT phases
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class PrePrepare:
+class PrePrepare(NamedTuple):
     view: int
     seq: int
     block: Block
@@ -96,35 +112,28 @@ class PrePrepare:
         return 16 + self.block.wire_size + SIGNATURE_SIZE
 
 
-@dataclass(frozen=True)
-class Prepare:
+class Prepare(NamedTuple):
     view: int
     seq: int
     block_hash: str
     sender: int
 
-    @property
-    def wire_size(self) -> int:
-        return 32 + SIGNATURE_SIZE
+    wire_size = 32 + SIGNATURE_SIZE
 
 
-@dataclass(frozen=True)
-class Commit:
+class Commit(NamedTuple):
     view: int
     seq: int
     block_hash: str
     sender: int
 
-    @property
-    def wire_size(self) -> int:
-        return 32 + SIGNATURE_SIZE
+    wire_size = 32 + SIGNATURE_SIZE
 
 
 # ----------------------------------------------------------------------
 # HotStuff / Kauri
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class Proposal:
+class Proposal(NamedTuple):
     height: int
     block: Block
     qc: Optional[QuorumCertificate]
@@ -135,19 +144,15 @@ class Proposal:
         return 8 + self.block.wire_size + qc_size
 
 
-@dataclass(frozen=True)
-class Vote:
+class Vote(NamedTuple):
     height: int
     block_hash: str
     sender: int
 
-    @property
-    def wire_size(self) -> int:
-        return 24 + SIGNATURE_SIZE
+    wire_size = 24 + SIGNATURE_SIZE
 
 
-@dataclass(frozen=True)
-class Forward:
+class Forward(NamedTuple):
     """Forwarded proposal: intermediate node → leaf (Kauri)."""
 
     height: int
@@ -159,8 +164,7 @@ class Forward:
         return 8 + self.block.wire_size
 
 
-@dataclass(frozen=True)
-class AggregateVote:
+class AggregateVote(NamedTuple):
     """Aggregated subtree votes: intermediate node → root (Kauri).
 
     Per OptiTree's misbehavior rule (§6.3) the aggregate must cover every
@@ -180,8 +184,7 @@ class AggregateVote:
 # ----------------------------------------------------------------------
 # Measurements and control
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class RecordGossip:
+class RecordGossip(NamedTuple):
     """A sensor record on its way to the current proposer.
 
     ``hops`` bounds re-forwarding during leader changes (a replica that
@@ -197,23 +200,17 @@ class RecordGossip:
         return getattr(self.record, "wire_size", 0) + 8
 
 
-@dataclass(frozen=True)
-class Probe:
+class Probe(NamedTuple):
     nonce: int
     sender: int
     send_time: float
 
-    @property
-    def wire_size(self) -> int:
-        return 16
+    wire_size = 16
 
 
-@dataclass(frozen=True)
-class ProbeReply:
+class ProbeReply(NamedTuple):
     nonce: int
     sender: int
     probe_send_time: float
 
-    @property
-    def wire_size(self) -> int:
-        return 16
+    wire_size = 16

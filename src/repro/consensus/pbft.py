@@ -110,6 +110,7 @@ class PbftReplica(ReplicaBase):
             )
         #: BFT-SMaRt without Wheat: uniform votes, majority quorum.
         self.uniform_voting = mode == "static"
+        self._uniform_quorum = float(-(-(n + f + 1) // 2))  # ceil majority
         self.pending_config: Optional[WeightConfiguration] = None
         self.reconfigure_times: List[float] = []
         #: PrePrepares from replicas that are not (yet) our leader; they
@@ -136,7 +137,7 @@ class PbftReplica(ReplicaBase):
     @property
     def _quorum_weight(self) -> float:
         if self.uniform_voting:
-            return float(-(-(self.n + self.f + 1) // 2))  # ceil majority
+            return self._uniform_quorum
         return self.config.quorum_weight
 
     # ------------------------------------------------------------------
@@ -206,8 +207,9 @@ class PbftReplica(ReplicaBase):
         if message.seq in self.preprepares:
             return
         self.preprepares[message.seq] = message
-        self._arm_suspicion_round(message)
-        self._note_arrival(message.seq, src, "propose")
+        if self.optilog is not None:
+            self._arm_suspicion_round(message)
+            self._note_arrival(message.seq, src, "propose")
         self.broadcast(
             Prepare(
                 view=message.view,
@@ -220,15 +222,17 @@ class PbftReplica(ReplicaBase):
     def handle_Prepare(self, src: int, message: Prepare) -> None:  # noqa: N802
         if not self.running:
             return
-        senders = self.prepare_senders.setdefault(message.seq, set())
+        seq = message.seq
+        senders = self.prepare_senders.get(seq)
+        if senders is None:
+            senders = self.prepare_senders[seq] = set()
         if src in senders:
             return
         senders.add(src)
-        self._note_arrival(message.seq, src, "write")
-        self.prepare_weight[message.seq] = (
-            self.prepare_weight.get(message.seq, 0.0) + self._weight(src)
-        )
-        self._maybe_send_commit(message.seq)
+        if self.optilog is not None:
+            self._note_arrival(seq, src, "write")
+        self.prepare_weight[seq] = self.prepare_weight.get(seq, 0.0) + self._weight(src)
+        self._maybe_send_commit(seq)
 
     def _maybe_send_commit(self, seq: int) -> None:
         if seq in self.sent_commit or seq not in self.preprepares:
@@ -249,15 +253,17 @@ class PbftReplica(ReplicaBase):
     def handle_Commit(self, src: int, message: Commit) -> None:  # noqa: N802
         if not self.running:
             return
-        senders = self.commit_senders.setdefault(message.seq, set())
+        seq = message.seq
+        senders = self.commit_senders.get(seq)
+        if senders is None:
+            senders = self.commit_senders[seq] = set()
         if src in senders:
             return
         senders.add(src)
-        self._note_arrival(message.seq, src, "accept")
-        self.commit_weight[message.seq] = (
-            self.commit_weight.get(message.seq, 0.0) + self._weight(src)
-        )
-        self._maybe_execute(message.seq)
+        if self.optilog is not None:
+            self._note_arrival(seq, src, "accept")
+        self.commit_weight[seq] = self.commit_weight.get(seq, 0.0) + self._weight(src)
+        self._maybe_execute(seq)
 
     def _maybe_execute(self, seq: int) -> None:
         if seq in self.executed or seq not in self.preprepares:

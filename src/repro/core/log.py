@@ -46,6 +46,15 @@ class AppendOnlyLog:
     def __init__(self):
         self._entries: List[LogEntry] = []
         self._subscribers: List[tuple] = []  # (record_type, callback)
+        #: Exact record type -> its entries, in commit order.  Keeps
+        #: :meth:`entries_of_type` from rescanning the whole log.
+        self._by_type: Dict[type, List[LogEntry]] = {}
+        #: Exact record type -> the subscriber callbacks that match it
+        #: (in registration order), precomputed so :meth:`append` does not
+        #: re-run isinstance over every subscriber per commit.  Cleared on
+        #: :meth:`subscribe` (new matches possible for known types).
+        self._dispatch_cache: Dict[type, tuple] = {}
+        self._total_wire_size = 0
         self.current_view = 0
 
     # ------------------------------------------------------------------
@@ -59,9 +68,24 @@ class AppendOnlyLog:
             view=self.current_view if view is None else view,
         )
         self._entries.append(entry)
-        for record_type, callback in list(self._subscribers):
-            if isinstance(record, record_type):
-                callback(entry)
+        cls = record.__class__
+        bucket = self._by_type.get(cls)
+        if bucket is None:
+            bucket = self._by_type[cls] = []
+        bucket.append(entry)
+        self._total_wire_size += entry.wire_size
+        callbacks = self._dispatch_cache.get(cls)
+        if callbacks is None:
+            # Snapshot, like the old per-append list(...) copy: a callback
+            # that subscribes mid-dispatch affects later appends only.
+            callbacks = tuple(
+                callback
+                for record_type, callback in self._subscribers
+                if issubclass(cls, record_type)
+            )
+            self._dispatch_cache[cls] = callbacks
+        for callback in callbacks:
+            callback(entry)
         return entry
 
     def advance_view(self, view: int) -> None:
@@ -80,6 +104,7 @@ class AppendOnlyLog:
     ) -> None:
         """Call ``callback(entry)`` for every committed record of the type."""
         self._subscribers.append((record_type, callback))
+        self._dispatch_cache.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -91,7 +116,24 @@ class AppendOnlyLog:
         return iter(self._entries)
 
     def entries_of_type(self, record_type: Type) -> List[LogEntry]:
-        return [e for e in self._entries if isinstance(e.record, record_type)]
+        """All committed entries whose record is a ``record_type``.
+
+        Served from the per-type index: subclass buckets are merged by
+        sequence number, so the result equals (in content and order) a
+        full isinstance scan of the log without the rescan.
+        """
+        buckets = [
+            bucket
+            for cls, bucket in self._by_type.items()
+            if issubclass(cls, record_type)
+        ]
+        if not buckets:
+            return []
+        if len(buckets) == 1:
+            return list(buckets[0])
+        merged = [entry for bucket in buckets for entry in bucket]
+        merged.sort(key=lambda entry: entry.seq)
+        return merged
 
     @property
     def last_seq(self) -> int:
@@ -99,12 +141,13 @@ class AppendOnlyLog:
         return len(self._entries) - 1
 
     def total_wire_size(self) -> int:
-        """Sum of record wire sizes; used by the overhead study."""
-        return sum(entry.wire_size for entry in self._entries)
+        """Sum of record wire sizes; maintained incrementally on append."""
+        return self._total_wire_size
 
     def type_histogram(self) -> Dict[str, int]:
+        """Per-type entry counts, keyed by type name in first-commit order."""
         histogram: Dict[str, int] = {}
-        for entry in self._entries:
-            kind = type(entry.record).__name__
-            histogram[kind] = histogram.get(kind, 0) + 1
+        for cls, bucket in self._by_type.items():
+            kind = cls.__name__
+            histogram[kind] = histogram.get(kind, 0) + len(bucket)
         return histogram

@@ -37,8 +37,11 @@ class Monitor:
     def _dispatch(self, entry: LogEntry) -> None:
         self.entries_processed += 1
         self.on_entry(entry)
-        for listener in self._listeners:
-            listener()
+        # Most monitors have no chained listeners; skip the loop (and its
+        # iterator setup) on the per-commit path in that case.
+        if self._listeners:
+            for listener in self._listeners:
+                listener()
 
     def on_entry(self, entry: LogEntry) -> None:
         """Process one committed record (deterministic)."""

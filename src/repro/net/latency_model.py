@@ -17,15 +17,59 @@ the network layer, not here.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+import math
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.net.cities import City
-from repro.net.geo import haversine_km
+from repro.net.geo import EARTH_RADIUS_KM, haversine_km
 
 LOCAL_RTT_MS = 1.0
 MS_PER_KM = 0.0125
+
+
+def _pairwise_rtt_ms(lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+    """Vectorized RTT matrix, bit-identical to the scalar pair loop.
+
+    Everything is computed in float64 numpy ops that match ``math``'s
+    libm results exactly (radians/sin/cos/sqrt verified identical), with
+    two deliberate exceptions where numpy's defaults diverge by one ulp
+    on some inputs:
+
+    * ``x ** 2`` -- CPython routes ``float ** 2`` through libm ``pow``,
+      numpy squares (``x * x``); ``np.float_power`` restores ``pow``.
+    * ``asin`` -- numpy's SIMD ``arcsin`` differs from ``math.asin`` in
+      the last ulp for some inputs, so the final arc step runs through
+      ``math.asin`` over the n*(n-1)/2 upper-triangle values -- still
+      milliseconds at n=512, versus seconds for the full scalar loop.
+
+    Only the upper triangle is computed and mirrored, exactly like the
+    scalar construction, so the matrix is symmetric by copy, not by
+    floating-point luck.
+    """
+    n = lats.shape[0]
+    rtt = np.zeros((n, n), dtype=float)
+    if n < 2:
+        return rtt
+    upper_i, upper_j = np.triu_indices(n, k=1)
+    phi = np.radians(lats)
+    cos_phi = np.cos(phi)
+    dphi = np.radians(lats[upper_j] - lats[upper_i])
+    dlam = np.radians(lons[upper_j] - lons[upper_i])
+    a = (
+        np.float_power(np.sin(dphi / 2.0), 2.0)
+        + cos_phi[upper_i] * cos_phi[upper_j] * np.float_power(np.sin(dlam / 2.0), 2.0)
+    )
+    arg = np.minimum(1.0, np.sqrt(a))
+    asin = math.asin
+    distance_km = np.fromiter(
+        (asin(x) for x in arg.tolist()), dtype=float, count=arg.shape[0]
+    ) * (2.0 * EARTH_RADIUS_KM)
+    values = LOCAL_RTT_MS + distance_km * MS_PER_KM
+    rtt[upper_i, upper_j] = values
+    rtt[upper_j, upper_i] = values
+    return rtt
 
 
 class LatencyModel:
@@ -44,16 +88,15 @@ class LatencyModel:
 
     def __init__(self, cities: Sequence[City]):
         self.cities = list(cities)
-        n = len(self.cities)
-        self._rtt_ms = np.zeros((n, n), dtype=float)
-        for i in range(n):
-            for j in range(i + 1, n):
-                rtt = self._pair_rtt_ms(self.cities[i], self.cities[j])
-                self._rtt_ms[i, j] = rtt
-                self._rtt_ms[j, i] = rtt
+        lats = np.array([city.lat for city in self.cities], dtype=float)
+        lons = np.array([city.lon for city in self.cities], dtype=float)
+        self._rtt_ms = _pairwise_rtt_ms(lats, lons)
 
     @staticmethod
     def _pair_rtt_ms(a: City, b: City) -> float:
+        """Scalar reference for one pair; the constructor is vectorized
+        (see :func:`_pairwise_rtt_ms`) but must stay bit-identical to
+        this formula -- the equivalence test compares the two."""
         distance = haversine_km(a.lat, a.lon, b.lat, b.lon)
         return LOCAL_RTT_MS + distance * MS_PER_KM
 
@@ -82,6 +125,18 @@ class LatencyModel:
     def matrix_seconds(self) -> np.ndarray:
         """Full symmetric RTT matrix in seconds (zero diagonal)."""
         return self._rtt_ms / 1000.0
+
+    def one_way_rows(self) -> List[List[float]]:
+        """One-way delays in seconds as nested Python lists.
+
+        ``rows[a][b]`` equals :meth:`one_way`\\ ``(a, b)`` bit-for-bit
+        (same float ops on the same doubles); plain list indexing is what
+        the per-message simulation hot path uses instead of numpy scalar
+        indexing, which costs an order of magnitude more per lookup.
+        """
+        # Elementwise IEEE divisions match the scalar (v / 1000.0) / 2.0
+        # exactly; tolist() converts without changing any double.
+        return ((self._rtt_ms / 1000.0) / 2.0).tolist()
 
     def matrix_ms(self) -> np.ndarray:
         """Full symmetric RTT matrix in milliseconds (zero diagonal)."""

@@ -4,12 +4,23 @@ A :class:`Simulator` owns a virtual clock and a priority queue of events.
 Events are callbacks scheduled at absolute virtual times; ties are broken
 by insertion order so runs are fully deterministic.  Timers can be
 cancelled through the :class:`EventHandle` returned by ``schedule``.
+
+Hot-path notes
+--------------
+The queue stores ``(time, seq, handle, callback, args)`` tuples so heap
+sift comparisons run at C speed on the ``(time, seq)`` prefix -- ``seq``
+is unique, so later elements are never compared.  ``handle`` is ``None``
+for events posted through :meth:`Simulator.post`, the non-cancellable
+fast path used by the network for message deliveries: it skips the
+:class:`EventHandle` allocation entirely.  Ordering semantics (time,
+then insertion order) are identical for both kinds of entry.
 """
 
 from __future__ import annotations
 
-import heapq
+import gc
 import random
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Optional
 
 
@@ -56,10 +67,14 @@ class Simulator:
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
         self.rng = random.Random(seed)
-        self._queue: list[EventHandle] = []
+        #: Heap of ``(time, seq, handle_or_None, callback, args)``.
+        self._queue: list[tuple] = []
         self._seq = 0
         self._running = False
         self.events_processed = 0
+        #: High-water mark of the event queue (pending + cancelled), for
+        #: the ``repro bench`` peak-queue-depth metric.
+        self.max_queue_depth = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -76,10 +91,32 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time:.6f} before now={self.now:.6f}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        queue = self._queue
+        _heappush(queue, (time, seq, handle, callback, args))
+        if len(queue) > self.max_queue_depth:
+            self.max_queue_depth = len(queue)
         return handle
+
+    def post(self, delay: float, callback: Callable[..., None], args: tuple = ()) -> None:
+        """Schedule a *non-cancellable* event ``delay`` seconds from now.
+
+        The no-handle fast path for high-volume events that are never
+        cancelled (message deliveries): same ordering semantics as
+        :meth:`schedule`, without allocating an :class:`EventHandle`.
+        ``delay`` must be non-negative; callers on the hot path guarantee
+        that by construction (link delays and jitter are >= 0).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot post {delay:.6f}s in the past")
+        seq = self._seq
+        self._seq = seq + 1
+        queue = self._queue
+        _heappush(queue, (self.now + delay, seq, None, callback, args))
+        if len(queue) > self.max_queue_depth:
+            self.max_queue_depth = len(queue)
 
     def derive_rng(self, label: str) -> random.Random:
         """Return a new generator deterministically derived from the seed.
@@ -92,21 +129,27 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _next_pending(self) -> Optional[EventHandle]:
-        """Drop cancelled heads and return the next live event (unpopped)."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+    def _next_pending(self) -> Optional[tuple]:
+        """Drop cancelled heads and return the next live entry (unpopped)."""
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            handle = head[2]
+            if handle is not None and handle.cancelled:
+                _heappop(queue)
+                continue
+            return head
+        return None
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
-        handle = self._next_pending()
-        if handle is None:
+        head = self._next_pending()
+        if head is None:
             return False
-        heapq.heappop(self._queue)
-        self.now = handle.time
+        _heappop(self._queue)
+        self.now = head[0]
         self.events_processed += 1
-        handle.callback(*handle.args)
+        head[3](*head[4])
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -120,21 +163,46 @@ class Simulator:
         growth of :attr:`events_processed` exactly.
         """
         self._running = True
-        budget = self.events_processed + max_events if max_events is not None else None
+        executed = self.events_processed
+        budget = executed + max_events if max_events is not None else None
+        horizon = float("inf") if until is None else until
         stopped_by_budget = False
+        queue = self._queue
+        pop = _heappop
+        # Pause the cyclic collector for the duration of the loop: event
+        # turnover is dominated by acyclic tuples and messages that
+        # refcounting frees immediately, so generational scans only add
+        # jitter.  Restored on every exit path.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while True:
-                nxt = self._next_pending()
-                if nxt is None:
+            # Inlined event loop (no step()/_next_pending() calls): it runs
+            # once per simulated event.  The semantics match step().
+            # ``executed`` shadows events_processed inside the loop and is
+            # synced on every exit path; callbacks must not read
+            # events_processed mid-run (none do -- it is a post-run metric).
+            while queue:
+                head = queue[0]
+                handle = head[2]
+                if handle is not None and handle.cancelled:
+                    pop(queue)
+                    continue
+                time = head[0]
+                if time > horizon:
                     break
-                if until is not None and nxt.time > until:
-                    break
-                if budget is not None and self.events_processed >= budget:
+                if budget is not None and executed >= budget:
                     stopped_by_budget = True
                     break
-                self.step()
+                pop(queue)
+                self.now = time
+                executed += 1
+                head[3](*head[4])
         finally:
             self._running = False
+            self.events_processed = executed
+            if gc_was_enabled:
+                gc.enable()
         # A budget stop may leave live events before the horizon; jumping
         # the clock over them would let later runs move time backwards.
         if until is not None and not stopped_by_budget and self.now < until:
@@ -143,7 +211,11 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of non-cancelled events still queued."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        return sum(
+            1
+            for entry in self._queue
+            if entry[2] is None or not entry[2].cancelled
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.6f}, pending={self.pending})"

@@ -6,11 +6,20 @@ one-way delay drawn from a latency provider (usually a
 through *interceptors*: callables that may drop, delay or rewrite a message
 before it is scheduled for delivery.  This is how the Byzantine behaviours
 in :mod:`repro.faults` manipulate traffic without touching protocol code.
+
+Fast path: a network with no interceptors, no down nodes and no active
+partition is *pristine*; sends and deliveries then skip every fault check.
+The ``_pristine`` flag is recomputed on each topology/interceptor
+mutation, so installing a fault mid-run transparently re-enables the
+checks -- including for messages already in flight, whose delivery
+re-validates against the fabric state at delivery time, as before.  The
+fast path performs exactly the same jitter draws in the same order as
+the checked path, so seeded runs are bit-identical either way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import Any, Callable, Dict, Iterable, Optional
 
 from repro.sim.engine import Simulator
@@ -19,8 +28,11 @@ from repro.sim.engine import Simulator
 # None (drop the message) or a (message, delay) pair to use instead.
 Interceptor = Callable[[int, int, Any, float], Optional[tuple]]
 
+#: Sentinel distinguishing "class not yet resolved" from "resolved to no
+#: handler" in a registered dispatch cache (see Network.register_dispatch).
+_UNRESOLVED = object()
 
-@dataclass
+
 class NetworkStats:
     """Counters kept by the network for overhead accounting (Fig. 13).
 
@@ -28,19 +40,81 @@ class NetworkStats:
     actually put on the wire: a message dropped at send time (down node,
     partition, interceptor drop) increments ``messages_dropped`` alone, so
     fault scenarios do not inflate the overhead accounting.
+    ``messages_multicast`` counts batched :meth:`Network.multicast` calls
+    (each of which still counts one ``messages_sent`` per destination).
+
+    Representation: the send path bumps ONE class-keyed ``[count, bytes]``
+    accumulator per message; the public totals (``messages_sent``,
+    ``bytes_sent``) and the name-keyed ``per_type_bytes`` dict are
+    materialized lazily on read.  This replaces the old per-send
+    ``type(message).__name__`` string derivation (the satellite fix: the
+    name is now derived once per *type* at read time, never on the send
+    path) and keeps the per-message cost at a single dict operation.
     """
 
-    messages_sent: int = 0
-    messages_delivered: int = 0
-    messages_dropped: int = 0
-    bytes_sent: int = 0
-    per_type_bytes: Dict[str, int] = field(default_factory=dict)
+    __slots__ = (
+        "messages_delivered",
+        "messages_dropped",
+        "messages_multicast",
+        "_per_class",
+    )
+
+    def __init__(self) -> None:
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_multicast = 0
+        #: message class -> [messages, bytes], in first-send order.
+        self._per_class: Dict[type, list] = {}
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(entry[0] for entry in self._per_class.values())
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(entry[1] for entry in self._per_class.values())
+
+    @property
+    def per_type_bytes(self) -> Dict[str, int]:
+        """Bytes per message-type name, in first-send order.
+
+        Materialized on access; distinct classes sharing a ``__name__``
+        are summed, matching the historical name-keyed accounting.
+        """
+        out: Dict[str, int] = {}
+        for cls, entry in self._per_class.items():
+            name = cls.__name__
+            out[name] = out.get(name, 0) + entry[1]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkStats(sent={self.messages_sent}, "
+            f"delivered={self.messages_delivered}, "
+            f"dropped={self.messages_dropped}, "
+            f"multicast={self.messages_multicast}, bytes={self.bytes_sent})"
+        )
 
     def record_send(self, message: Any, size: int) -> None:
-        self.messages_sent += 1
-        self.bytes_sent += size
-        kind = type(message).__name__
-        self.per_type_bytes[kind] = self.per_type_bytes.get(kind, 0) + size
+        per_class = self._per_class
+        cls = message.__class__
+        entry = per_class.get(cls)
+        if entry is None:
+            per_class[cls] = [1, size]
+        else:
+            entry[0] += 1
+            entry[1] += size
+
+    def record_multicast(self, message: Any, size: int, fanout: int) -> None:
+        """Batched equivalent of ``fanout`` :meth:`record_send` calls."""
+        per_class = self._per_class
+        cls = message.__class__
+        entry = per_class.get(cls)
+        if entry is None:
+            per_class[cls] = [fanout, size * fanout]
+        else:
+            entry[0] += fanout
+            entry[1] += size * fanout
 
 
 class Network:
@@ -66,10 +140,15 @@ class Network:
         jitter: float = 0.0,
     ):
         self.sim = sim
+        self._delay_rows: Optional[list] = None
         self.one_way_delay = one_way_delay
         self.jitter = jitter
-        self.stats = NetworkStats()
+        self._stats = NetworkStats()
         self._handlers: Dict[int, Callable[[int, Any], None]] = {}
+        #: node id -> its class->bound-handler cache (see
+        #: :meth:`register_dispatch`); lets delivery call the terminal
+        #: handler directly, skipping the generic inbox dispatch frame.
+        self._routes: Dict[int, Dict[type, Optional[Callable]]] = {}
         self._interceptors: list[Interceptor] = []
         self._down: set[int] = set()
         #: node id -> partition group; nodes in different groups cannot
@@ -79,17 +158,84 @@ class Network:
         #: Incremented by every partition(); lets a scheduled heal detect
         #: that a newer partition superseded the one it belongs to.
         self._partition_epoch = 0
+        #: True while no interceptor, down node or partition exists; the
+        #: send/deliver fast path keys off this single flag.
+        self._pristine = True
         self._jitter_rng = sim.derive_rng("network-jitter")
+        self._jitter_random = self._jitter_rng.random
+        # Pre-bound hot-path callables and references: attribute and
+        # descriptor lookups cost real time at one send + one delivery per
+        # simulated message.  The delivery callback is closure-compiled so
+        # the stable references (routes, handlers, stats) are locals.
+        self._post = sim.post
+        self._deliver_bound = self._make_deliver()
+        self._stats_per_class = self.stats._per_class
+
+    # ------------------------------------------------------------------
+    # Stats, delay provider and jitter
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> NetworkStats:
+        """The network's counters.  Read-only by design: the hot paths
+        hold direct references into this object (``_stats_per_class``,
+        the delivery closure), so swapping it out would silently split
+        the accounting -- attempting to assign raises instead."""
+        return self._stats
+
+    @property
+    def one_way_delay(self) -> Callable[[int, int], float]:
+        return self._one_way_delay
+
+    @one_way_delay.setter
+    def one_way_delay(self, value: Callable[[int, int], float]) -> None:
+        self._one_way_delay = value
+        # Providers that expose their full matrix (Deployment.one_way)
+        # let the send paths index a plain list instead of calling out.
+        self._delay_rows = getattr(value, "rows", None)
+
+    @property
+    def jitter(self) -> float:
+        return self._jitter
+
+    @jitter.setter
+    def jitter(self, value: float) -> None:
+        self._jitter = value
+        # Matches random.Random.uniform(1.0, 1.0 + jitter) bit-for-bit:
+        # uniform(a, b) computes a + (b - a) * random(), so the span must
+        # be the rounded difference, not the raw jitter value.
+        self._jitter_span = (1.0 + value) - 1.0
 
     # ------------------------------------------------------------------
     # Topology management
     # ------------------------------------------------------------------
+    def _refresh_fast_path(self) -> None:
+        self._pristine = not (
+            self._interceptors or self._down or self._partition_group
+        )
+
     def register(self, node_id: int, handler: Callable[[int, Any], None]) -> None:
         """Register ``handler(src, message)`` as the inbox of ``node_id``."""
         self._handlers[node_id] = handler
 
+    def register_dispatch(
+        self, node_id: int, dispatch: Dict[type, Optional[Callable]]
+    ) -> None:
+        """Opt-in delivery fast path for ``node_id``.
+
+        ``dispatch`` is a *live* message-class -> bound-handler mapping
+        (``None`` meaning "no handler for this class") that the node's
+        inbox keeps populated as it resolves classes.  Delivery consults
+        it first and calls the terminal handler directly; unknown classes
+        fall back to the registered inbox, which resolves and caches them.
+        Counting semantics are identical either way: a delivery to a
+        registered node counts as delivered even when the class resolves
+        to no handler, exactly as the generic inbox behaves.
+        """
+        self._routes[node_id] = dispatch
+
     def unregister(self, node_id: int) -> None:
         self._handlers.pop(node_id, None)
+        self._routes.pop(node_id, None)
 
     def set_down(self, node_id: int, down: bool = True) -> None:
         """Crash (or revive) a node: messages to and from it are dropped."""
@@ -97,6 +243,7 @@ class Network:
             self._down.add(node_id)
         else:
             self._down.discard(node_id)
+        self._refresh_fast_path()
 
     def is_down(self, node_id: int) -> bool:
         return node_id in self._down
@@ -127,6 +274,7 @@ class Network:
                 mapping[node] = index
         self._partition_group = mapping
         self._partition_epoch += 1
+        self._refresh_fast_path()
         return self._partition_epoch
 
     def heal(self, epoch: Optional[int] = None) -> None:
@@ -139,6 +287,7 @@ class Network:
         if epoch is not None and epoch != self._partition_epoch:
             return
         self._partition_group = {}
+        self._refresh_fast_path()
 
     def reachable(self, src: int, dst: int) -> bool:
         """Can a message currently flow ``src`` -> ``dst``?"""
@@ -154,9 +303,11 @@ class Network:
     def add_interceptor(self, interceptor: Interceptor) -> None:
         """Install a fault-injection hook; interceptors run in order."""
         self._interceptors.append(interceptor)
+        self._refresh_fast_path()
 
     def remove_interceptor(self, interceptor: Interceptor) -> None:
         self._interceptors.remove(interceptor)
+        self._refresh_fast_path()
 
     # ------------------------------------------------------------------
     # Sending
@@ -172,12 +323,46 @@ class Network:
         send-time drops (down endpoint, partition, interceptor) count as
         dropped instead.
         """
+        if self._pristine:
+            if src == dst:
+                delay = 0.0
+            else:
+                rows = self._delay_rows
+                delay = (
+                    rows[src][dst] if rows is not None
+                    else self._one_way_delay(src, dst)
+                )
+            if self._jitter > 0.0:
+                delay *= 1.0 + self._jitter_span * self._jitter_random()
+            # record_send(), inlined: one send per protocol message makes
+            # even the method call measurable.
+            per_class = self._stats_per_class
+            cls = message.__class__
+            entry = per_class.get(cls)
+            if entry is None:
+                per_class[cls] = [1, size]
+            else:
+                entry[0] += 1
+                entry[1] += size
+            # Simulator.post(), inlined (same entry shape and ordering):
+            # one frame per simulated message is measurable too.
+            sim = self.sim
+            seq = sim._seq
+            sim._seq = seq + 1
+            queue = sim._queue
+            _heappush(
+                queue,
+                (sim.now + delay, seq, None, self._deliver_bound, (src, dst, message)),
+            )
+            if len(queue) > sim.max_queue_depth:
+                sim.max_queue_depth = len(queue)
+            return
         if src in self._down or dst in self._down or self._partitioned(src, dst):
             self.stats.messages_dropped += 1
             return
         delay = 0.0 if src == dst else self.one_way_delay(src, dst)
-        if self.jitter > 0.0:
-            delay *= self._jitter_rng.uniform(1.0, 1.0 + self.jitter)
+        if self._jitter > 0.0:
+            delay *= 1.0 + self._jitter_span * self._jitter_random()
         for interceptor in self._interceptors:
             result = interceptor(src, dst, message, delay)
             if result is None:
@@ -185,23 +370,105 @@ class Network:
                 return
             message, delay = result
         self.stats.record_send(message, size)
-        self.sim.schedule(delay, self._deliver, src, dst, message)
+        self._post(delay, self._deliver_bound, (src, dst, message))
 
     def multicast(self, src: int, dsts: Iterable[int], message: Any, size: int = 0) -> None:
-        """Send the same message to every destination (excluding none)."""
-        for dst in dsts:
-            self.send(src, dst, message, size)
+        """Send the same message to every destination, as one batch.
+
+        On a pristine network the per-destination fault checks and stats
+        bookkeeping are hoisted out of the loop; per-destination delays and
+        jitter draws are identical (same values, same RNG order) to a loop
+        of :meth:`send` calls, so the batch is purely a constant-factor
+        optimisation.  On a faulted network it degrades to exactly that
+        loop.
+        """
+        self.stats.messages_multicast += 1
+        if not self._pristine:
+            for dst in dsts:
+                self.send(src, dst, message, size)
+            return
+        one_way = self._one_way_delay
+        jittered = self._jitter > 0.0
+        span = self._jitter_span
+        rand = self._jitter_random
+        deliver = self._deliver_bound
+        # When the delay provider exposes its matrix (Deployment.one_way
+        # does), index the row directly instead of calling per destination.
+        rows = self._delay_rows
+        row = rows[src] if rows is not None else None
+        # Simulator.post(), inlined and hoisted: ``now`` is constant for
+        # the whole batch and the entries keep consecutive seq numbers
+        # (nothing else can push while this loop runs), so ordering is
+        # identical to a loop of send() calls.
+        sim = self.sim
+        now = sim.now
+        queue = sim._queue
+        seq = sim._seq
+        fanout = 0
+        if row is not None:
+            for dst in dsts:
+                delay = 0.0 if src == dst else row[dst]
+                if jittered:
+                    delay *= 1.0 + span * rand()
+                _heappush(queue, (now + delay, seq, None, deliver, (src, dst, message)))
+                seq += 1
+                fanout += 1
+        else:
+            for dst in dsts:
+                delay = 0.0 if src == dst else one_way(src, dst)
+                if jittered:
+                    delay *= 1.0 + span * rand()
+                _heappush(queue, (now + delay, seq, None, deliver, (src, dst, message)))
+                seq += 1
+                fanout += 1
+        sim._seq = seq
+        if len(queue) > sim.max_queue_depth:
+            sim.max_queue_depth = len(queue)
+        if fanout:
+            self.stats.record_multicast(message, size, fanout)
 
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
+    def _make_deliver(self) -> Callable[[int, int, Any], None]:
+        """Build the delivery callback with hot references as closure
+        locals.  ``_routes``/``_handlers``/``stats`` are mutated in place
+        and never rebound, so capturing them is safe; the mutable fault
+        state (``_pristine``, down set, partition) is read through
+        ``self`` so mid-run changes keep applying to in-flight messages.
+        """
+        routes_get = self._routes.get
+        handlers_get = self._handlers.get
+        stats = self.stats
+
+        def _deliver(
+            src: int, dst: int, message: Any, _self=self, _unresolved=_UNRESOLVED
+        ) -> None:
+            if not _self._pristine and (
+                dst in _self._down
+                or src in _self._down
+                or _self._partitioned(src, dst)
+            ):
+                stats.messages_dropped += 1
+                return
+            route = routes_get(dst)
+            if route is not None:
+                handler = route.get(message.__class__, _unresolved)
+                if handler is not _unresolved:
+                    stats.messages_delivered += 1
+                    if handler is not None:
+                        handler(src, message)
+                    return
+            inbox = handlers_get(dst)
+            if inbox is None:
+                stats.messages_dropped += 1
+                return
+            stats.messages_delivered += 1
+            inbox(src, message)
+
+        return _deliver
+
     def _deliver(self, src: int, dst: int, message: Any) -> None:
-        if dst in self._down or src in self._down or self._partitioned(src, dst):
-            self.stats.messages_dropped += 1
-            return
-        handler = self._handlers.get(dst)
-        if handler is None:
-            self.stats.messages_dropped += 1
-            return
-        self.stats.messages_delivered += 1
-        handler(src, message)
+        """Deliver one message now (the scheduled path uses the prebuilt
+        closure; this method is the equivalent public-ish entry point)."""
+        self._deliver_bound(src, dst, message)

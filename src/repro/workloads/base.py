@@ -91,7 +91,13 @@ class ClientSiteRouter:
         return node
 
     def delay(self, a: int, b: int) -> float:
-        return self.one_way(self.site_of(a), self.site_of(b)) or self.local_delay
+        # site_of() inlined: this runs once per simulated message on
+        # client-driven clusters.
+        if a >= CLIENT_ID_BASE:
+            a = self.sites.get(a, self.default_site)
+        if b >= CLIENT_ID_BASE:
+            b = self.sites.get(b, self.default_site)
+        return self.one_way(a, b) or self.local_delay
 
 
 class WorkloadClient:

@@ -1,0 +1,110 @@
+"""Tests for the ``repro bench`` subsystem."""
+
+import json
+
+import pytest
+
+from repro.bench import SUITE, BenchEntry, format_table, run_entry, run_suite, write_report
+from repro.bench.baseline import BASELINE
+
+
+def tiny_entry() -> BenchEntry:
+    return BenchEntry(
+        id="hotstuff/n4",
+        engine="hotstuff",
+        protocol="hotstuff-rr",
+        n=4,
+        workload="saturated",
+        duration=2.0,
+    )
+
+
+def test_suite_shape_is_fixed():
+    """The trajectory only works if the suite stays comparable run-to-run."""
+    ids = [entry.id for entry in SUITE]
+    assert len(ids) == len(set(ids)) == 12
+    for engine in ("pbft", "hotstuff", "kauri"):
+        for n in (4, 32, 128, 256):
+            assert f"{engine}/n{n}" in ids
+
+
+def test_run_entry_reports_measurements_and_baseline():
+    record = run_entry(tiny_entry(), repeats=1)
+    for key in (
+        "id", "events", "wall_seconds", "events_per_sec", "throughput_rps",
+        "committed_blocks", "messages_sent", "messages_multicast",
+        "peak_queue_depth", "sim_duration",
+    ):
+        assert key in record
+    assert record["events"] > 0
+    assert record["peak_queue_depth"] > 0
+    assert record["messages_multicast"] > 0
+    # The suite id exists in the recorded baseline, so the full-mode
+    # record embeds it and reports a speedup ratio.
+    assert "hotstuff/n4" in BASELINE["entries"]
+    assert record["baseline"] == BASELINE["entries"]["hotstuff/n4"]
+    assert record["speedup_events_per_sec"] > 0
+
+
+def test_quick_mode_restricts_and_caps(monkeypatch):
+    ran = []
+
+    def fake_run_entry(entry, quick=False, repeats=3):
+        ran.append((entry.id, quick))
+        return {"id": entry.id, "n": entry.n}
+
+    import repro.bench.suite as suite_mod
+
+    monkeypatch.setattr(suite_mod, "run_entry", fake_run_entry)
+    report = suite_mod.run_suite(quick=True)
+    assert report["quick"] is True
+    assert all(quick for _eid, quick in ran)
+    assert {eid for eid, _ in ran} == {
+        entry.id for entry in SUITE if entry.n <= 32
+    }
+
+
+def test_run_suite_rejects_unknown_entry():
+    with pytest.raises(ValueError, match="unknown bench entries"):
+        run_suite(only=["nope/n1"])
+
+
+def test_quick_mode_still_runs_explicitly_requested_large_entries(monkeypatch):
+    """--quick --entry hotstuff/n128 must run the entry (duration-capped),
+    not silently emit an empty report."""
+    ran = []
+
+    def fake_run_entry(entry, quick=False, repeats=3):
+        ran.append((entry.id, quick))
+        return {"id": entry.id, "n": entry.n}
+
+    import repro.bench.suite as suite_mod
+
+    monkeypatch.setattr(suite_mod, "run_entry", fake_run_entry)
+    report = suite_mod.run_suite(quick=True, only=["hotstuff/n128"])
+    assert ran == [("hotstuff/n128", True)]
+    assert len(report["entries"]) == 1
+
+
+def test_report_round_trips_to_json(tmp_path):
+    record = run_entry(tiny_entry(), repeats=1)
+    report = {
+        "bench_version": 1,
+        "quick": False,
+        "baseline_note": BASELINE.get("note", ""),
+        "entries": [record],
+    }
+    path = tmp_path / "BENCH_test.json"
+    write_report(report, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["entries"][0]["id"] == "hotstuff/n4"
+    assert "speedup" in format_table(loaded) or "entry" in format_table(loaded)
+
+
+def test_simulated_outcome_is_deterministic_across_repeats():
+    """Repeats only differ in wall clock; the simulation itself is seeded."""
+    first = run_entry(tiny_entry(), repeats=1)
+    second = run_entry(tiny_entry(), repeats=1)
+    for key in ("events", "committed_blocks", "messages_sent", "throughput_rps",
+                "peak_queue_depth"):
+        assert first[key] == second[key]

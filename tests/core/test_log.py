@@ -79,6 +79,54 @@ def test_total_wire_size_sums_records():
     assert log.total_wire_size() == a.wire_size + b.wire_size
 
 
+def test_entries_of_type_respects_subclasses_and_order():
+    """The per-type index must serve superclass queries merged in commit
+    order, exactly like the old full-log isinstance scan."""
+
+    class Base:
+        wire_size = 0
+
+    class DerivedA(Base):
+        pass
+
+    class DerivedB(Base):
+        pass
+
+    log = AppendOnlyLog()
+    first = log.append(DerivedA())
+    log.append(vector())
+    second = log.append(DerivedB())
+    third = log.append(DerivedA())
+    by_base = log.entries_of_type(Base)
+    assert [entry.seq for entry in by_base] == [first.seq, second.seq, third.seq]
+    assert [entry.seq for entry in log.entries_of_type(DerivedA)] == [0, 3]
+    assert log.entries_of_type(int) == []
+
+
+def test_subscriber_added_after_appends_sees_only_later_entries():
+    """Subscribing must invalidate the precomputed dispatch lists so the
+    new callback starts firing for already-seen record types."""
+    log = AppendOnlyLog()
+    log.append(vector())
+    seen = []
+    log.subscribe(LatencyVectorRecord, lambda entry: seen.append(entry.seq))
+    log.append(vector())
+    log.append(vector())
+    assert seen == [1, 2]
+
+
+def test_histogram_counts_via_index_match_entry_order():
+    log = AppendOnlyLog()
+    log.append(suspicion())
+    log.append(vector())
+    log.append(suspicion())
+    # First-appearance order of type names, counts per type.
+    assert list(log.type_histogram().items()) == [
+        ("SuspicionRecord", 2),
+        ("LatencyVectorRecord", 1),
+    ]
+
+
 def test_same_order_gives_same_entries_on_two_logs():
     """Determinism underpinning monitor consistency (Table 1)."""
     records = [vector(0), suspicion(0, 1), vector(1), suspicion(2, 0)]

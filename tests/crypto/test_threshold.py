@@ -61,3 +61,35 @@ def test_suspected_children_counted_in_coverage():
     registry = KeyRegistry(6)
     agg = aggregate(registry, "h", [0, 1], suspected=[2, 3])
     assert agg.signers | agg.suspected == {0, 1, 2, 3}
+
+
+def test_lazy_aggregate_equals_eager_construction():
+    """aggregate() defers signing; materialized signatures must be the
+    ones eager per-signer signing produces, in ascending signer order."""
+    registry = KeyRegistry(5)
+    lazy = aggregate(registry, "block-h", {3, 0, 1})
+    eager = AggregateSignature(
+        payload="block-h",
+        signatures=tuple(registry.sign(s, "block-h") for s in (0, 1, 3)),
+    )
+    assert lazy.wire_size == eager.wire_size  # before materialization
+    assert lazy.signatures == eager.signatures
+    assert lazy == eager
+    assert lazy.verify(registry)
+
+
+def test_lazy_aggregate_snapshots_signers():
+    """Callers pass live vote sets that keep growing; the aggregate must
+    freeze its signer set at construction."""
+    registry = KeyRegistry(5)
+    voters = {0, 1}
+    agg = aggregate(registry, "h", voters)
+    voters.add(2)
+    assert agg.signers == {0, 1}
+    assert [sig.signer for sig in agg.signatures] == [0, 1]
+
+
+def test_lazy_aggregate_validates_signers_eagerly():
+    registry = KeyRegistry(3)
+    with pytest.raises(KeyError):
+        aggregate(registry, "h", [0, 42])

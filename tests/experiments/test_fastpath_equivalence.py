@@ -1,0 +1,68 @@
+"""Pre/post-refactor equivalence of the hot-path fast paths.
+
+The hot-path refactor added a pristine-network fast path (no
+interceptor / partition / down-set checks), a batched multicast, lazily
+materialized aggregates and several dispatch caches.  These tests pin
+the claim that none of it changes behaviour: forcing the *checked* path
+with a no-op interceptor -- the code path the pre-refactor network always
+took -- must reproduce the fast path's metrics JSON bit-for-bit, for
+every engine family.
+
+Together with the golden-file test (``test_runner.py``), which pins
+no-fault runs against the pre-adversary build, this bounds the refactor
+from both sides.
+"""
+
+import pytest
+
+from repro.experiments.runner import (
+    Scenario,
+    ScenarioResult,
+    _build_cluster,
+    _resolve_workload,
+    resolve_deployment,
+    run_scenario,
+)
+
+
+def _noop_interceptor(src, dst, message, delay):
+    return message, delay
+
+
+def _run(protocol: str, workload: str, duration: float, checked: bool) -> str:
+    scenario = Scenario(
+        protocol=protocol,
+        deployment="wonderproxy-16",
+        workload=workload,
+        duration=duration,
+        seed=3,
+    )
+    if not checked:
+        return run_scenario(scenario).to_json(indent=2)
+    # Build the cluster the same way the runner does, but install a no-op
+    # interceptor before running so every send takes the checked path.
+    deployment = resolve_deployment(scenario.deployment, seed=scenario.seed)
+    workload_obj = _resolve_workload(scenario)
+    cluster = _build_cluster(scenario, deployment, workload_obj)
+    cluster.network.add_interceptor(_noop_interceptor)
+    run_metrics = cluster.run(scenario.duration)
+    return ScenarioResult(
+        scenario=scenario,
+        cluster=cluster,
+        run_metrics=run_metrics,
+        workload=workload_obj,
+    ).to_json(indent=2)
+
+
+@pytest.mark.parametrize(
+    "protocol,workload,duration",
+    [
+        ("pbft", "closed-loop", 8.0),
+        ("hotstuff-rr", "saturated", 8.0),
+        ("kauri", "saturated", 8.0),
+    ],
+)
+def test_checked_path_matches_fast_path_bit_for_bit(protocol, workload, duration):
+    fast = _run(protocol, workload, duration, checked=False)
+    checked = _run(protocol, workload, duration, checked=True)
+    assert fast == checked

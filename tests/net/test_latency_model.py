@@ -52,3 +52,43 @@ def test_closest_index_maps_to_nearest_city(europe21):
     munich = city_by_name("Munich")
     index = model.closest_index(munich.lat, munich.lon)
     assert model.cities[index].name == "Munich"
+
+
+def test_vectorized_matrix_equals_scalar_loop_at_n64():
+    """The vectorized constructor must be *bit-identical* to the scalar
+    pair loop: link delays feed event timestamps, so even a last-ulp
+    difference would change seeded runs."""
+    import random
+
+    from repro.net.deployments import random_world_deployment
+
+    model = random_world_deployment(64, random.Random(7)).latency
+    n = len(model)
+    scalar = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            rtt = LatencyModel._pair_rtt_ms(model.cities[i], model.cities[j])
+            scalar[i, j] = rtt
+            scalar[j, i] = rtt
+    assert np.array_equal(model.matrix_ms(), scalar)  # exact, not allclose
+
+
+def test_vectorized_matrix_handles_duplicate_and_tiny_inputs():
+    frankfurt = city_by_name("Frankfurt")
+    paris = city_by_name("Paris")
+    # Co-located pair plus one distinct city, exact against the scalar rule.
+    model = LatencyModel([frankfurt, frankfurt, paris])
+    assert model.rtt_ms(0, 1) == LatencyModel._pair_rtt_ms(frankfurt, frankfurt)
+    assert model.rtt_ms(0, 2) == LatencyModel._pair_rtt_ms(frankfurt, paris)
+    # Degenerate sizes must not blow up.
+    assert LatencyModel([]).matrix_ms().shape == (0, 0)
+    assert LatencyModel([paris]).matrix_ms().shape == (1, 1)
+
+
+def test_one_way_rows_match_one_way_exactly(europe21):
+    model = europe21.latency
+    rows = model.one_way_rows()
+    n = len(model)
+    for a in range(n):
+        for b in range(n):
+            assert rows[a][b] == model.one_way(a, b)

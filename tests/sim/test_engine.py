@@ -104,6 +104,46 @@ def test_pending_count_ignores_cancelled():
     assert sim.pending == 1
 
 
+def test_post_orders_like_schedule():
+    """post() (the no-handle fast path) and schedule() share one queue and
+    one ordering rule: time, then insertion order."""
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "handle-1")
+    sim.post(1.0, order.append, ("post-1",))
+    sim.post(0.5, order.append, ("post-early",))
+    sim.schedule(1.0, order.append, "handle-2")
+    sim.run()
+    assert order == ["post-early", "handle-1", "post-1", "handle-2"]
+
+
+def test_post_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.post(-0.1, lambda: None)
+
+
+def test_pending_counts_posted_events():
+    sim = Simulator()
+    sim.post(1.0, lambda: None)
+    handle = sim.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert sim.pending == 1
+
+
+def test_max_queue_depth_tracks_high_water_mark():
+    sim = Simulator()
+    assert sim.max_queue_depth == 0
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.post(0.5, lambda: None)
+    assert sim.max_queue_depth == 6
+    sim.run()
+    # Draining does not lower the recorded peak.
+    assert sim.max_queue_depth == 6
+    assert sim.pending == 0
+
+
 def test_determinism_same_seed():
     def run_once(seed):
         sim = Simulator(seed=seed)

@@ -90,6 +90,78 @@ def test_jitter_stretches_delay_within_bound():
     assert all(0.1 <= t <= 0.11 + 1e-9 for t in times)
 
 
+def test_multicast_counts_batches_and_per_destination_sends():
+    sim, network = make_network()
+    for i in range(4):
+        network.register(i, lambda src, msg: None)
+    network.multicast(0, range(4), "m", size=10)
+    network.multicast(0, (), "empty", size=10)
+    sim.run()
+    assert network.stats.messages_multicast == 2
+    assert network.stats.messages_sent == 4  # one per destination
+    assert network.stats.bytes_sent == 40
+    assert network.stats.messages_delivered == 4
+
+
+def test_multicast_batched_path_equals_send_loop():
+    """The pristine multicast batch must deliver at the same times, in the
+    same order, with the same jitter draws as a loop of send() calls."""
+    def run(batched):
+        sim = Simulator(seed=5)
+        network = Network(sim, lambda a, b: 0.01 * (a + b + 1), jitter=0.05)
+        log = []
+        for i in range(5):
+            network.register(i, lambda src, msg, i=i: log.append((sim.now, i, msg)))
+        if batched:
+            network.multicast(0, range(5), "m")
+        else:
+            for dst in range(5):
+                network.send(0, dst, "m")
+        sim.run()
+        return log
+
+    assert run(batched=True) == run(batched=False)
+
+
+def test_fast_path_equivalent_to_interceptor_disabled_path():
+    """A no-op interceptor forces the checked (slow) path; delivery times
+    must be identical to the pristine fast path under the same seed."""
+    def run(with_noop):
+        sim = Simulator(seed=9)
+        network = Network(sim, lambda a, b: 0.02, jitter=0.1)
+        if with_noop:
+            network.add_interceptor(lambda src, dst, msg, delay: (msg, delay))
+        log = []
+        network.register(1, lambda src, msg: log.append((sim.now, msg)))
+        for k in range(20):
+            network.send(0, 1, f"m{k}")
+        network.multicast(0, [1, 1, 1], "mc")
+        sim.run()
+        return log
+
+    assert run(with_noop=True) == run(with_noop=False)
+
+
+def test_fast_path_reengages_after_faults_clear():
+    sim, network = make_network(delay=0.01)
+    inbox = []
+    network.register(1, lambda src, msg: inbox.append(msg))
+    network.set_down(1)
+    network.send(0, 1, "lost")
+    network.set_down(1, False)
+    epoch = network.partition([(0,), (1,)])
+    network.send(0, 1, "cut")
+    network.heal(epoch)
+    noop = lambda src, dst, msg, delay: (msg, delay)  # noqa: E731
+    network.add_interceptor(noop)
+    network.send(0, 1, "checked")
+    network.remove_interceptor(noop)
+    network.send(0, 1, "fast")
+    sim.run()
+    assert inbox == ["checked", "fast"]
+    assert network.stats.messages_dropped == 2
+
+
 def test_stats_count_bytes_per_type():
     sim, network = make_network()
     network.register(1, lambda src, msg: None)
