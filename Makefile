@@ -3,8 +3,11 @@
 #   make test           tier-1 test suite (the CI gate)
 #   make bench          `repro bench` perf suite -> BENCH_full.json
 #   make bench-quick    CI variant (n <= 32, capped durations) -> BENCH_quick.json
+#                       + quick search suite -> BENCH_search_quick.json
+#   make bench-search   optimizer-layer suite -> BENCH_PR4.json
 #   make bench-figures  figure benchmarks at CI scale (REPRO_FULL=1 for paper scale)
 #   make profile        cProfile over the fixed hot-path scenario
+#   make profile-search cProfile over the fixed search hot path
 #   make lint           bytecode-compile the tree + import-check the package
 #
 # Everything runs from the source tree via PYTHONPATH; `pip install -e .`
@@ -13,7 +16,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-figures profile lint quickstart
+.PHONY: test bench bench-quick bench-search bench-figures profile profile-search lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,12 +26,19 @@ bench:
 
 bench-quick:
 	$(PYTHON) -m repro bench --quick --output BENCH_quick.json
+	$(PYTHON) -m repro bench --quick --search --output BENCH_search_quick.json
+
+bench-search:
+	$(PYTHON) -m repro bench --search --output BENCH_PR4.json
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q
 
 profile:
 	$(PYTHON) -m repro.bench.profile
+
+profile-search:
+	$(PYTHON) -m repro.bench.profile_search
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -16,16 +16,26 @@ Subcommands
 
         python -m repro scenario churn-storm --seed 3
 
+``sweep``
+    Execute one scenario per seed, optionally sharded across a process
+    pool, and print a JSON array of metrics (byte-identical for any
+    ``--jobs``, including serial)::
+
+        python -m repro sweep --protocol pbft --deployment wonderproxy-16 \
+            --seeds 0 1 2 3 --jobs 4
+
 ``fig``
-    Execute a figure driver (``fig7`` ... ``fig15``, ``fast`` where
-    supported) and print its table.
+    Execute a figure driver (``fig7`` ... ``fig15``, ``fast`` and
+    ``--jobs`` where supported) and print its table.
 
 ``bench``
     Run the fixed performance suite and write a ``BENCH_*.json`` that
     embeds the recorded pre-refactor baseline next to the fresh
-    numbers::
+    numbers.  ``--search`` selects the optimizer-layer suite (score
+    evals/sec, SA iterations/sec) instead of the simulator suite::
 
         python -m repro bench --quick --output BENCH_quick.json
+        python -m repro bench --search --output BENCH_PR4.json
 
 ``list``
     Show the available protocols, workloads, deployments, fault kinds,
@@ -174,6 +184,52 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import derive_sweep_seed, run_scenarios
+
+    seeds = list(args.seeds or [])
+    if args.derive_seeds:
+        seeds.extend(
+            derive_sweep_seed(args.seed, f"sweep-{index}")
+            for index in range(args.derive_seeds)
+        )
+    if not seeds:
+        raise SystemExit("sweep needs --seeds and/or --derive-seeds")
+    scenarios = [
+        Scenario(
+            protocol=args.protocol,
+            deployment=args.deployment,
+            workload=args.workload,
+            workload_params=_parse_params(args.param),
+            duration=args.duration,
+            seed=seed,
+            delta=args.delta,
+            jitter=args.jitter,
+            client_city=args.client_city,
+            faults=[_parse_fault(fault) for fault in args.fault or []],
+            search_iterations=args.search_iterations,
+            pipeline_depth=args.pipeline_depth,
+        )
+        for seed in seeds
+    ]
+    try:
+        metrics = run_scenarios(
+            scenarios,
+            jobs=args.jobs,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+    except (ValueError, TypeError) as error:
+        raise SystemExit(f"error: {error}")
+    text = json.dumps(metrics, sort_keys=True, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
     try:
         result = scenarios_mod.run_named(
@@ -198,7 +254,7 @@ def cmd_fig(args: argparse.Namespace) -> int:
     main = module.main
     accepted = inspect.signature(main).parameters
     kwargs: Dict[str, Any] = {}
-    for knob in ("duration", "seed", "fast"):
+    for knob in ("duration", "seed", "fast", "jobs"):
         value = getattr(args, knob, None)
         if value is not None and knob in accepted:
             kwargs[knob] = value
@@ -207,6 +263,27 @@ def cmd_fig(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.search:
+        from repro.bench.search import (
+            format_search_table,
+            run_search_suite,
+            write_search_report,
+        )
+
+        if args.entry:
+            raise SystemExit("--entry applies to the simulator suite, not --search")
+        report = run_search_suite(
+            quick=args.quick,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        print(format_search_table(report))
+        output = args.output or (
+            "BENCH_search_quick.json" if args.quick else "BENCH_PR4.json"
+        )
+        write_search_report(report, output)
+        print(f"wrote {output}", file=sys.stderr)
+        return 0
+
     from repro.bench import SUITE, format_table, run_suite, write_report
 
     try:
@@ -254,6 +331,38 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    """The scenario-shape options ``run`` and ``sweep`` share; one
+    definition so defaults and help text cannot drift between them."""
+    parser.add_argument("--protocol", default="pbft",
+                        choices=sorted(runner_mod.PROTOCOLS))
+    parser.add_argument("--deployment", default="Europe21",
+                        help="Europe21 | NA-EU43 | Global73 | Stellar56 | wonderproxy-N")
+    parser.add_argument("--workload", default="closed-loop",
+                        help=f"{' | '.join(sorted(WORKLOADS))} | saturated")
+    parser.add_argument("--param", action="append", metavar="KEY=VALUE",
+                        help="workload parameter (repeatable), e.g. --param on_rate=80")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="simulated seconds (default 30)")
+    parser.add_argument("--delta", type=float, default=1.0,
+                        help="suspicion timer multiplier delta")
+    parser.add_argument("--jitter", type=float, default=0.02,
+                        help="fractional link jitter (default 0.02)")
+    parser.add_argument("--client-city", type=int, default=None,
+                        help="city index the default client is pinned to")
+    parser.add_argument("--fault", action="append", metavar="KIND:K=V,...",
+                        help="fault spec (repeatable); kinds: "
+                             "delay | delta_delay | crash | churn | partition "
+                             "| loss | false_suspicion, e.g. "
+                             "delay:start=60,attacker=leader,extra_delay=0.8 "
+                             "or loss:rate=0.03,start=5,end=25")
+    parser.add_argument("--search-iterations", type=int, default=20_000,
+                        help="OptiTree annealing iterations")
+    parser.add_argument("--pipeline-depth", type=int, default=None)
+    parser.add_argument("--output", metavar="FILE",
+                        help="write JSON here instead of stdout")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -262,35 +371,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run an ad-hoc scenario, print JSON metrics")
-    run_parser.add_argument("--protocol", default="pbft",
-                            choices=sorted(runner_mod.PROTOCOLS))
-    run_parser.add_argument("--deployment", default="Europe21",
-                            help="Europe21 | NA-EU43 | Global73 | Stellar56 | wonderproxy-N")
-    run_parser.add_argument("--workload", default="closed-loop",
-                            help=f"{' | '.join(sorted(WORKLOADS))} | saturated")
-    run_parser.add_argument("--param", action="append", metavar="KEY=VALUE",
-                            help="workload parameter (repeatable), e.g. --param on_rate=80")
-    run_parser.add_argument("--duration", type=float, default=30.0,
-                            help="simulated seconds (default 30)")
+    _add_scenario_options(run_parser)
     run_parser.add_argument("--seed", type=int, default=0)
-    run_parser.add_argument("--delta", type=float, default=1.0,
-                            help="suspicion timer multiplier delta")
-    run_parser.add_argument("--jitter", type=float, default=0.02,
-                            help="fractional link jitter (default 0.02)")
-    run_parser.add_argument("--client-city", type=int, default=None,
-                            help="city index the default client is pinned to")
-    run_parser.add_argument("--fault", action="append", metavar="KIND:K=V,...",
-                            help="fault spec (repeatable); kinds: "
-                                 "delay | delta_delay | crash | churn | partition "
-                                 "| loss | false_suspicion, e.g. "
-                                 "delay:start=60,attacker=leader,extra_delay=0.8 "
-                                 "or loss:rate=0.03,start=5,end=25")
-    run_parser.add_argument("--search-iterations", type=int, default=20_000,
-                            help="OptiTree annealing iterations")
-    run_parser.add_argument("--pipeline-depth", type=int, default=None)
-    run_parser.add_argument("--output", metavar="FILE",
-                            help="write JSON here instead of stdout")
     run_parser.set_defaults(func=cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run one scenario per seed (optionally in parallel), print JSON"
+    )
+    _add_scenario_options(sweep_parser)
+    sweep_parser.add_argument("--seeds", type=int, nargs="+", metavar="SEED",
+                              help="explicit sweep seeds, e.g. --seeds 0 1 2 3")
+    sweep_parser.add_argument("--derive-seeds", type=int, default=0, metavar="N",
+                              help="additionally derive N seeds from --seed "
+                                   "(labelled substreams, like derive_rng)")
+    sweep_parser.add_argument("--seed", type=int, default=0,
+                              help="root seed for --derive-seeds")
+    sweep_parser.add_argument("--jobs", type=int, default=None,
+                              help="process-pool width (default serial; -1 = all cores)")
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     scenario_parser = sub.add_parser(
         "scenario", help="run a named adversarial scenario, print JSON metrics"
@@ -313,6 +411,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig_parser.add_argument("--seed", type=int, default=None)
     fig_parser.add_argument("--fast", action="store_true", default=None,
                             help="compressed timeline where the driver supports it")
+    fig_parser.add_argument("--jobs", type=int, default=None,
+                            help="shard the figure's sweep across N processes "
+                                 "(fig7/fig9/fig12; results identical to serial)")
     fig_parser.set_defaults(func=cmd_fig)
 
     bench_parser = sub.add_parser(
@@ -327,8 +428,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this suite entry (repeatable), e.g. hotstuff/n128",
     )
     bench_parser.add_argument(
+        "--search", action="store_true",
+        help="run the optimizer-layer search suite instead of the simulator suite",
+    )
+    bench_parser.add_argument(
         "--output", metavar="FILE", default=None,
-        help="report path (default BENCH_full.json / BENCH_quick.json)",
+        help="report path (default BENCH_full.json / BENCH_quick.json; "
+             "BENCH_PR4.json / BENCH_search_quick.json with --search)",
     )
     bench_parser.set_defaults(func=cmd_bench)
 

@@ -16,20 +16,37 @@ from typing import FrozenSet, Optional
 import numpy as np
 
 from repro.aware.weights import WeightConfiguration
-from repro.core.timeouts import PbftTimeouts
+from repro.core.timeouts import PbftTimeouts, weighted_round_duration
 
 
 def weight_config_round_duration(
     latency: np.ndarray, configuration: WeightConfiguration
 ) -> float:
-    """Predicted ``d_rnd`` for a weighted configuration (lower is better)."""
+    """Predicted ``d_rnd`` for a weighted configuration (lower is better).
+
+    Runs the vectorized :func:`weighted_round_duration` over the cached
+    weight vector -- the search layer calls this per candidate, so no
+    per-evaluation ``PbftTimeouts``/dict construction.
+    """
+    return weighted_round_duration(
+        latency,
+        configuration.leader,
+        configuration.weight_vector(),
+        configuration.quorum_weight,
+    )
+
+
+def weight_config_round_duration_scalar(
+    latency: np.ndarray, configuration: WeightConfiguration
+) -> float:
+    """Reference implementation: the per-dict :class:`PbftTimeouts` scan."""
     timeouts = PbftTimeouts(
         latency,
         leader=configuration.leader,
         weights=configuration.weights(),
         quorum_weight=configuration.quorum_weight,
     )
-    return timeouts.round_duration()
+    return timeouts.round_duration_scalar()
 
 
 def aware_score(

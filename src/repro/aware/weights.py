@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable
 
+import numpy as np
+
 from repro.core.records import RECORD_HEADER_SIZE, Configuration
 
 
@@ -104,6 +106,21 @@ class WeightConfiguration(Configuration):
             replica: params.vmax if replica in self.vmax_replicas else params.vmin
             for replica in range(self.n)
         }
+
+    def weight_vector(self) -> np.ndarray:
+        """Weights as a dense vector indexed by replica id.
+
+        Cached on the immutable instance; the vectorized score path
+        (:func:`repro.core.timeouts.weighted_round_duration`) reads this
+        instead of building the ``weights()`` dict per evaluation.
+        """
+        vector = self.__dict__.get("_weight_vector")
+        if vector is None:
+            params = self.parameters
+            vector = np.full(self.n, params.vmin, dtype=float)
+            vector[sorted(self.vmax_replicas)] = params.vmax
+            object.__setattr__(self, "_weight_vector", vector)
+        return vector
 
     def weight_of(self, replica: int) -> float:
         pair = self.__dict__.get("_vmax_vmin")

@@ -1,12 +1,20 @@
-"""``repro bench``: the fixed performance suite pinning the perf trajectory.
+"""``repro bench``: the fixed performance suites pinning the perf trajectory.
 
 Every PR that touches the hot path (sim engine, network, crypto, log)
 runs the same suite -- per-engine saturated/closed-loop scenarios at
 n ∈ {4, 32, 128, 256} -- and emits a ``BENCH_*.json`` whose entries embed
 the recorded pre-refactor baseline, so speedups (and regressions) are
-visible as a single ratio per entry.
+visible as a single ratio per entry.  ``repro bench --search`` is the
+optimizer-layer twin (:mod:`repro.bench.search`): score evaluations/sec
+and simulated-annealing iterations/sec against their own recorded
+baseline.
 """
 
+from repro.bench.search import (  # noqa: F401
+    format_search_table,
+    run_search_suite,
+    write_search_report,
+)
 from repro.bench.suite import (  # noqa: F401
     SUITE,
     BenchEntry,

@@ -1,0 +1,68 @@
+"""``make profile-search``: cProfile over the fixed search hot path.
+
+Profiles the same searches every time (OptiTree annealing at n=211 with
+a 20k-iteration budget, then one annealed weight search at n=57) so
+successive profiles are comparable, and prints the top functions by
+internal time::
+
+    PYTHONPATH=src python -m repro.bench.profile_search [top_n]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import random
+import sys
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    top = int(argv[0]) if argv else 30
+    from repro.aware.search import annealed_weight_search
+    from repro.net.deployments import random_world_deployment
+    from repro.optimize.annealing import AnnealingSchedule
+    from repro.tree.optitree import optitree_search
+
+    n, f = 211, 70
+    latency = (
+        random_world_deployment(n, random.Random(n)).latency.matrix_seconds() / 2.0
+    )
+    wn, wf = 57, 18
+    weight_latency = (
+        random_world_deployment(wn, random.Random(wn)).latency.matrix_seconds() / 2.0
+    )
+    schedule = AnnealingSchedule(
+        iterations=20_000, initial_temperature=0.05, cooling=0.9995
+    )
+
+    def workload() -> None:
+        optitree_search(
+            latency,
+            n,
+            f,
+            candidates=frozenset(range(n)),
+            u=0,
+            rng=random.Random(7),
+            schedule=schedule,
+            k=2 * f + 1,
+        )
+        annealed_weight_search(
+            weight_latency,
+            wn,
+            wf,
+            rng=random.Random(11),
+            schedule=AnnealingSchedule(iterations=2000, initial_temperature=0.05),
+        )
+
+    workload()  # warm imports and caches outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("tottime").print_stats(top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,287 @@
+"""The ``repro bench --search`` suite: optimizer-layer throughput.
+
+The simulator bench (:mod:`repro.bench.suite`) pins events/sec; this
+suite pins the *search* trajectory the ConfigSensor depends on (§4.2.4):
+configuration quality is bounded by how many score evaluations the
+annealer completes inside its wall-clock search timer, so score
+evals/sec and SA iterations/sec are the numbers a perf PR must move.
+
+Entries (fixed inputs, fixed seeds -- only the code under test varies):
+
+* ``tree-score/nN``   -- full ``tree_score`` evaluations/sec over a fixed
+  pool of random layouts (the optimizer's innermost call);
+* ``sa-tree/nN``      -- ``optitree_search`` iterations/sec at a fixed
+  budget (the Fig. 12 hot path);
+* ``sa-weights/nN``   -- ``annealed_weight_search`` iterations/sec;
+* ``exhaustive-weights/nN`` -- one deterministic
+  ``exhaustive_weight_search`` wall-clock.
+
+Simulated outcomes (``best_score``, chosen leader) are deterministic
+under the fixed seeds and double as a smoke check that an optimisation
+did not change search behaviour.  ``SEARCH_BASELINE`` (see
+:mod:`repro.bench.search_baseline`) holds the recorded pre-refactor
+numbers; reports embed it so a ``BENCH_PR4.json`` is self-contained
+evidence of a speedup.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.search_baseline import SEARCH_BASELINE
+
+#: Tree sizes the paper sweeps (Fig. 12 ends at n=211).
+TREE_SIZES = (57, 211)
+#: Weight-search sizes (PBFT-scale; the paper's Aware experiments).
+WEIGHT_SIZES = (21, 57)
+#: Annealing budgets per entry -- large enough to dominate setup cost.
+SA_TREE_ITERATIONS = {57: 4000, 211: 2000}
+SA_WEIGHT_ITERATIONS = {21: 1500, 57: 600}
+#: tree-score evaluations per timing pass.
+SCORE_POOL = 64
+
+_QUICK_SKIP = {"sa-tree/n211", "exhaustive-weights/n57", "sa-weights/n57"}
+
+
+def _tree_latency(n: int, seed: int = 0):
+    """The Fig. 12 deployment rule, shared with the figure driver so the
+    bench always measures the input the figure reports."""
+    from repro.experiments.fig12 import _latency_for
+
+    return _latency_for(n, seed)
+
+
+def _time_best_of(fn: Callable[[], object], repeats: int) -> tuple:
+    """(best wall seconds, last result): best-of-N to shed scheduler noise."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        gc.collect()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def _bench_tree_score(n: int, repeats: int) -> Dict[str, object]:
+    from repro.tree.optitree import random_tree
+    from repro.tree.score import tree_score
+
+    latency = _tree_latency(n)
+    f = (n - 1) // 3
+    k = 2 * f + 1
+    rng = random.Random(1234 + n)
+    pool = [random_tree(n, frozenset(range(n)), rng) for _ in range(SCORE_POOL)]
+
+    def evaluate() -> float:
+        total = 0.0
+        for tree in pool:
+            total += tree_score(latency, tree, k)
+        return total
+
+    checksum = evaluate()  # warm caches outside the timing loop
+    wall, _ = _time_best_of(evaluate, repeats)
+    return {
+        "id": f"tree-score/n{n}",
+        "n": n,
+        "evals": SCORE_POOL,
+        "wall_seconds": round(wall, 6),
+        "evals_per_sec": round(SCORE_POOL / wall, 1) if wall > 0 else 0.0,
+        "score_checksum": checksum,
+    }
+
+
+def _bench_sa_tree(n: int, repeats: int) -> Dict[str, object]:
+    from repro.optimize.annealing import AnnealingSchedule
+    from repro.tree.optitree import optitree_search
+
+    latency = _tree_latency(n)
+    f = (n - 1) // 3
+    iterations = SA_TREE_ITERATIONS[n]
+    schedule = AnnealingSchedule(
+        iterations=iterations, initial_temperature=0.05, cooling=0.9995
+    )
+
+    def search():
+        return optitree_search(
+            latency,
+            n,
+            f,
+            candidates=frozenset(range(n)),
+            u=0,
+            rng=random.Random(7 + n),
+            schedule=schedule,
+            k=2 * f + 1,
+        )
+
+    wall, result = _time_best_of(search, repeats)
+    return {
+        "id": f"sa-tree/n{n}",
+        "n": n,
+        "iterations": result.iterations_used,
+        "wall_seconds": round(wall, 6),
+        "iterations_per_sec": round(result.iterations_used / wall, 1)
+        if wall > 0
+        else 0.0,
+        "best_score": result.best_score,
+        "accepted": result.accepted,
+    }
+
+
+def _bench_sa_weights(n: int, repeats: int) -> Dict[str, object]:
+    from repro.aware.search import annealed_weight_search
+    from repro.aware.score import weight_config_round_duration
+    from repro.optimize.annealing import AnnealingSchedule
+
+    latency = _tree_latency(n)
+    f = (n - 1) // 3
+    iterations = SA_WEIGHT_ITERATIONS[n]
+    schedule = AnnealingSchedule(iterations=iterations, initial_temperature=0.05)
+
+    def search():
+        return annealed_weight_search(
+            latency, n, f, rng=random.Random(11 + n), schedule=schedule
+        )
+
+    wall, best = _time_best_of(search, repeats)
+    return {
+        "id": f"sa-weights/n{n}",
+        "n": n,
+        "iterations": iterations,
+        "wall_seconds": round(wall, 6),
+        "iterations_per_sec": round(iterations / wall, 1) if wall > 0 else 0.0,
+        "best_score": weight_config_round_duration(latency, best),
+        "leader": best.leader,
+    }
+
+
+def _bench_exhaustive_weights(n: int, repeats: int) -> Dict[str, object]:
+    from repro.aware.search import exhaustive_weight_search
+    from repro.aware.score import weight_config_round_duration
+
+    latency = _tree_latency(n)
+    f = (n - 1) // 3
+
+    def search():
+        return exhaustive_weight_search(latency, n, f)
+
+    wall, best = _time_best_of(search, repeats)
+    return {
+        "id": f"exhaustive-weights/n{n}",
+        "n": n,
+        "leaders": n,
+        "wall_seconds": round(wall, 6),
+        "leaders_per_sec": round(n / wall, 1) if wall > 0 else 0.0,
+        "best_score": weight_config_round_duration(latency, best),
+        "leader": best.leader,
+    }
+
+
+def _search_entries(repeats: int) -> List[tuple]:
+    entries: List[tuple] = []
+    for n in TREE_SIZES:
+        entries.append((f"tree-score/n{n}", lambda n=n: _bench_tree_score(n, repeats)))
+    for n in TREE_SIZES:
+        entries.append((f"sa-tree/n{n}", lambda n=n: _bench_sa_tree(n, repeats)))
+    for n in WEIGHT_SIZES:
+        entries.append((f"sa-weights/n{n}", lambda n=n: _bench_sa_weights(n, repeats)))
+    for n in WEIGHT_SIZES:
+        entries.append(
+            (f"exhaustive-weights/n{n}", lambda n=n: _bench_exhaustive_weights(n, repeats))
+        )
+    return entries
+
+
+def run_search_suite(
+    quick: bool = False,
+    repeats: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the search suite and return the report dict.
+
+    ``quick`` drops the slowest entries (n=211 annealing, n=57 weight
+    searches) and runs single-shot -- the CI variant.
+    """
+    if quick:
+        repeats = 1
+    results = []
+    for entry_id, runner in _search_entries(repeats):
+        if quick and entry_id in _QUICK_SKIP:
+            continue
+        if progress is not None:
+            progress(f"bench {entry_id} ...")
+        record = runner()
+        baseline = SEARCH_BASELINE.get("entries", {}).get(entry_id)
+        if baseline is not None:
+            record["baseline"] = baseline
+            for rate_key in ("evals_per_sec", "iterations_per_sec", "leaders_per_sec"):
+                base_rate = baseline.get(rate_key)
+                if base_rate and record.get(rate_key):
+                    record["speedup"] = round(
+                        float(record[rate_key]) / float(base_rate), 2
+                    )
+                    break
+        results.append(record)
+    return {
+        "bench_version": 1,
+        "suite": "search",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "baseline_note": SEARCH_BASELINE.get("note", ""),
+        "entries": results,
+    }
+
+
+def format_search_table(report: Dict[str, object]) -> str:
+    """Human-readable summary of a search report (the CLI's stdout)."""
+    lines = [
+        f"{'entry':<24} {'n':>4} {'wall_s':>9} {'rate':>12} {'best_score':>12} {'speedup':>8}"
+    ]
+    for rec in report["entries"]:
+        rate = (
+            rec.get("evals_per_sec")
+            or rec.get("iterations_per_sec")
+            or rec.get("leaders_per_sec")
+            or 0.0
+        )
+        score = rec.get("best_score", rec.get("score_checksum", 0.0))
+        speedup = rec.get("speedup")
+        lines.append(
+            f"{rec['id']:<24} {rec['n']:>4} {rec['wall_seconds']:>9.4f} "
+            f"{rate:>12,.0f} {score:>12.6f} "
+            + (f"{speedup:>7.2f}x" if speedup is not None else f"{'-':>8}")
+        )
+    return "\n".join(lines)
+
+
+def write_search_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench.search [--quick] [output.json]``"""
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    report = run_search_suite(
+        quick=quick, progress=lambda msg: print(msg, file=sys.stderr)
+    )
+    print(format_search_table(report))
+    if paths:
+        write_search_report(report, paths[0])
+        print(f"wrote {paths[0]}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

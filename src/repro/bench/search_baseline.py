@@ -1,0 +1,79 @@
+"""Pre-refactor baseline for the ``repro bench --search`` suite.
+
+Machine-local wall-clock numbers: comparable only to reports produced on
+the same host.  Measured on the pre-refactor optimizer (PR 3 head,
+e19fd0c: full re-scoring per mutation, per-dict quorum scans, scalar
+tree walks) with this same suite definition, best-of-3 per entry.
+Regenerate by running ``python -m repro.bench.search`` at a known-good
+commit and pasting the entries here; the simulated fields
+(``best_score``, ``leader``, ``accepted``, ``score_checksum``) double as
+the pre-refactor behaviour record the equivalence tests pin against.
+"""
+
+SEARCH_BASELINE = {
+    "note": "pre-refactor: PR 3 head (e19fd0c), best of three runs per entry",
+    "entries": {
+        "exhaustive-weights/n21": {
+            "best_score": 0.11369290111003866,
+            "leader": 8,
+            "leaders": 21,
+            "leaders_per_sec": 3481.4,
+            "n": 21,
+            "wall_seconds": 0.006032,
+        },
+        "exhaustive-weights/n57": {
+            "best_score": 0.1617755368311539,
+            "leader": 24,
+            "leaders": 57,
+            "leaders_per_sec": 521.1,
+            "n": 57,
+            "wall_seconds": 0.109377,
+        },
+        "sa-tree/n211": {
+            "accepted": 1972,
+            "best_score": 0.12120014283744379,
+            "iterations": 2000,
+            "iterations_per_sec": 15577.2,
+            "n": 211,
+            "wall_seconds": 0.128393,
+        },
+        "sa-tree/n57": {
+            "accepted": 3670,
+            "best_score": 0.08460483316563862,
+            "iterations": 4000,
+            "iterations_per_sec": 43070.2,
+            "n": 57,
+            "wall_seconds": 0.092872,
+        },
+        "sa-weights/n21": {
+            "best_score": 0.11385427655126779,
+            "iterations": 1500,
+            "iterations_per_sec": 3503.0,
+            "leader": 0,
+            "n": 21,
+            "wall_seconds": 0.428204,
+        },
+        "sa-weights/n57": {
+            "best_score": 0.1652098272798407,
+            "iterations": 600,
+            "iterations_per_sec": 519.0,
+            "leader": 24,
+            "n": 57,
+            "wall_seconds": 1.156168,
+        },
+        "tree-score/n211": {
+            "evals": 64,
+            "evals_per_sec": 24317.7,
+            "n": 211,
+            "score_checksum": 10.210909297787605,
+            "wall_seconds": 0.002632,
+        },
+        "tree-score/n57": {
+            "evals": 64,
+            "evals_per_sec": 69248.0,
+            "n": 57,
+            "score_checksum": 9.626025056664345,
+            "wall_seconds": 0.000924,
+        },
+    },
+}

@@ -58,6 +58,51 @@ def quorum_formation_time(
     return math.inf
 
 
+def quorum_formation_times(
+    arrivals: np.ndarray, weights: np.ndarray, threshold: float
+) -> np.ndarray:
+    """Vectorized :func:`quorum_formation_time`, one result per column.
+
+    ``arrivals`` is a (senders × receivers) matrix; ``weights`` a vector
+    over senders.  Per column: stable-sort by arrival (ties fall back to
+    sender id, exactly the scalar key), accumulate weights in that order
+    -- ``cumsum`` adds sequentially, so every partial sum is bit-identical
+    to the scalar loop -- and take the first finite arrival at which the
+    accumulated weight reaches ``threshold``.
+    """
+    order = np.argsort(arrivals, axis=0, kind="stable")
+    times = np.take_along_axis(arrivals, order, axis=0)
+    cumulative = np.cumsum(weights[order], axis=0)
+    reached = (cumulative >= threshold) & np.isfinite(times)
+    formed = reached.any(axis=0)
+    first = reached.argmax(axis=0)
+    columns = np.arange(arrivals.shape[1])
+    return np.where(formed, times[first, columns], np.inf)
+
+
+def weighted_round_duration(
+    latency: np.ndarray,
+    leader: int,
+    weight_vector: np.ndarray,
+    quorum_weight: float,
+) -> float:
+    """``d_rnd`` for a (leader, weight vector) pair, fully vectorized.
+
+    The optimizer's innermost call: Aware/OptiAware score thousands of
+    candidate configurations per search, so this avoids building a
+    :class:`PbftTimeouts` (and its per-replica dicts) per evaluation.
+    Bit-identical to ``PbftTimeouts(...).round_duration()`` -- both run
+    the same operations through :func:`quorum_formation_times`.
+    """
+    propose = latency[leader]
+    write = propose[:, None] + latency
+    accept_send = quorum_formation_times(write, weight_vector, quorum_weight)
+    arrivals = accept_send + latency[:, leader]
+    return float(
+        quorum_formation_times(arrivals[:, None], weight_vector, quorum_weight)[0]
+    )
+
+
 def uniform_weights(n: int) -> Dict[int, float]:
     """Unweighted voting: every replica has weight 1 (quorum = 2f+1)."""
     return {replica: 1.0 for replica in range(n)}
@@ -91,7 +136,18 @@ class PbftTimeouts:
         self.n = latency.shape[0]
         self.weights = dict(weights)
         self.quorum_weight = quorum_weight
-        self._accept_send: Optional[Dict[int, float]] = None
+        self._accept_send: Optional[np.ndarray] = None
+        self._weight_vector: Optional[np.ndarray] = None
+
+    def _weights_array(self) -> np.ndarray:
+        if self._weight_vector is None:
+            weights = self.weights
+            self._weight_vector = np.fromiter(
+                (weights.get(replica, 0.0) for replica in range(self.n)),
+                dtype=float,
+                count=self.n,
+            )
+        return self._weight_vector
 
     # -- building blocks ------------------------------------------------
     def propose_arrival(self, receiver: int) -> float:
@@ -107,18 +163,19 @@ class PbftTimeouts:
         return self.propose_arrival(sender) + float(self.latency[sender, receiver])
 
     def accept_send_time(self, sender: int) -> float:
-        """When ``sender`` has a Write quorum and can send its Accept."""
+        """When ``sender`` has a Write quorum and can send its Accept.
+
+        All senders are computed in one vectorized pass: the Write matrix
+        ``W[s, r] = propose(s) + L(s, r)`` column-scanned by
+        :func:`quorum_formation_times`.
+        """
         if self._accept_send is None:
-            self._accept_send = {}
-            for replica in range(self.n):
-                arrivals = {
-                    writer: self.write_arrival(writer, replica)
-                    for writer in range(self.n)
-                }
-                self._accept_send[replica] = quorum_formation_time(
-                    arrivals, self.weights, self.quorum_weight
-                )
-        return self._accept_send[sender]
+            latency = self.latency
+            write = latency[self.leader][:, None] + latency
+            self._accept_send = quorum_formation_times(
+                write, self._weights_array(), self.quorum_weight
+            )
+        return float(self._accept_send[sender])
 
     def accept_arrival(self, sender: int, receiver: int) -> float:
         return self.accept_send_time(sender) + float(self.latency[sender, receiver])
@@ -126,8 +183,31 @@ class PbftTimeouts:
     # -- TR3 --------------------------------------------------------------
     def round_duration(self) -> float:
         """``d_rnd``: the leader's Accept quorum time (Aware's score)."""
+        self.accept_send_time(self.leader)  # materialise the Accept sends
+        arrivals = self._accept_send + self.latency[:, self.leader]
+        return float(
+            quorum_formation_times(
+                arrivals[:, None], self._weights_array(), self.quorum_weight
+            )[0]
+        )
+
+    def round_duration_scalar(self) -> float:
+        """Reference ``d_rnd``: the pre-vectorization per-dict scan.
+
+        Kept as the checked reference for the equivalence tests; the
+        vectorized path must match it to the bit.
+        """
+        accept_send = {}
+        for replica in range(self.n):
+            write_arrivals = {
+                writer: self.write_arrival(writer, replica)
+                for writer in range(self.n)
+            }
+            accept_send[replica] = quorum_formation_time(
+                write_arrivals, self.weights, self.quorum_weight
+            )
         arrivals = {
-            sender: self.accept_arrival(sender, self.leader)
+            sender: accept_send[sender] + float(self.latency[sender, self.leader])
             for sender in range(self.n)
         }
         return quorum_formation_time(arrivals, self.weights, self.quorum_weight)

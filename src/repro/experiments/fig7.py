@@ -12,8 +12,9 @@ remain degraded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import (
     FaultSpec,
     MeasurementPolicy,
@@ -113,13 +114,27 @@ def run_mode(
     return result
 
 
+def _run_mode_point(point: Tuple[str, float, int, bool]) -> Fig7Result:
+    """Worker: one protocol mode through the full timeline."""
+    mode, duration, seed, fast = point
+    return run_mode(mode, duration=duration, seed=seed, fast=fast)
+
+
 def run(
-    duration: float = DURATION, seed: int = 0, fast: bool = False
+    duration: float = DURATION,
+    seed: int = 0,
+    fast: bool = False,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Fig7Result]:
-    return {
-        mode: run_mode(mode, duration=duration, seed=seed, fast=fast)
-        for mode in ("static", "aware", "optiaware")
-    }
+    """All three timeline modes; each is an independent seeded run, so
+    ``jobs=3`` shards them across processes with identical results."""
+    modes = ("static", "aware", "optiaware")
+    results = parallel_map(
+        _run_mode_point,
+        [(mode, duration, seed, fast) for mode in modes],
+        jobs=jobs,
+    )
+    return dict(zip(modes, results))
 
 
 def summary_rows(results: Dict[str, Fig7Result]) -> List[List]:
@@ -144,8 +159,13 @@ def summary_rows(results: Dict[str, Fig7Result]) -> List[List]:
     return rows
 
 
-def main(duration: float = DURATION, seed: int = 0, fast: bool = False) -> str:
-    results = run(duration=duration, seed=seed, fast=fast)
+def main(
+    duration: float = DURATION,
+    seed: int = 0,
+    fast: bool = False,
+    jobs: Optional[int] = None,
+) -> str:
+    results = run(duration=duration, seed=seed, fast=fast, jobs=jobs)
     table = format_table(
         [
             "protocol",

@@ -9,8 +9,9 @@ annealing, ranked with k = 2f+1 as §7.3 specifies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import Scenario, run_scenario
 from repro.experiments.tables import format_table
 
@@ -68,24 +69,34 @@ def run_cell(
     )
 
 
+def _run_cell_point(point: Tuple[str, str, float, int, int]) -> Fig9Cell:
+    """Worker: one (deployment, protocol) grid cell."""
+    deployment, protocol, duration, seed, search_iterations = point
+    return run_cell(
+        deployment,
+        protocol,
+        duration=duration,
+        seed=seed,
+        search_iterations=search_iterations,
+    )
+
+
 def run(
     deployments=DEPLOYMENTS,
     protocols=PROTOCOLS,
     duration: float = 20.0,
     seed: int = 0,
     search_iterations: int = 20_000,
+    jobs: Optional[int] = None,
 ) -> List[Fig9Cell]:
-    return [
-        run_cell(
-            deployment,
-            protocol,
-            duration=duration,
-            seed=seed,
-            search_iterations=search_iterations,
-        )
+    """The full grid; cells are independent seeded runs, so ``jobs``
+    shards them across processes with cell-identical results."""
+    points = [
+        (deployment, protocol, duration, seed, search_iterations)
         for deployment in deployments
         for protocol in protocols
     ]
+    return parallel_map(_run_cell_point, points, jobs=jobs)
 
 
 def improvement_summary(cells: List[Fig9Cell], deployment: str) -> Dict[str, float]:
@@ -102,8 +113,8 @@ def improvement_summary(cells: List[Fig9Cell], deployment: str) -> Dict[str, flo
     }
 
 
-def main(duration: float = 20.0, seed: int = 0) -> str:
-    cells = run(duration=duration, seed=seed)
+def main(duration: float = 20.0, seed: int = 0, jobs: Optional[int] = None) -> str:
+    cells = run(duration=duration, seed=seed, jobs=jobs)
     rows = [
         [c.deployment, c.protocol, round(c.throughput), round(c.latency, 3)]
         for c in cells

@@ -1,0 +1,102 @@
+"""Parallel experiment sweeps: a process-pool executor for sweep points.
+
+Fig. 7/8/12-style experiments are sweeps over independent points --
+(protocol, n, seed, search-time) combinations whose runs share nothing
+but code.  Each point is already deterministic under its own seed (the
+repo-wide contract), so sharding points across a process pool changes
+*nothing* about any single run; the executor only has to
+
+* keep results in **submission order** (aggregation such as
+  ``statistics.mean`` folds floats in point order, so ordered collection
+  makes a ``--jobs N`` sweep byte-identical to the serial run), and
+* never share RNG state across points: per-point seeds are either
+  explicit (the sweep enumerates them) or derived with
+  :func:`derive_sweep_seed`, the sweep-level analogue of
+  ``Simulator.derive_rng`` -- a labelled substream of the root seed, so
+  adding or re-ordering sweep points never perturbs other points' draws.
+
+Workers are plain module-level functions (picklability is the only
+requirement the pool adds); ``jobs <= 1`` bypasses the pool entirely and
+runs the exact serial loop.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, TypeVar
+
+Point = TypeVar("Point")
+Result = TypeVar("Result")
+
+
+def derive_sweep_seed(root_seed: int, label: str) -> int:
+    """A per-point seed deterministically derived from the sweep's seed.
+
+    Mirrors ``Simulator.derive_rng``: the label keeps substreams
+    independent, so two points (or two sweeps over different labels)
+    never consume each other's randomness.
+    """
+    return random.Random(f"{root_seed}:{label}").getrandbits(63)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: None/0/1 -> serial, -1 -> all cores."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[Point], Result],
+    points: Iterable[Point],
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Result]:
+    """``[fn(p) for p in points]``, optionally sharded across processes.
+
+    Results always come back in point order; a worker failure propagates
+    the original exception.  ``fn`` and every point must be picklable
+    when ``jobs > 1`` (module-level functions and plain dataclasses are).
+    """
+    points = list(points)
+    workers = min(resolve_jobs(jobs), len(points))
+    if workers <= 1:
+        results: List[Result] = []
+        for index, point in enumerate(points):
+            if progress is not None:
+                progress(f"point {index + 1}/{len(points)}")
+            results.append(fn(point))
+        return results
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, point) for point in points]
+        results = []
+        for index, future in enumerate(futures):
+            results.append(future.result())
+            if progress is not None:
+                progress(f"point {index + 1}/{len(points)}")
+    return results
+
+
+def run_scenario_metrics(scenario) -> Dict[str, Any]:
+    """Worker: execute one scenario, return its JSON-able metrics dict."""
+    from repro.experiments.runner import run_scenario
+
+    return run_scenario(scenario).metrics()
+
+
+def run_scenarios(
+    scenarios: Iterable[Any],
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, Any]]:
+    """Run many scenarios, serial or sharded, metrics in scenario order.
+
+    Single-point runs (and every individual point of a parallel sweep)
+    are byte-identical to ``run_scenario(scenario).metrics()``: the pool
+    only distributes *whole* scenarios, never splits one.
+    """
+    return parallel_map(run_scenario_metrics, scenarios, jobs=jobs, progress=progress)

@@ -9,7 +9,13 @@ Three pieces of machinery the paper's pipeline relies on:
   OptiTree's candidate selection (§6.4).
 """
 
-from repro.optimize.annealing import AnnealingResult, AnnealingSchedule, anneal
+from repro.optimize.annealing import (
+    AnnealingResult,
+    AnnealingSchedule,
+    IncrementalSearch,
+    anneal,
+    anneal_incremental,
+)
 from repro.optimize.graphs import Graph
 from repro.optimize.maxindset import (
     greedy_independent_set,
@@ -21,7 +27,9 @@ __all__ = [
     "AnnealingResult",
     "AnnealingSchedule",
     "Graph",
+    "IncrementalSearch",
     "anneal",
+    "anneal_incremental",
     "greedy_independent_set",
     "is_independent_set",
     "maximum_independent_set",

@@ -19,9 +19,10 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Generic, Optional, TypeVar
+from typing import Any, Callable, Generic, Optional, TypeVar
 
 State = TypeVar("State")
+Mutation = Any
 
 # Calibration constant mapping the paper's wall-clock search times onto
 # iteration budgets: scoring a ~200-node tree takes on the order of tens of
@@ -119,6 +120,127 @@ def anneal(
             if current_score < best_score:
                 best = current
                 best_score = current_score
+        temperature *= schedule.cooling
+        if temperature < schedule.min_temperature:
+            converged = True
+            break
+
+    return AnnealingResult(
+        best_state=best,
+        best_score=best_score,
+        initial_score=initial_score,
+        iterations_used=iterations_used,
+        accepted=accepted,
+        converged=converged,
+    )
+
+
+class IncrementalSearch(Generic[State]):
+    """Delta-evaluation protocol for :func:`anneal_incremental`.
+
+    A search engine owns the *current* state as mutable internal data and
+    exposes it to the annealer through five hooks.  The contract that
+    keeps incremental search bit-identical to :func:`anneal` over the
+    equivalent ``score``/``mutate`` pair:
+
+    * :meth:`propose` draws from ``rng`` exactly as the full-path
+      ``mutate`` would (same calls, same order) and returns an opaque
+      mutation token -- or ``None`` for the full path's "mutation fell
+      through, candidate == current" case;
+    * :meth:`delta_score` returns the candidate's *absolute* score,
+      bit-identical to what the full ``score`` would return on the
+      mutated state, updating only the O(b) affected cost entries;
+    * exactly one of :meth:`apply` (accepted) or :meth:`revert`
+      (rejected) follows every ``delta_score``.  An engine may evaluate
+      tentatively-in-place (then ``apply`` just installs cached entries
+      and ``revert`` undoes the tentative state) or purely (then
+      ``revert`` is a no-op);
+    * :meth:`snapshot` materialises the current state as the immutable
+      configuration type callers expect; it is only called when a new
+      best is found, so it may be comparatively expensive.
+    """
+
+    def initial_score(self) -> float:
+        """Full score of the initial state (the checked reference)."""
+        raise NotImplementedError
+
+    def propose(self, rng: random.Random) -> Optional[Mutation]:
+        raise NotImplementedError
+
+    def delta_score(self, mutation: Mutation) -> float:
+        raise NotImplementedError
+
+    def apply(self, mutation: Mutation) -> None:
+        raise NotImplementedError
+
+    def revert(self, mutation: Mutation) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> State:
+        raise NotImplementedError
+
+
+def anneal_incremental(
+    engine: IncrementalSearch[State],
+    rng: random.Random,
+    schedule: Optional[AnnealingSchedule] = None,
+    check_score: Optional[Callable[[State], float]] = None,
+) -> AnnealingResult[State]:
+    """Minimise by simulated annealing over an incremental engine.
+
+    The accept/reject sequence, iteration count and best state are
+    bit-identical to :func:`anneal` on the equivalent full-scoring
+    closures, provided the engine honours the :class:`IncrementalSearch`
+    contract: randomness is drawn in the same order and every
+    ``delta_score`` matches the full score to the bit.
+
+    ``check_score`` enables the checked-reference mode used by tests: the
+    current state is re-scored from scratch after every accepted mutation
+    and any divergence from the incremental score raises immediately.
+    """
+    schedule = schedule or AnnealingSchedule()
+    current_score = engine.initial_score()
+    best = engine.snapshot()
+    best_score = current_score
+    initial_score = current_score
+    temperature = schedule.initial_temperature
+    accepted = 0
+    converged = False
+    iterations_used = 0
+
+    for iteration in range(schedule.iterations):
+        iterations_used = iteration + 1
+        mutation = engine.propose(rng)
+        if mutation is None:
+            candidate_score = current_score
+        else:
+            candidate_score = engine.delta_score(mutation)
+        delta = candidate_score - current_score
+        if delta <= 0:
+            accept = candidate_score != float("inf")
+        elif candidate_score == float("inf") or temperature <= 0:
+            accept = False
+        else:
+            accept = rng.random() < math.exp(-delta / temperature)
+        if accept:
+            if mutation is not None:
+                engine.apply(mutation)
+            current_score = candidate_score
+            accepted += 1
+            if check_score is not None:
+                reference = check_score(engine.snapshot())
+                if reference != current_score and not (
+                    math.isinf(reference) and math.isinf(current_score)
+                ):
+                    raise AssertionError(
+                        f"incremental score {current_score!r} diverged from "
+                        f"full score {reference!r} at iteration {iteration}"
+                    )
+            if current_score < best_score:
+                best = engine.snapshot()
+                best_score = current_score
+        elif mutation is not None:
+            engine.revert(mutation)
         temperature *= schedule.cooling
         if temperature < schedule.min_temperature:
             converged = True

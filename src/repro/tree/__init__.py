@@ -15,11 +15,12 @@
 from repro.tree.candidates import TreeSuspicionMonitor, build_disjoint_edge_set
 from repro.tree.kauri_reconfig import KauriReconfigurer
 from repro.tree.kauri_sa import KauriSaReconfigurer
-from repro.tree.optitree import OptiTree, optitree_search
+from repro.tree.optitree import IncrementalTreeSearch, OptiTree, optitree_search
 from repro.tree.score import TreeTimeouts, tree_round_duration, tree_score
 from repro.tree.topology import TreeConfiguration, branch_factor_for, perfect_tree_sizes
 
 __all__ = [
+    "IncrementalTreeSearch",
     "KauriReconfigurer",
     "KauriSaReconfigurer",
     "OptiTree",

@@ -44,10 +44,17 @@ class KauriSaReconfigurer:
         )
         self.excluded: Set[int] = set()
         self.trees_formed = 0
+        self._candidates: Optional[FrozenSet[int]] = None
 
     @property
     def candidates(self) -> FrozenSet[int]:
-        return frozenset(r for r in range(self.n) if r not in self.excluded)
+        # Cached: the search layer reads this per annealing run and the
+        # set only changes when a tree fails (see tree_failed).
+        if self._candidates is None:
+            self._candidates = frozenset(
+                r for r in range(self.n) if r not in self.excluded
+            )
+        return self._candidates
 
     def next_tree(self) -> Optional[TreeConfiguration]:
         """Best annealed tree among the remaining candidates.
@@ -73,3 +80,4 @@ class KauriSaReconfigurer:
     def tree_failed(self, tree: TreeConfiguration) -> None:
         """Blacklist every internal node of the failed tree."""
         self.excluded.update(tree.internal_nodes)
+        self._candidates = None

@@ -21,10 +21,20 @@ import numpy as np
 from repro.core.pipeline import OptiLogPipeline, PipelineSettings
 from repro.core.records import Configuration
 from repro.crypto.signatures import KeyRegistry
-from repro.optimize.annealing import AnnealingResult, AnnealingSchedule, anneal
+from repro.optimize.annealing import (
+    AnnealingResult,
+    AnnealingSchedule,
+    IncrementalSearch,
+    anneal,
+    anneal_incremental,
+)
 from repro.tree.candidates import TreeSuspicionMonitor
-from repro.tree.score import TreeTimeouts, default_k, tree_score
-from repro.tree.topology import TreeConfiguration, branch_factor_for
+from repro.tree.score import TreeTimeouts, _collect_time, default_k, tree_score
+from repro.tree.topology import (
+    TreeConfiguration,
+    branch_factor_for,
+    tree_position_structure,
+)
 
 
 def random_tree(
@@ -74,6 +84,191 @@ def mutate_tree(
     return tree.swap(low, high)
 
 
+class _TreeSwap:
+    """One proposed position swap, with its tentatively computed entries."""
+
+    __slots__ = ("low", "high", "changed", "new_costs", "new_bad", "score")
+
+    def __init__(self, low: int, high: int):
+        self.low = low
+        self.high = high
+
+
+class IncrementalTreeSearch(IncrementalSearch[TreeConfiguration]):
+    """Delta-evaluated tree search state (the §4.2.4 hot path).
+
+    Holds the layout as a mutable list plus per-intermediate cached
+    ``(Lagg(I), Lagg(I) + L[I][R])`` entries.  A swap mutation touches at
+    most two subtrees (plus, for a root swap, every uplink term), so
+    re-scoring costs O(b) instead of the full path's O(n) rebuild -- with
+    scores bit-identical to :func:`repro.tree.score.tree_score` because
+    the same IEEE operations run in the same order on the same floats.
+
+    Feasibility (internal nodes ⊆ K) is tracked as a count of
+    non-candidate internal occupants, updated in O(1) per swap.
+    """
+
+    def __init__(
+        self,
+        latency: np.ndarray,
+        initial: TreeConfiguration,
+        candidates: FrozenSet[int],
+        k: int,
+    ):
+        self.n = initial.n
+        self.b = initial.branch_factor
+        self.internal_count = self.b + 1
+        self.rows = latency.tolist()  # Python floats: same IEEE doubles, faster ops
+        self.layout = list(initial.layout)
+        self.candidates = candidates
+        self.needed = k - 1
+        spans, votes, subtree_of = tree_position_structure(self.n, self.b)
+        self.spans = spans
+        self.votes = votes
+        self.subtree_of = subtree_of
+        self._bad = sum(
+            1
+            for replica in self.layout[: self.internal_count]
+            if replica not in candidates
+        )
+        root_row_of = self.rows
+        root = self.layout[0]
+        self.lagg = [self._compute_lagg(index) for index in range(self.b)]
+        self.costs = [
+            self.lagg[index] + root_row_of[self.layout[1 + index]][root]
+            for index in range(self.b)
+        ]
+
+    # -- cost plumbing --------------------------------------------------
+    def _compute_lagg(self, index: int) -> float:
+        """Lagg of intermediate ``index`` from the current layout."""
+        begin, end = self.spans[index]
+        if begin == end:
+            return 0.0
+        layout = self.layout
+        row = self.rows[layout[1 + index]]
+        slowest = row[layout[begin]]
+        for position in range(begin + 1, end):
+            link = row[layout[position]]
+            if link > slowest:
+                slowest = link
+        return slowest
+
+    def _score_from(self, costs: list) -> float:
+        # One implementation of the quorum-collect rule repo-wide: the
+        # shared helper keeps the incremental scores bit-identical to
+        # tree_score by construction.
+        return _collect_time(list(zip(costs, self.votes)), self.needed)
+
+    # -- IncrementalSearch protocol -------------------------------------
+    def initial_score(self) -> float:
+        if self._bad:
+            return math.inf
+        return self._score_from(self.costs)
+
+    def propose(self, rng: random.Random) -> Optional[_TreeSwap]:
+        n = self.n
+        layout = self.layout
+        internal_count = self.internal_count
+        position_a = rng.randrange(n)
+        position_b = rng.randrange(n)
+        if position_b == position_a:
+            position_b = (position_a + 1) % n
+        low, high = (
+            (position_a, position_b)
+            if position_a < position_b
+            else (position_b, position_a)
+        )
+        if low < internal_count <= high and layout[high] not in self.candidates:
+            candidate_positions = [
+                position
+                for position in range(internal_count, n)
+                if layout[position] in self.candidates
+            ]
+            if not candidate_positions:
+                return None  # the full path's "mutation falls through" case
+            high = rng.choice(candidate_positions)
+        return _TreeSwap(low, high)
+
+    def delta_score(self, mutation: _TreeSwap) -> float:
+        layout = self.layout
+        low, high = mutation.low, mutation.high
+        layout[low], layout[high] = layout[high], layout[low]
+        bad = self._bad
+        if low < self.internal_count <= high:
+            candidates = self.candidates
+            if layout[low] not in candidates:
+                bad += 1
+            if layout[high] not in candidates:
+                bad -= 1
+        mutation.new_bad = bad
+        subtree_of = self.subtree_of
+        index_high = subtree_of[high]
+        if low == 0:
+            # Root swap: every uplink term changes; Lagg only where the
+            # other endpoint sits inside a subtree.
+            changed = []
+            if index_high >= 0:
+                changed.append((index_high, self._compute_lagg(index_high)))
+            root = layout[0]
+            rows = self.rows
+            lagg = self.lagg
+            new_costs = [0.0] * self.b
+            for index in range(self.b):
+                value = lagg[index]
+                if changed and index == changed[0][0]:
+                    value = changed[0][1]
+                new_costs[index] = value + rows[layout[1 + index]][root]
+            mutation.changed = changed
+            mutation.new_costs = new_costs
+            score = math.inf if bad else self._score_from(new_costs)
+        else:
+            index_low = subtree_of[low]
+            affected = (
+                {index_low, index_high}
+                if index_high != index_low
+                else {index_low}
+            )
+            affected.discard(-1)
+            root = layout[0]
+            rows = self.rows
+            costs = list(self.costs)
+            changed = []
+            for index in affected:
+                new_lagg = self._compute_lagg(index)
+                new_cost = new_lagg + rows[layout[1 + index]][root]
+                changed.append((index, new_lagg, new_cost))
+                costs[index] = new_cost
+            mutation.changed = changed
+            mutation.new_costs = None
+            score = math.inf if bad else self._score_from(costs)
+        mutation.score = score
+        return score
+
+    def apply(self, mutation: _TreeSwap) -> None:
+        self._bad = mutation.new_bad
+        if mutation.new_costs is not None:
+            self.costs = mutation.new_costs
+            for index, new_lagg in mutation.changed:
+                self.lagg[index] = new_lagg
+        else:
+            for index, new_lagg, new_cost in mutation.changed:
+                self.lagg[index] = new_lagg
+                self.costs[index] = new_cost
+
+    def revert(self, mutation: _TreeSwap) -> None:
+        layout = self.layout
+        layout[mutation.low], layout[mutation.high] = (
+            layout[mutation.high],
+            layout[mutation.low],
+        )
+
+    def snapshot(self) -> TreeConfiguration:
+        return TreeConfiguration(
+            layout=tuple(self.layout), branch_factor=self.b
+        )
+
+
 def optitree_search(
     latency: np.ndarray,
     n: int,
@@ -84,11 +279,18 @@ def optitree_search(
     schedule: Optional[AnnealingSchedule] = None,
     k: Optional[int] = None,
     initial: Optional[TreeConfiguration] = None,
+    incremental: bool = True,
 ) -> Optional[AnnealingResult]:
     """Annealed tree search; returns None when K is too small for a tree.
 
     ``k`` defaults to ``q + u = (n - f) + u`` (Definition 1); experiments
     exploring the robustness/latency trade-off (Fig. 14) override it.
+
+    The search runs on the delta-evaluated :class:`IncrementalTreeSearch`
+    engine; ``incremental=False`` selects the full-scoring reference path
+    (every mutation re-scores a fresh :class:`TreeConfiguration`), kept
+    for the equivalence tests -- both return bit-identical results under
+    the same seed.
     """
     rng = rng or random.Random(0)
     votes_needed = k if k is not None else default_k(n, f, u)
@@ -98,6 +300,14 @@ def optitree_search(
         if initial is None:
             return None
 
+    schedule = schedule or AnnealingSchedule(
+        iterations=20_000, initial_temperature=0.05, cooling=0.9995
+    )
+
+    if incremental:
+        engine = IncrementalTreeSearch(latency, initial, candidates, votes_needed)
+        return anneal_incremental(engine, rng, schedule)
+
     def score(tree: TreeConfiguration) -> float:
         if not tree.internal_nodes <= candidates:
             return math.inf
@@ -106,9 +316,6 @@ def optitree_search(
     def mutate(tree: TreeConfiguration, mutation_rng: random.Random) -> TreeConfiguration:
         return mutate_tree(tree, candidates, mutation_rng)
 
-    schedule = schedule or AnnealingSchedule(
-        iterations=20_000, initial_temperature=0.05, cooling=0.9995
-    )
     return anneal(initial, score, mutate, rng, schedule)
 
 

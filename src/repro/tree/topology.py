@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from functools import cached_property
+from functools import cached_property, lru_cache
 from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+import numpy as np
 
 from repro.core.records import RECORD_HEADER_SIZE, Configuration
 
@@ -46,6 +48,44 @@ def perfect_tree_sizes(limit: int) -> List[int]:
             return sizes
         sizes.append(n)
         b += 1
+
+
+@lru_cache(maxsize=None)
+def tree_position_structure(
+    n: int, branch_factor: int
+) -> Tuple[Tuple[Tuple[int, int], ...], Tuple[int, ...], Tuple[int, ...]]:
+    """Layout-independent position structure of an (n, b) tree.
+
+    Position 0 is the root, 1..b the intermediates, the rest leaves
+    attached in blocks (the same split rule as
+    :attr:`TreeConfiguration.children`).  Returns
+
+    * ``spans``      -- per intermediate index, the ``[start, end)`` range
+      of its leaf *positions*;
+    * ``votes``      -- per intermediate index, ``|Ch(I)| + 1``;
+    * ``subtree_of`` -- per position, the owning intermediate index
+      (``-1`` for the root).
+
+    Shared by every layout of the same shape, so the incremental search
+    engine and the vectorized scorer look it up once per (n, b).
+    """
+    b = branch_factor
+    leaf_count = n - 1 - b
+    base, extra = divmod(leaf_count, b) if b else (0, 0)
+    spans: List[Tuple[int, int]] = []
+    start = 1 + b
+    for index in range(b):
+        size = base + (1 if index < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    votes = tuple(end - begin + 1 for begin, end in spans)
+    subtree_of = [-1] * n
+    for index in range(b):
+        subtree_of[1 + index] = index
+    for index, (begin, end) in enumerate(spans):
+        for position in range(begin, end):
+            subtree_of[position] = index
+    return tuple(spans), votes, tuple(subtree_of)
 
 
 @dataclass(frozen=True)
@@ -134,6 +174,28 @@ class TreeConfiguration(Configuration):
     def subtree_size(self, intermediate: int) -> int:
         """|Ch(I)| + 1: votes the subtree of ``intermediate`` contributes."""
         return len(self.children[intermediate]) + 1
+
+    @cached_property
+    def score_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Precomputed views for vectorized scoring:
+        ``(intermediate ids, child-id matrix, child mask, subtree votes)``.
+
+        The child matrix is padded to the widest subtree; ``mask`` marks
+        real entries.  Cached per (immutable) configuration so repeated
+        ``tree_score``/``TreeTimeouts`` calls skip the Python loops.
+        """
+        spans, votes, _ = tree_position_structure(self.n, self.branch_factor)
+        b = self.branch_factor
+        lay = np.fromiter(self.layout, dtype=np.intp, count=self.n)
+        intermediates = lay[1 : 1 + b].copy()
+        widest = max((end - begin for begin, end in spans), default=0)
+        child = np.zeros((b, widest), dtype=np.intp)
+        mask = np.zeros((b, widest), dtype=bool)
+        for index, (begin, end) in enumerate(spans):
+            size = end - begin
+            child[index, :size] = lay[begin:end]
+            mask[index, :size] = True
+        return intermediates, child, mask, np.asarray(votes, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Configuration interface

@@ -1,0 +1,51 @@
+"""The ``repro bench --search`` suite: shape, smoke fields, baseline."""
+
+from repro.bench.search import (
+    SEARCH_BASELINE,
+    format_search_table,
+    run_search_suite,
+)
+
+
+def test_quick_search_suite_runs_and_embeds_baseline():
+    report = run_search_suite(quick=True)
+    assert report["suite"] == "search"
+    assert report["quick"] is True
+    entries = {record["id"]: record for record in report["entries"]}
+    # The quick subset keeps the headline large-n score entry and the
+    # fast annealing entries.
+    assert "tree-score/n211" in entries
+    assert "sa-tree/n57" in entries
+    for record in entries.values():
+        assert record["wall_seconds"] >= 0.0
+        rate = (
+            record.get("evals_per_sec")
+            or record.get("iterations_per_sec")
+            or record.get("leaders_per_sec")
+        )
+        assert rate > 0.0
+        baseline = SEARCH_BASELINE["entries"].get(record["id"])
+        if baseline is not None:
+            assert record["baseline"] == baseline
+            assert record["speedup"] > 0.0
+
+
+def test_search_results_are_deterministic_smoke_checks():
+    """The simulated outcomes (scores, chosen leaders) are fixed by the
+    suite seeds -- and must match the recorded pre-refactor behaviour,
+    which is the bench-level search-equivalence pin."""
+    report = run_search_suite(quick=True)
+    for record in report["entries"]:
+        baseline = SEARCH_BASELINE["entries"].get(record["id"])
+        if baseline is None:
+            continue
+        for field in ("best_score", "score_checksum", "leader", "accepted"):
+            if field in baseline:
+                assert record[field] == baseline[field], (record["id"], field)
+
+
+def test_format_search_table_lists_all_entries():
+    report = run_search_suite(quick=True)
+    table = format_search_table(report)
+    for record in report["entries"]:
+        assert record["id"] in table

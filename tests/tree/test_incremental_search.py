@@ -1,0 +1,148 @@
+"""Incremental-vs-full equivalence for the tree search engines.
+
+The acceptance bar for the optimizer refactor: for every engine entry
+point, the incremental path returns *identical* ``best_state`` /
+``best_score`` / ``accepted`` to the full-scoring reference under the
+same seed, across sizes including the paper's n=211, and the delta
+scores match the from-scratch scores to the bit (checked-reference
+mode).
+"""
+
+import random
+
+import pytest
+
+from repro.net.deployments import random_world_deployment
+from repro.optimize.annealing import AnnealingSchedule, anneal_incremental
+from repro.tree.kauri_sa import KauriSaReconfigurer
+from repro.tree.optitree import IncrementalTreeSearch, optitree_search, random_tree
+from repro.tree.score import tree_score
+from repro.tree.topology import TreeConfiguration, tree_position_structure
+
+
+def latency_for(n: int, seed: int = 0):
+    deployment = random_world_deployment(n, random.Random(seed + n))
+    return deployment.latency.matrix_seconds() / 2.0
+
+
+SCHEDULE = AnnealingSchedule(iterations=600, initial_temperature=0.05, cooling=0.9995)
+
+
+@pytest.mark.parametrize("n", [4, 57, 211])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_optitree_incremental_matches_full(n, seed):
+    latency = latency_for(n)
+    f = (n - 1) // 3
+    kwargs = dict(
+        candidates=frozenset(range(n)), u=0, schedule=SCHEDULE, k=2 * f + 1
+    )
+    fast = optitree_search(latency, n, f, rng=random.Random(seed), **kwargs)
+    slow = optitree_search(
+        latency, n, f, rng=random.Random(seed), incremental=False, **kwargs
+    )
+    assert fast.best_state == slow.best_state
+    assert fast.best_score == slow.best_score
+    assert fast.initial_score == slow.initial_score
+    assert fast.accepted == slow.accepted
+    assert fast.iterations_used == slow.iterations_used
+
+
+@pytest.mark.parametrize("n,candidate_range", [(57, (3, 40)), (211, (10, 150))])
+def test_optitree_incremental_matches_full_restricted_candidates(n, candidate_range):
+    """The candidate-respecting mutation path (resampled swap targets)
+    must consume randomness identically in both engines."""
+    latency = latency_for(n)
+    f = (n - 1) // 3
+    candidates = frozenset(range(*candidate_range))
+    kwargs = dict(candidates=candidates, u=2, schedule=SCHEDULE)
+    fast = optitree_search(latency, n, f, rng=random.Random(9), **kwargs)
+    slow = optitree_search(
+        latency, n, f, rng=random.Random(9), incremental=False, **kwargs
+    )
+    assert fast.best_state == slow.best_state
+    assert fast.best_score == slow.best_score
+    assert fast.accepted == slow.accepted
+    assert fast.best_state.internal_nodes <= candidates
+
+
+@pytest.mark.parametrize("n", [4, 57, 211])
+def test_tree_engine_deltas_match_full_scores_to_the_bit(n):
+    """Checked-reference mode: every accepted incremental score equals
+    the from-scratch ``tree_score`` of the mutated layout exactly."""
+    latency = latency_for(n)
+    f = (n - 1) // 3
+    k = 2 * f + 1
+    candidates = frozenset(range(n))
+    rng = random.Random(31)
+    initial = random_tree(n, candidates, rng)
+    engine = IncrementalTreeSearch(latency, initial, candidates, k)
+    result = anneal_incremental(
+        engine,
+        rng,
+        AnnealingSchedule(iterations=300, initial_temperature=0.05),
+        check_score=lambda tree: tree_score(latency, tree, k),
+    )
+    assert result.accepted > 0
+    # The engine's final cached costs equal a fresh engine's.
+    rebuilt = IncrementalTreeSearch(
+        latency, engine.snapshot(), candidates, k
+    )
+    assert rebuilt.costs == engine.costs
+    assert rebuilt.lagg == engine.lagg
+
+
+def test_position_structure_matches_children_blocks():
+    """The shared (n, b) position structure must agree with the
+    per-layout children mapping for imperfect sizes too."""
+    for n in (4, 8, 16, 56, 57, 100):
+        tree = TreeConfiguration.from_layout(range(n))
+        spans, votes, subtree_of = tree_position_structure(n, tree.branch_factor)
+        for index, intermediate in enumerate(tree.intermediates):
+            begin, end = spans[index]
+            assert tree.children[intermediate] == tree.layout[begin:end]
+            assert votes[index] == tree.subtree_size(intermediate)
+            assert subtree_of[1 + index] == index
+            for position in range(begin, end):
+                assert subtree_of[position] == index
+        assert subtree_of[0] == -1
+
+
+def test_kauri_sa_candidates_cached_and_invalidated():
+    latency = latency_for(21)
+    reconfigurer = KauriSaReconfigurer(
+        latency,
+        21,
+        6,
+        rng=random.Random(5),
+        schedule=AnnealingSchedule(iterations=100, initial_temperature=0.05),
+    )
+    first = reconfigurer.candidates
+    assert reconfigurer.candidates is first  # cached, not rebuilt per access
+    tree = reconfigurer.next_tree()
+    assert reconfigurer.candidates is first  # forming a tree changes nothing
+    reconfigurer.tree_failed(tree)
+    updated = reconfigurer.candidates
+    assert updated is not first
+    assert updated == first - tree.internal_nodes
+    assert reconfigurer.candidates is updated
+
+
+def test_kauri_sa_sequence_unchanged_by_caching():
+    """The annealed tree sequence is identical to an uncached run (the
+    cache must not perturb the rng stream or the candidate sets)."""
+    latency = latency_for(21)
+    schedule = AnnealingSchedule(iterations=150, initial_temperature=0.05)
+
+    def sequence():
+        reconfigurer = KauriSaReconfigurer(
+            latency, 21, 6, rng=random.Random(5), schedule=schedule
+        )
+        trees = []
+        while True:
+            tree = reconfigurer.next_tree()
+            if tree is None:
+                return trees
+            trees.append(tree.layout)
+            reconfigurer.tree_failed(tree)
+
+    assert sequence() == sequence()
