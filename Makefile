@@ -4,10 +4,13 @@
 #   make bench          `repro bench` perf suite -> BENCH_full.json
 #   make bench-quick    CI variant (n <= 32, capped durations) -> BENCH_quick.json
 #                       + quick search suite -> BENCH_search_quick.json
+#                       + quick pipeline suite -> BENCH_pipeline_quick.json
 #   make bench-search   optimizer-layer suite -> BENCH_PR4.json
+#   make bench-pipeline monitoring-pipeline suite -> BENCH_PR5.json
 #   make bench-figures  figure benchmarks at CI scale (REPRO_FULL=1 for paper scale)
 #   make profile        cProfile over the fixed hot-path scenario
 #   make profile-search cProfile over the fixed search hot path
+#   make profile-pipeline cProfile over the fixed monitoring hot path
 #   make lint           bytecode-compile the tree + import-check the package
 #
 # Everything runs from the source tree via PYTHONPATH; `pip install -e .`
@@ -16,7 +19,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-search bench-figures profile profile-search lint quickstart
+.PHONY: test bench bench-quick bench-search bench-pipeline bench-figures profile profile-search profile-pipeline lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,9 +30,13 @@ bench:
 bench-quick:
 	$(PYTHON) -m repro bench --quick --output BENCH_quick.json
 	$(PYTHON) -m repro bench --quick --search --output BENCH_search_quick.json
+	$(PYTHON) -m repro bench --quick --pipeline --output BENCH_pipeline_quick.json
 
 bench-search:
 	$(PYTHON) -m repro bench --search --output BENCH_PR4.json
+
+bench-pipeline:
+	$(PYTHON) -m repro bench --pipeline --output BENCH_PR5.json
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q
@@ -39,6 +46,9 @@ profile:
 
 profile-search:
 	$(PYTHON) -m repro.bench.profile_search
+
+profile-pipeline:
+	$(PYTHON) -m repro.bench.profile_pipeline
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

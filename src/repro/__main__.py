@@ -32,10 +32,14 @@ Subcommands
     Run the fixed performance suite and write a ``BENCH_*.json`` that
     embeds the recorded pre-refactor baseline next to the fresh
     numbers.  ``--search`` selects the optimizer-layer suite (score
-    evals/sec, SA iterations/sec) instead of the simulator suite::
+    evals/sec, SA iterations/sec) and ``--pipeline`` the
+    monitoring-pipeline suite (log append/dispatch throughput,
+    suspicion-entry processing rate, MIS solve rates) instead of the
+    simulator suite::
 
         python -m repro bench --quick --output BENCH_quick.json
         python -m repro bench --search --output BENCH_PR4.json
+        python -m repro bench --pipeline --output BENCH_PR5.json
 
 ``list``
     Show the available protocols, workloads, deployments, fault kinds,
@@ -263,6 +267,29 @@ def cmd_fig(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.search and args.pipeline:
+        raise SystemExit("choose one of --search / --pipeline")
+    if args.pipeline:
+        from repro.bench.pipeline import (
+            format_pipeline_table,
+            run_pipeline_suite,
+            write_pipeline_report,
+        )
+
+        if args.entry:
+            raise SystemExit("--entry applies to the simulator suite, not --pipeline")
+        report = run_pipeline_suite(
+            quick=args.quick,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        print(format_pipeline_table(report))
+        output = args.output or (
+            "BENCH_pipeline_quick.json" if args.quick else "BENCH_PR5.json"
+        )
+        write_pipeline_report(report, output)
+        print(f"wrote {output}", file=sys.stderr)
+        return 0
+
     if args.search:
         from repro.bench.search import (
             format_search_table,
@@ -432,9 +459,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the optimizer-layer search suite instead of the simulator suite",
     )
     bench_parser.add_argument(
+        "--pipeline", action="store_true",
+        help="run the monitoring-pipeline suite (log append/dispatch, "
+             "suspicion-entry processing, MIS solves) instead",
+    )
+    bench_parser.add_argument(
         "--output", metavar="FILE", default=None,
         help="report path (default BENCH_full.json / BENCH_quick.json; "
-             "BENCH_PR4.json / BENCH_search_quick.json with --search)",
+             "BENCH_PR4.json / BENCH_search_quick.json with --search; "
+             "BENCH_PR5.json / BENCH_pipeline_quick.json with --pipeline)",
     )
     bench_parser.set_defaults(func=cmd_bench)
 

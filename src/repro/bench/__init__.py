@@ -7,9 +7,16 @@ the recorded pre-refactor baseline, so speedups (and regressions) are
 visible as a single ratio per entry.  ``repro bench --search`` is the
 optimizer-layer twin (:mod:`repro.bench.search`): score evaluations/sec
 and simulated-annealing iterations/sec against their own recorded
-baseline.
+baseline.  ``repro bench --pipeline`` (:mod:`repro.bench.pipeline`) pins
+the monitoring layer: log append/dispatch throughput, suspicion-entry
+processing rate and MIS solve rates.
 """
 
+from repro.bench.pipeline import (  # noqa: F401
+    format_pipeline_table,
+    run_pipeline_suite,
+    write_pipeline_report,
+)
 from repro.bench.search import (  # noqa: F401
     format_search_table,
     run_search_suite,

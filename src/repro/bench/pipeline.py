@@ -1,0 +1,431 @@
+"""The ``repro bench --pipeline`` suite: monitoring-pipeline throughput.
+
+The simulator bench (:mod:`repro.bench.suite`) pins events/sec and the
+search bench (:mod:`repro.bench.search`) pins the optimizer, but the
+paper's *monitoring* loop -- sensors append records, the log dispatches
+them, the SuspicionMonitor folds them into the suspicion graph and the
+candidate set ``K`` is a maximum independent set (§4.2.3, Fig. 8) -- has
+its own hot path.  This suite pins it:
+
+* ``log-append/plain``    -- raw :meth:`AppendOnlyLog.append` throughput
+  (no subscribers) over a fixed mixed record stream;
+* ``log-append/dispatch`` -- the same stream with typed subscribers
+  (exact, second exact, catch-all), i.e. the dispatch path;
+* ``log-append/batched``  -- the same stream through the batched
+  :meth:`AppendOnlyLog.append_many` gossip-burst path (falls back to the
+  per-record loop where the batched API is absent, e.g. when
+  rebaselining at an old commit);
+* ``suspicion-entries/nN`` -- entries/sec of a SuspicionMonitor replaying
+  a fixed seeded interleaving of slow suspicions, reciprocations,
+  round-leader notes and view advances at n ∈ {31, 100, 211};
+* ``mis-exact/n26``       -- exact Bron-Kerbosch candidate-set solves/sec
+  over a fixed pool of Erdős–Rényi suspicion graphs at the fig8 exact
+  threshold;
+* ``mis-greedy/nN``       -- greedy-heuristic solves/sec at n ∈ {31,
+  100, 211}.
+
+Simulated fields (final ``K``/``u``/``C``, edge counts, candidate-id
+checksums) are deterministic under the fixed seeds and double as a smoke
+check that an optimisation did not change behaviour.
+``PIPELINE_BASELINE`` (see :mod:`repro.bench.pipeline_baseline`) holds
+the recorded pre-refactor numbers; reports embed it so a
+``BENCH_PR5.json`` is self-contained evidence of a speedup.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.pipeline_baseline import PIPELINE_BASELINE
+
+#: SuspicionMonitor replay sizes (n=211 matches the paper's largest
+#: deployment; 31/100 bracket the exact-MIS threshold).
+SUSPICION_SIZES = (31, 100, 211)
+#: Ops per suspicion replay -- enough that monitor work dominates setup.
+SUSPICION_OPS = {31: 1500, 100: 1200, 211: 800}
+#: Fixed mixed-record stream length for the log entries.
+LOG_STREAM_LEN = 20_000
+#: Erdős–Rényi pools for the MIS entries.
+MIS_EXACT_N = 26  # the fig8 exact-solver threshold
+MIS_EXACT_POOL = 40
+MIS_GREEDY_SIZES = (31, 100, 211)
+MIS_GREEDY_POOL = {31: 60, 100: 40, 211: 30}
+MIS_EDGE_PROBABILITY = 0.5
+
+_QUICK_SKIP = {"suspicion-entries/n211", "mis-greedy/n211"}
+
+
+# ----------------------------------------------------------------------
+# Deterministic workloads
+# ----------------------------------------------------------------------
+def suspicion_workload(n: int, count: int, seed: int) -> List[Tuple]:
+    """A fixed, seeded op stream for a SuspicionMonitor.
+
+    Ops are ``("leader", round_id, leader)``, ``("record", record)`` and
+    ``("view", view)``; the mix (~70% slow suspicions, ~15%
+    reciprocations of recently seen pairs, ~15% view advances) exercises
+    edge growth, causal filtering, crash aging and overflow eviction.
+    Pure function of ``(n, count, seed)`` -- the baseline and the code
+    under test replay byte-identical streams.
+    """
+    from repro.core.records import SuspicionKind, SuspicionRecord
+
+    rng = random.Random((seed, n, count).__repr__())
+    ops: List[Tuple] = []
+    view = 0
+    recent: List[Tuple[int, int]] = []
+    for index in range(count):
+        roll = rng.random()
+        if roll < 0.15 and recent:
+            reporter, suspect = recent[rng.randrange(len(recent))]
+            ops.append(
+                (
+                    "record",
+                    SuspicionRecord(
+                        reporter=suspect,
+                        suspect=reporter,
+                        kind=SuspicionKind.FALSE,
+                        round_id=index // 6,
+                        msg_type="reciprocation",
+                        phase=rng.randrange(4),
+                        view=view,
+                    ),
+                )
+            )
+        elif roll < 0.30:
+            view += rng.randrange(1, 3)
+            ops.append(("view", view))
+        else:
+            a, b = rng.sample(range(n), 2)
+            round_id = index // 6
+            if rng.random() < 0.2:
+                ops.append(("leader", round_id, rng.randrange(n)))
+            ops.append(
+                (
+                    "record",
+                    SuspicionRecord(
+                        reporter=a,
+                        suspect=b,
+                        kind=SuspicionKind.SLOW,
+                        round_id=round_id,
+                        msg_type=rng.choice(("write", "aggregate", "propose")),
+                        phase=rng.randrange(4),
+                        view=view,
+                    ),
+                )
+            )
+            recent.append((a, b))
+            if len(recent) > 32:
+                recent.pop(0)
+    return ops
+
+
+def replay_suspicion_workload(n: int, f: int, ops: List[Tuple]):
+    """Replay ``ops`` through a fresh log + SuspicionMonitor; returns the
+    monitor (its final state is the smoke check)."""
+    from repro.core.log import AppendOnlyLog
+    from repro.core.suspicion import SuspicionMonitor
+
+    log = AppendOnlyLog()
+    monitor = SuspicionMonitor(0, log, n=n, f=f)
+    append = log.append
+    for op in ops:
+        tag = op[0]
+        if tag == "record":
+            append(op[1])
+        elif tag == "view":
+            monitor.advance_view(op[1])
+        else:
+            monitor.note_round_leader(op[1], op[2])
+    return monitor
+
+
+def log_record_stream(count: int, seed: int) -> List[object]:
+    """A fixed mixed stream of latency vectors and suspicions."""
+    from repro.core.records import (
+        LatencyVectorRecord,
+        SuspicionKind,
+        SuspicionRecord,
+    )
+
+    rng = random.Random((seed, count).__repr__())
+    vector = tuple(rng.random() for _ in range(32))
+    records: List[object] = []
+    for index in range(count):
+        if rng.random() < 0.5:
+            records.append(LatencyVectorRecord(sender=index % 32, vector=vector))
+        else:
+            records.append(
+                SuspicionRecord(
+                    reporter=index % 32,
+                    suspect=(index + 1) % 32,
+                    kind=SuspicionKind.SLOW,
+                    round_id=index // 8,
+                )
+            )
+    return records
+
+
+def mis_graph_pool(n: int, count: int, seed: int) -> List[object]:
+    """Seeded Erdős–Rényi suspicion graphs (the Fig. 8 distribution)."""
+    from repro.experiments.fig8 import random_suspicion_graph
+
+    rng = random.Random((seed, n).__repr__())
+    return [
+        random_suspicion_graph(n, MIS_EDGE_PROBABILITY, rng) for _ in range(count)
+    ]
+
+
+def _candidate_checksum(sets) -> int:
+    """Deterministic fingerprint of a sequence of candidate sets."""
+    total = 0
+    for chosen in sets:
+        total += len(chosen) * 1000 + sum(chosen)
+    return total
+
+
+def _time_best_of(fn: Callable[[], object], repeats: int) -> tuple:
+    """(best wall seconds, last result): best-of-N to shed scheduler noise."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        gc.collect()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Entries
+# ----------------------------------------------------------------------
+def _bench_log_append(mode: str, repeats: int) -> Dict[str, object]:
+    from repro.core.log import AppendOnlyLog
+    from repro.core.records import LatencyVectorRecord, SuspicionRecord
+
+    records = log_record_stream(LOG_STREAM_LEN, seed=3)
+
+    def build_log() -> AppendOnlyLog:
+        log = AppendOnlyLog()
+        if mode == "dispatch":
+            counters = [0, 0, 0]
+
+            def make(index):
+                def callback(entry):
+                    counters[index] += 1
+
+                return callback
+
+            log.subscribe(SuspicionRecord, make(0))
+            log.subscribe(LatencyVectorRecord, make(1))
+            log.subscribe(object, make(2))
+            log._bench_counters = counters  # smoke readback
+        return log
+
+    def run():
+        log = build_log()
+        if mode == "batched":
+            append_many = getattr(log, "append_many", None)
+            if append_many is not None:
+                for start in range(0, len(records), 64):
+                    append_many(records[start : start + 64])
+            else:  # pre-refactor fallback: the per-record loop
+                for record in records:
+                    log.append(record)
+        else:
+            append = log.append
+            for record in records:
+                append(record)
+        return log
+
+    wall, log = _time_best_of(run, repeats)
+    record: Dict[str, object] = {
+        "id": f"log-append/{mode}",
+        "records": len(records),
+        "wall_seconds": round(wall, 6),
+        "records_per_sec": round(len(records) / wall, 1) if wall > 0 else 0.0,
+        "total_wire_size": log.total_wire_size(),
+        "histogram": log.type_histogram(),
+    }
+    if mode == "dispatch":
+        record["dispatched"] = list(log._bench_counters)
+    return record
+
+
+def _bench_suspicion_entries(n: int, repeats: int) -> Dict[str, object]:
+    f = (n - 1) // 3
+    ops = suspicion_workload(n, SUSPICION_OPS[n], seed=11)
+
+    wall, monitor = _time_best_of(
+        lambda: replay_suspicion_workload(n, f, ops), repeats
+    )
+    return {
+        "id": f"suspicion-entries/n{n}",
+        "n": n,
+        "ops": len(ops),
+        "wall_seconds": round(wall, 6),
+        "entries_per_sec": round(len(ops) / wall, 1) if wall > 0 else 0.0,
+        "candidates": len(monitor.K),
+        "candidate_sum": sum(monitor.K),
+        "u": monitor.u,
+        "crashed": len(monitor.C),
+        "edges": monitor.graph.edge_count(),
+        "filtered": monitor.filtered_count,
+        "active": len(monitor.active_suspicions()),
+    }
+
+
+def _bench_mis(solver_name: str, n: int, pool: int, repeats: int) -> Dict[str, object]:
+    from repro.optimize.maxindset import (
+        greedy_independent_set,
+        maximum_independent_set,
+    )
+
+    solver = (
+        maximum_independent_set if solver_name == "exact" else greedy_independent_set
+    )
+    graphs = mis_graph_pool(n, pool, seed=23)
+
+    def run():
+        # Drop the per-graph adjacency memo so every repeat pays full
+        # per-solve setup, like the monitor's fresh-graph-per-refresh
+        # path (and like the recorded pre-bitset baseline did).
+        for graph in graphs:
+            graph._bitmasks = None
+        return [solver(graph) for graph in graphs]
+
+    wall, results = _time_best_of(run, repeats)
+    return {
+        "id": f"mis-{solver_name}/n{n}",
+        "n": n,
+        "graphs": len(graphs),
+        "wall_seconds": round(wall, 6),
+        "solves_per_sec": round(len(graphs) / wall, 1) if wall > 0 else 0.0,
+        "candidate_checksum": _candidate_checksum(results),
+    }
+
+
+def _pipeline_entries(repeats: int) -> List[tuple]:
+    entries: List[tuple] = []
+    for mode in ("plain", "dispatch", "batched"):
+        entries.append(
+            (f"log-append/{mode}", lambda mode=mode: _bench_log_append(mode, repeats))
+        )
+    for n in SUSPICION_SIZES:
+        entries.append(
+            (
+                f"suspicion-entries/n{n}",
+                lambda n=n: _bench_suspicion_entries(n, repeats),
+            )
+        )
+    entries.append(
+        (
+            f"mis-exact/n{MIS_EXACT_N}",
+            lambda: _bench_mis("exact", MIS_EXACT_N, MIS_EXACT_POOL, repeats),
+        )
+    )
+    for n in MIS_GREEDY_SIZES:
+        entries.append(
+            (
+                f"mis-greedy/n{n}",
+                lambda n=n: _bench_mis("greedy", n, MIS_GREEDY_POOL[n], repeats),
+            )
+        )
+    return entries
+
+
+_RATE_KEYS = ("records_per_sec", "entries_per_sec", "solves_per_sec")
+
+
+def run_pipeline_suite(
+    quick: bool = False,
+    repeats: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the pipeline suite and return the report dict.
+
+    ``quick`` drops the slowest entries (n=211 replay and greedy pool)
+    and runs single-shot -- the CI variant.
+    """
+    if quick:
+        repeats = 1
+    results = []
+    for entry_id, runner in _pipeline_entries(repeats):
+        if quick and entry_id in _QUICK_SKIP:
+            continue
+        if progress is not None:
+            progress(f"bench {entry_id} ...")
+        record = runner()
+        baseline = PIPELINE_BASELINE.get("entries", {}).get(entry_id)
+        if baseline is not None:
+            record["baseline"] = baseline
+            for rate_key in _RATE_KEYS:
+                base_rate = baseline.get(rate_key)
+                if base_rate and record.get(rate_key):
+                    record["speedup"] = round(
+                        float(record[rate_key]) / float(base_rate), 2
+                    )
+                    break
+        results.append(record)
+    return {
+        "bench_version": 1,
+        "suite": "pipeline",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "baseline_note": PIPELINE_BASELINE.get("note", ""),
+        "entries": results,
+    }
+
+
+def format_pipeline_table(report: Dict[str, object]) -> str:
+    """Human-readable summary of a pipeline report (the CLI's stdout)."""
+    lines = [
+        f"{'entry':<24} {'items':>7} {'wall_s':>9} {'rate':>12} {'speedup':>8}"
+    ]
+    for rec in report["entries"]:
+        rate = 0.0
+        for rate_key in _RATE_KEYS:
+            if rec.get(rate_key):
+                rate = rec[rate_key]
+                break
+        items = rec.get("records") or rec.get("ops") or rec.get("graphs") or 0
+        speedup = rec.get("speedup")
+        lines.append(
+            f"{rec['id']:<24} {items:>7} {rec['wall_seconds']:>9.4f} "
+            f"{rate:>12,.0f} "
+            + (f"{speedup:>7.2f}x" if speedup is not None else f"{'-':>8}")
+        )
+    return "\n".join(lines)
+
+
+def write_pipeline_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench.pipeline [--quick] [output.json]``"""
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    report = run_pipeline_suite(
+        quick=quick, progress=lambda msg: print(msg, file=sys.stderr)
+    )
+    print(format_pipeline_table(report))
+    if paths:
+        write_pipeline_report(report, paths[0])
+        print(f"wrote {paths[0]}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

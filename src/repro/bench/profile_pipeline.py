@@ -1,0 +1,56 @@
+"""``make profile-pipeline``: cProfile over the fixed monitoring hot path.
+
+Profiles the same pipeline workload every time (the n=100 suspicion
+replay, the exact-MIS pool at the fig8 threshold and the n=211 greedy
+pool) so successive profiles are comparable, and prints the top
+functions by internal time::
+
+    PYTHONPATH=src python -m repro.bench.profile_pipeline [top_n]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    top = int(argv[0]) if argv else 30
+    from repro.bench.pipeline import (
+        MIS_EXACT_N,
+        MIS_EXACT_POOL,
+        MIS_GREEDY_POOL,
+        SUSPICION_OPS,
+        mis_graph_pool,
+        replay_suspicion_workload,
+        suspicion_workload,
+    )
+    from repro.optimize.maxindset import (
+        greedy_independent_set,
+        maximum_independent_set,
+    )
+
+    ops = suspicion_workload(100, SUSPICION_OPS[100], seed=11)
+    exact_pool = mis_graph_pool(MIS_EXACT_N, MIS_EXACT_POOL, seed=23)
+    greedy_pool = mis_graph_pool(211, MIS_GREEDY_POOL[211], seed=23)
+
+    def workload() -> None:
+        replay_suspicion_workload(100, 33, ops)
+        for graph in exact_pool:
+            maximum_independent_set(graph)
+        for graph in greedy_pool:
+            greedy_independent_set(graph)
+
+    workload()  # warm imports and caches outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("tottime").print_stats(top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

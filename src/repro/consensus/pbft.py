@@ -285,9 +285,10 @@ class PbftReplica(ReplicaBase):
                 for request in self.pending_requests
                 if (request.client_id, request.request_id) not in committed_keys
             ]
-            if self.optilog is not None:
-                for record in block.records:
-                    self.optilog.pipeline.log.append(record)
+            if self.optilog is not None and block.records:
+                # Gossip bursts commit whole blocks of records at once;
+                # the batched path hoists the per-append lookups.
+                self.optilog.pipeline.log.append_many(block.records)
             self._adopt_pending_config()
             if self.in_flight == seq:
                 self.in_flight = None

@@ -39,8 +39,9 @@ class Monitor:
         self.on_entry(entry)
         # Most monitors have no chained listeners; skip the loop (and its
         # iterator setup) on the per-commit path in that case.
-        if self._listeners:
-            for listener in self._listeners:
+        listeners = self._listeners
+        if listeners:
+            for listener in listeners:
                 listener()
 
     def on_entry(self, entry: LogEntry) -> None:

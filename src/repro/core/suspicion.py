@@ -32,16 +32,20 @@ this monitor in :mod:`repro.tree.candidates`.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.log import AppendOnlyLog, LogEntry
 from repro.core.misbehavior import MisbehaviorMonitor
 from repro.core.monitor import Monitor
 from repro.core.records import SuspicionKind, SuspicionRecord
 from repro.core.sensor import Sensor, SensorApp
-from repro.optimize.graphs import Graph
-from repro.optimize.maxindset import greedy_independent_set, maximum_independent_set
+from repro.optimize.graphs import Edge, Graph, ordered_edge
+from repro.optimize.maxindset import (
+    greedy_independent_set_masks,
+    maximum_independent_set_masks,
+)
 
 
 # ----------------------------------------------------------------------
@@ -317,6 +321,17 @@ class _SuspicionItem:
 class SuspicionMonitor(Monitor):
     """Builds C, G, K and u from committed suspicions (§4.2.3).
 
+    The derived state is maintained *incrementally*: per-round phase
+    multisets give the causal filter's min-phase in O(1) per append, and
+    the effective items' contributions live in two counters (two-way
+    edge multiset, one-way crash multiset) that mutate on append,
+    eviction and one-way aging.  The graph is only rebuilt -- and the
+    MIS only re-solved -- when those counters actually changed (dirty
+    flag + structural fingerprint).  ``check_rebuild=True`` re-derives
+    everything from scratch after every mutation and asserts equality
+    (the checked-reference mode, mirroring the optimizer layer's
+    ``check_score``).
+
     Parameters
     ----------
     n, f:
@@ -330,6 +345,9 @@ class SuspicionMonitor(Monitor):
         Largest graph solved with exact Bron-Kerbosch; beyond it the
         greedy heuristic is used (the paper likewise uses a heuristic
         variant, §7.2).
+    check_rebuild:
+        Verify every incremental update against the from-scratch
+        rebuild (slow; for tests and debugging).
     """
 
     name = "suspicion-monitor"
@@ -344,13 +362,15 @@ class SuspicionMonitor(Monitor):
         misbehavior: Optional[MisbehaviorMonitor] = None,
         stability_window: int = 10,
         exact_mis_threshold: int = 25,
+        check_rebuild: bool = False,
     ):
         self.n = n
         self.f = f
         self.misbehavior = misbehavior
         self.stability_window = stability_window
         self.exact_mis_threshold = exact_mis_threshold
-        self._items: List[_SuspicionItem] = []
+        self.check_rebuild = check_rebuild
+        self._items: Deque[_SuspicionItem] = deque()
         self.current_view = 0
         self._last_suspicion_view = 0
         self.filtered_count = 0
@@ -358,7 +378,22 @@ class SuspicionMonitor(Monitor):
         # proposal-timestamp suspicions for round+1, §4.2.3).
         self._leader_suspected_round: Set[int] = set()
         self._round_leaders: Dict[int, int] = {}
-        # Derived state, rebuilt after every change.
+        # Incremental registries (invariants in docs/ARCHITECTURE.md):
+        # per-round phase multiset + its min (the causal filter), the
+        # per-round item lists (for promote/demote on min changes), and
+        # the effective items' contributions -- a (reporter, suspect)
+        # edge multiset for two-way items, a per-suspect multiset for
+        # one-way (crash) items.  Membership filtering against F and C
+        # happens at graph-build time, not here.
+        self._round_phase_counts: Dict[int, Dict[int, int]] = {}
+        self._round_min_phase: Dict[int, int] = {}
+        self._round_items: Dict[int, List[_SuspicionItem]] = {}
+        self._edge_counts: Dict[Edge, int] = {}
+        self._oneway_counts: Dict[int, int] = {}
+        self._dirty = False
+        self._derive_key: Optional[tuple] = None
+        self._derive_cache: Optional[Tuple[FrozenSet[int], int]] = None
+        # Derived state, refreshed whenever the registries change.
         self.crashed: Set[int] = set()
         self.graph = Graph(vertices=range(n))
         self.candidates: FrozenSet[int] = frozenset(range(n))
@@ -366,7 +401,7 @@ class SuspicionMonitor(Monitor):
         super().__init__(replica_id, log)
         # A new proof-of-misbehavior changes F and therefore V = Π\F\C.
         if misbehavior is not None:
-            misbehavior.add_listener(self._rebuild)
+            misbehavior.add_listener(self._on_faulty_changed)
 
     # ------------------------------------------------------------------
     # Log consumption
@@ -384,27 +419,32 @@ class SuspicionMonitor(Monitor):
         if record.kind == SuspicionKind.FALSE:
             self._apply_reciprocation(record)
             # A reciprocation also proves two-way-ness; it does not create
-            # a new edge by itself if none exists (nothing to reciprocate).
-            self._rebuild()
+            # a new edge by itself if none exists (nothing to reciprocate),
+            # and it cannot change C, G, K or u -- no refresh needed.
+            if self.check_rebuild:
+                self._check_against_rebuild()
             return
         if self._is_filtered(record):
             self.filtered_count += 1
             return
         self._last_suspicion_view = max(self._last_suspicion_view, record.view, self.current_view)
-        self._items.append(
-            _SuspicionItem(
-                seq=entry.seq,
-                reporter=record.reporter,
-                suspect=record.suspect,
-                kind=record.kind,
-                round_id=record.round_id,
-                phase=record.phase,
-                view=record.view,
-                deadline_view=max(record.view, self.current_view) + self.f + 1,
-            )
+        item = _SuspicionItem(
+            seq=entry.seq,
+            reporter=record.reporter,
+            suspect=record.suspect,
+            kind=record.kind,
+            round_id=record.round_id,
+            phase=record.phase,
+            view=record.view,
+            deadline_view=max(record.view, self.current_view) + self.f + 1,
         )
+        self._items.append(item)
+        self._register_item(item)
         self._note_phase(record)
-        self._rebuild()
+        if self._dirty:
+            self._refresh()
+        if self.check_rebuild:
+            self._check_against_rebuild()
 
     def _is_filtered(self, record: SuspicionRecord) -> bool:
         """Arrival-time filtering per §4.2.3 plus structural checks.
@@ -457,7 +497,6 @@ class SuspicionMonitor(Monitor):
         if view <= self.current_view:
             return
         self.current_view = view
-        changed = False
         for item in self._items:
             if (
                 not item.one_way
@@ -465,18 +504,130 @@ class SuspicionMonitor(Monitor):
                 and item.kind == SuspicionKind.SLOW
                 and view >= item.deadline_view
             ):
-                item.one_way = True  # suspect considered crashed
-                changed = True
+                # Suspect considered crashed: an effective item's
+                # contribution moves from the edge to the one-way counter.
+                # A non-effective item flips its flag without touching any
+                # counter (derived state cannot change), so no refresh; a
+                # later promotion reads the flag and counts it correctly.
+                if self._item_effective(item):
+                    self._remove_contribution(item)
+                    item.one_way = True
+                    self._add_contribution(item)
+                    self._dirty = True
+                else:
+                    item.one_way = True
         if (
             self._items
             and view - self._last_suspicion_view >= self.stability_window
         ):
             # Stable system: remove the oldest suspicion per view (aging).
-            self._items.pop(0)
+            self._evict_oldest()
             self._last_suspicion_view = view  # pace removals one per view
-            changed = True
-        if changed:
-            self._rebuild()
+        if self._dirty:
+            self._refresh()
+        if self.check_rebuild:
+            self._check_against_rebuild()
+
+    # ------------------------------------------------------------------
+    # Incremental registries
+    # ------------------------------------------------------------------
+    def _item_effective(self, item: _SuspicionItem) -> bool:
+        return item.phase == self._round_min_phase[item.round_id]
+
+    def _add_contribution(self, item: _SuspicionItem) -> None:
+        """Count an item that just became effective."""
+        if item.one_way:
+            counts = self._oneway_counts
+            counts[item.suspect] = counts.get(item.suspect, 0) + 1
+        else:
+            edge = ordered_edge(item.reporter, item.suspect)
+            counts = self._edge_counts
+            counts[edge] = counts.get(edge, 0) + 1
+
+    def _remove_contribution(self, item: _SuspicionItem) -> None:
+        """Retract an effective item's contribution (zeroes are deleted so
+        the counters stay exactly the effective multiset)."""
+        if item.one_way:
+            counts = self._oneway_counts
+            key = item.suspect
+        else:
+            counts = self._edge_counts
+            key = ordered_edge(item.reporter, item.suspect)
+        remaining = counts[key] - 1
+        if remaining:
+            counts[key] = remaining
+        else:
+            del counts[key]
+
+    def _register_item(self, item: _SuspicionItem) -> None:
+        """Fold a freshly appended item into the registries.
+
+        A phase *below* the round's current minimum retroactively demotes
+        every previously effective item of that round (the §4.2.3 causal
+        filter); a phase above it leaves the derived state untouched.
+        """
+        round_id, phase = item.round_id, item.phase
+        counts = self._round_phase_counts.setdefault(round_id, {})
+        counts[phase] = counts.get(phase, 0) + 1
+        bucket = self._round_items.setdefault(round_id, [])
+        bucket.append(item)
+        current = self._round_min_phase.get(round_id)
+        if current is None:
+            self._round_min_phase[round_id] = phase
+            self._add_contribution(item)
+            self._dirty = True
+        elif phase < current:
+            for other in bucket:
+                if other.phase == current:
+                    self._remove_contribution(other)
+            self._round_min_phase[round_id] = phase
+            self._add_contribution(item)
+            self._dirty = True
+        elif phase == current:
+            self._add_contribution(item)
+            self._dirty = True
+        # phase > current: causally implied, not effective -- no change.
+
+    def _unregister_item(self, item: _SuspicionItem) -> None:
+        """Remove an evicted item from the registries; items promoted by a
+        rising min-phase regain their contributions."""
+        round_id, phase = item.round_id, item.phase
+        bucket = self._round_items[round_id]
+        if bucket and bucket[0] is item:  # eviction order: oldest first
+            bucket.pop(0)
+        else:
+            bucket.remove(item)
+        counts = self._round_phase_counts[round_id]
+        remaining = counts[phase] - 1
+        was_effective = phase == self._round_min_phase[round_id]
+        if remaining:
+            counts[phase] = remaining
+        else:
+            del counts[phase]
+        if was_effective:
+            self._remove_contribution(item)
+            self._dirty = True
+        if not counts:
+            del self._round_phase_counts[round_id]
+            del self._round_min_phase[round_id]
+            del self._round_items[round_id]
+        elif was_effective and phase not in counts:
+            new_min = min(counts)
+            self._round_min_phase[round_id] = new_min
+            for other in bucket:
+                if other.phase == new_min:
+                    self._add_contribution(other)
+
+    def _evict_oldest(self) -> None:
+        self._unregister_item(self._items.popleft())
+
+    def _on_faulty_changed(self) -> None:
+        """F changed (new proof-of-misbehavior): V = Π\\F\\C moves even
+        though the suspicion registries did not."""
+        self._dirty = True
+        self._refresh()
+        if self.check_rebuild:
+            self._check_against_rebuild()
 
     # ------------------------------------------------------------------
     # Derived state
@@ -492,56 +643,163 @@ class SuspicionMonitor(Monitor):
         For each round only the suspicions from the earliest phase are
         effective: a single delayed message delays every later phase, so
         later-phase suspicions of the same round are causally implied.
-        Computing this over the full item set (rather than online) means
+        Applying this over the full item set (rather than online) means
         a Byzantine replica cannot win by racing its later-phase
-        suspicions into the log ahead of the legitimate ones.
+        suspicions into the log ahead of the legitimate ones.  Served
+        from the incrementally maintained per-round min-phase map;
+        :meth:`_rebuild` recomputes that map from scratch.
         """
+        min_phase = self._round_min_phase
+        return [
+            item for item in self._items if item.phase == min_phase[item.round_id]
+        ]
+
+    def _refresh(self) -> None:
+        """Re-derive C, G, K, u from the registries (deterministic).
+
+        The MIS is only re-solved when the structural fingerprint --
+        vertex set, edge set and (for order-sensitive subclasses) the
+        effective edge order -- actually changed; the overflow rule loops
+        through :meth:`_evict_oldest` until K is large enough ("too many
+        suspicions occur when G no longer contains an independent set of
+        size n - f", Lemma 1).
+        """
+        while True:
+            faulty = self._faulty_set()
+            if faulty:
+                crashed = {s for s in self._oneway_counts if s not in faulty}
+            else:
+                crashed = set(self._oneway_counts)
+            excluded = faulty | crashed
+            if excluded:
+                vertices = [v for v in range(self.n) if v not in excluded]
+            else:
+                vertices = list(range(self.n))
+            vertex_set = set(vertices)
+            edges = sorted(
+                edge
+                for edge in self._edge_counts
+                if edge[0] in vertex_set and edge[1] in vertex_set
+            )
+            graph = Graph.from_parts(vertices, edges)
+            key = self._structure_key(vertices, edges)
+            if key == self._derive_key and self._derive_cache is not None:
+                candidates, u = self._derive_cache
+            else:
+                candidates, u = self._derive(graph)
+                self._derive_key = key
+                self._derive_cache = (candidates, u)
+            if len(candidates) >= self._min_candidates() or not self._items:
+                break
+            self._evict_oldest()
+        self.crashed = crashed
+        self.graph = graph
+        self.candidates = candidates
+        self.u = u
+        self._dirty = False
+
+    def _rebuild(self) -> None:
+        """From-scratch rebuild: recompute the registries from the raw
+        item deque, then refresh.  Kept as the reference path (and the
+        recovery hatch) for the incremental mutations above; the checked
+        mode compares against :meth:`_reference_state` instead, which
+        does not touch ``self`` at all."""
+        self._round_phase_counts = {}
+        self._round_min_phase = {}
+        self._round_items = {}
+        self._edge_counts = {}
+        self._oneway_counts = {}
+        min_phase = self._round_min_phase
+        for item in self._items:
+            round_id, phase = item.round_id, item.phase
+            counts = self._round_phase_counts.setdefault(round_id, {})
+            counts[phase] = counts.get(phase, 0) + 1
+            self._round_items.setdefault(round_id, []).append(item)
+            current = min_phase.get(round_id)
+            if current is None or phase < current:
+                min_phase[round_id] = phase
+        for item in self._items:
+            if item.phase == min_phase[item.round_id]:
+                self._add_contribution(item)
+        self._dirty = True
+        self._derive_key = None
+        self._derive_cache = None
+        self._refresh()
+
+    def _reference_state(self) -> Tuple[Set[int], Graph, FrozenSet[int], int]:
+        """(C, G, K, u) recomputed from scratch, without mutating self.
+
+        This is the pre-incremental ``_rebuild`` body (minus overflow
+        eviction, which the incremental path has already resolved); the
+        checked mode asserts the incremental state equals it after every
+        mutation."""
         min_phase: Dict[int, int] = {}
         for item in self._items:
             current = min_phase.get(item.round_id)
             if current is None or item.phase < current:
                 min_phase[item.round_id] = item.phase
-        return [
+        effective = [
             item for item in self._items if item.phase == min_phase[item.round_id]
         ]
+        faulty = self._faulty_set()
+        crashed: Set[int] = set()
+        for item in effective:
+            if item.one_way and item.suspect not in faulty:
+                crashed.add(item.suspect)
+        vertices = [
+            v for v in range(self.n) if v not in faulty and v not in crashed
+        ]
+        vertex_set = set(vertices)
+        graph = Graph(vertices=vertices)
+        for item in effective:
+            if item.one_way:
+                continue
+            if item.reporter in vertex_set and item.suspect in vertex_set:
+                graph.add_edge(item.reporter, item.suspect)
+        candidates, u = self._derive(graph)
+        return crashed, graph, candidates, u
 
-    def _rebuild(self) -> None:
-        """Recompute C, G, K, u from the effective items (deterministic)."""
-        while True:
-            effective = self._effective_items()
-            faulty = self._faulty_set()
-            crashed: Set[int] = set()
-            for item in effective:
-                if item.one_way and item.suspect not in faulty:
-                    crashed.add(item.suspect)
-            vertices = [
-                v for v in range(self.n) if v not in faulty and v not in crashed
-            ]
-            vertex_set = set(vertices)
-            graph = Graph(vertices=vertices)
-            for item in effective:
-                if item.one_way:
-                    continue
-                if item.reporter in vertex_set and item.suspect in vertex_set:
-                    graph.add_edge(item.reporter, item.suspect)
-            candidates, u = self._derive(graph)
-            # Overflow rule: evict oldest suspicions until K is large
-            # enough ("too many suspicions occur when G no longer contains
-            # an independent set of size n - f", Lemma 1).
-            if len(candidates) >= self._min_candidates() or not self._items:
-                break
-            self._items.pop(0)
-        self.crashed = crashed
-        self.graph = graph
-        self.candidates = candidates
-        self.u = u
+    def _check_against_rebuild(self) -> None:
+        """Checked-reference mode: assert incremental == from-scratch."""
+        min_phase: Dict[int, int] = {}
+        for item in self._items:
+            current = min_phase.get(item.round_id)
+            if current is None or item.phase < current:
+                min_phase[item.round_id] = item.phase
+        if min_phase != self._round_min_phase:
+            raise AssertionError(
+                "incremental min-phase diverged: "
+                f"{self._round_min_phase} != {min_phase}"
+            )
+        crashed, graph, candidates, u = self._reference_state()
+        if (
+            crashed != self.crashed
+            or graph.vertices() != self.graph.vertices()
+            or graph.edges() != self.graph.edges()
+            or candidates != self.candidates
+            or u != self.u
+        ):
+            raise AssertionError(
+                "incremental suspicion state diverged from rebuild: "
+                f"C {sorted(self.crashed)} vs {sorted(crashed)}, "
+                f"E {self.graph.edges()} vs {graph.edges()}, "
+                f"K {sorted(self.candidates)} vs {sorted(candidates)}, "
+                f"u {self.u} vs {u}"
+            )
 
     def _min_candidates(self) -> int:
         """Smallest tolerable candidate set (n - f for the base monitor)."""
         return self.n - self.f
 
+    def _structure_key(self, vertices: List[int], edges: List[Edge]) -> tuple:
+        """Fingerprint of everything :meth:`_derive` reads.  The base
+        monitor's K is a pure function of the graph; subclasses whose
+        derivation is order-sensitive must extend this."""
+        return (tuple(vertices), tuple(edges))
+
     def _derive(self, graph: Graph) -> Tuple[FrozenSet[int], int]:
-        """(K, u) from the suspicion graph; overridden by the tree variant."""
+        """(K, u) from the suspicion graph; overridden by the tree variant
+        (which also reads the effective items' arrival order)."""
         candidates = self._candidate_set(graph)
         u = max(0, len(graph) - len(candidates))
         return candidates, u
@@ -550,18 +808,29 @@ class SuspicionMonitor(Monitor):
         """Maximum independent set over the suspicion graph.
 
         Replicas with no suspicions at all are isolated vertices and are
-        always included.  Overridden by the tree variant (§6.4).
+        always included.  Runs on the graph's bitmask adjacency directly
+        (no subgraph materialisation): the greedy path solves the full
+        graph -- its zero-degree batching picks every isolated vertex in
+        one pass without touching contested degrees, so the result is
+        exactly ``isolated | greedy(contested subgraph)`` -- while the
+        exact path restricts the masks to the contested vertices, which
+        also keeps the complement graph Bron-Kerbosch works on small.
+        Overridden by the tree variant (§6.4).
         """
-        contested = [v for v in graph.vertices() if graph.degree(v) > 0]
-        isolated = frozenset(v for v in graph.vertices() if graph.degree(v) == 0)
-        if not contested:
-            return isolated
-        sub = graph.subgraph(contested)
-        if len(contested) <= self.exact_mis_threshold:
-            mis = maximum_independent_set(sub)
-        else:
-            mis = greedy_independent_set(sub)
-        return isolated | mis
+        vertices, masks = graph.adjacency_bitmasks()
+        contested_count = sum(1 for mask in masks if mask)
+        if not contested_count:
+            return frozenset(vertices)
+        if contested_count <= self.exact_mis_threshold:
+            contested = [v for v, mask in zip(vertices, masks) if mask]
+            isolated = frozenset(
+                v for v, mask in zip(vertices, masks) if not mask
+            )
+            sub_vertices, sub_masks = graph.adjacency_bitmasks(keep=contested)
+            return isolated | maximum_independent_set_masks(
+                sub_vertices, sub_masks
+            )
+        return greedy_independent_set_masks(vertices, masks)
 
     # ------------------------------------------------------------------
     # Queries (paper notation)

@@ -1,0 +1,78 @@
+"""Smoke tests for the ``repro bench --pipeline`` suite."""
+
+import json
+
+from repro.bench.pipeline import (
+    _QUICK_SKIP,
+    _bench_log_append,
+    _bench_mis,
+    _bench_suspicion_entries,
+    format_pipeline_table,
+    log_record_stream,
+    mis_graph_pool,
+    run_pipeline_suite,
+    suspicion_workload,
+    write_pipeline_report,
+)
+from repro.bench.pipeline_baseline import PIPELINE_BASELINE
+
+
+def test_suspicion_workload_deterministic():
+    first = suspicion_workload(31, 200, seed=11)
+    second = suspicion_workload(31, 200, seed=11)
+    assert first == second
+    assert first != suspicion_workload(31, 200, seed=12)
+    tags = {op[0] for op in first}
+    assert tags == {"record", "view", "leader"}
+
+
+def test_log_stream_and_graph_pool_deterministic():
+    assert log_record_stream(50, seed=3) == log_record_stream(50, seed=3)
+    pool_a = mis_graph_pool(10, 3, seed=23)
+    pool_b = mis_graph_pool(10, 3, seed=23)
+    assert [g.edges() for g in pool_a] == [g.edges() for g in pool_b]
+
+
+def test_entry_smoke_fields_match_recorded_baseline():
+    """The deterministic fields double as behaviour pins: a fresh replay
+    must reproduce the recorded pre-refactor state exactly."""
+    baseline = PIPELINE_BASELINE["entries"]["suspicion-entries/n31"]
+    record = _bench_suspicion_entries(31, repeats=1)
+    for field in ("ops", "candidates", "candidate_sum", "u", "crashed",
+                  "edges", "filtered", "active"):
+        assert record[field] == baseline[field], field
+
+    mis_baseline = PIPELINE_BASELINE["entries"]["mis-exact/n26"]
+    mis_record = _bench_mis("exact", 26, mis_baseline["graphs"], repeats=1)
+    assert mis_record["candidate_checksum"] == mis_baseline["candidate_checksum"]
+
+    log_baseline = PIPELINE_BASELINE["entries"]["log-append/plain"]
+    log_record = _bench_log_append("plain", repeats=1)
+    assert log_record["total_wire_size"] == log_baseline["total_wire_size"]
+    assert log_record["histogram"] == log_baseline["histogram"]
+
+
+def test_batched_entry_uses_append_many_and_matches_plain():
+    batched = _bench_log_append("batched", repeats=1)
+    plain = _bench_log_append("plain", repeats=1)
+    assert batched["total_wire_size"] == plain["total_wire_size"]
+    assert batched["histogram"] == plain["histogram"]
+
+
+def test_quick_suite_report_shape(tmp_path):
+    report = run_pipeline_suite(quick=True)
+    assert report["suite"] == "pipeline"
+    assert report["quick"] is True
+    ids = [record["id"] for record in report["entries"]]
+    assert "suspicion-entries/n100" in ids
+    assert not set(ids) & _QUICK_SKIP
+    # Baseline embedding + speedup ratio on entries with recorded rates.
+    by_id = {record["id"]: record for record in report["entries"]}
+    assert "baseline" in by_id["suspicion-entries/n100"]
+    assert by_id["suspicion-entries/n100"]["speedup"] > 0
+    table = format_pipeline_table(report)
+    assert "suspicion-entries/n100" in table
+    path = tmp_path / "report.json"
+    write_pipeline_report(report, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["entries"] == report["entries"]

@@ -127,6 +127,73 @@ def test_histogram_counts_via_index_match_entry_order():
     ]
 
 
+def test_append_many_equivalent_to_sequential_appends():
+    """Same seqs, views, dispatch order and accounting as a loop."""
+    records = [vector(0), suspicion(0, 1), vector(1), suspicion(2, 0)]
+    loop_log, batch_log = AppendOnlyLog(), AppendOnlyLog()
+    loop_seen, batch_seen = [], []
+    loop_log.subscribe(object, lambda entry: loop_seen.append(entry.seq))
+    batch_log.subscribe(object, lambda entry: batch_seen.append(entry.seq))
+    loop_log.advance_view(2)
+    batch_log.advance_view(2)
+    loop_entries = [loop_log.append(record) for record in records]
+    batch_entries = batch_log.append_many(records)
+    assert [e.seq for e in batch_entries] == [e.seq for e in loop_entries]
+    assert [e.view for e in batch_entries] == [2, 2, 2, 2]
+    assert batch_seen == loop_seen
+    assert batch_log.total_wire_size() == loop_log.total_wire_size()
+    assert batch_log.type_histogram() == loop_log.type_histogram()
+
+
+def test_append_many_explicit_view_and_mid_burst_view_change():
+    log = AppendOnlyLog()
+    explicit = log.append_many([vector(), vector()], view=5)
+    assert [e.view for e in explicit] == [5, 5]
+
+    # A callback advancing the view mid-burst stamps later records with
+    # the new view, exactly like sequential appends.
+    log2 = AppendOnlyLog()
+    log2.subscribe(
+        LatencyVectorRecord,
+        lambda entry: log2.advance_view(log2.current_view + 1),
+    )
+    burst = log2.append_many([vector(), vector(), vector()])
+    assert [e.view for e in burst] == [0, 1, 2]
+
+
+def test_append_many_subscriber_added_mid_burst_sees_later_entries():
+    log = AppendOnlyLog()
+    late_seen = []
+
+    def first_callback(entry):
+        if entry.seq == 0:
+            log.subscribe(
+                LatencyVectorRecord, lambda e: late_seen.append(e.seq)
+            )
+
+    log.subscribe(LatencyVectorRecord, first_callback)
+    log.append_many([vector(), vector(), vector()])
+    assert late_seen == [1, 2]
+
+
+def test_wire_size_cached_on_entry():
+    class Counting:
+        reads = 0
+
+        @property
+        def wire_size(self):
+            Counting.reads += 1
+            return 7
+
+    log = AppendOnlyLog()
+    entry = log.append(Counting())  # append reads the record once
+    baseline_reads = Counting.reads
+    assert entry.wire_size == 7
+    assert entry.wire_size == 7  # second read served from the cache
+    assert Counting.reads == baseline_reads + 1
+    assert log.total_wire_size() == 7
+
+
 def test_same_order_gives_same_entries_on_two_logs():
     """Determinism underpinning monitor consistency (Table 1)."""
     records = [vector(0), suspicion(0, 1), vector(1), suspicion(2, 0)]

@@ -1,0 +1,240 @@
+"""Incremental-vs-rebuild equivalence for the SuspicionMonitor.
+
+The monitor maintains min-phase maps, effective-item contributions and
+the suspicion graph as mutations (PR 5); these tests replay randomized
+log interleavings -- slow suspicions, reciprocations ("forgives"),
+misbehavior proofs, view changes, leader notes -- and assert the
+incremental state equals a from-scratch rebuild at *every* step, via
+
+* ``check_rebuild=True`` (the monitor's internal checked-reference mode,
+  which raises on the first divergence), and
+* an independent prefix replay: a fresh monitor fed the same committed
+  prefix must land on the identical (C, K, u, G, active) state.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.log import AppendOnlyLog
+from repro.core.misbehavior import InvalidSignatureProof, MisbehaviorMonitor
+from repro.core.records import ComplaintRecord, SuspicionKind, SuspicionRecord
+from repro.core.suspicion import SuspicionMonitor
+from repro.crypto.signatures import KeyRegistry
+from repro.tree.candidates import TreeSuspicionMonitor
+
+MSG_TYPES = ("write", "aggregate", "propose", "proposal-timestamp")
+
+
+@st.composite
+def op_streams(draw):
+    """(n, f, ops): a deterministic interleaving of monitor inputs."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    f = (n - 1) // 3
+    count = draw(st.integers(min_value=0, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    ops = []
+    view = 0
+    for index in range(count):
+        roll = rng.random()
+        if roll < 0.55:
+            a, b = rng.sample(range(n), 2)
+            ops.append(
+                (
+                    "suspicion",
+                    SuspicionRecord(
+                        reporter=a,
+                        suspect=b,
+                        kind=SuspicionKind.SLOW,
+                        round_id=rng.randrange(8),
+                        msg_type=rng.choice(MSG_TYPES),
+                        phase=rng.randrange(4),
+                        view=view,
+                    ),
+                )
+            )
+        elif roll < 0.72:
+            # A reciprocation / forgive of a random (possibly absent) pair.
+            a, b = rng.sample(range(n), 2)
+            ops.append(
+                (
+                    "suspicion",
+                    SuspicionRecord(
+                        reporter=a,
+                        suspect=b,
+                        kind=SuspicionKind.FALSE,
+                        round_id=rng.randrange(8),
+                        msg_type="reciprocation",
+                        phase=rng.randrange(4),
+                        view=view,
+                    ),
+                )
+            )
+        elif roll < 0.80:
+            ops.append(("complaint", rng.randrange(n)))
+        elif roll < 0.90:
+            view += rng.randrange(1, 3)
+            ops.append(("view", view))
+        else:
+            ops.append(("leader", rng.randrange(8), rng.randrange(n)))
+    return n, f, ops
+
+
+def build(monitor_cls, n, f, registry, **kwargs):
+    log = AppendOnlyLog()
+    misbehavior = MisbehaviorMonitor(0, log, registry)
+    monitor = monitor_cls(0, log, n=n, f=f, misbehavior=misbehavior, **kwargs)
+    return log, monitor
+
+
+def apply_op(log, monitor, registry, op):
+    if op[0] == "suspicion":
+        log.append(op[1])
+    elif op[0] == "complaint":
+        accused = op[1]
+        log.append(
+            ComplaintRecord(
+                reporter=(accused + 1) % monitor.n,
+                accused=accused,
+                kind="invalid-signature",
+                proof=InvalidSignatureProof(
+                    accused=accused,
+                    payload=f"payload-{accused}",
+                    signature=registry.forge(accused, f"payload-{accused}"),
+                ),
+            )
+        )
+    elif op[0] == "view":
+        monitor.advance_view(op[1])
+    else:
+        monitor.note_round_leader(op[1], op[2])
+
+
+def state_of(monitor):
+    return (
+        monitor.K,
+        monitor.u,
+        monitor.C,
+        monitor.graph.vertices(),
+        monitor.graph.edges(),
+        monitor.active_suspicions(),
+        monitor.filtered_count,
+    )
+
+
+@pytest.mark.parametrize("monitor_cls", [SuspicionMonitor, TreeSuspicionMonitor])
+@given(op_streams())
+@settings(max_examples=40, deadline=None)
+def test_checked_mode_accepts_random_interleavings(monitor_cls, stream):
+    """check_rebuild=True re-derives from scratch after every mutation
+    and raises on divergence -- a pass IS the per-step equivalence."""
+    n, f, ops = stream
+    registry = KeyRegistry(n)
+    log, monitor = build(monitor_cls, n, f, registry, check_rebuild=True)
+    for op in ops:
+        apply_op(log, monitor, registry, op)
+
+
+@pytest.mark.parametrize("monitor_cls", [SuspicionMonitor, TreeSuspicionMonitor])
+@given(op_streams())
+@settings(max_examples=15, deadline=None)
+def test_every_prefix_replay_matches(monitor_cls, stream):
+    """After every step, a fresh monitor replaying the same prefix lands
+    on the identical derived state (no hidden order dependence)."""
+    n, f, ops = stream
+    registry = KeyRegistry(n)
+    log, monitor = build(monitor_cls, n, f, registry)
+    for index, op in enumerate(ops):
+        apply_op(log, monitor, registry, op)
+        replay_log, replay_monitor = build(monitor_cls, n, f, registry)
+        for replay_op in ops[: index + 1]:
+            apply_op(replay_log, replay_monitor, registry, replay_op)
+        assert state_of(replay_monitor) == state_of(monitor)
+
+
+def test_checked_mode_detects_planted_divergence():
+    """Corrupting the incremental registries must trip the checker (the
+    divergence-detection twin of the optimizer's check_score tests)."""
+    log = AppendOnlyLog()
+    monitor = SuspicionMonitor(0, log, n=7, f=2, check_rebuild=True)
+    log.append(
+        SuspicionRecord(
+            reporter=1, suspect=2, kind=SuspicionKind.SLOW, round_id=1, phase=1
+        )
+    )
+    monitor._edge_counts[(3, 4)] = 1  # plant a bogus effective edge
+    monitor._dirty = True
+    monitor._refresh()
+    with pytest.raises(AssertionError):
+        log.append(
+            SuspicionRecord(
+                reporter=1, suspect=3, kind=SuspicionKind.SLOW, round_id=2, phase=1
+            )
+        )
+
+
+@pytest.mark.parametrize("monitor_cls", [SuspicionMonitor, TreeSuspicionMonitor])
+@given(op_streams())
+@settings(max_examples=20, deadline=None)
+def test_rebuild_recovery_hatch_reconstructs_registries(monitor_cls, stream):
+    """_rebuild() (the from-scratch recovery hatch) must reconstruct the
+    incremental registries and derived state exactly -- even after they
+    were corrupted."""
+    n, f, ops = stream
+    registry = KeyRegistry(n)
+    log, monitor = build(monitor_cls, n, f, registry)
+    for op in ops:
+        apply_op(log, monitor, registry, op)
+    before = state_of(monitor)
+    # Trash every registry; _rebuild must restore them from the deque.
+    monitor._round_phase_counts = {"garbage": True}
+    monitor._round_min_phase = {}
+    monitor._round_items = {}
+    monitor._edge_counts = {(0, 1): 99}
+    monitor._oneway_counts = {0: 99}
+    monitor._rebuild()
+    assert state_of(monitor) == before
+    monitor._check_against_rebuild()  # registries consistent again
+
+
+def test_eviction_order_preserved_under_overflow():
+    """The deque-based overflow eviction removes oldest-first, exactly
+    like the old list.pop(0)."""
+    log = AppendOnlyLog()
+    monitor = SuspicionMonitor(0, log, n=5, f=1)
+    pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    for index, (a, b) in enumerate(pairs):
+        log.append(
+            SuspicionRecord(
+                reporter=a, suspect=b, kind=SuspicionKind.SLOW,
+                round_id=index, phase=1,
+            )
+        )
+    # Lemma 1 kept K at n - f by evicting the *oldest* suspicions; the
+    # survivors must be a suffix of the original stream.
+    survivors = monitor.active_suspicions()
+    assert survivors == [tuple(p) for p in pairs[len(pairs) - len(survivors):]]
+    assert len(monitor.K) >= 4
+
+
+def test_aging_eviction_matches_reference_state():
+    """Stability-window aging pops the oldest item and the incremental
+    state tracks the from-scratch rebuild through it."""
+    log = AppendOnlyLog()
+    monitor = SuspicionMonitor(0, log, n=7, f=2, stability_window=2,
+                               check_rebuild=True)
+    log.append(
+        SuspicionRecord(reporter=1, suspect=2, kind=SuspicionKind.SLOW,
+                        round_id=1, phase=1)
+    )
+    log.append(
+        SuspicionRecord(reporter=3, suspect=4, kind=SuspicionKind.SLOW,
+                        round_id=2, phase=1, view=0)
+    )
+    for view in range(1, 12):
+        monitor.advance_view(view)
+    assert monitor.active_suspicions() == []
+    assert monitor.u == 0
