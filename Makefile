@@ -8,6 +8,8 @@
 #   make bench-search   optimizer-layer suite -> BENCH_PR4.json
 #   make bench-pipeline monitoring-pipeline suite -> BENCH_PR5.json
 #   make bench-figures  figure benchmarks at CI scale (REPRO_FULL=1 for paper scale)
+#   make bench-metrics  measurement-plane suite -> BENCH_metrics.json
+#   make campaign-smoke flat-RSS + kill/resume campaign smoke (REPRO_FULL=1 for 2M)
 #   make profile        cProfile over the fixed hot-path scenario
 #   make profile-search cProfile over the fixed search hot path
 #   make profile-pipeline cProfile over the fixed monitoring hot path
@@ -19,7 +21,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-search bench-pipeline bench-figures profile profile-search profile-pipeline lint quickstart
+.PHONY: test bench bench-quick bench-search bench-pipeline bench-figures bench-metrics campaign-smoke profile profile-search profile-pipeline lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +33,7 @@ bench-quick:
 	$(PYTHON) -m repro bench --quick --output BENCH_quick.json
 	$(PYTHON) -m repro bench --quick --search --output BENCH_search_quick.json
 	$(PYTHON) -m repro bench --quick --pipeline --output BENCH_pipeline_quick.json
+	$(PYTHON) -m repro bench --quick --metrics --output BENCH_metrics_quick.json
 
 bench-search:
 	$(PYTHON) -m repro bench --search --output BENCH_PR4.json
@@ -40,6 +43,12 @@ bench-pipeline:
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks -q
+
+bench-metrics:
+	$(PYTHON) -m repro bench --metrics --output BENCH_metrics.json
+
+campaign-smoke:
+	$(PYTHON) scripts/campaign_smoke.py
 
 profile:
 	$(PYTHON) -m repro.bench.profile

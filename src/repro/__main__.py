@@ -24,6 +24,15 @@ Subcommands
         python -m repro sweep --protocol pbft --deployment wonderproxy-16 \
             --seeds 0 1 2 3 --jobs 4
 
+``campaign``
+    Run a long streaming-metrics campaign to a committed-request target,
+    sliced every ``--checkpoint-every`` simulated seconds (replica
+    compaction + optional checkpoint files; rerunning the same command
+    with ``--checkpoint-dir`` resumes bit-identically after a kill)::
+
+        python -m repro campaign --requests 2000000 --workload diurnal \
+            --checkpoint-every 30 --checkpoint-dir ckpts --shards 4 --jobs 4
+
 ``fig``
     Execute a figure driver (``fig7`` ... ``fig15``, ``fast`` and
     ``--jobs`` where supported) and print its table.
@@ -34,12 +43,14 @@ Subcommands
     numbers.  ``--search`` selects the optimizer-layer suite (score
     evals/sec, SA iterations/sec) and ``--pipeline`` the
     monitoring-pipeline suite (log append/dispatch throughput,
-    suspicion-entry processing rate, MIS solve rates) instead of the
-    simulator suite::
+    suspicion-entry processing rate, MIS solve rates) and ``--metrics``
+    the measurement-plane suite (sketch ingest/merge, quantile queries,
+    state round-trips) instead of the simulator suite::
 
         python -m repro bench --quick --output BENCH_quick.json
         python -m repro bench --search --output BENCH_PR4.json
         python -m repro bench --pipeline --output BENCH_PR5.json
+        python -m repro bench --metrics --output BENCH_metrics.json
 
 ``list``
     Show the available protocols, workloads, deployments, fault kinds,
@@ -234,6 +245,49 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import CampaignSpec, campaign_to_json, run_campaign
+
+    scenario = Scenario(
+        protocol=args.protocol,
+        deployment=args.deployment,
+        workload=args.workload,
+        workload_params=_parse_params(args.param),
+        duration=args.duration,
+        seed=args.seed,
+        delta=args.delta,
+        jitter=args.jitter,
+        client_city=args.client_city,
+        faults=[_parse_fault(fault) for fault in args.fault or []],
+        search_iterations=args.search_iterations,
+        pipeline_depth=args.pipeline_depth,
+    )
+    try:
+        spec = CampaignSpec(
+            scenario=scenario,
+            requests=args.requests,
+            checkpoint_every=args.checkpoint_every,
+            shards=args.shards,
+            checkpoint_dir=args.checkpoint_dir,
+            compact_keep=args.compact_keep,
+        )
+        report = run_campaign(
+            spec,
+            jobs=args.jobs,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+    except (ValueError, TypeError) as error:
+        raise SystemExit(f"error: {error}")
+    text = campaign_to_json(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
     try:
         result = scenarios_mod.run_named(
@@ -267,8 +321,29 @@ def cmd_fig(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if args.search and args.pipeline:
-        raise SystemExit("choose one of --search / --pipeline")
+    if sum((args.search, args.pipeline, args.metrics)) > 1:
+        raise SystemExit("choose one of --search / --pipeline / --metrics")
+    if args.metrics:
+        from repro.bench.metrics import (
+            format_metrics_table,
+            run_metrics_suite,
+            write_metrics_report,
+        )
+
+        if args.entry:
+            raise SystemExit("--entry applies to the simulator suite, not --metrics")
+        report = run_metrics_suite(
+            quick=args.quick,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        print(format_metrics_table(report))
+        output = args.output or (
+            "BENCH_metrics_quick.json" if args.quick else "BENCH_metrics.json"
+        )
+        write_metrics_report(report, output)
+        print(f"wrote {output}", file=sys.stderr)
+        return 0
+
     if args.pipeline:
         from repro.bench.pipeline import (
             format_pipeline_table,
@@ -417,6 +492,31 @@ def build_parser() -> argparse.ArgumentParser:
                               help="process-pool width (default serial; -1 = all cores)")
     sweep_parser.set_defaults(func=cmd_sweep)
 
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run a checkpointed streaming-metrics campaign to a request target",
+    )
+    _add_scenario_options(campaign_parser)
+    campaign_parser.add_argument("--seed", type=int, default=0,
+                                 help="root seed; shard seeds derive from it")
+    campaign_parser.add_argument("--requests", type=int, default=1_000_000,
+                                 help="total committed-request target (default 1M)")
+    campaign_parser.add_argument("--checkpoint-every", type=float, default=30.0,
+                                 metavar="SECONDS",
+                                 help="simulated seconds per slice (default 30)")
+    campaign_parser.add_argument("--shards", type=int, default=1,
+                                 help="independent sub-campaigns (merged in order)")
+    campaign_parser.add_argument("--jobs", type=int, default=None,
+                                 help="process-pool width for shards "
+                                      "(default serial; results identical)")
+    campaign_parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                                 help="write per-shard checkpoints here; rerunning "
+                                      "the same command resumes from them")
+    campaign_parser.add_argument("--compact-keep", type=int, default=128,
+                                 help="per-replica history kept behind the commit "
+                                      "frontier at each slice boundary")
+    campaign_parser.set_defaults(func=cmd_campaign)
+
     scenario_parser = sub.add_parser(
         "scenario", help="run a named adversarial scenario, print JSON metrics"
     )
@@ -464,10 +564,16 @@ def build_parser() -> argparse.ArgumentParser:
              "suspicion-entry processing, MIS solves) instead",
     )
     bench_parser.add_argument(
+        "--metrics", action="store_true",
+        help="run the measurement-plane suite (sketch ingest/merge, "
+             "quantile queries, state round-trips) instead",
+    )
+    bench_parser.add_argument(
         "--output", metavar="FILE", default=None,
         help="report path (default BENCH_full.json / BENCH_quick.json; "
              "BENCH_PR4.json / BENCH_search_quick.json with --search; "
-             "BENCH_PR5.json / BENCH_pipeline_quick.json with --pipeline)",
+             "BENCH_PR5.json / BENCH_pipeline_quick.json with --pipeline; "
+             "BENCH_metrics.json / BENCH_metrics_quick.json with --metrics)",
     )
     bench_parser.set_defaults(func=cmd_bench)
 

@@ -9,9 +9,16 @@ optimizer-layer twin (:mod:`repro.bench.search`): score evaluations/sec
 and simulated-annealing iterations/sec against their own recorded
 baseline.  ``repro bench --pipeline`` (:mod:`repro.bench.pipeline`) pins
 the monitoring layer: log append/dispatch throughput, suspicion-entry
-processing rate and MIS solve rates.
+processing rate and MIS solve rates.  ``repro bench --metrics``
+(:mod:`repro.bench.metrics`) pins the streaming measurement plane:
+sketch ingest/merge rates, quantile queries and state round-trips.
 """
 
+from repro.bench.metrics import (  # noqa: F401
+    format_metrics_table,
+    run_metrics_suite,
+    write_metrics_report,
+)
 from repro.bench.pipeline import (  # noqa: F401
     format_pipeline_table,
     run_pipeline_suite,

@@ -1,0 +1,397 @@
+"""The ``repro bench --metrics`` suite: measurement-plane throughput.
+
+Campaigns put a :class:`~repro.metrics.MetricsSketch` on the commit hot
+path of every replica, so the sketch's ingest cost is pure overhead on
+top of the simulator loop the main suite pins.  This suite pins that
+overhead and the campaign-plane operations around it:
+
+* ``hist-add/<shape>``    -- raw :meth:`LogHistogram.add` throughput
+  over fixed seeded value streams (``uniform`` spans the domain,
+  ``heavy-tail`` is the lognormal commit-latency shape campaigns see);
+* ``sketch-observe``      -- :meth:`MetricsSketch.observe` over a fixed
+  synthetic commit stream, i.e. the full per-commit campaign cost
+  (histogram + scalar stats + window fold);
+* ``sketch-merge/k64``    -- campaign-style fold of 64 per-shard
+  sketches in shard order, the ``run_campaign`` merge step;
+* ``sketch-quantile``     -- ``quantile(0.5/0.9/0.99)`` query rate on a
+  populated histogram (the per-slice progress-report path);
+* ``state-roundtrip``     -- ``state_dict`` -> ``from_state`` cycles,
+  the serialisation cost a checkpoint or cross-process merge pays;
+* ``windows-series``      -- timeline reconstruction from windowed
+  accumulators (``throughput_series`` + ``latency_series``).
+
+Simulated fields (counts, checksums, quantile values) are deterministic
+under the fixed seeds and double as a smoke check that an optimisation
+did not change behaviour.  ``METRICS_BASELINE`` (see
+:mod:`repro.bench.metrics_baseline`) holds the recorded numbers; reports
+embed it so a ``BENCH_*.json`` is self-contained evidence of a change.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.metrics_baseline import METRICS_BASELINE
+from repro.metrics import LogHistogram, MetricsSketch, ThroughputWindows
+
+#: Values per histogram-ingest stream: large enough that ``add`` work
+#: dominates stream setup, small enough for a sub-second entry.
+HIST_STREAM_LEN = 200_000
+#: Synthetic commits for the sketch-observe entry.
+OBSERVE_STREAM_LEN = 100_000
+#: Shard count for the merge entry (a plausible large campaign fan-out).
+MERGE_SHARDS = 64
+#: Commits folded into each shard sketch before merging.
+MERGE_SHARD_COMMITS = 2_000
+#: Quantile queries per timing run.
+QUANTILE_QUERIES = 2_000
+#: state_dict -> from_state cycles per timing run.
+ROUNDTRIP_CYCLES = 200
+#: Series reconstructions per timing run.
+SERIES_QUERIES = 500
+#: Virtual seconds the windows-series entry spans.
+SERIES_DURATION = 3_600.0
+
+_QUICK_SKIP = {"sketch-merge/k64", "state-roundtrip"}
+
+
+# ----------------------------------------------------------------------
+# Deterministic streams
+# ----------------------------------------------------------------------
+def value_stream(shape: str, count: int, seed: int) -> List[float]:
+    """A fixed seeded latency stream; pure function of the arguments."""
+    rng = random.Random((seed, shape, count).__repr__())
+    if shape == "uniform":
+        # Log-uniform across the histogram's whole domain: every decade
+        # of bins gets traffic, the worst case for bin-index locality.
+        return [10.0 ** rng.uniform(-6.0, 4.0) for _ in range(count)]
+    if shape == "heavy-tail":
+        # Lognormal around ~200ms with a long tail: the commit-latency
+        # shape a WAN campaign actually produces.
+        return [math.exp(rng.gauss(math.log(0.2), 0.8)) for _ in range(count)]
+    raise ValueError(f"unknown stream shape {shape!r}")
+
+
+def commit_stream(count: int, seed: int) -> List[tuple]:
+    """Fixed ``(commit_time, latency, payload)`` triples in time order."""
+    rng = random.Random((seed, count).__repr__())
+    stream = []
+    now = 0.0
+    for _ in range(count):
+        now += rng.expovariate(50.0)
+        latency = math.exp(rng.gauss(math.log(0.2), 0.5))
+        stream.append((now, latency, 1000))
+    return stream
+
+
+def _hist_checksum(hist: LogHistogram) -> int:
+    """Order-sensitive fingerprint of the populated bins."""
+    total = 0
+    for index, bucket in enumerate(hist.counts):
+        if bucket:
+            total += (index + 1) * bucket
+    return total
+
+
+def _time_best_of(fn: Callable[[], object], repeats: int) -> tuple:
+    """(best wall seconds, last result): best-of-N to shed scheduler noise."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        gc.collect()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Entries
+# ----------------------------------------------------------------------
+def _bench_hist_add(shape: str, repeats: int) -> Dict[str, object]:
+    values = value_stream(shape, HIST_STREAM_LEN, seed=5)
+
+    def run() -> LogHistogram:
+        hist = LogHistogram()
+        add = hist.add
+        for value in values:
+            add(value)
+        return hist
+
+    wall, hist = _time_best_of(run, repeats)
+    return {
+        "id": f"hist-add/{shape}",
+        "values": len(values),
+        "wall_seconds": round(wall, 6),
+        "values_per_sec": round(len(values) / wall, 1) if wall > 0 else 0.0,
+        "bin_checksum": _hist_checksum(hist),
+        "clamped": hist.clamped_low + hist.clamped_high,
+        "p99": hist.quantile(0.99),
+    }
+
+
+def _bench_sketch_observe(repeats: int) -> Dict[str, object]:
+    commits = commit_stream(OBSERVE_STREAM_LEN, seed=7)
+
+    def run() -> MetricsSketch:
+        sketch = MetricsSketch()
+        observe = sketch.observe
+        for commit_time, latency, payload in commits:
+            observe(commit_time, latency, payload)
+        return sketch
+
+    wall, sketch = _time_best_of(run, repeats)
+    return {
+        "id": "sketch-observe",
+        "commits": len(commits),
+        "wall_seconds": round(wall, 6),
+        "commits_per_sec": round(len(commits) / wall, 1) if wall > 0 else 0.0,
+        "requests": sketch.requests,
+        "bin_checksum": _hist_checksum(sketch.hist),
+        "p90": sketch.hist.quantile(0.90),
+    }
+
+
+def _shard_states(shards: int) -> List[Dict[str, object]]:
+    """Pre-built shard sketch states (build cost is not what we time)."""
+    states = []
+    for shard in range(shards):
+        sketch = MetricsSketch()
+        for commit_time, latency, payload in commit_stream(
+            MERGE_SHARD_COMMITS, seed=100 + shard
+        ):
+            sketch.observe(commit_time, latency, payload)
+        states.append(sketch.state_dict())
+    return states
+
+
+def _bench_sketch_merge(repeats: int) -> Dict[str, object]:
+    states = _shard_states(MERGE_SHARDS)
+
+    def run() -> MetricsSketch:
+        # Rebuild from state each time so every repeat merges fresh
+        # sketches, exactly like run_campaign's cross-process fold.
+        merged = MetricsSketch.from_state(states[0])
+        for state in states[1:]:
+            merged.merge(MetricsSketch.from_state(state))
+        return merged
+
+    wall, merged = _time_best_of(run, repeats)
+    return {
+        "id": f"sketch-merge/k{MERGE_SHARDS}",
+        "shards": MERGE_SHARDS,
+        "wall_seconds": round(wall, 6),
+        "merges_per_sec": (
+            round((MERGE_SHARDS - 1) / wall, 1) if wall > 0 else 0.0
+        ),
+        "blocks": merged.blocks,
+        "bin_checksum": _hist_checksum(merged.hist),
+        "p50": merged.hist.quantile(0.50),
+    }
+
+
+def _bench_sketch_quantile(repeats: int) -> Dict[str, object]:
+    hist = LogHistogram()
+    for value in value_stream("heavy-tail", HIST_STREAM_LEN, seed=5):
+        hist.add(value)
+    qs = (0.50, 0.90, 0.99)
+
+    def run() -> float:
+        total = 0.0
+        quantile = hist.quantile
+        for _ in range(QUANTILE_QUERIES):
+            for q in qs:
+                total += quantile(q)
+        return total
+
+    wall, total = _time_best_of(run, repeats)
+    queries = QUANTILE_QUERIES * len(qs)
+    return {
+        "id": "sketch-quantile",
+        "queries": queries,
+        "wall_seconds": round(wall, 6),
+        "queries_per_sec": round(queries / wall, 1) if wall > 0 else 0.0,
+        "query_sum": round(total, 6),
+    }
+
+
+def _bench_state_roundtrip(repeats: int) -> Dict[str, object]:
+    sketch = MetricsSketch()
+    for commit_time, latency, payload in commit_stream(
+        OBSERVE_STREAM_LEN // 4, seed=9
+    ):
+        sketch.observe(commit_time, latency, payload)
+
+    def run() -> MetricsSketch:
+        current = sketch
+        for _ in range(ROUNDTRIP_CYCLES):
+            current = MetricsSketch.from_state(current.state_dict())
+        return current
+
+    wall, final = _time_best_of(run, repeats)
+    return {
+        "id": "state-roundtrip",
+        "cycles": ROUNDTRIP_CYCLES,
+        "wall_seconds": round(wall, 6),
+        "cycles_per_sec": (
+            round(ROUNDTRIP_CYCLES / wall, 1) if wall > 0 else 0.0
+        ),
+        "blocks": final.blocks,
+        "bin_checksum": _hist_checksum(final.hist),
+    }
+
+
+def _bench_windows_series(repeats: int) -> Dict[str, object]:
+    windows = ThroughputWindows(window=1.0)
+    rng = random.Random("windows-series")
+    now = 0.0
+    while now < SERIES_DURATION:
+        now += rng.expovariate(2.0)
+        windows.add(now, rng.random(), 1000)
+
+    def run() -> tuple:
+        throughput = latency = None
+        for _ in range(SERIES_QUERIES):
+            throughput = windows.throughput_series(SERIES_DURATION, 1.0)
+            latency = windows.latency_series(SERIES_DURATION, 1.0)
+        return throughput, latency
+
+    wall, (throughput, latency) = _time_best_of(run, repeats)
+    return {
+        "id": "windows-series",
+        "queries": SERIES_QUERIES,
+        "wall_seconds": round(wall, 6),
+        "queries_per_sec": (
+            round(SERIES_QUERIES / wall, 1) if wall > 0 else 0.0
+        ),
+        "throughput_points": len(throughput),
+        "latency_points": len(latency),
+        "request_total": round(sum(rate for _, rate in throughput), 1),
+    }
+
+
+def _metrics_entries(repeats: int) -> List[tuple]:
+    entries: List[tuple] = []
+    for shape in ("uniform", "heavy-tail"):
+        entries.append(
+            (f"hist-add/{shape}", lambda shape=shape: _bench_hist_add(shape, repeats))
+        )
+    entries.append(("sketch-observe", lambda: _bench_sketch_observe(repeats)))
+    entries.append(
+        (f"sketch-merge/k{MERGE_SHARDS}", lambda: _bench_sketch_merge(repeats))
+    )
+    entries.append(("sketch-quantile", lambda: _bench_sketch_quantile(repeats)))
+    entries.append(("state-roundtrip", lambda: _bench_state_roundtrip(repeats)))
+    entries.append(("windows-series", lambda: _bench_windows_series(repeats)))
+    return entries
+
+
+_RATE_KEYS = (
+    "values_per_sec",
+    "commits_per_sec",
+    "merges_per_sec",
+    "queries_per_sec",
+    "cycles_per_sec",
+)
+
+
+def run_metrics_suite(
+    quick: bool = False,
+    repeats: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the metrics suite and return the report dict.
+
+    ``quick`` drops the slower batch entries and runs single-shot -- the
+    CI variant.
+    """
+    if quick:
+        repeats = 1
+    results = []
+    for entry_id, runner in _metrics_entries(repeats):
+        if quick and entry_id in _QUICK_SKIP:
+            continue
+        if progress is not None:
+            progress(f"bench {entry_id} ...")
+        record = runner()
+        baseline = METRICS_BASELINE.get("entries", {}).get(entry_id)
+        if baseline is not None:
+            record["baseline"] = baseline
+            for rate_key in _RATE_KEYS:
+                base_rate = baseline.get(rate_key)
+                if base_rate and record.get(rate_key):
+                    record["speedup"] = round(
+                        float(record[rate_key]) / float(base_rate), 2
+                    )
+                    break
+        results.append(record)
+    return {
+        "bench_version": 1,
+        "suite": "metrics",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "baseline_note": METRICS_BASELINE.get("note", ""),
+        "entries": results,
+    }
+
+
+def format_metrics_table(report: Dict[str, object]) -> str:
+    """Human-readable summary of a metrics report (the CLI's stdout)."""
+    lines = [
+        f"{'entry':<22} {'items':>8} {'wall_s':>9} {'rate':>14} {'speedup':>8}"
+    ]
+    for rec in report["entries"]:
+        rate = 0.0
+        for rate_key in _RATE_KEYS:
+            if rec.get(rate_key):
+                rate = rec[rate_key]
+                break
+        items = (
+            rec.get("values")
+            or rec.get("commits")
+            or rec.get("shards")
+            or rec.get("queries")
+            or rec.get("cycles")
+            or 0
+        )
+        speedup = rec.get("speedup")
+        lines.append(
+            f"{rec['id']:<22} {items:>8} {rec['wall_seconds']:>9.4f} "
+            f"{rate:>14,.0f} "
+            + (f"{speedup:>7.2f}x" if speedup is not None else f"{'-':>8}")
+        )
+    return "\n".join(lines)
+
+
+def write_metrics_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench.metrics [--quick] [output.json]``"""
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    report = run_metrics_suite(
+        quick=quick, progress=lambda msg: print(msg, file=sys.stderr)
+    )
+    print(format_metrics_table(report))
+    if paths:
+        write_metrics_report(report, paths[0])
+        print(f"wrote {paths[0]}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

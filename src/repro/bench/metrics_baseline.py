@@ -1,0 +1,33 @@
+"""Recorded baseline for the ``repro bench --metrics`` suite.
+
+Machine-local wall-clock numbers: comparable only to reports produced on
+the same host.  Regenerate (see :mod:`repro.bench.rebaseline_metrics`)
+when the suite changes shape or the measurement plane gets a new anchor
+commit.
+"""
+
+METRICS_BASELINE = {'entries': {'hist-add/heavy-tail': {'bin_checksum': 106110741,
+                                     'values_per_sec': 1934011.2,
+                                     'wall_seconds': 0.103412},
+             'hist-add/uniform': {'bin_checksum': 99949878,
+                                  'values_per_sec': 1923765.2,
+                                  'wall_seconds': 0.103963},
+             'sketch-merge/k64': {'bin_checksum': 67921281,
+                                  'blocks': 128000,
+                                  'merges_per_sec': 8532.0,
+                                  'wall_seconds': 0.007384},
+             'sketch-observe': {'bin_checksum': 53065057,
+                                'commits_per_sec': 539329.2,
+                                'requests': 100000000,
+                                'wall_seconds': 0.185416},
+             'sketch-quantile': {'queries_per_sec': 13910.9,
+                                 'query_sum': 4121.815344,
+                                 'wall_seconds': 0.431317},
+             'state-roundtrip': {'bin_checksum': 13266406,
+                                 'blocks': 25000,
+                                 'cycles_per_sec': 3389.9,
+                                 'wall_seconds': 0.058998},
+             'windows-series': {'queries_per_sec': 421.2,
+                                'request_total': 7174000.0,
+                                'wall_seconds': 1.187179}},
+ 'note': 'PR6: streaming measurement plane landed'}

@@ -42,8 +42,20 @@ class RunMetrics:
     ) -> None:
         self.commits.append(CommitEvent(height, commit_time, propose_time, payload))
 
+    def commit_sink(self) -> Callable[[CommitEvent], None]:
+        """Hot-path sink taking a ready-made :class:`CommitEvent`.
+
+        The streaming twins in :mod:`repro.metrics` implement the same
+        method, so replicas prebind one callable and never know which
+        measurement mode is active.
+        """
+        return self.commits.append
+
     def total_requests(self) -> int:
         return sum(event.payload_count for event in self.commits)
+
+    def committed_blocks(self) -> int:
+        return len(self.commits)
 
     def throughput(self, duration: float) -> float:
         """Average committed requests per second over ``duration``."""
@@ -66,6 +78,28 @@ class RunMetrics:
             if 0 <= index < buckets:
                 series[index] += event.payload_count
         return [(index * bucket, count / bucket) for index, count in enumerate(series)]
+
+    def latency_summary(self) -> Optional[Dict[str, float]]:
+        """Commit-latency mean/p50/p90/p99, or None without commits.
+
+        The mean re-sums the *sorted* latencies -- the historical
+        ``ScenarioResult.metrics`` computation, preserved bit-for-bit so
+        golden files survive the move to this method.
+        """
+        if not self.commits:
+            return None
+        # Lazy import: the consensus engines import repro.workloads.base
+        # at class-definition time, so the reverse import must wait until
+        # first use.
+        from repro.workloads.base import percentile
+
+        values = sorted(event.latency for event in self.commits)
+        return {
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 0.50),
+            "p90": percentile(values, 0.90),
+            "p99": percentile(values, 0.99),
+        }
 
     def latency_series(
         self, duration: float, bucket: float = 1.0
@@ -111,11 +145,23 @@ class ReplicaBase:
         #: one commit record per block make the descriptor lookups
         #: measurable.
         self._network_send = network.send
-        self._commits_append = self.metrics.commits.append
+        self._commits_append = self.metrics.commit_sink()
         network.register(replica_id, self.on_message)
         # The live cache doubles as the network's delivery fast path:
         # classes it already maps skip the on_message dispatch frame.
         network.register_dispatch(replica_id, self._handler_cache)
+
+    def use_metrics(self, metrics: Any) -> None:
+        """Swap the metrics observer and rebind the commit fast path.
+
+        ``metrics`` is anything with the :class:`RunMetrics` query API
+        plus ``commit_sink()``/``record_commit()`` -- in practice
+        :class:`RunMetrics` itself or the streaming/checked twins from
+        :mod:`repro.metrics`.  Must run before the replica commits
+        anything; commits already recorded stay with the old observer.
+        """
+        self.metrics = metrics
+        self._commits_append = metrics.commit_sink()
 
     # ------------------------------------------------------------------
     # Messaging

@@ -70,6 +70,10 @@ class HotStuffReplica(ReplicaBase):
         #: every Proposal, so rotating leaders do not re-batch requests a
         #: previous leader already put in flight) or already committed.
         self._claimed_requests: set = set()
+        #: Previous generation of claimed keys (see compact()).
+        self._claimed_requests_old: set = set()
+        #: Heights at or below this were committed and compacted away.
+        self._compact_floor = 0
 
     # ------------------------------------------------------------------
     # Roles
@@ -129,7 +133,7 @@ class HotStuffReplica(ReplicaBase):
         if not self.running or not self.request_driven:
             return
         key = (request.client_id, request.request_id)
-        if key in self._claimed_requests:
+        if key in self._claimed_requests or key in self._claimed_requests_old:
             return
         self.pending_requests.append(request)
 
@@ -263,6 +267,29 @@ class HotStuffReplica(ReplicaBase):
         for client_id, request_id, _send_time in block.request_ids:
             self.send(client_id, Reply(self.id, request_id, self.sim.now))
 
+    # ------------------------------------------------------------------
+    # Campaign-plane compaction
+    # ------------------------------------------------------------------
+    def compact(self, keep: int = 128) -> None:
+        """Drop per-height state below ``committed_height - keep``.
+
+        Every read of the pruned maps is guarded (missing block/votes ->
+        ignore), so late messages for pruned heights are dropped like
+        duplicates; see ``PbftReplica.compact`` for the generational
+        claimed-key scheme.  Deterministic by construction.
+        """
+        floor = self.committed_height - keep
+        if floor > self._compact_floor:
+            for height in [h for h in self.block_at_height if h <= floor]:
+                block = self.block_at_height.pop(height)
+                self.blocks.pop(block.hash, None)
+            for height in [h for h in self.votes if h <= floor]:
+                del self.votes[height]
+            self.qc_heights = {h for h in self.qc_heights if h > floor}
+            self._compact_floor = floor
+        self._claimed_requests_old = self._claimed_requests
+        self._claimed_requests = set()
+
 
 class HotStuffCluster:
     """Builds and runs a HotStuff deployment (Fig. 9 baselines)."""
@@ -331,16 +358,30 @@ class HotStuffCluster:
         The observer is a non-leader replica, like the paper's throughput
         probes.
         """
+        self.begin()
+        self.sim.run(until=duration)
+        return self.finish()
+
+    def begin(self) -> None:
+        """Start replicas/workload; see ``PbftCluster.begin`` for the
+        begin/slice/finish campaign contract."""
         for replica in self.replicas:
             replica.start()
         if self.workload is not None:
             self.workload.start()
-        self.sim.run(until=duration)
+
+    def finish(self) -> RunMetrics:
         if self.workload is not None:
             self.workload.stop()
         for replica in self.replicas:
             replica.stop()
         return self.observer.metrics
+
+    def compact(self, keep: int = 128) -> None:
+        """Prune dead per-height state on every replica (campaign
+        slice boundaries; see ``HotStuffReplica.compact``)."""
+        for replica in self.replicas:
+            replica.compact(keep)
 
     @property
     def observer(self) -> HotStuffReplica:

@@ -108,6 +108,10 @@ class KauriReplica(ReplicaBase):
         self.pending_requests: List[ClientRequest] = []
         #: Requests claimed by an observed proposal or already committed.
         self._claimed_requests: Set = set()
+        #: Previous generation of claimed keys (see compact()).
+        self._claimed_requests_old: Set = set()
+        #: Heights at or below this were committed and compacted away.
+        self._compact_floor = 0
 
     # ------------------------------------------------------------------
     # Role helpers
@@ -189,7 +193,7 @@ class KauriReplica(ReplicaBase):
             remaining: List[ClientRequest] = []
             for request in self.pending_requests:
                 key = (request.client_id, request.request_id)
-                if key in self._claimed_requests:
+                if key in self._claimed_requests or key in self._claimed_requests_old:
                     continue
                 if len(batch) < self.payload_per_block:
                     batch.append(request)
@@ -328,7 +332,7 @@ class KauriReplica(ReplicaBase):
         if not self.running or not self.request_driven:
             return
         key = (request.client_id, request.request_id)
-        if key in self._claimed_requests:
+        if key in self._claimed_requests or key in self._claimed_requests_old:
             return
         self.pending_requests.append(request)
 
@@ -354,6 +358,51 @@ class KauriReplica(ReplicaBase):
             for request in self.pending_requests
             if (request.client_id, request.request_id) not in keys
         ]
+
+    # ------------------------------------------------------------------
+    # Campaign-plane compaction
+    # ------------------------------------------------------------------
+    def compact(self, keep: int = 128) -> None:
+        """Drop per-height state below ``committed_height - keep``.
+
+        All readers of the pruned maps None-guard (root_votes /
+        collections lookups, block_at_height range scans start above
+        ``committed_height``), so late traffic for pruned heights is
+        ignored like any duplicate; claimed request keys age through two
+        generations exactly as in ``PbftReplica.compact``.
+        """
+        frontier = self.committed_height
+        if self._root != self.id:
+            # Only the root advances committed_height (commits are its
+            # view); intermediates and leaves age out behind the highest
+            # block the tree has shown them instead.  Their pruned maps
+            # are write-only below that point: ``blocks`` is read only
+            # as a catch-up donor and collection flushes None-guard.
+            if self.block_at_height:
+                frontier = max(frontier, max(self.block_at_height))
+            if self.blocks:
+                frontier = max(
+                    frontier, max(b.height for b in self.blocks.values())
+                )
+        floor = frontier - keep
+        if floor > self._compact_floor:
+            for height in [h for h in self.block_at_height if h <= floor]:
+                del self.block_at_height[height]
+            stale = [
+                block_hash
+                for block_hash, block in self.blocks.items()
+                if block.height <= floor
+            ]
+            for block_hash in stale:
+                del self.blocks[block_hash]
+            for height in [h for h in self.root_votes if h <= floor]:
+                del self.root_votes[height]
+            for height in [h for h in self.collections if h <= floor]:
+                del self.collections[height]
+            self.qc_heights = {h for h in self.qc_heights if h > floor}
+            self._compact_floor = floor
+        self._claimed_requests_old = self._claimed_requests
+        self._claimed_requests = set()
 
     # ------------------------------------------------------------------
     # Leaves
@@ -488,9 +537,9 @@ class KauriCluster:
             # rejected), so their requests move to the new root; un-claim
             # them there or the recovery would be dropped on the floor.
             for request in recovered:
-                new_root._claimed_requests.discard(
-                    (request.client_id, request.request_id)
-                )
+                key = (request.client_id, request.request_id)
+                new_root._claimed_requests.discard(key)
+                new_root._claimed_requests_old.discard(key)
             new_root.pending_requests.extend(recovered)
 
     def _uncommitted_requests(self, root: KauriReplica) -> List[ClientRequest]:
@@ -512,16 +561,30 @@ class KauriCluster:
         return recovered
 
     def run(self, duration: float) -> RunMetrics:
+        self.begin()
+        self.sim.run(until=duration)
+        return self.finish()
+
+    def begin(self) -> None:
+        """Start replicas/workload; see ``PbftCluster.begin`` for the
+        begin/slice/finish campaign contract."""
         for replica in self.replicas:
             replica.start()
         if self.workload is not None:
             self.workload.start()
-        self.sim.run(until=duration)
+
+    def finish(self) -> RunMetrics:
         if self.workload is not None:
             self.workload.stop()
         for replica in self.replicas:
             replica.stop()
         return self.root_replica.metrics
+
+    def compact(self, keep: int = 128) -> None:
+        """Prune dead per-height state on every replica (campaign
+        slice boundaries; see ``KauriReplica.compact``)."""
+        for replica in self.replicas:
+            replica.compact(keep)
 
     def pause(self) -> None:
         for replica in self.replicas:

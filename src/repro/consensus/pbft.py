@@ -117,6 +117,11 @@ class PbftReplica(ReplicaBase):
         #: are replayed after a reconfiguration adopts that leader.
         self.stale_preprepares: Dict[int, List[PrePrepare]] = {}
         self._committed_requests: Set = set()
+        #: Previous generation of committed request keys (see compact()).
+        self._committed_requests_old: Set = set()
+        #: Seqs at or below this were executed and compacted away; late
+        #: messages for them are ignored like any other duplicate.
+        self._compact_floor = 0
 
     # ------------------------------------------------------------------
     # Roles and weights
@@ -159,7 +164,7 @@ class PbftReplica(ReplicaBase):
         # whoever is leader when proposing drains the buffer, so requests
         # survive leader changes.
         key = (request.client_id, request.request_id)
-        if key in self._committed_requests:
+        if key in self._committed_requests or key in self._committed_requests_old:
             return
         self.pending_requests.append(request)
         if self.is_leader:
@@ -204,7 +209,7 @@ class PbftReplica(ReplicaBase):
             # Possibly a new leader we have not adopted yet; replay later.
             self.stale_preprepares.setdefault(src, []).append(message)
             return
-        if message.seq in self.preprepares:
+        if message.seq in self.preprepares or message.seq <= self._compact_floor:
             return
         self.preprepares[message.seq] = message
         if self.optilog is not None:
@@ -293,6 +298,36 @@ class PbftReplica(ReplicaBase):
             if self.in_flight == seq:
                 self.in_flight = None
             self._maybe_propose()
+
+    # ------------------------------------------------------------------
+    # Campaign-plane compaction
+    # ------------------------------------------------------------------
+    def compact(self, keep: int = 128) -> None:
+        """Drop per-sequence state the protocol can no longer read.
+
+        Called at campaign slice boundaries so multi-million-request runs
+        keep O(1) consensus memory.  Only *executed* seqs at least
+        ``keep`` behind ``executed_seq`` are pruned; every handler guard
+        already treats a missing entry as "done, ignore", so late
+        messages for pruned seqs are dropped exactly like duplicates.
+        Committed request keys use two generations: a key survives at
+        least one full compaction interval, which exceeds any in-flight
+        client request's delivery time, so de-duplication never misses.
+        Deterministic: pruning is a pure function of replica state.
+        """
+        floor = self.executed_seq - keep
+        if floor > self._compact_floor:
+            for seq in [s for s in self.executed if s <= floor]:
+                self.preprepares.pop(seq, None)
+                self.prepare_weight.pop(seq, None)
+                self.prepare_senders.pop(seq, None)
+                self.commit_weight.pop(seq, None)
+                self.commit_senders.pop(seq, None)
+                self.sent_commit.discard(seq)
+                self.executed.discard(seq)
+            self._compact_floor = floor
+        self._committed_requests_old = self._committed_requests
+        self._committed_requests = set()
 
     # ------------------------------------------------------------------
     # OptiLog integration
@@ -417,8 +452,10 @@ class PbftReplica(ReplicaBase):
             self.optilog.pipeline.advance_view(self.log_view)
         # Sequence numbers continue from everything we have seen, so the
         # new leader does not collide with the old history.
+        # ``executed_seq`` joins the max because compact() may have pruned
+        # the preprepare entries that proved the history.
         highest_seen = max(self.preprepares, default=0)
-        self.seq = max(self.seq, highest_seen)
+        self.seq = max(self.seq, highest_seen, self.executed_seq)
         self.in_flight = None
         # Replay proposals that arrived from the new leader before we
         # adopted it.
@@ -507,15 +544,33 @@ class PbftCluster:
                 self.sim.schedule_at(search_time, replica.run_config_search)
             search_time += search_period
 
-    def run(self, duration: float) -> RunMetrics:
+    def begin(self) -> None:
+        """Start replicas and workload without advancing the clock.
+
+        ``begin`` / sliced ``sim.run`` / ``finish`` decomposes :meth:`run`
+        for the campaign plane, which checkpoints between slices.  A
+        resumed cluster must *not* call ``begin`` again.
+        """
         for replica in self.replicas:
             replica.start()
         self.workload.start()
-        self.sim.run(until=duration)
+
+    def finish(self) -> RunMetrics:
         self.workload.stop()
         for replica in self.replicas:
             replica.stop()
         return self.replicas[0].metrics
+
+    def run(self, duration: float) -> RunMetrics:
+        self.begin()
+        self.sim.run(until=duration)
+        return self.finish()
+
+    def compact(self, keep: int = 128) -> None:
+        """Prune dead per-sequence state on every replica (campaign
+        slice boundaries; see ``PbftReplica.compact``)."""
+        for replica in self.replicas:
+            replica.compact(keep)
 
     @property
     def current_leader(self) -> int:

@@ -47,9 +47,10 @@ from repro.faults.delay import DelayAttack, DeltaDelayAttack, StealthDelayAttack
 from repro.faults.loss import MessageLoss
 from repro.net.deployments import Deployment, deployment_for, random_world_deployment
 from repro.optimize.annealing import AnnealingSchedule
+from repro.sim.engine import SimClock
 from repro.tree.kauri_reconfig import KauriReconfigurer
 from repro.tree.optitree import optitree_search
-from repro.workloads import PIPELINE_DEPTH, Workload, make_workload, percentile
+from repro.workloads import PIPELINE_DEPTH, Workload, make_workload
 
 #: Protocols the runner can build, mapped to (family, variant).
 PROTOCOLS: Dict[str, Tuple[str, str]] = {
@@ -215,16 +216,48 @@ class FaultSpec:
                 )
 
 
+#: How a scenario measures: the exact per-commit path, the O(1)-memory
+#: streaming sketches, or both at once with a divergence check.
+METRICS_MODES = ("exact", "sketch", "check")
+
+
 @dataclass
 class MeasurementPolicy:
     """Aware/OptiAware reconfiguration cadence (the Fig. 7 schedule):
-    probe peers, publish latency vectors, then search periodically."""
+    probe peers, publish latency vectors, then search periodically.
+
+    Also selects the measurement plane: ``metrics="exact"`` (default)
+    materialises every commit/latency sample; ``"sketch"`` streams them
+    into the mergeable O(1)-memory sketches from :mod:`repro.metrics`
+    (quantiles within the documented error bound); ``"check"`` runs both
+    and raises :class:`repro.metrics.MeasurementDivergence` if the
+    sketch strays outside its bound -- the checked-twin pattern
+    ``check_score``/``check_rebuild`` use for the role-assignment fast
+    paths.  ``window`` fixes the throughput-timeline granularity and
+    ``bins_per_decade`` the histogram resolution for the sketch modes.
+    """
 
     probe_at: float = 5.0
     publish_at: float = 15.0
     first_search_at: float = 40.0
     search_period: float = 25.0
     horizon: Optional[float] = None  # defaults to the scenario duration
+    metrics: str = "exact"
+    window: float = 1.0
+    bins_per_decade: int = 100
+
+    def __post_init__(self) -> None:
+        if self.metrics not in METRICS_MODES:
+            raise ValueError(
+                f"unknown metrics mode {self.metrics!r} "
+                f"(known: {', '.join(METRICS_MODES)})"
+            )
+        if self.window <= 0:
+            raise ValueError(f"metrics window must be positive, got {self.window!r}")
+        if self.bins_per_decade < 1:
+            raise ValueError(
+                f"bins_per_decade must be >= 1, got {self.bins_per_decade!r}"
+            )
 
 
 @dataclass
@@ -277,7 +310,9 @@ class ScenarioResult:
 
     scenario: Scenario
     cluster: Any
-    run_metrics: RunMetrics
+    #: ``RunMetrics`` or a streaming twin; None until the cluster has run
+    #: (``prepare_scenario`` hands out armed-but-unrun results).
+    run_metrics: Optional[RunMetrics]
     workload: Optional[Workload]
     #: Live adversary objects created while the run executed, as
     #: ``(fault_index, kind, instrument)`` tuples -- empty for fault-free
@@ -286,26 +321,22 @@ class ScenarioResult:
 
     def metrics(self) -> Dict[str, Any]:
         duration = self.scenario.duration
-        commit_latencies = sorted(
-            event.latency for event in self.run_metrics.commits
-        )
         out: Dict[str, Any] = {
             "scenario": self.scenario.describe(),
             "throughput_rps": self.run_metrics.throughput(duration),
             "committed_requests": self.run_metrics.total_requests(),
-            "committed_blocks": len(self.run_metrics.commits),
+            "committed_blocks": self.run_metrics.committed_blocks(),
             "reconfigurations": self.reconfiguration_count(),
             "messages_sent": self.cluster.network.stats.messages_sent,
             "messages_delivered": self.cluster.network.stats.messages_delivered,
             "bytes_sent": self.cluster.network.stats.bytes_sent,
         }
-        if commit_latencies:
-            out["commit_latency"] = {
-                "mean": sum(commit_latencies) / len(commit_latencies),
-                "p50": percentile(commit_latencies, 0.50),
-                "p90": percentile(commit_latencies, 0.90),
-                "p99": percentile(commit_latencies, 0.99),
-            }
+        # Polymorphic over exact RunMetrics and the streaming twins: the
+        # exact summary reproduces the historical inline computation
+        # bit-for-bit, so fault-free golden files are unchanged.
+        commit_latency = self.run_metrics.latency_summary()
+        if commit_latency is not None:
+            out["commit_latency"] = commit_latency
         if self.workload is not None:
             out["client"] = self.workload.summary()
         if self.fault_instruments:
@@ -555,12 +586,13 @@ def _catch_up(cluster, victim: int) -> None:
             replica.committed_height, donor.committed_height
         )
         replica._claimed_requests |= donor._claimed_requests
+        replica._claimed_requests_old |= donor._claimed_requests_old
         if recovered:
             root = replicas[cluster.tree.root]
             for request in recovered:
-                root._claimed_requests.discard(
-                    (request.client_id, request.request_id)
-                )
+                key = (request.client_id, request.request_id)
+                root._claimed_requests.discard(key)
+                root._claimed_requests_old.discard(key)
             root.pending_requests.extend(recovered)
     elif hasattr(replica, "high_qc"):  # HotStuff
         donor = max(peers, key=lambda peer: peer.committed_height)
@@ -575,6 +607,7 @@ def _catch_up(cluster, victim: int) -> None:
         ):
             replica.high_qc = donor.high_qc
         replica._claimed_requests |= donor._claimed_requests
+        replica._claimed_requests_old |= donor._claimed_requests_old
     elif hasattr(replica, "executed_seq"):  # PBFT
         donor = max(peers, key=lambda peer: peer.executed_seq)
         replica.config = donor.config
@@ -582,6 +615,7 @@ def _catch_up(cluster, victim: int) -> None:
         replica.seq = max(replica.seq, donor.seq)
         replica.executed_seq = max(replica.executed_seq, donor.executed_seq)
         replica._committed_requests |= donor._committed_requests
+        replica._committed_requests_old |= donor._committed_requests_old
         replica.in_flight = None
         if replica.optilog is not None and donor.optilog is not None:
             # Replay the committed records the replica slept through, so
@@ -608,6 +642,223 @@ def _churn_pool(spec: FaultSpec, cluster) -> List[int]:
     return _resolve_attackers(victims, cluster)
 
 
+class _CatchUp:
+    """Picklable ``on_revive`` hook: fast-forward a revived node."""
+
+    __slots__ = ("cluster",)
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def __call__(self, victim: int) -> None:
+        _catch_up(self.cluster, victim)
+
+
+class _FaultDriver:
+    """Base for scheduled fault actions.
+
+    Plain classes, not closures: armed faults live in the simulator's
+    event heap, which the campaign plane checkpoints with pickle.
+    Role names still resolve when the driver *fires*, preserving the
+    "whoever leads at that moment" semantics.
+    """
+
+    __slots__ = ("spec", "cluster", "index", "instruments")
+
+    def __init__(self, spec: FaultSpec, cluster, index: int, instruments: List):
+        self.spec = spec
+        self.cluster = cluster
+        self.index = index
+        self.instruments = instruments
+
+
+class _DelayLauncher(_FaultDriver):
+    __slots__ = ("clock",)
+
+    def __init__(self, spec, cluster, index, instruments, clock):
+        super().__init__(spec, cluster, index, instruments)
+        self.clock = clock
+
+    def __call__(self) -> None:
+        spec = self.spec
+        attack = DelayAttack(
+            attacker=_resolve_attacker(spec.attacker, self.cluster),
+            message_types=spec.message_types or ("PrePrepare",),
+            extra_delay=spec.extra_delay,
+            start=spec.start,
+            end=spec.end,
+            now_fn=self.clock,
+        )
+        self.cluster.network.add_interceptor(attack)
+        self.instruments.append((self.index, "delay", attack))
+
+
+class _DeltaLauncher(_FaultDriver):
+    __slots__ = ("clock",)
+
+    def __init__(self, spec, cluster, index, instruments, clock):
+        super().__init__(spec, cluster, index, instruments)
+        self.clock = clock
+
+    def __call__(self) -> None:
+        spec = self.spec
+        params = spec.params
+        network = self.cluster.network
+        attackers = _resolve_attackers(spec.attacker, self.cluster)
+        delta = params.get("delta", 1.2)
+        if params.get("adaptive", False):
+            attack = StealthDelayAttack(
+                attackers,
+                delta,
+                expected_delay=network.one_way_delay,
+                headroom=params.get("headroom", 0.95),
+                message_types=spec.message_types,
+                start=spec.start,
+                end=spec.end,
+                now_fn=self.clock,
+            )
+        else:
+            attack = DeltaDelayAttack(
+                attackers,
+                delta,
+                message_types=spec.message_types or ("Forward", "AggregateVote"),
+                start=spec.start,
+                end=spec.end,
+                now_fn=self.clock,
+            )
+        network.add_interceptor(attack)
+        self.instruments.append((self.index, "delta_delay", attack))
+
+
+class _CrashLauncher(_FaultDriver):
+    __slots__ = ("state",)
+
+    def __init__(self, spec, cluster, index, instruments, state):
+        super().__init__(spec, cluster, index, instruments)
+        self.state = state
+
+    def __call__(self) -> None:
+        victim = _resolve_attacker(self.spec.attacker, self.cluster)
+        self.cluster.network.set_down(victim)
+        self.state["victim"] = victim
+        self.instruments.append((self.index, "crash", self.state))
+
+
+class _CrashReviver(_FaultDriver):
+    __slots__ = ("state",)
+
+    def __init__(self, spec, cluster, index, instruments, state):
+        super().__init__(spec, cluster, index, instruments)
+        self.state = state
+
+    def __call__(self) -> None:
+        victim = self.state.get("victim")
+        if victim is not None:
+            cluster = self.cluster
+            cluster.network.set_down(victim, False)
+            _catch_up(cluster, victim)
+            self.state["revived_at"] = cluster.sim.now
+
+
+class _ChurnLauncher(_FaultDriver):
+    __slots__ = ("rng",)
+
+    def __init__(self, spec, cluster, index, instruments, rng):
+        super().__init__(spec, cluster, index, instruments)
+        self.rng = rng
+
+    def __call__(self) -> None:
+        spec = self.spec
+        cluster = self.cluster
+        sim = cluster.sim
+        schedule = ChurnSchedule(
+            sim, cluster.network, on_revive=_CatchUp(cluster)
+        )
+        schedule.cycle(
+            _churn_pool(spec, cluster),
+            period=spec.params.get("period", 10.0),
+            downtime=spec.params.get("downtime", 3.0),
+            start=sim.now,
+            end=spec.end,
+            rng=self.rng,
+        )
+        self.instruments.append((self.index, "churn", schedule))
+
+
+class _PartitionLauncher(_FaultDriver):
+    __slots__ = ("state",)
+
+    def __init__(self, spec, cluster, index, instruments, state):
+        super().__init__(spec, cluster, index, instruments)
+        self.state = state
+
+    def __call__(self) -> None:
+        groups = _partition_groups(self.spec, self.cluster)
+        self.state["epoch"] = self.cluster.network.partition(groups)
+        self.instruments.append((self.index, "partition", groups))
+
+
+class _PartitionHealer(_FaultDriver):
+    __slots__ = ("state",)
+
+    def __init__(self, spec, cluster, index, instruments, state):
+        super().__init__(spec, cluster, index, instruments)
+        self.state = state
+
+    def __call__(self) -> None:
+        # The epoch keeps overlapping partition specs honest: if a
+        # later spec re-partitioned the network, this heal is a no-op
+        # rather than wiping the newer partition early.
+        if "epoch" in self.state:
+            self.cluster.network.heal(self.state["epoch"])
+
+
+class _SuspicionDriver(_FaultDriver):
+    __slots__ = ("counters", "pool", "period", "rounds")
+
+    def __init__(self, spec, cluster, index, instruments, counters, pool,
+                 period, rounds):
+        super().__init__(spec, cluster, index, instruments)
+        self.counters = counters
+        self.pool = pool
+        self.period = period
+        self.rounds = rounds
+
+    def __call__(self, round_index: int) -> None:
+        cluster = self.cluster
+        sim = cluster.sim
+        attacker = self.pool[round_index % len(self.pool)]
+        target = _resolve_attacker(
+            self.spec.params.get("target", "leader"), cluster
+        )
+        if target == attacker:
+            # Self-suspicions are dropped by the monitor; smear the
+            # next replica instead so the round is not wasted.
+            target = (target + 1) % cluster.n
+        replica = cluster.replicas[attacker]
+        # The full power of a Byzantine replica: log any measurement
+        # it likes.  The fabricated ⟨Slow⟩ rides the normal record
+        # path (gossip -> leader block -> commit); once committed,
+        # the correct target reciprocates (condition (c)) and the
+        # resulting edge degrades the candidate set K.
+        record = SuspicionRecord(
+            reporter=attacker,
+            suspect=target,
+            kind=SuspicionKind.SLOW,
+            round_id=1_000_000 + self.counters["rounds_launched"],
+            msg_type="write",
+            phase=2,
+            view=replica.log_view,
+        )
+        replica._gossip_record(record)
+        self.counters["rounds_launched"] += 1
+        if (
+            round_index + 1 < self.rounds
+            and sim.now + self.period <= self.spec.end
+        ):
+            sim.schedule(self.period, self, round_index + 1)
+
+
 def _schedule_fault(spec: FaultSpec, cluster, index: int, instruments: List) -> None:
     """Arm one FaultSpec against the live cluster.
 
@@ -616,80 +867,33 @@ def _schedule_fault(spec: FaultSpec, cluster, index: int, instruments: List) -> 
     private randomness (loss draws, random churn victims) is derived here,
     at scheduling time, in fault-list order -- scenarios without such
     faults perform no extra ``derive_rng`` calls and stay bit-identical.
+    Every scheduled action is a picklable driver class, so armed faults
+    survive simulator checkpoints.
     """
     sim = cluster.sim
     network = cluster.network
     params = spec.params
-
-    def now_fn() -> float:
-        return sim.now
+    clock = SimClock(sim)
 
     if spec.kind == "delay":
-
-        def launch_delay() -> None:
-            attack = DelayAttack(
-                attacker=_resolve_attacker(spec.attacker, cluster),
-                message_types=spec.message_types or ("PrePrepare",),
-                extra_delay=spec.extra_delay,
-                start=spec.start,
-                end=spec.end,
-                now_fn=now_fn,
-            )
-            network.add_interceptor(attack)
-            instruments.append((index, "delay", attack))
-
-        sim.schedule_at(spec.start, launch_delay)
+        sim.schedule_at(
+            spec.start, _DelayLauncher(spec, cluster, index, instruments, clock)
+        )
 
     elif spec.kind == "delta_delay":
-
-        def launch_delta() -> None:
-            attackers = _resolve_attackers(spec.attacker, cluster)
-            delta = params.get("delta", 1.2)
-            if params.get("adaptive", False):
-                attack = StealthDelayAttack(
-                    attackers,
-                    delta,
-                    expected_delay=network.one_way_delay,
-                    headroom=params.get("headroom", 0.95),
-                    message_types=spec.message_types,
-                    start=spec.start,
-                    end=spec.end,
-                    now_fn=now_fn,
-                )
-            else:
-                attack = DeltaDelayAttack(
-                    attackers,
-                    delta,
-                    message_types=spec.message_types or ("Forward", "AggregateVote"),
-                    start=spec.start,
-                    end=spec.end,
-                    now_fn=now_fn,
-                )
-            network.add_interceptor(attack)
-            instruments.append((index, "delta_delay", attack))
-
-        sim.schedule_at(spec.start, launch_delta)
+        sim.schedule_at(
+            spec.start, _DeltaLauncher(spec, cluster, index, instruments, clock)
+        )
 
     elif spec.kind == "crash":
         state: Dict[str, Any] = {}
-
-        def launch_crash() -> None:
-            victim = _resolve_attacker(spec.attacker, cluster)
-            network.set_down(victim)
-            state["victim"] = victim
-            instruments.append((index, "crash", state))
-
-        sim.schedule_at(spec.start, launch_crash)
+        sim.schedule_at(
+            spec.start, _CrashLauncher(spec, cluster, index, instruments, state)
+        )
         if spec.end != math.inf:
-
-            def revive_crash() -> None:
-                victim = state.get("victim")
-                if victim is not None:
-                    network.set_down(victim, False)
-                    _catch_up(cluster, victim)
-                    state["revived_at"] = sim.now
-
-            sim.schedule_at(spec.end, revive_crash)
+            sim.schedule_at(
+                spec.end, _CrashReviver(spec, cluster, index, instruments, state)
+            )
 
     elif spec.kind == "churn":
         churn_rng = (
@@ -697,41 +901,21 @@ def _schedule_fault(spec: FaultSpec, cluster, index: int, instruments: List) -> 
             if params.get("random", False)
             else None
         )
-
-        def launch_churn() -> None:
-            schedule = ChurnSchedule(
-                sim, network, on_revive=lambda node: _catch_up(cluster, node)
-            )
-            schedule.cycle(
-                _churn_pool(spec, cluster),
-                period=params.get("period", 10.0),
-                downtime=params.get("downtime", 3.0),
-                start=sim.now,
-                end=spec.end,
-                rng=churn_rng,
-            )
-            instruments.append((index, "churn", schedule))
-
-        sim.schedule_at(spec.start, launch_churn)
+        sim.schedule_at(
+            spec.start, _ChurnLauncher(spec, cluster, index, instruments, churn_rng)
+        )
 
     elif spec.kind == "partition":
         partition_state: Dict[str, Any] = {}
-
-        def launch_partition() -> None:
-            groups = _partition_groups(spec, cluster)
-            partition_state["epoch"] = network.partition(groups)
-            instruments.append((index, "partition", groups))
-
-        def heal_partition() -> None:
-            # The epoch keeps overlapping partition specs honest: if a
-            # later spec re-partitioned the network, this heal is a no-op
-            # rather than wiping the newer partition early.
-            if "epoch" in partition_state:
-                network.heal(partition_state["epoch"])
-
-        sim.schedule_at(spec.start, launch_partition)
+        sim.schedule_at(
+            spec.start,
+            _PartitionLauncher(spec, cluster, index, instruments, partition_state),
+        )
         if spec.end != math.inf:
-            sim.schedule_at(spec.end, heal_partition)
+            sim.schedule_at(
+                spec.end,
+                _PartitionHealer(spec, cluster, index, instruments, partition_state),
+            )
 
     elif spec.kind == "loss":
         attack = MessageLoss(
@@ -741,7 +925,7 @@ def _schedule_fault(spec: FaultSpec, cluster, index: int, instruments: List) -> 
             message_types=spec.message_types,
             start=spec.start,
             end=spec.end,
-            now_fn=now_fn,
+            now_fn=clock,
         )
         network.add_interceptor(attack)
         instruments.append((index, "loss", attack))
@@ -761,45 +945,112 @@ def _schedule_fault(spec: FaultSpec, cluster, index: int, instruments: List) -> 
         rounds = params.get("rounds", len(pool))
         counters = {"rounds_launched": 0}
         instruments.append((index, "false_suspicion", counters))
-
-        def fire_suspicion(round_index: int) -> None:
-            attacker = pool[round_index % len(pool)]
-            target = _resolve_attacker(params.get("target", "leader"), cluster)
-            if target == attacker:
-                # Self-suspicions are dropped by the monitor; smear the
-                # next replica instead so the round is not wasted.
-                target = (target + 1) % cluster.n
-            replica = cluster.replicas[attacker]
-            # The full power of a Byzantine replica: log any measurement
-            # it likes.  The fabricated ⟨Slow⟩ rides the normal record
-            # path (gossip -> leader block -> commit); once committed,
-            # the correct target reciprocates (condition (c)) and the
-            # resulting edge degrades the candidate set K.
-            record = SuspicionRecord(
-                reporter=attacker,
-                suspect=target,
-                kind=SuspicionKind.SLOW,
-                round_id=1_000_000 + counters["rounds_launched"],
-                msg_type="write",
-                phase=2,
-                view=replica.log_view,
-            )
-            replica._gossip_record(record)
-            counters["rounds_launched"] += 1
-            if round_index + 1 < rounds and sim.now + period <= spec.end:
-                sim.schedule(period, fire_suspicion, round_index + 1)
-
-        sim.schedule_at(spec.start, fire_suspicion, 0)
+        driver = _SuspicionDriver(
+            spec, cluster, index, instruments, counters, pool, period, rounds
+        )
+        sim.schedule_at(spec.start, driver, 0)
 
     else:  # pragma: no cover - __post_init__ rejects unknown kinds
         raise ValueError(f"unknown fault kind {spec.kind!r}")
 
 
 # ----------------------------------------------------------------------
+# Measurement plane selection
+# ----------------------------------------------------------------------
+def _metrics_mode(scenario: Scenario) -> str:
+    policy = scenario.measurements
+    return policy.metrics if policy is not None else "exact"
+
+
+def _apply_measurement_mode(scenario: Scenario, cluster) -> None:
+    """Swap replicas (and the workload) onto the streaming sketches.
+
+    ``sketch`` replaces the per-commit lists outright; ``check``
+    dual-writes so reads stay byte-identical to ``exact`` while
+    :func:`_verify_measurements` can compare the two paths afterwards.
+    """
+    mode = _metrics_mode(scenario)
+    if mode == "exact":
+        return
+    from repro.consensus.base import RunMetrics as ExactRunMetrics
+    from repro.metrics import (
+        CheckedRunMetrics,
+        MetricsSketch,
+        StreamingRunMetrics,
+    )
+
+    policy = scenario.measurements
+
+    def make_metrics():
+        sketch = MetricsSketch(
+            bins_per_decade=policy.bins_per_decade, window=policy.window
+        )
+        streaming = StreamingRunMetrics(sketch)
+        if mode == "check":
+            return CheckedRunMetrics(ExactRunMetrics(), streaming)
+        return streaming
+
+    for replica in cluster.replicas:
+        replica.use_metrics(make_metrics())
+    workload = getattr(cluster, "workload", None)
+    if workload is not None:
+        workload.enable_streaming(
+            MetricsSketch(
+                bins_per_decade=policy.bins_per_decade, window=policy.window
+            ),
+            keep_exact=(mode == "check"),
+        )
+
+
+def _verify_measurements(scenario: Scenario, result: ScenarioResult) -> None:
+    """``check`` mode epilogue: sketch vs exact, loudly."""
+    from repro.metrics import MeasurementDivergence
+
+    result.run_metrics.verify(scenario.duration)
+    workload = result.workload if result.workload is not None else getattr(
+        result.cluster, "workload", None
+    )
+    if workload is None or workload._stream_sketch is None:
+        return
+    sketch = workload._stream_sketch
+    exact = workload.summary()  # keep_exact=True -> the exact path answers
+    if sketch.blocks != exact["requests_completed"]:
+        raise MeasurementDivergence(
+            f"client sketch saw {sketch.blocks} completions, exact path "
+            f"{exact['requests_completed']}"
+        )
+    stats = sketch.summary()
+    if stats is None:
+        return
+    if not math.isclose(stats["mean"], exact["mean_latency"], rel_tol=1e-9):
+        raise MeasurementDivergence(
+            f"client mean diverged: sketch={stats['mean']!r} "
+            f"exact={exact['mean_latency']!r}"
+        )
+    bound = sketch.error_bound()
+    for sketch_key, exact_key in (
+        ("p50", "p50_latency"), ("p90", "p90_latency"), ("p99", "p99_latency")
+    ):
+        want = exact[exact_key]
+        relative = abs(stats[sketch_key] - want) / max(abs(want), 1e-12)
+        if relative > bound * (1.0 + 1e-9):
+            raise MeasurementDivergence(
+                f"client {sketch_key} diverged by {relative:.3%} "
+                f"(bound {bound:.3%}): sketch={stats[sketch_key]!r} want={want!r}"
+            )
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
-def run_scenario(scenario: Scenario) -> ScenarioResult:
-    """Execute one scenario end-to-end, deterministically under its seed."""
+def prepare_scenario(scenario: Scenario) -> ScenarioResult:
+    """Build everything a scenario needs without running it.
+
+    Returns a :class:`ScenarioResult` whose cluster is armed (faults
+    scheduled, measurement mode applied, workload resolved) but whose
+    simulation has not advanced -- the campaign plane drives it in
+    slices; :func:`run_scenario` drives it to completion in one call.
+    """
     if scenario.protocol not in PROTOCOLS:
         known = ", ".join(sorted(PROTOCOLS))
         raise ValueError(
@@ -808,14 +1059,23 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     deployment = resolve_deployment(scenario.deployment, seed=scenario.seed)
     workload = _resolve_workload(scenario)
     cluster = _build_cluster(scenario, deployment, workload)
+    _apply_measurement_mode(scenario, cluster)
     instruments: List[Tuple[int, str, Any]] = []
     for index, fault in enumerate(scenario.faults):
         _schedule_fault(fault, cluster, index, instruments)
-    run_metrics = cluster.run(scenario.duration)
     return ScenarioResult(
         scenario=scenario,
         cluster=cluster,
-        run_metrics=run_metrics,
+        run_metrics=None,
         workload=workload,
         fault_instruments=instruments,
     )
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute one scenario end-to-end, deterministically under its seed."""
+    result = prepare_scenario(scenario)
+    result.run_metrics = result.cluster.run(scenario.duration)
+    if _metrics_mode(scenario) == "check":
+        _verify_measurements(scenario, result)
+    return result

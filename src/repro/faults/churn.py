@@ -67,19 +67,10 @@ class ChurnSchedule(CrashSchedule):
             raise ValueError("churn needs a non-empty victim pool")
         if period <= 0 or downtime <= 0:
             raise ValueError("churn period and downtime must be positive")
-
-        def fire() -> None:
-            victim = self._pick(pool, rng)
-            if victim is not None:
-                self.crash(victim)
-                self.sim.schedule(downtime, self.revive, victim)
-            next_time = self.sim.now + period
-            if next_time <= end:
-                self.sim.schedule(period, fire)
-
+        driver = _CycleDriver(self, pool, period, downtime, end, rng)
         first = max(start, self.sim.now) + period
         if first <= end:
-            self.sim.schedule_at(first, fire)
+            self.sim.schedule_at(first, driver)
 
     def _pick(self, pool: Sequence[int], rng: Optional[random.Random]) -> Optional[int]:
         """Next victim that is currently up, or None if the pool is down."""
@@ -115,3 +106,35 @@ class ChurnSchedule(CrashSchedule):
     @property
     def cycles_completed(self) -> int:
         return len(self.revivals)
+
+
+class _CycleDriver:
+    """One churn cycle's repeating event.  A class, not a closure: churn
+    events live in the checkpointed simulator heap and must pickle."""
+
+    __slots__ = ("schedule", "pool", "period", "downtime", "end", "rng")
+
+    def __init__(
+        self,
+        schedule: ChurnSchedule,
+        pool: List[int],
+        period: float,
+        downtime: float,
+        end: float,
+        rng: Optional[random.Random],
+    ):
+        self.schedule = schedule
+        self.pool = pool
+        self.period = period
+        self.downtime = downtime
+        self.end = end
+        self.rng = rng
+
+    def __call__(self) -> None:
+        schedule = self.schedule
+        victim = schedule._pick(self.pool, self.rng)
+        if victim is not None:
+            schedule.crash(victim)
+            schedule.sim.schedule(self.downtime, schedule.revive, victim)
+        if schedule.sim.now + self.period <= self.end:
+            schedule.sim.schedule(self.period, self)

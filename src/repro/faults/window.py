@@ -14,12 +14,20 @@ import math
 from typing import Callable, Optional
 
 
+def _zero_clock() -> float:
+    """Clock of the trivial always-active window (module-level so windows
+    stay picklable for simulator checkpoints)."""
+    return 0.0
+
+
 class ActivationWindow:
     """Gate for ``start <= now <= end`` with a mandatory clock.
 
     ``now_fn`` may be omitted only for the trivial always-active window
     (``start == 0`` and ``end == inf``); any real window without a clock
-    raises ``ValueError`` at construction time.
+    raises ``ValueError`` at construction time.  Use a picklable clock
+    (:class:`repro.sim.engine.SimClock`) when the window may be
+    checkpointed.
     """
 
     __slots__ = ("start", "end", "_now")
@@ -35,10 +43,10 @@ class ActivationWindow:
         if now_fn is None:
             if start > 0.0 or end != math.inf:
                 raise ValueError(
-                    "a start/end window needs now_fn (e.g. lambda: sim.now); "
+                    "a start/end window needs now_fn (e.g. SimClock(sim)); "
                     "without a clock the window would silently never trigger"
                 )
-            now_fn = lambda: 0.0  # noqa: E731 - trivial always-active clock
+            now_fn = _zero_clock
         self.start = start
         self.end = end
         self._now = now_fn

@@ -1,0 +1,48 @@
+"""Streaming measurement plane: mergeable online sketches.
+
+A million-request campaign cannot afford the exact measurement path --
+one :class:`~repro.consensus.base.CommitEvent` per committed block at
+every replica, one ``(time, latency)`` tuple per completed request at
+every client, and a full sort at the end.  This package provides the
+O(1)-memory twin:
+
+* :class:`LogHistogram` -- fixed-bin log-scale latency histogram with
+  quantile queries inside a documented relative-error bound;
+* :class:`StreamingStats` -- count / sum / min / max / mean in five
+  floats;
+* :class:`ThroughputWindows` -- committed work per fixed time window
+  (the timeline series the figures plot), O(duration / window) memory
+  independent of request volume;
+* :class:`MetricsSketch` -- the three combined, the unit a campaign
+  shard checkpoints and merges;
+* :class:`StreamingRunMetrics` / :class:`CheckedRunMetrics` -- drop-in
+  twins of :class:`repro.consensus.base.RunMetrics` selected through
+  ``MeasurementPolicy(metrics=...)`` in the scenario runner.
+
+Every sketch is **mergeable**: ``merge`` is associative and commutative
+with an identity (the freshly constructed sketch), so a sharded campaign
+can combine per-shard sketches in shard order and land byte-identical to
+the serial run.  Every sketch serialises to a plain dict
+(``state_dict``/``from_state``) containing only ints and floats, so
+checkpoints and cross-process merges never pickle live objects.
+"""
+
+from repro.metrics.hist import LogHistogram
+from repro.metrics.runmetrics import (
+    CheckedRunMetrics,
+    MeasurementDivergence,
+    MetricsSketch,
+    StreamingRunMetrics,
+)
+from repro.metrics.streaming import StreamingStats
+from repro.metrics.windows import ThroughputWindows
+
+__all__ = [
+    "CheckedRunMetrics",
+    "LogHistogram",
+    "MeasurementDivergence",
+    "MetricsSketch",
+    "StreamingRunMetrics",
+    "StreamingStats",
+    "ThroughputWindows",
+]

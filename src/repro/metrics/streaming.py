@@ -1,0 +1,67 @@
+"""Streaming scalar accumulator: count / sum / min / max in O(1)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+
+class StreamingStats:
+    """Mergeable running statistics over a stream of floats.
+
+    ``add`` is exact for count, sum, min and max (``mean`` is their
+    quotient), so any aggregate derived from these four matches the
+    batch computation bit-for-bit as long as values arrive in the same
+    order (float addition is order-sensitive; the campaign plane merges
+    shards in deterministic shard order for exactly this reason).
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Fold ``other`` into ``self``; associative/commutative for
+        count/min/max, associative-in-merge-order for the float sum."""
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "StreamingStats":
+        stats = cls()
+        stats.count = state["count"]
+        stats.total = state["total"]
+        stats.min = state["min"] if state["min"] is not None else math.inf
+        stats.max = state["max"] if state["max"] is not None else -math.inf
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamingStats(count={self.count}, mean={self.mean():.6g})"

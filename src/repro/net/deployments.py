@@ -102,6 +102,25 @@ GLOBAL73: List[str] = NA_EU43 + [
 ]
 
 
+class _OneWay:
+    """Matrix-backed one-way delay callable.
+
+    A ``__slots__`` class rather than a closure: the callable ends up
+    inside every checkpointed object graph (network, fault adversaries),
+    and closures do not pickle.  The exposed ``rows`` attribute lets
+    batch senders (``Network.multicast``) index the matrix directly
+    instead of calling per destination, exactly as before.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: List[List[float]]):
+        self.rows = rows
+
+    def __call__(self, a: int, b: int) -> float:
+        return self.rows[a][b]
+
+
 @dataclass
 class Deployment:
     """A concrete placement of ``n`` replicas in cities.
@@ -124,24 +143,17 @@ class Deployment:
         # Plain nested lists: ``one_way`` sits on the per-message hot path
         # of every simulation, where numpy scalar indexing is ~10x slower.
         # Values are bit-identical to ``latency.one_way`` (same ops on the
-        # same doubles).  ``one_way`` is rebuilt as a closure carrying a
-        # ``rows`` attribute so batch senders (``Network.multicast``) can
-        # index the matrix directly instead of calling per destination.
+        # same doubles).
         rows = self.latency.one_way_rows()
         self._one_way_rows = rows
-
-        def one_way(a: int, b: int, _rows=rows) -> float:
-            return _rows[a][b]
-
-        one_way.rows = rows
-        self.one_way = one_way
+        self.one_way = _OneWay(rows)
 
     @property
     def n(self) -> int:
         return len(self.cities)
 
     def one_way(self, a: int, b: int) -> float:
-        # Shadowed by the closure installed in __post_init__; kept for
+        # Shadowed by the callable installed in __post_init__; kept for
         # type checkers and as documentation of the signature.
         return self._one_way_rows[a][b]
 

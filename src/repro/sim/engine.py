@@ -28,6 +28,23 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
 
 
+class SimClock:
+    """Picklable ``now_fn``: calling it reads ``sim.now``.
+
+    The fault adversaries take a ``now_fn`` clock; a ``lambda: sim.now``
+    would pin the whole checkpointed object graph on an unpicklable
+    closure, so windowed faults use this instead.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+
+    def __call__(self) -> float:
+        return self.sim.now
+
+
 class EventHandle:
     """Cancellable handle for a scheduled event."""
 

@@ -172,6 +172,33 @@ class Network:
         self._stats_per_class = self.stats._per_class
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Drop the derived hot-path fields; they are deterministic
+        functions of the rest and the delivery closure cannot pickle.
+        (Queued heap entries referencing ``_deliver_bound`` are handled
+        by the checkpoint module's persistent-id hooks.)"""
+        state = self.__dict__.copy()
+        for key in (
+            "_deliver_bound",
+            "_post",
+            "_stats_per_class",
+            "_delay_rows",
+            "_jitter_random",
+        ):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._post = self.sim.post
+        self._jitter_random = self._jitter_rng.random
+        self._delay_rows = getattr(self._one_way_delay, "rows", None)
+        self._deliver_bound = self._make_deliver()
+        self._stats_per_class = self._stats._per_class
+
+    # ------------------------------------------------------------------
     # Stats, delay provider and jitter
     # ------------------------------------------------------------------
     @property

@@ -33,6 +33,7 @@ from repro.workloads.base import (
 )
 from repro.workloads.bursty import BurstyWorkload
 from repro.workloads.closed_loop import ClosedLoopClient, ClosedLoopWorkload
+from repro.workloads.compositions import DiurnalWorkload, FlashCrowdWorkload
 from repro.workloads.open_loop import OpenLoopWorkload
 from repro.workloads.ramp import RampWorkload
 from repro.workloads.skewed import SkewedWorkload, zipf_weights
@@ -52,6 +53,8 @@ WORKLOADS: Dict[str, Type[Workload]] = {
     BurstyWorkload.name: BurstyWorkload,
     SkewedWorkload.name: SkewedWorkload,
     RampWorkload.name: RampWorkload,
+    DiurnalWorkload.name: DiurnalWorkload,
+    FlashCrowdWorkload.name: FlashCrowdWorkload,
 }
 
 
@@ -71,6 +74,8 @@ __all__ = [
     "ClosedLoopClient",
     "ClosedLoopWorkload",
     "ClusterBinding",
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
     "OpenLoopWorkload",
     "PIPELINE_DEPTH",
     "RampWorkload",

@@ -124,9 +124,20 @@ class WorkloadClient:
         self.sent = 0
         self.completed = 0
         self.latencies: List[Tuple[float, float]] = []  # (complete_time, latency)
+        #: Streaming mode: a callable ``(complete_time, latency)`` that
+        #: replaces (or, for the checked twin, shadows) the list above.
+        self._latency_sink: Optional[Callable[[float, float], None]] = None
         self._send_times: Dict[int, float] = {}
         self._voters: Dict[int, set] = {}
         binding.network.register(client_id, self.on_message)
+
+    def __setstate__(self, state: Dict) -> None:
+        # A client restored from a checkpoint skips __init__, but its
+        # message hot path reads the lazily-imported module globals
+        # (``Reply``/``ClientRequest``) -- resolve them before traffic
+        # arrives in the resumed process.
+        _import_messages()
+        self.__dict__.update(state)
 
     def submit(self) -> int:
         """Broadcast one request to every replica; returns its id."""
@@ -154,7 +165,12 @@ class WorkloadClient:
             send_time = self._send_times.pop(message.request_id)
             del self._voters[message.request_id]
             self.completed += 1
-            self.latencies.append((self.sim.now, self.sim.now - send_time))
+            now = self.sim.now
+            sink = self._latency_sink
+            if sink is None:
+                self.latencies.append((now, now - send_time))
+            else:
+                sink(now, now - send_time)
             if self.on_complete is not None:
                 self.on_complete(message.request_id)
 
@@ -169,6 +185,35 @@ class WorkloadClient:
         return [
             (index * bucket, sums[index] / counts[index]) for index in sorted(sums)
         ]
+
+
+class _SketchSink:
+    """Streams client completions into a shared sketch (one request per
+    completion, so the sketch's block counter doubles as ``completed``).
+    A class, not a closure: sinks sit inside the checkpointed object
+    graph and must pickle."""
+
+    __slots__ = ("sketch",)
+
+    def __init__(self, sketch):
+        self.sketch = sketch
+
+    def __call__(self, complete_time: float, latency: float) -> None:
+        self.sketch.observe(complete_time, latency, 1)
+
+
+class _DualSink:
+    """Checked-twin sink: exact list and sketch both see every sample."""
+
+    __slots__ = ("latencies", "sketch")
+
+    def __init__(self, latencies, sketch):
+        self.latencies = latencies
+        self.sketch = sketch
+
+    def __call__(self, complete_time: float, latency: float) -> None:
+        self.latencies.append((complete_time, latency))
+        self.sketch.observe(complete_time, latency, 1)
 
 
 class Workload:
@@ -190,6 +235,9 @@ class Workload:
         self.clients: List[WorkloadClient] = []
         self.binding: Optional[ClusterBinding] = None
         self.running = False
+        #: Shared MetricsSketch when streaming measurement is on.
+        self._stream_sketch = None
+        self._stream_keep_exact = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -208,9 +256,29 @@ class Workload:
         for k in range(self.num_clients):
             site = self._site_of(k, binding)
             binding.place_client(CLIENT_ID_BASE + k, site)
-            self.clients.append(
-                WorkloadClient(CLIENT_ID_BASE + k, binding, self._on_complete)
-            )
+            client = WorkloadClient(CLIENT_ID_BASE + k, binding, self._on_complete)
+            if self._stream_sketch is not None:
+                self._wire_sink(client)
+            self.clients.append(client)
+
+    def enable_streaming(self, sketch, keep_exact: bool = False) -> None:
+        """Stream client latencies into ``sketch`` instead of the
+        per-request list (O(1) client memory).
+
+        With ``keep_exact=True`` the list is kept too -- the dual-write
+        configuration ``metrics="check"`` uses to compare paths.  Applies
+        to existing clients and to any created by a later rebind.
+        """
+        self._stream_sketch = sketch
+        self._stream_keep_exact = keep_exact
+        for client in self.clients:
+            self._wire_sink(client)
+
+    def _wire_sink(self, client: WorkloadClient) -> None:
+        if self._stream_keep_exact:
+            client._latency_sink = _DualSink(client.latencies, self._stream_sketch)
+        else:
+            client._latency_sink = _SketchSink(self._stream_sketch)
 
     def _site_of(self, k: int, binding: ClusterBinding) -> Optional[int]:
         if self.sites is not None:
@@ -248,8 +316,20 @@ class Workload:
         return merged
 
     def summary(self) -> Dict[str, float]:
-        values = sorted(latency for _, latency in self.latencies())
         out = {"requests_sent": self.sent, "requests_completed": self.completed}
+        sketch = self._stream_sketch
+        if sketch is not None and not self._stream_keep_exact:
+            # Pure streaming: the exact list was never kept.
+            stats = sketch.summary()
+            if stats is not None:
+                out.update(
+                    mean_latency=stats["mean"],
+                    p50_latency=stats["p50"],
+                    p90_latency=stats["p90"],
+                    p99_latency=stats["p99"],
+                )
+            return out
+        values = sorted(latency for _, latency in self.latencies())
         if values:
             out.update(
                 mean_latency=sum(values) / len(values),
@@ -261,8 +341,31 @@ class Workload:
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted sequence."""
+    """Linear-interpolated percentile of an already-sorted sequence.
+
+    Matches ``numpy.quantile(values, q, method="linear")`` (and
+    therefore ``numpy.percentile`` up to its internal ``q*100/100``
+    round-trip) bit-for-bit: the virtual index is ``q * (n - 1)`` and the
+    interpolation uses numpy's numerically-symmetric lerp (anchored at
+    the *upper* order statistic once the fraction reaches 0.5).  ``q``
+    outside ``[0, 1]`` clamps to the extremes; an empty input is NaN
+    (numpy raises instead -- the callers here treat "no samples" as a
+    missing metric, not an error).
+    """
     if not sorted_values:
         return float("nan")
-    index = min(len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1)))))
-    return sorted_values[index]
+    if q <= 0.0:
+        return sorted_values[0]
+    if q >= 1.0:
+        return sorted_values[-1]
+    position = q * (len(sorted_values) - 1)
+    lower_rank = int(position)
+    fraction = position - lower_rank
+    lower = sorted_values[lower_rank]
+    if fraction == 0.0:
+        return lower
+    upper = sorted_values[lower_rank + 1]
+    span = upper - lower
+    if fraction < 0.5:
+        return lower + span * fraction
+    return upper - span * (1.0 - fraction)

@@ -1,0 +1,141 @@
+"""Campaign workload compositions: diurnal cycles and flash crowds.
+
+Long measurement campaigns (``repro campaign``) need traffic that looks
+like production traffic over hours, not a constant-rate firehose.  Both
+shapes here are piecewise-constant staircases over the
+:class:`~repro.workloads.open_loop.OpenLoopWorkload` rate machinery, so
+arrival sampling stays *exact* (every rate boundary restarts the
+exponential draw) and the profile is a pure function of virtual time --
+no extra RNG streams, nothing to snapshot beyond the base workload,
+which keeps checkpoint/resume bit-identical.
+
+* :class:`DiurnalWorkload` -- a smooth day/night cycle: a raised-cosine
+  profile between ``low_rate`` (night) and ``high_rate`` (peak),
+  discretised into ``steps`` constant plateaus per ``period``.
+* :class:`FlashCrowdWorkload` -- ``base_rate`` traffic with recurring
+  flash crowds: every ``interval`` seconds the rate jumps to
+  ``base_rate * multiplier`` and decays geometrically back over
+  ``decay_steps`` plateaus of ``step_duration`` seconds each.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.workloads.open_loop import OpenLoopWorkload
+
+
+class DiurnalWorkload(OpenLoopWorkload):
+    """Raised-cosine day/night cycle, discretised into plateaus.
+
+    The cycle starts at the trough (``low_rate``, "midnight"), peaks at
+    ``period / 2``, and returns -- so a campaign that spans several
+    periods alternates quiet and saturated regimes deterministically.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        low_rate: float = 20.0,
+        high_rate: float = 200.0,
+        period: float = 120.0,
+        steps: int = 24,
+        clients: int = 1,
+        sites: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(rate=high_rate, clients=clients, sites=sites)
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if steps < 2:
+            raise ValueError(f"need at least 2 steps per period, got {steps}")
+        if low_rate < 0 or high_rate < low_rate:
+            raise ValueError(
+                f"need 0 <= low_rate <= high_rate, got {low_rate}, {high_rate}"
+            )
+        self.low_rate = low_rate
+        self.high_rate = high_rate
+        self.period = period
+        self.steps = steps
+        self._step_duration = period / steps
+
+    def rate_at(self, t: float) -> float:
+        step = int((t % self.period) / self._step_duration) % self.steps
+        # Raised cosine evaluated at the plateau's midpoint, so the
+        # staircase brackets the smooth profile symmetrically.
+        phase = 2.0 * math.pi * (step + 0.5) / self.steps
+        blend = 0.5 - 0.5 * math.cos(phase)
+        return self.low_rate + (self.high_rate - self.low_rate) * blend
+
+    def next_change(self, t: float) -> Optional[float]:
+        # Strictly-after contract (see BurstyWorkload.next_change): float
+        # noise in the division must never reschedule at or before ``t``.
+        boundary = (math.floor(t / self._step_duration) + 1) * self._step_duration
+        while boundary <= t:  # pragma: no cover - float-noise backstop
+            boundary += self._step_duration
+        return boundary
+
+
+class FlashCrowdWorkload(OpenLoopWorkload):
+    """Baseline traffic with periodic flash crowds that decay away.
+
+    At every multiple of ``interval`` (the first at t=0) the rate spikes
+    to ``base_rate * multiplier`` and then decays geometrically toward
+    ``base_rate`` over ``decay_steps`` plateaus of ``step_duration``
+    seconds; after the last plateau the rate is exactly ``base_rate``
+    until the next crowd arrives.
+    """
+
+    name = "flash-crowd"
+
+    def __init__(
+        self,
+        base_rate: float = 50.0,
+        multiplier: float = 8.0,
+        interval: float = 60.0,
+        decay_steps: int = 6,
+        step_duration: float = 2.0,
+        clients: int = 1,
+        sites: Optional[Sequence[int]] = None,
+    ):
+        super().__init__(rate=base_rate, clients=clients, sites=sites)
+        if interval <= 0 or step_duration <= 0:
+            raise ValueError("interval and step_duration must be positive")
+        if decay_steps < 1:
+            raise ValueError(f"need at least one decay step, got {decay_steps}")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if decay_steps * step_duration >= interval:
+            raise ValueError(
+                "decay must finish before the next crowd: "
+                f"{decay_steps} * {step_duration} >= {interval}"
+            )
+        self.base_rate = base_rate
+        self.multiplier = multiplier
+        self.interval = interval
+        self.decay_steps = decay_steps
+        self.step_duration = step_duration
+        #: Per-plateau geometric decay factor: after ``decay_steps``
+        #: plateaus the excess over base has fallen to multiplier**-1 of
+        #: itself -- close enough to base that the tail is cut there.
+        self._decay = self.multiplier ** (-1.0 / decay_steps)
+
+    def rate_at(self, t: float) -> float:
+        offset = t % self.interval
+        step = int(offset / self.step_duration)
+        if step >= self.decay_steps:
+            return self.base_rate
+        return self.base_rate * self.multiplier * (self._decay ** step)
+
+    def next_change(self, t: float) -> Optional[float]:
+        offset = t % self.interval
+        crowd_start = t - offset
+        step = int(offset / self.step_duration)
+        if step < self.decay_steps:
+            boundary = crowd_start + (step + 1) * self.step_duration
+        else:
+            boundary = crowd_start + self.interval
+        while boundary <= t:  # pragma: no cover - float-noise backstop
+            boundary += self.step_duration
+        return boundary

@@ -1,0 +1,83 @@
+"""Smoke tests for the ``repro bench --metrics`` suite."""
+
+import json
+
+from repro.bench.metrics import (
+    _QUICK_SKIP,
+    _bench_hist_add,
+    _bench_sketch_merge,
+    _bench_sketch_observe,
+    commit_stream,
+    format_metrics_table,
+    run_metrics_suite,
+    value_stream,
+    write_metrics_report,
+)
+from repro.bench.metrics_baseline import METRICS_BASELINE
+
+
+def test_streams_are_deterministic():
+    assert value_stream("uniform", 100, seed=5) == value_stream(
+        "uniform", 100, seed=5
+    )
+    assert value_stream("heavy-tail", 100, seed=5) != value_stream(
+        "heavy-tail", 100, seed=6
+    )
+    assert commit_stream(50, seed=7) == commit_stream(50, seed=7)
+    times = [t for t, _, _ in commit_stream(50, seed=7)]
+    assert times == sorted(times)
+
+
+def test_entries_report_rates_and_smoke_fields():
+    record = _bench_hist_add("heavy-tail", repeats=1)
+    assert record["values"] > 0
+    assert record["values_per_sec"] > 0
+    assert record["bin_checksum"] > 0
+
+    observe = _bench_sketch_observe(repeats=1)
+    assert observe["requests"] == observe["commits"] * 1000
+
+    merge = _bench_sketch_merge(repeats=1)
+    assert merge["blocks"] == merge["shards"] * 2000
+
+
+def test_quick_suite_runs_and_formats(tmp_path):
+    report = run_metrics_suite(quick=True)
+    ids = [rec["id"] for rec in report["entries"]]
+    assert "hist-add/uniform" in ids
+    assert not set(ids) & _QUICK_SKIP
+    assert report["suite"] == "metrics"
+
+    table = format_metrics_table(report)
+    assert "hist-add/uniform" in table
+
+    path = tmp_path / "report.json"
+    write_metrics_report(report, str(path))
+    assert json.loads(path.read_text())["suite"] == "metrics"
+
+
+def test_baseline_is_recorded_and_attached():
+    # The recorded baseline must cover the full suite so every entry
+    # carries a speedup ratio on non-quick runs.
+    entries = METRICS_BASELINE["entries"]
+    assert set(entries) == {
+        "hist-add/uniform",
+        "hist-add/heavy-tail",
+        "sketch-observe",
+        "sketch-merge/k64",
+        "sketch-quantile",
+        "state-roundtrip",
+        "windows-series",
+    }
+    report = run_metrics_suite(quick=True)
+    for rec in report["entries"]:
+        assert "baseline" in rec
+        assert "speedup" in rec
+
+
+def test_smoke_fields_match_recorded_baseline():
+    # The deterministic fields double as a behaviour check: a change to
+    # the sketch math shows up as a checksum drift against the baseline.
+    record = _bench_hist_add("uniform", repeats=1)
+    baseline = METRICS_BASELINE["entries"]["hist-add/uniform"]
+    assert record["bin_checksum"] == baseline["bin_checksum"]

@@ -1,0 +1,184 @@
+"""The campaign plane: slicing, sharding, kill/resume, merged sketches.
+
+A campaign is only trustworthy if the orchestration around the
+simulator is invisible: sharding across a process pool, checkpointing
+every slice, being killed and resumed -- none of it may change a single
+byte of the deterministic report sections.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignSpec,
+    campaign_to_json,
+    run_campaign,
+    run_campaign_shard,
+)
+from repro.experiments.parallel import derive_sweep_seed
+from repro.experiments.runner import MeasurementPolicy, Scenario
+
+#: Fields of a shard summary that legitimately depend on *how* the shard
+#: was driven (resume point, slice count, which process measured RSS) --
+#: everything else must be byte-identical.
+_DRIVE_DEPENDENT = ("resumed_from", "slices_run", "peak_rss_kb")
+
+
+def _scenario(**overrides):
+    base = dict(
+        protocol="pbft",
+        deployment="wonderproxy-4",
+        workload="open-loop",
+        workload_params=dict(rate=800.0, clients=2),
+        duration=1e9,  # campaigns stop on the request target, not time
+        seed=3,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _spec(**overrides):
+    base = dict(
+        scenario=_scenario(),
+        requests=3000,
+        checkpoint_every=2.0,
+        shards=2,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def _point(spec, shard=0, **overrides):
+    point = {
+        "shard": shard,
+        "scenario": spec.shard_scenario(shard),
+        "target": spec.shard_target(shard),
+        "checkpoint_every": spec.checkpoint_every,
+        "compact_keep": spec.compact_keep,
+        "max_slices": spec.max_slices,
+        "checkpoint_path": spec.shard_checkpoint_path(shard),
+    }
+    point.update(overrides)
+    return point
+
+
+def _strip(summary):
+    return {k: v for k, v in summary.items() if k not in _DRIVE_DEPENDENT}
+
+
+# ----------------------------------------------------------------------
+# Spec shape
+# ----------------------------------------------------------------------
+def test_spec_validates_inputs():
+    with pytest.raises(ValueError, match="request target"):
+        _spec(requests=0)
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        _spec(checkpoint_every=0.0)
+    with pytest.raises(ValueError, match="shards"):
+        _spec(shards=0)
+
+
+def test_shard_targets_split_with_remainder_up_front():
+    spec = _spec(requests=10, shards=3)
+    targets = [spec.shard_target(shard) for shard in range(3)]
+    assert targets == [4, 3, 3]
+    assert sum(targets) == 10
+
+
+def test_shard_scenarios_get_derived_seeds_and_sketch_metrics():
+    spec = _spec()
+    shard0 = spec.shard_scenario(0)
+    shard1 = spec.shard_scenario(1)
+    assert shard0.seed == derive_sweep_seed(3, "campaign-shard-0")
+    assert shard1.seed == derive_sweep_seed(3, "campaign-shard-1")
+    assert shard0.seed != shard1.seed
+    # Campaigns default to the O(1)-memory measurement plane.
+    assert shard0.measurements.metrics == "sketch"
+    assert shard0.name.endswith("/shard0")
+
+
+def test_explicit_measurement_policy_is_honoured():
+    spec = _spec(scenario=_scenario(measurements=MeasurementPolicy(metrics="check")))
+    assert spec.shard_scenario(0).measurements.metrics == "check"
+
+
+# ----------------------------------------------------------------------
+# End-to-end report
+# ----------------------------------------------------------------------
+def test_campaign_reaches_target_and_merges_shards():
+    report = run_campaign(_spec())
+    merged = report["merged"]
+    shards = report["shards"]
+    assert len(shards) == 2
+    assert merged["committed_requests"] >= report["campaign"]["requests"]
+    assert merged["committed_requests"] == sum(
+        s["committed_requests"] for s in shards
+    )
+    # The merged latency summaries come from folded shard sketches.
+    assert set(merged["commit_latency"]) == {"mean", "p50", "p90", "p99"}
+    assert set(merged["client_latency"]) == {"mean", "p50", "p90", "p99"}
+    for summary in shards:
+        assert summary["committed_requests"] >= summary["requests_target"]
+        assert "underrun" not in summary
+        # Sketch states are folded then dropped from the report.
+        assert "commit_sketch" not in summary
+        assert "peak_rss_kb" not in summary
+    assert report["host"]["peak_rss_kb"] > 0
+    assert len(report["host"]["shard_peak_rss_kb"]) == 2
+    # The whole report is JSON-serialisable as produced.
+    json.loads(campaign_to_json(report))
+
+
+def test_campaign_jobs_identity_outside_host_section():
+    serial = run_campaign(_spec(), jobs=1)
+    pooled = run_campaign(_spec(), jobs=2)
+    serial.pop("host")
+    pooled.pop("host")
+    assert json.dumps(serial, sort_keys=True) == json.dumps(pooled, sort_keys=True)
+
+
+def test_campaign_underrun_is_loud_not_silent():
+    # One slice of a tiny run cannot reach the target: the summary says so.
+    spec = _spec(shards=1, max_slices=1)
+    summary = run_campaign_shard(_point(spec))
+    assert summary["underrun"] is True
+    assert summary["committed_requests"] < summary["requests_target"]
+
+
+# ----------------------------------------------------------------------
+# Kill / resume
+# ----------------------------------------------------------------------
+def test_killed_shard_resumes_bit_identically(tmp_path):
+    spec = _spec(shards=1, checkpoint_dir=str(tmp_path))
+
+    # The uninterrupted reference (no checkpoint file involved).
+    baseline = run_campaign_shard(_point(spec, checkpoint_path=None))
+
+    # "Kill" after one slice: the checkpoint file is all that survives.
+    partial = run_campaign_shard(_point(spec, max_slices=1))
+    assert partial["underrun"] is True
+
+    resumed = run_campaign_shard(_point(spec))
+    assert resumed["resumed_from"] == spec.checkpoint_every
+    assert "underrun" not in resumed
+    assert _strip(resumed) == _strip(baseline)
+
+
+def test_resumed_campaign_report_matches_uninterrupted(tmp_path):
+    # Same thing one level up: a full run_campaign killed mid-flight
+    # (max_slices=1) and re-invoked lands on the uninterrupted report.
+    uninterrupted = run_campaign(_spec())
+    interrupted_spec = _spec(
+        checkpoint_dir=str(tmp_path), max_slices=1
+    )
+    run_campaign(interrupted_spec)  # dies underrun, leaves checkpoints
+    final = run_campaign(_spec(checkpoint_dir=str(tmp_path)))
+
+    assert (
+        json.dumps(uninterrupted["merged"], sort_keys=True)
+        == json.dumps(final["merged"], sort_keys=True)
+    )
+    for before, after in zip(uninterrupted["shards"], final["shards"]):
+        assert after["resumed_from"] == interrupted_spec.checkpoint_every
+        assert _strip(after) == _strip(before)

@@ -1,0 +1,215 @@
+"""Deterministic checkpoint/resume: bit-identity and loud failures.
+
+The contract under test: a run sliced at a checkpoint boundary, saved,
+reloaded (in this process or another) and driven to completion produces
+**byte-identical** metrics JSON to the uninterrupted run -- per
+protocol, and with live fault machinery in flight.  And every way a
+checkpoint file can be wrong (truncation, corruption, bad magic, bad
+version, a different scenario) fails loudly with
+:class:`CheckpointError`, never with a silently different simulation.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.experiments.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_header,
+    save_checkpoint,
+)
+from repro.experiments.runner import (
+    FaultSpec,
+    MeasurementPolicy,
+    Scenario,
+    prepare_scenario,
+    run_scenario,
+)
+
+_DURATION = 6.0
+_CUT = 3.0
+
+
+def _scenario(protocol, faults=(), **overrides):
+    base = dict(
+        protocol=protocol,
+        deployment="wonderproxy-4",
+        workload="open-loop",
+        workload_params=dict(rate=120.0, clients=2),
+        duration=_DURATION,
+        seed=5,
+        faults=list(faults),
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _run_sliced_with_checkpoint(scenario, path):
+    """Drive to the cut, checkpoint, reload from disk, finish."""
+    result = prepare_scenario(scenario)
+    result.cluster.begin()
+    result.cluster.sim.run(until=_CUT)
+    save_checkpoint(path, result)
+
+    restored = load_checkpoint(path, expected_scenario=scenario)
+    restored.cluster.sim.run(until=scenario.duration)
+    restored.run_metrics = restored.cluster.finish()
+    return restored
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff-rr", "kauri"])
+def test_resume_is_bit_identical_per_protocol(protocol, tmp_path):
+    scenario = _scenario(protocol)
+    baseline = run_scenario(scenario).to_json()
+    restored = _run_sliced_with_checkpoint(
+        scenario, str(tmp_path / f"{protocol}.ckpt")
+    )
+    assert restored.to_json() == baseline
+
+
+def test_resume_is_bit_identical_with_faults_in_flight(tmp_path):
+    # A crash that is down *at the cut* and a delay attack that outlives
+    # it: the fault drivers and their scheduled revivals must survive
+    # the pickle round-trip.
+    faults = [
+        FaultSpec(kind="crash", start=1.0, end=4.5, attacker=2),
+        FaultSpec(kind="delay", start=0.5, end=5.5, attacker=1,
+                  extra_delay=0.05),
+    ]
+    scenario = _scenario("pbft", faults=faults)
+    baseline = run_scenario(scenario).to_json()
+    restored = _run_sliced_with_checkpoint(scenario, str(tmp_path / "f.ckpt"))
+    assert restored.to_json() == baseline
+
+
+def test_resume_is_bit_identical_with_streaming_metrics(tmp_path):
+    scenario = _scenario(
+        "pbft", measurements=MeasurementPolicy(metrics="sketch")
+    )
+    baseline = run_scenario(scenario).to_json()
+    restored = _run_sliced_with_checkpoint(scenario, str(tmp_path / "s.ckpt"))
+    assert restored.to_json() == baseline
+
+
+def test_checkpoint_at_multiple_cuts_reaches_the_same_end(tmp_path):
+    # Checkpointing every slice (and resuming only from the last file)
+    # must not perturb the run: save_checkpoint is observation-free.
+    scenario = _scenario("hotstuff-rr")
+    baseline = run_scenario(scenario).to_json()
+
+    path = str(tmp_path / "multi.ckpt")
+    result = prepare_scenario(scenario)
+    result.cluster.begin()
+    for cut in (1.5, 3.0, 4.5):
+        result.cluster.sim.run(until=cut)
+        save_checkpoint(path, result)
+    restored = load_checkpoint(path, expected_scenario=scenario)
+    restored.cluster.sim.run(until=scenario.duration)
+    restored.run_metrics = restored.cluster.finish()
+    assert restored.to_json() == baseline
+
+
+# ----------------------------------------------------------------------
+# Header metadata
+# ----------------------------------------------------------------------
+def test_header_records_scenario_and_progress(tmp_path):
+    scenario = _scenario("pbft")
+    path = str(tmp_path / "h.ckpt")
+    result = prepare_scenario(scenario)
+    result.cluster.begin()
+    result.cluster.sim.run(until=_CUT)
+    header = save_checkpoint(path, result, extra={"shard": 3})
+    assert header == read_header(path)
+    assert header["scenario"] == json.loads(json.dumps(scenario.describe()))
+    assert header["sim_now"] == _CUT
+    assert header["extra"] == {"shard": 3}
+    assert header["events_processed"] > 0
+    assert header["pending_events"] > 0
+
+
+# ----------------------------------------------------------------------
+# Failure modes: every bad file is a loud CheckpointError
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def saved_checkpoint(tmp_path):
+    scenario = _scenario("pbft")
+    path = str(tmp_path / "good.ckpt")
+    result = prepare_scenario(scenario)
+    result.cluster.begin()
+    result.cluster.sim.run(until=_CUT)
+    save_checkpoint(path, result)
+    return scenario, path
+
+
+def test_truncated_checkpoint_fails_loudly(saved_checkpoint):
+    scenario, path = saved_checkpoint
+    blob = open(path, "rb").read()
+    for cut in (0, 4, 9, 13, len(blob) // 2, len(blob) - 1):
+        with open(path, "wb") as handle:
+            handle.write(blob[:cut])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, expected_scenario=scenario)
+
+
+def test_corrupted_payload_fails_loudly(saved_checkpoint):
+    scenario, path = saved_checkpoint
+    blob = bytearray(open(path, "rb").read())
+    blob[-20] ^= 0xFF  # flip a byte deep in the pickle payload
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    with pytest.raises(CheckpointError, match="sha256|checksum|payload"):
+        load_checkpoint(path, expected_scenario=scenario)
+
+
+def test_bad_magic_fails_loudly(saved_checkpoint):
+    scenario, path = saved_checkpoint
+    blob = bytearray(open(path, "rb").read())
+    blob[0] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    with pytest.raises(CheckpointError, match="magic"):
+        load_checkpoint(path, expected_scenario=scenario)
+
+
+def test_unknown_format_version_fails_loudly(saved_checkpoint):
+    scenario, path = saved_checkpoint
+    blob = bytearray(open(path, "rb").read())
+    blob[8:10] = (99).to_bytes(2, "little")
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    with pytest.raises(CheckpointError, match="v99 unsupported"):
+        load_checkpoint(path, expected_scenario=scenario)
+
+
+def test_trailing_garbage_fails_loudly(saved_checkpoint):
+    scenario, path = saved_checkpoint
+    with open(path, "ab") as handle:
+        handle.write(b"junk")
+    with pytest.raises(CheckpointError, match="trailing"):
+        load_checkpoint(path, expected_scenario=scenario)
+
+
+def test_wrong_scenario_is_rejected_with_differing_fields(saved_checkpoint):
+    _, path = saved_checkpoint
+    other = _scenario("pbft", seed=6)
+    with pytest.raises(CheckpointError, match="seed"):
+        load_checkpoint(path, expected_scenario=other)
+    renamed = _scenario("hotstuff-rr")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(path, expected_scenario=renamed)
+
+
+def test_save_is_atomic_no_tmp_left_behind(saved_checkpoint, tmp_path):
+    _, path = saved_checkpoint
+    leftovers = [
+        name for name in os.listdir(os.path.dirname(path)) if ".tmp." in name
+    ]
+    assert leftovers == []
+
+
+def test_missing_file_raises_oserror(tmp_path):
+    with pytest.raises((CheckpointError, OSError)):
+        load_checkpoint(str(tmp_path / "absent.ckpt"))

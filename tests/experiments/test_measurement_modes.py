@@ -1,0 +1,113 @@
+"""MeasurementPolicy metrics modes: exact, sketch, check.
+
+``exact`` is the seed behaviour.  ``check`` dual-writes and must be
+byte-identical to ``exact`` while verifying the sketch inside its bound.
+``sketch`` answers from O(1) state: totals exact, quantiles within the
+documented relative error of the exact run.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import (
+    METRICS_MODES,
+    MeasurementPolicy,
+    Scenario,
+    run_scenario,
+)
+from repro.metrics import MetricsSketch
+
+
+def _scenario(mode=None, **overrides):
+    base = dict(
+        protocol="pbft",
+        deployment="wonderproxy-4",
+        workload="open-loop",
+        workload_params=dict(rate=150.0, clients=2),
+        duration=8.0,
+        seed=9,
+    )
+    if mode is not None:
+        base["measurements"] = MeasurementPolicy(metrics=mode)
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def test_modes_registry_and_validation():
+    assert METRICS_MODES == ("exact", "sketch", "check")
+    with pytest.raises(ValueError, match="unknown metrics mode"):
+        MeasurementPolicy(metrics="approximate")
+    with pytest.raises(ValueError, match="window"):
+        MeasurementPolicy(window=0.0)
+    with pytest.raises(ValueError, match="bins_per_decade"):
+        MeasurementPolicy(bins_per_decade=0)
+
+
+def test_check_mode_is_byte_identical_to_exact():
+    exact = run_scenario(_scenario()).to_json()
+    checked_result = run_scenario(_scenario("check"))
+    checked = json.loads(checked_result.to_json())
+    reference = json.loads(exact)
+    # The scenario identity differs (measurements policy is part of the
+    # describe()); everything measured must match byte for byte.
+    checked.pop("scenario", None)
+    reference.pop("scenario", None)
+    assert json.dumps(checked, sort_keys=True) == json.dumps(
+        reference, sort_keys=True
+    )
+
+
+def test_sketch_mode_matches_exact_within_bound():
+    exact = run_scenario(_scenario())
+    sketch = run_scenario(_scenario("sketch"))
+
+    assert sketch.run_metrics.streaming is True
+    assert (
+        sketch.run_metrics.total_requests() == exact.run_metrics.total_requests()
+    )
+    assert (
+        sketch.run_metrics.committed_blocks()
+        == exact.run_metrics.committed_blocks()
+    )
+
+    bound = sketch.run_metrics.sketch.error_bound()
+    exact_summary = exact.run_metrics.latency_summary()
+    sketch_summary = sketch.run_metrics.latency_summary()
+    for key in ("p50", "p90", "p99"):
+        relative = abs(sketch_summary[key] - exact_summary[key]) / exact_summary[key]
+        assert relative <= bound, (key, relative, bound)
+    assert sketch_summary["mean"] == pytest.approx(
+        exact_summary["mean"], rel=1e-9
+    )
+
+
+def test_sketch_mode_is_deterministic():
+    first = run_scenario(_scenario("sketch")).to_json()
+    second = run_scenario(_scenario("sketch")).to_json()
+    assert first == second
+
+
+def test_sketch_mode_keeps_no_per_request_state():
+    result = run_scenario(_scenario("sketch"))
+    # The streaming twin holds one sketch, not a commit list.
+    assert not hasattr(result.run_metrics, "commits")
+    assert isinstance(result.run_metrics.sketch, MetricsSketch)
+    # Clients stream too: their latency lists stay empty.
+    for client in result.workload.clients:
+        assert client.latencies == []
+
+
+def test_policy_window_and_bins_flow_into_the_sketch():
+    scenario = _scenario(
+        measurements=MeasurementPolicy(metrics="sketch", window=2.0,
+                                       bins_per_decade=40),
+    )
+    result = run_scenario(scenario)
+    sketch = result.run_metrics.sketch
+    assert sketch.windows.window == 2.0
+    assert sketch.hist.bins_per_decade == 40
+    # Series answer only at the recorded granularity.
+    assert result.run_metrics.throughput_series(8.0, bucket=2.0)
+    with pytest.raises(ValueError, match="window"):
+        result.run_metrics.throughput_series(8.0, bucket=1.0)

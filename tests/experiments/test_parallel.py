@@ -81,3 +81,32 @@ def test_fig12_rows_identical_across_jobs():
         iterations_per_second=400,
     )
     assert fig12.run(**kwargs) == fig12.run(jobs=3, **kwargs)
+
+
+def test_campaign_shards_pooled_over_parallel_map_are_byte_identical():
+    # The campaign plane rides the same executor: per-shard sketches
+    # merged in shard order must make the deterministic report sections
+    # independent of the worker count (only the host/RSS section may
+    # differ between a pooled and an in-process run).
+    from repro.experiments.campaign import CampaignSpec, run_campaign
+
+    def spec():
+        return CampaignSpec(
+            scenario=Scenario(
+                protocol="pbft",
+                deployment="wonderproxy-4",
+                workload="open-loop",
+                workload_params=dict(rate=800.0, clients=2),
+                duration=1e9,
+                seed=0,
+            ),
+            requests=2000,
+            checkpoint_every=2.0,
+            shards=3,
+        )
+
+    serial = run_campaign(spec(), jobs=1)
+    pooled = run_campaign(spec(), jobs=3)
+    serial.pop("host")
+    pooled.pop("host")
+    assert json.dumps(serial, sort_keys=True) == json.dumps(pooled, sort_keys=True)

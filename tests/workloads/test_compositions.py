@@ -1,0 +1,147 @@
+"""Diurnal and flash-crowd campaign workloads.
+
+Both are piecewise-constant staircases over the open-loop rate
+machinery: ``rate_at`` must be a pure function of time, ``next_change``
+strictly after its argument, and the whole composition checkpointable --
+no state beyond the base workload.
+"""
+
+import pytest
+
+from repro.workloads import (
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    WORKLOADS,
+    make_workload,
+)
+
+
+def test_compositions_are_registered():
+    assert WORKLOADS["diurnal"] is DiurnalWorkload
+    assert WORKLOADS["flash-crowd"] is FlashCrowdWorkload
+    assert isinstance(make_workload("diurnal", clients=2), DiurnalWorkload)
+
+
+# ----------------------------------------------------------------------
+# Diurnal
+# ----------------------------------------------------------------------
+def test_diurnal_cycles_between_trough_and_peak():
+    workload = DiurnalWorkload(low_rate=10.0, high_rate=100.0, period=24.0, steps=24)
+    rates = [workload.rate_at(t + 0.5) for t in range(24)]
+    # Trough at the cycle start, peak mid-cycle.
+    assert min(rates) == rates[0]
+    assert max(rates) == max(rates[11], rates[12])
+    assert 10.0 <= min(rates) < 15.0
+    assert 95.0 < max(rates) <= 100.0
+    # Raised cosine: midpoint phases of steps k and 23-k sum to a full
+    # turn, so the staircase is symmetric about the peak.
+    for k in range(12):
+        assert rates[k] == pytest.approx(rates[23 - k])
+
+
+def test_diurnal_rate_is_periodic_and_piecewise_constant():
+    workload = DiurnalWorkload(period=12.0, steps=6)
+    step = 12.0 / 6
+    for t in (0.3, 5.1, 11.9):
+        assert workload.rate_at(t) == workload.rate_at(t + 12.0)
+        assert workload.rate_at(t) == workload.rate_at(t + 24.0)
+        # Constant inside a plateau.
+        plateau_start = (t // step) * step
+        assert workload.rate_at(plateau_start + 1e-6) == workload.rate_at(t)
+
+
+def test_diurnal_next_change_is_strictly_after_and_on_boundaries():
+    workload = DiurnalWorkload(period=12.0, steps=6)
+    step = 2.0
+    t = 0.0
+    for _ in range(20):
+        boundary = workload.next_change(t)
+        assert boundary > t
+        assert boundary % step == pytest.approx(0.0, abs=1e-9)
+        t = boundary
+    # Calling exactly on a boundary advances to the next one.
+    assert workload.next_change(4.0) == pytest.approx(6.0)
+
+
+def test_diurnal_validates_parameters():
+    with pytest.raises(ValueError, match="period"):
+        DiurnalWorkload(period=0.0)
+    with pytest.raises(ValueError, match="steps"):
+        DiurnalWorkload(steps=1)
+    with pytest.raises(ValueError, match="low_rate"):
+        DiurnalWorkload(low_rate=50.0, high_rate=10.0)
+
+
+# ----------------------------------------------------------------------
+# Flash crowd
+# ----------------------------------------------------------------------
+def test_flash_crowd_spikes_then_decays_to_base():
+    workload = FlashCrowdWorkload(
+        base_rate=50.0, multiplier=8.0, interval=60.0, decay_steps=4,
+        step_duration=2.0,
+    )
+    # t=0 is the first crowd: full spike.
+    assert workload.rate_at(0.0) == pytest.approx(400.0)
+    # Geometric decay per plateau.
+    decay = 8.0 ** (-1.0 / 4)
+    for step in range(4):
+        assert workload.rate_at(step * 2.0 + 1.0) == pytest.approx(
+            400.0 * decay**step
+        )
+    # After the decay window: base rate until the next crowd.
+    assert workload.rate_at(8.0) == 50.0
+    assert workload.rate_at(59.9) == 50.0
+    # The next crowd fires at the interval.
+    assert workload.rate_at(60.0) == pytest.approx(400.0)
+
+
+def test_flash_crowd_decay_is_monotone_nonincreasing():
+    workload = FlashCrowdWorkload()
+    rates = [workload.rate_at(t * workload.step_duration + 0.1)
+             for t in range(workload.decay_steps + 1)]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    assert rates[-1] == workload.base_rate
+
+
+def test_flash_crowd_next_change_walks_plateaus_then_jumps_to_next_crowd():
+    workload = FlashCrowdWorkload(
+        base_rate=50.0, multiplier=4.0, interval=30.0, decay_steps=3,
+        step_duration=2.0,
+    )
+    assert workload.next_change(0.0) == pytest.approx(2.0)
+    assert workload.next_change(2.0) == pytest.approx(4.0)
+    assert workload.next_change(4.5) == pytest.approx(6.0)
+    # Past the decay window: nothing changes until the next crowd.
+    assert workload.next_change(6.0) == pytest.approx(30.0)
+    assert workload.next_change(29.0) == pytest.approx(30.0)
+    assert workload.next_change(30.0) == pytest.approx(32.0)
+
+
+def test_flash_crowd_validates_parameters():
+    with pytest.raises(ValueError, match="positive"):
+        FlashCrowdWorkload(interval=0.0)
+    with pytest.raises(ValueError, match="decay step"):
+        FlashCrowdWorkload(decay_steps=0)
+    with pytest.raises(ValueError, match="multiplier"):
+        FlashCrowdWorkload(multiplier=0.5)
+    with pytest.raises(ValueError, match="decay must finish"):
+        FlashCrowdWorkload(interval=10.0, decay_steps=6, step_duration=2.0)
+
+
+def test_compositions_run_under_the_simulator():
+    # End to end: both shapes drive a PBFT cluster deterministically.
+    from repro.experiments.runner import Scenario, run_scenario
+
+    for name, params in (
+        ("diurnal", dict(low_rate=20.0, high_rate=120.0, period=4.0, steps=4)),
+        ("flash-crowd", dict(base_rate=40.0, multiplier=4.0, interval=4.0,
+                             decay_steps=2, step_duration=0.5)),
+    ):
+        scenario = Scenario(
+            protocol="pbft", deployment="wonderproxy-4", workload=name,
+            workload_params=params, duration=8.0, seed=1,
+        )
+        first = run_scenario(scenario).to_json()
+        second = run_scenario(scenario).to_json()
+        assert first == second
+        assert run_scenario(scenario).run_metrics.total_requests() > 0
