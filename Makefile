@@ -9,6 +9,8 @@
 #   make bench-pipeline monitoring-pipeline suite -> BENCH_PR5.json
 #   make bench-figures  figure benchmarks at CI scale (REPRO_FULL=1 for paper scale)
 #   make bench-metrics  measurement-plane suite -> BENCH_metrics.json
+#   make bench-plane    message-plane suite (object vs columnar) -> BENCH_PR7.json
+#   make bench-all      every bench suite, one consolidated -> BENCH_all.json
 #   make campaign-smoke flat-RSS + kill/resume campaign smoke (REPRO_FULL=1 for 2M)
 #   make profile        cProfile over the fixed hot-path scenario
 #   make profile-search cProfile over the fixed search hot path
@@ -21,7 +23,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-search bench-pipeline bench-figures bench-metrics campaign-smoke profile profile-search profile-pipeline lint quickstart
+.PHONY: test bench bench-quick bench-search bench-pipeline bench-figures bench-metrics bench-plane bench-all campaign-smoke profile profile-search profile-pipeline lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +36,7 @@ bench-quick:
 	$(PYTHON) -m repro bench --quick --search --output BENCH_search_quick.json
 	$(PYTHON) -m repro bench --quick --pipeline --output BENCH_pipeline_quick.json
 	$(PYTHON) -m repro bench --quick --metrics --output BENCH_metrics_quick.json
+	$(PYTHON) -m repro bench --quick --plane --output BENCH_plane_quick.json
 
 bench-search:
 	$(PYTHON) -m repro bench --search --output BENCH_PR4.json
@@ -46,6 +49,12 @@ bench-figures:
 
 bench-metrics:
 	$(PYTHON) -m repro bench --metrics --output BENCH_metrics.json
+
+bench-plane:
+	$(PYTHON) -m repro bench --plane --output BENCH_PR7.json
+
+bench-all:
+	$(PYTHON) -m repro.bench.all BENCH_all.json
 
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py

@@ -182,6 +182,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         faults=[_parse_fault(fault) for fault in args.fault or []],
         search_iterations=args.search_iterations,
         pipeline_depth=args.pipeline_depth,
+        plane=args.plane,
     )
     try:
         result = run_scenario(scenario)
@@ -224,6 +225,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             faults=[_parse_fault(fault) for fault in args.fault or []],
             search_iterations=args.search_iterations,
             pipeline_depth=args.pipeline_depth,
+            plane=args.plane,
         )
         for seed in seeds
     ]
@@ -261,6 +263,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         faults=[_parse_fault(fault) for fault in args.fault or []],
         search_iterations=args.search_iterations,
         pipeline_depth=args.pipeline_depth,
+        plane=args.plane,
     )
     try:
         spec = CampaignSpec(
@@ -321,8 +324,51 @@ def cmd_fig(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if sum((args.search, args.pipeline, args.metrics)) > 1:
-        raise SystemExit("choose one of --search / --pipeline / --metrics")
+    if sum((args.search, args.pipeline, args.metrics, args.plane)) > 1:
+        raise SystemExit(
+            "choose one of --search / --pipeline / --metrics / --plane"
+        )
+    if args.rebaseline:
+        from repro.bench.rebaseline import rebaseline
+
+        if args.entry or args.quick:
+            raise SystemExit(
+                "--rebaseline always runs the full suite; drop --entry/--quick"
+            )
+        try:
+            path = rebaseline(
+                args.rebaseline,
+                note=args.note or "rebaselined",
+                progress=lambda message: print(message, file=sys.stderr),
+            )
+        except ValueError as error:
+            raise SystemExit(f"error: {error}")
+        print(f"wrote {path}")
+        return 0
+    if args.note:
+        raise SystemExit("--note applies only to --rebaseline")
+
+    if args.plane:
+        from repro.bench.plane import (
+            format_plane_table,
+            run_plane_suite,
+            write_plane_report,
+        )
+
+        if args.entry:
+            raise SystemExit("--entry applies to the simulator suite, not --plane")
+        report = run_plane_suite(
+            quick=args.quick,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        print(format_plane_table(report))
+        output = args.output or (
+            "BENCH_plane_quick.json" if args.quick else "BENCH_PR7.json"
+        )
+        write_plane_report(report, output)
+        print(f"wrote {output}", file=sys.stderr)
+        return 0
+
     if args.metrics:
         from repro.bench.metrics import (
             format_metrics_table,
@@ -461,6 +507,13 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--search-iterations", type=int, default=20_000,
                         help="OptiTree annealing iterations")
     parser.add_argument("--pipeline-depth", type=int, default=None)
+    parser.add_argument("--plane", default="object",
+                        choices=("object", "columnar", "check"),
+                        help="message plane: object (one event per message), "
+                             "columnar (batched deliveries, bit-identical "
+                             "results; faulted scenarios fall back to "
+                             "object), or check (run both, assert identical "
+                             "state traces)")
     parser.add_argument("--output", metavar="FILE",
                         help="write JSON here instead of stdout")
 
@@ -569,11 +622,26 @@ def build_parser() -> argparse.ArgumentParser:
              "quantile queries, state round-trips) instead",
     )
     bench_parser.add_argument(
+        "--plane", action="store_true",
+        help="run the message-plane suite (object vs columnar delivery, "
+             "state-trace equivalence, heap-event reduction) instead",
+    )
+    bench_parser.add_argument(
+        "--rebaseline", metavar="SUITE", default=None,
+        help="run SUITE in full and rewrite its recorded baseline module "
+             "(simulator / metrics / search / pipeline / plane)",
+    )
+    bench_parser.add_argument(
+        "--note", metavar="TEXT", default=None,
+        help="provenance note stored in the rebaselined module",
+    )
+    bench_parser.add_argument(
         "--output", metavar="FILE", default=None,
         help="report path (default BENCH_full.json / BENCH_quick.json; "
              "BENCH_PR4.json / BENCH_search_quick.json with --search; "
              "BENCH_PR5.json / BENCH_pipeline_quick.json with --pipeline; "
-             "BENCH_metrics.json / BENCH_metrics_quick.json with --metrics)",
+             "BENCH_metrics.json / BENCH_metrics_quick.json with --metrics; "
+             "BENCH_PR7.json / BENCH_plane_quick.json with --plane)",
     )
     bench_parser.set_defaults(func=cmd_bench)
 

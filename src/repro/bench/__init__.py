@@ -12,8 +12,19 @@ the monitoring layer: log append/dispatch throughput, suspicion-entry
 processing rate and MIS solve rates.  ``repro bench --metrics``
 (:mod:`repro.bench.metrics`) pins the streaming measurement plane:
 sketch ingest/merge rates, quantile queries and state round-trips.
+``repro bench --plane`` (:mod:`repro.bench.plane`) pins the message
+plane: object vs columnar delivery at state-trace equality, heap-event
+reduction and fallback cost.  ``make bench-all``
+(:mod:`repro.bench.all`) runs every suite into one consolidated report;
+``repro bench --rebaseline <suite>`` (:mod:`repro.bench.rebaseline`)
+rewrites a suite's recorded baseline module.
 """
 
+from repro.bench.all import (  # noqa: F401
+    format_all_tables,
+    run_all_suites,
+    write_all_report,
+)
 from repro.bench.metrics import (  # noqa: F401
     format_metrics_table,
     run_metrics_suite,

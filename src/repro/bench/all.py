@@ -1,0 +1,84 @@
+"""``make bench-all``: every bench suite, one consolidated report.
+
+Runs the five suites -- ``simulator`` (the original ``repro bench``
+scenarios), ``search``, ``pipeline``, ``metrics`` and ``plane`` -- in
+sequence and nests their individual reports under one top-level JSON, so
+a single artifact captures the whole perf trajectory at a commit.  Each
+nested report is byte-identical in shape to what its own CLI flag would
+have written, baselines included.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+def _suites() -> List[Tuple[str, Callable, Callable]]:
+    from repro.bench import metrics, pipeline, plane, search, suite
+
+    return [
+        ("simulator", suite.run_suite, suite.format_table),
+        ("search", search.run_search_suite, search.format_search_table),
+        ("pipeline", pipeline.run_pipeline_suite, pipeline.format_pipeline_table),
+        ("metrics", metrics.run_metrics_suite, metrics.format_metrics_table),
+        ("plane", plane.run_plane_suite, plane.format_plane_table),
+    ]
+
+
+def run_all_suites(
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run every suite and return the consolidated report dict."""
+    suites: Dict[str, object] = {}
+    for name, run, _format in _suites():
+        if progress is not None:
+            progress(f"suite {name} ...")
+        suites[name] = run(quick=quick, progress=progress)
+    return {
+        "bench_version": 1,
+        "suite": "all",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "suites": suites,
+    }
+
+
+def format_all_tables(report: Dict[str, object]) -> str:
+    """Every suite's table, separated by headed sections."""
+    sections = []
+    formats = {name: fmt for name, _run, fmt in _suites()}
+    for name, sub_report in report["suites"].items():
+        sections.append(f"== {name} ==\n{formats[name](sub_report)}")
+    return "\n\n".join(sections)
+
+
+def write_all_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench.all [--quick] [output.json]``"""
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    report = run_all_suites(
+        quick=quick, progress=lambda msg: print(msg, file=sys.stderr)
+    )
+    print(format_all_tables(report))
+    output = paths[0] if paths else (
+        "BENCH_all_quick.json" if quick else "BENCH_all.json"
+    )
+    write_all_report(report, output)
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""The ``repro bench --plane`` suite: object vs columnar message plane.
+
+Each entry runs the *same* scenario twice -- once per message plane --
+and records both sides next to each other, so a single report answers
+the three questions the refactor is accountable for:
+
+* **Equivalence** (``trace_equal``): the columnar run's
+  :func:`~repro.experiments.trace.state_trace_hash` must equal the
+  object run's.  A report with any ``trace_equal: false`` is a bug, not
+  a slow entry.
+* **Steady-state event reduction** (``event_reduction``): engine heap
+  events per delivered message, object over columnar.  This is the
+  acceptance metric: the columnar plane drains whole runs of deliveries
+  per heap pop, so steady-state entries see 100-1000x fewer events for
+  the same message count.  Wall clock is *not* the headline number --
+  full-protocol runs are handler-dominated (Amdahl), so removing the
+  heap traffic buys event reduction at roughly wall parity; the honest
+  wall numbers are recorded anyway (``wall_speedup``).
+* **Fallback cost** (the ``fallback/faulted`` entry): a faulted
+  scenario requested on the columnar plane runs the literal object
+  path, so its wall clock must stay within noise (~5%) of an explicit
+  object run and its ``event_reduction`` is ~1.
+
+``PLANE_BASELINE`` (see :mod:`repro.bench.plane_baseline`) records the
+object-plane numbers -- the pre-refactor delivery path, preserved
+bit-for-bit -- so a ``BENCH_*.json`` is self-contained evidence against
+the pre-refactor baseline.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.plane_baseline import PLANE_BASELINE
+
+#: Quick mode shrinks every entry to this replica count and duration --
+#: the CI variant, cheap enough to run on every push.
+_QUICK_N = {128: 16, 31: 7}
+_QUICK_DURATION = 1.0
+#: A faulted columnar run is the object path; its wall clock must stay
+#: within this fraction of the explicit object run.
+FALLBACK_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class PlaneEntry:
+    """One fixed two-plane scenario."""
+
+    id: str
+    protocol: str
+    n: int
+    workload: str
+    duration: float
+    seed: int = 7
+    workload_params: Dict[str, object] = field(default_factory=dict)
+    faulted: bool = False
+
+    def deployment(self, quick: bool) -> str:
+        n = _QUICK_N.get(self.n, self.n) if quick else self.n
+        return f"wonderproxy-{n}"
+
+
+SUITE: List[PlaneEntry] = [
+    # Steady-state saturated runs: the drain's best case (long pristine
+    # runs, the whole simulation collapses into a handful of heap pops).
+    PlaneEntry("hotstuff/n128/steady", "hotstuff-rr", 128, "saturated", 3.0),
+    PlaneEntry("kauri/n128/steady", "kauri", 128, "saturated", 3.0),
+    # Open-loop runs interleave client timers with protocol traffic, the
+    # drain's adversarial case (short runs, frequent barrier stops).
+    PlaneEntry(
+        "hotstuff/n128/open-loop",
+        "hotstuff-rr",
+        128,
+        "open-loop",
+        3.0,
+        workload_params={"rate": 200.0, "clients": 4},
+    ),
+    PlaneEntry(
+        "pbft/n31/open-loop",
+        "pbft",
+        31,
+        "open-loop",
+        3.0,
+        workload_params={"rate": 120.0, "clients": 2},
+    ),
+    # Faulted scenario on plane='columnar': exercises the automatic
+    # object-path fallback; measures its (absence of) overhead.
+    PlaneEntry(
+        "fallback/faulted",
+        "pbft",
+        31,
+        "open-loop",
+        3.0,
+        workload_params={"rate": 120.0, "clients": 2},
+        faulted=True,
+    ),
+]
+
+
+def _scenario(entry: PlaneEntry, plane: str, quick: bool):
+    from repro.experiments.runner import FaultSpec, Scenario
+
+    faults = []
+    if entry.faulted:
+        faults = [
+            FaultSpec(kind="loss", start=0.5, end=2.5, params={"rate": 0.2})
+        ]
+    return Scenario(
+        protocol=entry.protocol,
+        deployment=entry.deployment(quick),
+        workload=entry.workload,
+        workload_params=dict(entry.workload_params),
+        duration=_QUICK_DURATION if quick else entry.duration,
+        seed=entry.seed,
+        faults=faults,
+        plane=plane,
+        name=f"bench-plane:{entry.id}:{plane}",
+    )
+
+
+def _run_plane(entry: PlaneEntry, plane: str, quick: bool, repeats: int):
+    """(best wall, last result) for one plane of one entry."""
+    from repro.experiments.runner import run_scenario
+
+    wall = float("inf")
+    result = None
+    for _ in range(1 if quick else max(1, repeats)):
+        gc.collect()
+        scenario = _scenario(entry, plane, quick)
+        start = time.perf_counter()
+        attempt = run_scenario(scenario)
+        elapsed = time.perf_counter() - start
+        if elapsed < wall:
+            wall = elapsed
+            result = attempt
+    return wall, result
+
+
+def run_plane_entry(
+    entry: PlaneEntry, quick: bool = False, repeats: int = 3
+) -> Dict[str, object]:
+    """Run one entry on both planes and return the paired record."""
+    from repro.experiments.trace import state_trace_hash
+
+    wall_obj, res_obj = _run_plane(entry, "object", quick, repeats)
+    wall_col, res_col = _run_plane(entry, "columnar", quick, repeats)
+
+    events_obj = res_obj.cluster.sim.events_processed
+    events_col = res_col.cluster.sim.events_processed
+    delivered = res_obj.cluster.network.stats.messages_delivered
+    record: Dict[str, object] = {
+        "id": entry.id,
+        "protocol": entry.protocol,
+        "deployment": entry.deployment(quick),
+        "workload": entry.workload,
+        "sim_duration": _QUICK_DURATION if quick else entry.duration,
+        "seed": entry.seed,
+        "faulted": entry.faulted,
+        "trace_equal": (
+            state_trace_hash(res_col.cluster)
+            == state_trace_hash(res_obj.cluster)
+        ),
+        "deliveries": delivered,
+        "deliveries_match": (
+            res_col.cluster.network.stats.messages_delivered == delivered
+        ),
+        "wall_seconds_object": round(wall_obj, 4),
+        "wall_seconds_columnar": round(wall_col, 4),
+        "wall_speedup": round(wall_obj / wall_col, 3) if wall_col > 0 else 0.0,
+        "heap_events_object": events_obj,
+        "heap_events_columnar": events_col,
+        "events_per_delivery_object": (
+            round(events_obj / delivered, 4) if delivered else 0.0
+        ),
+        "events_per_delivery_columnar": (
+            round(events_col / delivered, 4) if delivered else 0.0
+        ),
+        "event_reduction": (
+            round(events_obj / events_col, 1) if events_col else 0.0
+        ),
+        "deliveries_per_sec_object": (
+            round(delivered / wall_obj, 1) if wall_obj > 0 else 0.0
+        ),
+        "deliveries_per_sec_columnar": (
+            round(delivered / wall_col, 1) if wall_col > 0 else 0.0
+        ),
+    }
+    if entry.faulted:
+        # The columnar-requested run fell back to the literal object
+        # path; record that it did, and that doing so cost nothing.
+        record["fallback_active"] = res_col.cluster.network.plane == "object"
+        record["fallback_within_tolerance"] = (
+            abs(wall_col - wall_obj) <= FALLBACK_TOLERANCE * wall_obj
+        )
+    return record
+
+
+def run_plane_suite(
+    quick: bool = False,
+    repeats: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the plane suite and return the report dict."""
+    results = []
+    for entry in SUITE:
+        if progress is not None:
+            progress(f"bench {entry.id} (object vs columnar) ...")
+        record = run_plane_entry(entry, quick=quick, repeats=repeats)
+        baseline = PLANE_BASELINE.get("entries", {}).get(entry.id)
+        if baseline is not None and not quick:
+            record["baseline"] = baseline
+        results.append(record)
+    return {
+        "bench_version": 1,
+        "suite": "plane",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "baseline_note": PLANE_BASELINE.get("note", ""),
+        "entries": results,
+    }
+
+
+def format_plane_table(report: Dict[str, object]) -> str:
+    """Human-readable summary of a plane report (the CLI's stdout)."""
+    lines = [
+        f"{'entry':<24} {'deliv':>8} {'wall_obj':>9} {'wall_col':>9} "
+        f"{'ev_obj':>8} {'ev_col':>7} {'ev_redux':>9} {'trace':>6}"
+    ]
+    for rec in report["entries"]:
+        trace = "EQUAL" if rec["trace_equal"] else "DIVERGE"
+        lines.append(
+            f"{rec['id']:<24} {rec['deliveries']:>8} "
+            f"{rec['wall_seconds_object']:>9.3f} "
+            f"{rec['wall_seconds_columnar']:>9.3f} "
+            f"{rec['heap_events_object']:>8} {rec['heap_events_columnar']:>7} "
+            f"{rec['event_reduction']:>8.1f}x {trace:>6}"
+        )
+    return "\n".join(lines)
+
+
+def write_plane_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench.plane [--quick] [output.json]``"""
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    report = run_plane_suite(
+        quick=quick, progress=lambda msg: print(msg, file=sys.stderr)
+    )
+    print(format_plane_table(report))
+    if paths:
+        write_plane_report(report, paths[0])
+        print(f"wrote {paths[0]}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Recorded baseline for the ``repro bench --plane`` suite.
+
+Machine-local wall-clock numbers: comparable only to reports produced on
+the same host.  Regenerate with ``repro bench --rebaseline plane``
+(see :mod:`repro.bench.rebaseline`) when the suite changes shape or the
+trajectory gets a new anchor commit.
+
+Only the object-plane side is recorded: it is the
+pre-refactor delivery path, preserved bit-for-bit, so
+reports are self-contained evidence against pre-refactor
+behaviour.
+"""
+
+PLANE_BASELINE = {'entries': {'fallback/faulted': {'deliveries': 17298,
+                                  'deliveries_per_sec_object': 305731.8,
+                                  'events_per_delivery_object': 1.0215,
+                                  'heap_events_object': 17670,
+                                  'sim_duration': 3.0,
+                                  'wall_seconds_object': 0.0566},
+             'hotstuff/n128/open-loop': {'deliveries': 140372,
+                                         'deliveries_per_sec_object': 387384.7,
+                                         'events_per_delivery_object': 1.0042,
+                                         'heap_events_object': 140965,
+                                         'sim_duration': 3.0,
+                                         'wall_seconds_object': 0.3624},
+             'hotstuff/n128/steady': {'deliveries': 6393,
+                                      'deliveries_per_sec_object': 379261.4,
+                                      'events_per_delivery_object': 1.0,
+                                      'heap_events_object': 6393,
+                                      'sim_duration': 3.0,
+                                      'wall_seconds_object': 0.0169},
+             'kauri/n128/steady': {'deliveries': 7522,
+                                   'deliveries_per_sec_object': 457444.3,
+                                   'events_per_delivery_object': 1.0,
+                                   'heap_events_object': 7522,
+                                   'sim_duration': 3.0,
+                                   'wall_seconds_object': 0.0164},
+             'pbft/n31/open-loop': {'deliveries': 51830,
+                                    'deliveries_per_sec_object': 452435.2,
+                                    'events_per_delivery_object': 1.0072,
+                                    'heap_events_object': 52202,
+                                    'sim_duration': 3.0,
+                                    'wall_seconds_object': 0.1146}},
+ 'note': 'PR7: object-plane (pre-refactor delivery path) recorded at the '
+         'columnar-plane commit, best of three runs per entry'}

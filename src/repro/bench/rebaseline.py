@@ -1,49 +1,202 @@
-"""Rewrite :mod:`repro.bench.baseline` from a fresh full-suite run.
+"""Rewrite a recorded bench baseline from a fresh full-suite run.
 
-Run this *before* a hot-path change lands (or at a known-good commit) so
-subsequent ``repro bench`` reports compare against it::
+One generic writer serves every suite -- ``simulator`` (the original
+``repro bench`` scenarios), ``metrics``, ``search``, ``pipeline`` and
+``plane`` -- replacing the per-suite copies of the same script (and the
+hand-paste workflow the search/pipeline baselines used to document).
+Run it at a known-good commit so subsequent reports compare against it::
 
-    PYTHONPATH=src python -m repro.bench.rebaseline "note about the commit"
+    repro bench --rebaseline simulator --note "note about the commit"
+    PYTHONPATH=src python -m repro.bench.rebaseline <suite> ["note"]
+
+Each suite declares which record keys get pinned: wall-clock rates (the
+trajectory being tracked) plus the deterministic simulated fields that
+double as behaviour pins for the equivalence tests.  The writer renders
+the ``<suite>_baseline.py`` module with a pprint'd dict, exactly the
+shape the suites import.
 """
 
 from __future__ import annotations
 
 import pprint
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.bench.suite import run_suite
+#: Report keys never pinned into a baseline: identity, embedded
+#: comparisons against the *previous* baseline, and derived speedups.
+_EXCLUDED = {
+    "id",
+    "baseline",
+    "speedup",
+    "speedup_events_per_sec",
+}
 
-_HEADER = '''"""Pre-refactor baseline for the ``repro bench`` suite.
+_HEADER_TEMPLATE = '''"""Recorded baseline for the ``{title}`` suite.
 
 Machine-local wall-clock numbers: comparable only to reports produced on
-the same host.  Regenerate (see :mod:`repro.bench.rebaseline`) when the
-suite changes shape or the trajectory gets a new anchor commit.
+the same host.  Regenerate with ``repro bench --rebaseline {name}``
+(see :mod:`repro.bench.rebaseline`) when the suite changes shape or the
+trajectory gets a new anchor commit.{extra}
 """
 
-BASELINE = '''
+{variable} = '''
+
+_PINS_NOTE = """
+
+The deterministic simulated fields double as behaviour pins: the suite
+tests replay the same seeds and assert the recorded values, so a
+rebaseline at a behaviour-changing commit will (correctly) fail them."""
 
 
-def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    note = argv[0] if argv else "rebaselined"
-    report = run_suite(quick=False, progress=lambda msg: print(msg, file=sys.stderr))
+@dataclass(frozen=True)
+class SuiteSpec:
+    """How to rebaseline one suite."""
+
+    name: str
+    title: str
+    baseline_file: str
+    variable: str
+    #: Record keys to pin; ``None`` pins every key except ``_EXCLUDED``.
+    keys: Optional[Tuple[str, ...]]
+    run: Callable[..., Dict[str, object]]
+    extra: str = ""
+
+
+def _specs() -> Dict[str, SuiteSpec]:
+    # Imports live here so ``repro.bench.rebaseline`` stays importable
+    # without dragging in every suite module at startup.
+    from repro.bench import metrics, pipeline, plane, search, suite
+
+    return {
+        "simulator": SuiteSpec(
+            name="simulator",
+            title="repro bench",
+            baseline_file="baseline.py",
+            variable="BASELINE",
+            keys=(
+                "events",
+                "events_per_sec",
+                "wall_seconds",
+                "throughput_rps",
+                "committed_blocks",
+                "sim_duration",
+            ),
+            run=suite.run_suite,
+        ),
+        "metrics": SuiteSpec(
+            name="metrics",
+            title="repro bench --metrics",
+            baseline_file="metrics_baseline.py",
+            variable="METRICS_BASELINE",
+            keys=("wall_seconds",)
+            + metrics._RATE_KEYS
+            + ("bin_checksum", "query_sum", "request_total", "blocks", "requests"),
+            run=metrics.run_metrics_suite,
+        ),
+        "search": SuiteSpec(
+            name="search",
+            title="repro bench --search",
+            baseline_file="search_baseline.py",
+            variable="SEARCH_BASELINE",
+            keys=None,
+            run=search.run_search_suite,
+            extra=_PINS_NOTE,
+        ),
+        "pipeline": SuiteSpec(
+            name="pipeline",
+            title="repro bench --pipeline",
+            baseline_file="pipeline_baseline.py",
+            variable="PIPELINE_BASELINE",
+            keys=None,
+            run=pipeline.run_pipeline_suite,
+            extra=_PINS_NOTE,
+        ),
+        "plane": SuiteSpec(
+            name="plane",
+            title="repro bench --plane",
+            baseline_file="plane_baseline.py",
+            variable="PLANE_BASELINE",
+            # Pin the object-plane side only: the pre-refactor delivery
+            # path, preserved bit-for-bit, is the thing reports compare
+            # against; columnar numbers are the trajectory under test.
+            keys=(
+                "wall_seconds_object",
+                "heap_events_object",
+                "deliveries",
+                "deliveries_per_sec_object",
+                "events_per_delivery_object",
+                "sim_duration",
+            ),
+            run=plane.run_plane_suite,
+            extra=(
+                "\n\nOnly the object-plane side is recorded: it is the"
+                "\npre-refactor delivery path, preserved bit-for-bit, so"
+                "\nreports are self-contained evidence against pre-refactor"
+                "\nbehaviour."
+            ),
+        ),
+    }
+
+
+def _pin(record: Dict[str, object], keys: Optional[Tuple[str, ...]]):
+    if keys is None:
+        return {k: v for k, v in record.items() if k not in _EXCLUDED}
+    return {k: record[k] for k in keys if k in record}
+
+
+def rebaseline(
+    suite_name: str,
+    note: str = "rebaselined",
+    progress: Optional[Callable[[str], None]] = None,
+) -> Path:
+    """Run ``suite_name`` in full and rewrite its baseline module."""
+    specs = _specs()
+    spec = specs.get(suite_name)
+    if spec is None:
+        known = ", ".join(sorted(specs))
+        raise ValueError(f"unknown bench suite {suite_name!r} (known: {known})")
+    report = spec.run(quick=False, progress=progress)
     baseline = {
         "note": note,
         "entries": {
-            rec["id"]: {
-                "events": rec["events"],
-                "events_per_sec": rec["events_per_sec"],
-                "wall_seconds": rec["wall_seconds"],
-                "throughput_rps": rec["throughput_rps"],
-                "committed_blocks": rec["committed_blocks"],
-                "sim_duration": rec["sim_duration"],
-            }
-            for rec in report["entries"]
+            rec["id"]: _pin(rec, spec.keys) for rec in report["entries"]
         },
     }
-    path = Path(__file__).with_name("baseline.py")
-    path.write_text(_HEADER + pprint.pformat(baseline, sort_dicts=True) + "\n")
+    header = _HEADER_TEMPLATE.format(
+        title=spec.title, name=spec.name, extra=spec.extra,
+        variable=spec.variable,
+    )
+    path = Path(__file__).with_name(spec.baseline_file)
+    path.write_text(header + pprint.pformat(baseline, sort_dicts=True) + "\n")
+    return path
+
+
+def known_suites() -> Tuple[str, ...]:
+    return tuple(sorted(_specs()))
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench.rebaseline [suite] ["note"]``
+
+    Back-compat: the original script took only a note and always meant
+    the simulator suite, so a first argument that is not a suite name is
+    still treated as the note.
+    """
+    argv = sys.argv[1:] if argv is None else argv
+    suite_name = "simulator"
+    note = "rebaselined"
+    if argv:
+        if argv[0] in _specs():
+            suite_name = argv[0]
+            if len(argv) > 1:
+                note = argv[1]
+        else:
+            note = argv[0]
+    path = rebaseline(
+        suite_name, note, progress=lambda msg: print(msg, file=sys.stderr)
+    )
     print(f"wrote {path}", file=sys.stderr)
     return 0
 

@@ -1,57 +1,24 @@
-"""Rewrite :mod:`repro.bench.metrics_baseline` from a fresh suite run.
+"""Back-compat shim: rewrite :mod:`repro.bench.metrics_baseline`.
 
-Run this at a known-good commit so subsequent ``repro bench --metrics``
-reports compare against it::
+The per-suite rebaseline scripts were unified behind
+``repro bench --rebaseline <suite>`` (see
+:mod:`repro.bench.rebaseline`); this module keeps the original
+entry point working::
 
     PYTHONPATH=src python -m repro.bench.rebaseline_metrics "note"
 """
 
 from __future__ import annotations
 
-import pprint
 import sys
-from pathlib import Path
 
-from repro.bench.metrics import _RATE_KEYS, run_metrics_suite
-
-_HEADER = '''"""Recorded baseline for the ``repro bench --metrics`` suite.
-
-Machine-local wall-clock numbers: comparable only to reports produced on
-the same host.  Regenerate (see :mod:`repro.bench.rebaseline_metrics`)
-when the suite changes shape or the measurement plane gets a new anchor
-commit.
-"""
-
-METRICS_BASELINE = '''
-
-#: Deterministic smoke fields worth pinning alongside the rates.
-_SMOKE_KEYS = (
-    "bin_checksum",
-    "query_sum",
-    "request_total",
-    "blocks",
-    "requests",
-)
+from repro.bench.rebaseline import main as _rebaseline_main
 
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     note = argv[0] if argv else "rebaselined"
-    report = run_metrics_suite(
-        quick=False, progress=lambda msg: print(msg, file=sys.stderr)
-    )
-    entries = {}
-    for rec in report["entries"]:
-        entry = {"wall_seconds": rec["wall_seconds"]}
-        for key in _RATE_KEYS + _SMOKE_KEYS:
-            if key in rec:
-                entry[key] = rec[key]
-        entries[rec["id"]] = entry
-    baseline = {"note": note, "entries": entries}
-    path = Path(__file__).with_name("metrics_baseline.py")
-    path.write_text(_HEADER + pprint.pformat(baseline, sort_dicts=True) + "\n")
-    print(f"wrote {path}", file=sys.stderr)
-    return 0
+    return _rebaseline_main(["metrics", note])
 
 
 if __name__ == "__main__":

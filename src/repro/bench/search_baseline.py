@@ -4,10 +4,11 @@ Machine-local wall-clock numbers: comparable only to reports produced on
 the same host.  Measured on the pre-refactor optimizer (PR 3 head,
 e19fd0c: full re-scoring per mutation, per-dict quorum scans, scalar
 tree walks) with this same suite definition, best-of-3 per entry.
-Regenerate by running ``python -m repro.bench.search`` at a known-good
-commit and pasting the entries here; the simulated fields
-(``best_score``, ``leader``, ``accepted``, ``score_checksum``) double as
-the pre-refactor behaviour record the equivalence tests pin against.
+Regenerate with ``repro bench --rebaseline search`` (see
+:mod:`repro.bench.rebaseline`) at a known-good commit; the simulated
+fields (``best_score``, ``leader``, ``accepted``, ``score_checksum``)
+double as the pre-refactor behaviour record the equivalence tests pin
+against.
 """
 
 SEARCH_BASELINE = {

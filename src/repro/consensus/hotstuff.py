@@ -203,6 +203,72 @@ class HotStuffReplica(ReplicaBase):
             self.propose(height + 1, vote.block_hash)
 
     # ------------------------------------------------------------------
+    # Columnar-plane batch handlers (see Network.register_batch_endpoint
+    # for the contract: process rows in order, set sim.now before side
+    # effects, stop right after any row that sends or schedules)
+    # ------------------------------------------------------------------
+    def handle_VoteBatch(self, srcs, votes, times) -> int:  # noqa: N802
+        """Bulk :meth:`handle_Vote`: sub-quorum votes reduce to set adds.
+
+        Semantically a loop of per-message calls; the quorum-crossing
+        vote forms the QC at its own arrival time and yields control
+        back, because the resulting proposal broadcast may precede the
+        remaining votes in global event order.
+        """
+        if not self.running:
+            return len(votes)
+        votes_map = self.votes
+        qc_heights = self.qc_heights
+        quorum = self.quorum
+        round_robin = self._round_robin
+        fixed_leader = self.fixed_leader
+        n = self.n
+        my_id = self.id
+        count = len(votes)
+        for k in range(count):
+            vote = votes[k]
+            # Vote rows are (height, block_hash, sender) NamedTuples;
+            # indexing skips three descriptor lookups per vote.
+            height = vote[0]
+            next_leader = (height + 1) % n if round_robin else fixed_leader
+            if next_leader != my_id:
+                continue
+            voters = votes_map.get(height)
+            if voters is None:
+                voters = votes_map[height] = set()
+            voters.add(vote[2])
+            if len(voters) >= quorum and height not in qc_heights:
+                block = self.block_at_height.get(height)
+                block_hash = vote[1]
+                if block is None or block.hash != block_hash:
+                    continue
+                self.sim.now = times[k]
+                qc = QuorumCertificate(
+                    view=height,
+                    block_hash=block_hash,
+                    aggregate=aggregate(self.registry, block_hash, voters),
+                    weight=float(len(voters)),
+                )
+                self._observe_qc(qc)
+                self.propose(height + 1, block_hash)
+                return k + 1
+        return count
+
+    def handle_ClientRequestBatch(self, srcs, requests, times) -> int:  # noqa: N802
+        """Bulk :meth:`handle_ClientRequest`: pure buffer appends."""
+        if not self.running or not self.request_driven:
+            return len(requests)
+        claimed = self._claimed_requests
+        claimed_old = self._claimed_requests_old
+        pending = self.pending_requests
+        for request in requests:
+            key = (request.client_id, request.request_id)
+            if key in claimed or key in claimed_old:
+                continue
+            pending.append(request)
+        return len(requests)
+
+    # ------------------------------------------------------------------
     # QCs and commit rule
     # ------------------------------------------------------------------
     def _observe_qc(self, qc: QuorumCertificate) -> None:
@@ -303,13 +369,14 @@ class HotStuffCluster:
         payload_per_block: int = 1000,
         seed: int = 0,
         jitter: float = 0.02,
+        plane: str = "object",
     ):
         self.deployment = deployment
         n = deployment.n
         self.n = n
         self.f = f if f is not None else (n - 1) // 3
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim, deployment.one_way, jitter=jitter)
+        self.network = Network(self.sim, deployment.one_way, jitter=jitter, plane=plane)
         self.registry = KeyRegistry(n, seed=seed)
         self.replicas: List[HotStuffReplica] = [
             HotStuffReplica(

@@ -295,6 +295,87 @@ class KauriReplica(ReplicaBase):
                 collection.timer.cancel()
             self._flush_aggregate(vote.height)
 
+    # ------------------------------------------------------------------
+    # Columnar-plane batch handlers (see Network.register_batch_endpoint
+    # for the contract: process rows in order, set sim.now before side
+    # effects, stop right after any row that sends or schedules)
+    # ------------------------------------------------------------------
+    def handle_VoteBatch(self, srcs, votes, times) -> int:  # noqa: N802
+        """Bulk :meth:`handle_Vote` at an intermediate: child votes below
+        the expected count reduce to set adds; the completing vote flushes
+        the aggregate upward at its own arrival time and yields."""
+        if not self.running or not self._is_intermediate:
+            return len(votes)
+        collections = self.collections
+        child_set = self._child_set
+        expected = self._expected_votes
+        count = len(votes)
+        for k in range(count):
+            vote = votes[k]
+            height = vote[0]
+            collection = collections.get(height)
+            if collection is None or collection.sent:
+                continue
+            src = srcs[k]
+            if src not in child_set:
+                continue
+            cvotes = collection.votes
+            cvotes.add(src)
+            if len(cvotes) >= expected:
+                self.sim.now = times[k]
+                if collection.timer is not None:
+                    collection.timer.cancel()
+                self._flush_aggregate(height)
+                return k + 1
+        return count
+
+    def handle_AggregateVoteBatch(self, srcs, messages, times) -> int:  # noqa: N802
+        """Bulk :meth:`handle_AggregateVote` at the root: signer-set
+        unions below the certification threshold are pure; the
+        certifying aggregate commits and refills the pipeline at its own
+        arrival time, then yields (the new proposals may precede the
+        remaining aggregates in event order)."""
+        if not self.running or self._root != self.id:
+            return len(messages)
+        intermediate_set = self._intermediate_set
+        root_votes = self.root_votes
+        needed = self.votes_needed
+        in_flight = self.in_flight
+        count = len(messages)
+        for k in range(count):
+            src = srcs[k]
+            if src not in intermediate_set:
+                continue
+            message = messages[k]
+            height = message.height
+            votes = root_votes.get(height)
+            if votes is None:
+                continue
+            votes.update(message.aggregate.signers)
+            votes.add(src)
+            if len(votes) >= needed and height in in_flight:
+                self.sim.now = times[k]
+                in_flight.discard(height)
+                self.qc_heights.add(height)
+                self._try_commit(height)
+                self._fill_pipeline()
+                return k + 1
+        return count
+
+    def handle_ClientRequestBatch(self, srcs, requests, times) -> int:  # noqa: N802
+        """Bulk :meth:`handle_ClientRequest`: pure buffer appends."""
+        if not self.running or not self.request_driven:
+            return len(requests)
+        claimed = self._claimed_requests
+        claimed_old = self._claimed_requests_old
+        pending = self.pending_requests
+        for request in requests:
+            key = (request.client_id, request.request_id)
+            if key in claimed or key in claimed_old:
+                continue
+            pending.append(request)
+        return len(requests)
+
     def _flush_aggregate(self, height: int) -> None:
         collection = self.collections.get(height)
         if collection is None or collection.sent or not self.running:
@@ -469,6 +550,7 @@ class KauriCluster:
         jitter: float = 0.02,
         delta: float = 1.0,
         votes_needed: Optional[int] = None,
+        plane: str = "object",
     ):
         self.deployment = deployment
         n = deployment.n
@@ -476,7 +558,7 @@ class KauriCluster:
         self.f = f if f is not None else (n - 1) // 3
         self.tree = tree
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim, deployment.one_way, jitter=jitter)
+        self.network = Network(self.sim, deployment.one_way, jitter=jitter, plane=plane)
         self.registry = KeyRegistry(n, seed=seed)
         self.replicas: List[KauriReplica] = [
             KauriReplica(

@@ -116,6 +116,15 @@ class PbftReplica(ReplicaBase):
         #: PrePrepares from replicas that are not (yet) our leader; they
         #: are replayed after a reconfiguration adopts that leader.
         self.stale_preprepares: Dict[int, List[PrePrepare]] = {}
+        if mode == "optiaware":
+            # Suspicion bookkeeping can raise (and gossip) the moment a
+            # late Prepare/Commit arrives, so any row may send -- which
+            # the batch-handler contract cannot express without yielding
+            # after every row.  Shadow the class-level batch handlers with
+            # None: the columnar drain then delivers per row, which is
+            # exactly the object plane's semantics.
+            self.handle_PrepareBatch = None
+            self.handle_CommitBatch = None
         self._committed_requests: Set = set()
         #: Previous generation of committed request keys (see compact()).
         self._committed_requests_old: Set = set()
@@ -269,6 +278,106 @@ class PbftReplica(ReplicaBase):
             self._note_arrival(seq, src, "accept")
         self.commit_weight[seq] = self.commit_weight.get(seq, 0.0) + self._weight(src)
         self._maybe_execute(seq)
+
+    # ------------------------------------------------------------------
+    # Columnar-plane batch handlers (see Network.register_batch_endpoint
+    # for the contract: process rows in order, set sim.now before side
+    # effects, stop right after any row that sends or schedules).
+    # Disabled per instance in optiaware mode (see __init__): there a
+    # late arrival can gossip a suspicion from inside _note_arrival.
+    # ------------------------------------------------------------------
+    def handle_PrepareBatch(self, srcs, messages, times) -> int:  # noqa: N802
+        """Bulk :meth:`handle_Prepare`: sub-quorum prepares reduce to a
+        set add plus a weight accumulate; the quorum-crossing prepare
+        broadcasts our Commit at its own arrival time and yields."""
+        if not self.running:
+            return len(messages)
+        sim = self.sim
+        prepare_senders = self.prepare_senders
+        prepare_weight = self.prepare_weight
+        sent_commit = self.sent_commit
+        note = self.optilog is not None
+        weight_of = self._weight
+        count = len(messages)
+        for k in range(count):
+            message = messages[k]
+            seq = message.seq
+            senders = prepare_senders.get(seq)
+            if senders is None:
+                senders = prepare_senders[seq] = set()
+            src = srcs[k]
+            if src in senders:
+                continue
+            sim.now = times[k]
+            senders.add(src)
+            if note:
+                self._note_arrival(seq, src, "write")
+            prepare_weight[seq] = prepare_weight.get(seq, 0.0) + weight_of(src)
+            if seq not in sent_commit:
+                self._maybe_send_commit(seq)
+                if seq in sent_commit:
+                    return k + 1
+        return count
+
+    def handle_CommitBatch(self, srcs, messages, times) -> int:  # noqa: N802
+        """Bulk :meth:`handle_Commit`; the quorum-crossing commit executes
+        the block (replies, config adoption, next proposal) at its own
+        arrival time and yields."""
+        if not self.running:
+            return len(messages)
+        sim = self.sim
+        commit_senders = self.commit_senders
+        commit_weight = self.commit_weight
+        executed = self.executed
+        note = self.optilog is not None
+        weight_of = self._weight
+        count = len(messages)
+        for k in range(count):
+            message = messages[k]
+            seq = message.seq
+            senders = commit_senders.get(seq)
+            if senders is None:
+                senders = commit_senders[seq] = set()
+            src = srcs[k]
+            if src in senders:
+                continue
+            sim.now = times[k]
+            senders.add(src)
+            if note:
+                self._note_arrival(seq, src, "accept")
+            commit_weight[seq] = commit_weight.get(seq, 0.0) + weight_of(src)
+            if seq not in executed:
+                self._maybe_execute(seq)
+                if seq in executed:
+                    return k + 1
+        return count
+
+    def handle_ClientRequestBatch(self, srcs, requests, times) -> int:  # noqa: N802
+        """Bulk :meth:`handle_ClientRequest`: buffer appends are pure; at
+        the leader a request that starts a proposal broadcasts and
+        yields."""
+        if not self.running:
+            return len(requests)
+        committed = self._committed_requests
+        committed_old = self._committed_requests_old
+        is_leader = self.is_leader
+        sim = self.sim
+        count = len(requests)
+        for k in range(count):
+            request = requests[k]
+            key = (request.client_id, request.request_id)
+            if key in committed or key in committed_old:
+                continue
+            # _maybe_propose rebinds pending_requests when it proposes, so
+            # read the attribute fresh rather than holding an alias.
+            self.pending_requests.append(request)
+            if is_leader:
+                sim.now = times[k]
+                before = self.in_flight
+                self._maybe_propose()
+                if self.in_flight is not before:
+                    return k + 1
+        return count
 
     def _maybe_execute(self, seq: int) -> None:
         if seq in self.executed or seq not in self.preprepares:
@@ -479,6 +588,7 @@ class PbftCluster:
         jitter: float = 0.02,
         client_city_index: Optional[int] = None,
         workload: Optional[Workload] = None,
+        plane: str = "object",
     ):
         self.deployment = deployment
         n = deployment.n
@@ -496,7 +606,7 @@ class PbftCluster:
             deployment.one_way, n, default_site=self.client_city
         )
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim, self.router.delay, jitter=jitter)
+        self.network = Network(self.sim, self.router.delay, jitter=jitter, plane=plane)
         self.registry = KeyRegistry(n, seed=seed)
         self.replicas: List[PbftReplica] = [
             PbftReplica(

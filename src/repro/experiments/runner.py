@@ -34,7 +34,7 @@ import json
 import math
 import random
 import re
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.consensus.base import RunMetrics
@@ -48,6 +48,7 @@ from repro.faults.loss import MessageLoss
 from repro.net.deployments import Deployment, deployment_for, random_world_deployment
 from repro.optimize.annealing import AnnealingSchedule
 from repro.sim.engine import SimClock
+from repro.sim.network import MESSAGE_PLANES
 from repro.tree.kauri_reconfig import KauriReconfigurer
 from repro.tree.optitree import optitree_search
 from repro.workloads import PIPELINE_DEPTH, Workload, make_workload
@@ -277,14 +278,27 @@ class Scenario:
     measurements: Optional[MeasurementPolicy] = None
     search_iterations: int = 20_000  # OptiTree's annealing budget
     pipeline_depth: Optional[int] = None
+    #: Message plane: ``"object"`` (one heap event per message),
+    #: ``"columnar"`` (batched record deliveries, bit-identical results)
+    #: or ``"check"`` (run both, assert identical state-trace hashes).
+    #: Scenarios with scheduled faults always run on the object plane
+    #: regardless of this setting -- see :func:`_effective_plane`.
+    plane: str = "object"
     name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.plane not in MESSAGE_PLANES:
+            raise ValueError(
+                f"unknown message plane {self.plane!r} "
+                f"(known: {', '.join(MESSAGE_PLANES)})"
+            )
 
     def describe(self) -> Dict[str, Any]:
         """JSON-able identity of the scenario (what was run)."""
         workload = (
             self.workload if isinstance(self.workload, str) else self.workload.name
         )
-        return {
+        out = {
             "name": self.name or f"{self.protocol}/{self.deployment}/{workload}",
             "protocol": self.protocol,
             "deployment": self.deployment,
@@ -302,6 +316,13 @@ class Scenario:
             ),
             "faults": [asdict(fault) for fault in self.faults],
         }
+        # The plane changes *how* messages are delivered, never *what*
+        # the run computes, so the default plane is omitted: golden
+        # files, checkpoint scenario identity and every pre-existing
+        # describe() consumer see byte-identical output.
+        if self.plane != "object":
+            out["plane"] = self.plane
+        return out
 
 
 @dataclass
@@ -441,12 +462,29 @@ def _resolve_workload(scenario: Scenario) -> Optional[Workload]:
 # ----------------------------------------------------------------------
 # Cluster construction
 # ----------------------------------------------------------------------
+def _effective_plane(scenario: Scenario) -> str:
+    """Resolve the message plane the cluster will actually use.
+
+    ``"check"`` never reaches a cluster (``run_scenario`` expands it into
+    two full runs; ``prepare_scenario`` rejects it).  Scenarios with
+    scheduled faults fall back to the object plane: the columnar route
+    only covers pristine traffic, and forcing the fallback here keeps
+    faulted runs on the exact code path every golden file was recorded
+    against.  (The network additionally falls back per-send at runtime
+    if a fault appears outside the scenario's fault list.)
+    """
+    if scenario.plane == "columnar" and scenario.faults:
+        return "object"
+    return scenario.plane
+
+
 def _build_cluster(
     scenario: Scenario, deployment: Deployment, workload: Optional[Workload]
 ):
     family, variant = PROTOCOLS[scenario.protocol]
     n = deployment.n
     f = (n - 1) // 3
+    plane = _effective_plane(scenario)
     if family == "pbft":
         if workload is None:
             raise ValueError(
@@ -460,6 +498,7 @@ def _build_cluster(
             jitter=scenario.jitter,
             client_city_index=scenario.client_city,
             workload=workload,
+            plane=plane,
         )
         policy = scenario.measurements or MeasurementPolicy()
         if variant != "static":
@@ -483,11 +522,12 @@ def _build_cluster(
                 fixed_leader=leader,
                 seed=scenario.seed,
                 jitter=scenario.jitter,
+                plane=plane,
             )
         else:
             cluster = HotStuffCluster(
                 deployment, leader_mode="rr", seed=scenario.seed,
-                jitter=scenario.jitter,
+                jitter=scenario.jitter, plane=plane,
             )
         if workload is not None:
             cluster.attach_workload(workload, client_city=scenario.client_city or 0)
@@ -513,6 +553,7 @@ def _build_cluster(
         seed=scenario.seed,
         jitter=scenario.jitter,
         delta=scenario.delta,
+        plane=plane,
     )
     if workload is not None:
         cluster.attach_workload(workload, client_city=scenario.client_city or 0)
@@ -1056,6 +1097,12 @@ def prepare_scenario(scenario: Scenario) -> ScenarioResult:
         raise ValueError(
             f"unknown protocol {scenario.protocol!r} (known: {known})"
         )
+    if scenario.plane == "check":
+        raise ValueError(
+            "plane='check' runs the scenario twice and cannot hand out one "
+            "armed cluster; use run_scenario, or prepare the 'object' and "
+            "'columnar' planes separately"
+        )
     deployment = resolve_deployment(scenario.deployment, seed=scenario.seed)
     workload = _resolve_workload(scenario)
     cluster = _build_cluster(scenario, deployment, workload)
@@ -1072,10 +1119,68 @@ def prepare_scenario(scenario: Scenario) -> ScenarioResult:
     )
 
 
+class PlaneDivergence(RuntimeError):
+    """The columnar plane computed a different run than the object plane.
+
+    Raised by ``plane='check'`` scenarios; always a bug in the columnar
+    delivery path (or a batch handler violating its contract), never
+    expected behaviour.
+    """
+
+
 def run_scenario(scenario: Scenario) -> ScenarioResult:
     """Execute one scenario end-to-end, deterministically under its seed."""
+    if scenario.plane == "check":
+        return _run_checked(scenario)
     result = prepare_scenario(scenario)
     result.run_metrics = result.cluster.run(scenario.duration)
     if _metrics_mode(scenario) == "check":
         _verify_measurements(scenario, result)
     return result
+
+
+def _run_checked(scenario: Scenario) -> ScenarioResult:
+    """``plane='check'``: run both planes, assert bit-identity, return
+    the columnar result.
+
+    Equality is judged twice: on :func:`state_trace_hash` (replica
+    state, commits, network stats, clock, RNG streams) and on the
+    metrics JSON (minus the plane tag itself).  Either mismatch raises
+    :class:`PlaneDivergence` naming the first differing field.
+    """
+    from repro.experiments.trace import state_trace_hash
+
+    if isinstance(scenario.workload, Workload):
+        raise ValueError(
+            "plane='check' reruns the scenario and needs a named workload "
+            "(a Workload instance would be consumed by the first run)"
+        )
+    object_result = run_scenario(replace(scenario, plane="object"))
+    columnar_result = run_scenario(replace(scenario, plane="columnar"))
+    object_hash = state_trace_hash(object_result.cluster)
+    columnar_hash = state_trace_hash(columnar_result.cluster)
+    if object_hash != columnar_hash:
+        raise PlaneDivergence(
+            f"state-trace hash diverged for {scenario.describe()['name']}: "
+            f"object={object_hash} columnar={columnar_hash}"
+        )
+    object_metrics = object_result.metrics()
+    columnar_metrics = columnar_result.metrics()
+    for metrics in (object_metrics, columnar_metrics):
+        metrics["scenario"].pop("plane", None)
+    object_json = json.dumps(object_metrics, sort_keys=True)
+    columnar_json = json.dumps(columnar_metrics, sort_keys=True)
+    if object_json != columnar_json:
+        diverged = sorted(
+            key
+            for key in set(object_metrics) | set(columnar_metrics)
+            if object_metrics.get(key) != columnar_metrics.get(key)
+        )
+        raise PlaneDivergence(
+            f"metrics diverged for {scenario.describe()['name']} "
+            f"in field(s): {', '.join(diverged)}"
+        )
+    # Report the scenario as requested (plane='check'), not the twin
+    # that happened to produce the returned cluster.
+    columnar_result.scenario = scenario
+    return columnar_result

@@ -92,6 +92,11 @@ class Simulator:
         #: High-water mark of the event queue (pending + cancelled), for
         #: the ``repro bench`` peak-queue-depth metric.
         self.max_queue_depth = 0
+        #: The active run()'s time horizon (``inf`` outside run()).  Event
+        #: callbacks that expand into multiple deliveries -- the columnar
+        #: network's drain loops -- read this so they never deliver past
+        #: the point where run() itself would have stopped.
+        self.horizon = float("inf")
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -183,6 +188,7 @@ class Simulator:
         executed = self.events_processed
         budget = executed + max_events if max_events is not None else None
         horizon = float("inf") if until is None else until
+        self.horizon = horizon
         stopped_by_budget = False
         queue = self._queue
         pop = _heappop
@@ -218,6 +224,7 @@ class Simulator:
         finally:
             self._running = False
             self.events_processed = executed
+            self.horizon = float("inf")
             if gc_was_enabled:
                 gc.enable()
         # A budget stop may leave live events before the horizon; jumping

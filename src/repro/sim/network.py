@@ -15,14 +15,48 @@ checks -- including for messages already in flight, whose delivery
 re-validates against the fabric state at delivery time, as before.  The
 fast path performs exactly the same jitter draws in the same order as
 the checked path, so seeded runs are bit-identical either way.
+
+Message planes
+--------------
+The network supports two delivery planes (``plane=`` constructor arg):
+
+``object``
+    The historical path: one heap entry per message, one delivery
+    callback per message.
+
+``columnar``
+    The batched path: every pristine delivery -- unicast rows and the
+    fanned-out rows of a multicast alike -- lands in ONE globally
+    sorted *spine* of ``(arrival_time, seq, src, dst, message)``
+    records with a single armed heap *cursor* at its head.  The event
+    heap then carries only timers and the cursor, so when the cursor
+    fires, a drain loop delivers long runs of consecutive rows while
+    their ``(time, seq)`` keys precede every other pending event (and
+    the run horizon), handing maximal same-destination same-class runs
+    to per-node batch handlers (``handle_<Class>Batch``).  Every row
+    keeps exactly the ``(time, seq)`` key the object plane would have
+    assigned -- the same jitter draws in the same order, the same
+    consecutive seq numbers -- so delivering rows in spine order *is*
+    the object plane's heap pop order and seeded runs are bit-identical
+    across planes.  The moment a fault makes the network non-pristine,
+    new sends take the object path and in-flight rows drain one message
+    at a time through the same delivery-time checks as the object
+    plane.
 """
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
+from bisect import insort as _insort
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Dict, Iterable, Optional
 
 from repro.sim.engine import Simulator
+
+#: Valid values for the ``plane`` knob as seen by scenario plumbing.  The
+#: network itself only builds "object" or "columnar"; "check" is resolved
+#: by the experiment runner into one run of each plane plus a state-trace
+#: comparison (mirroring ``check_score``/``check_rebuild``).
+MESSAGE_PLANES = ("object", "columnar", "check")
 
 # An interceptor receives (src, dst, message, delay) and returns either
 # None (drop the message) or a (message, delay) pair to use instead.
@@ -31,6 +65,44 @@ Interceptor = Callable[[int, int, Any, float], Optional[tuple]]
 #: Sentinel distinguishing "class not yet resolved" from "resolved to no
 #: handler" in a registered dispatch cache (see Network.register_dispatch).
 _UNRESOLVED = object()
+
+#: Barrier seq used when the horizon (not a heap event) bounds a drain:
+#: rows at exactly the horizon time always pass the tie-break.
+_INF = float("inf")
+
+
+class _Spine:
+    """The single global column of pending pristine deliveries.
+
+    ``entries`` is a list of ``(arrival_time, seq, src, dst, message)``
+    rows kept sorted by ``(time, seq)`` (seqs are unique, so sort
+    comparisons never reach ``src``).  Keeping *all* destinations merged
+    in one column -- rather than one column per destination -- is what
+    makes the drain loop long: the event heap holds only timers plus one
+    cursor for the spine head, so interleaved traffic to different
+    destinations no longer breaks a drain into per-row cursor hops.
+
+    ``armed`` is the key of the row the live heap cursor is responsible
+    for (``None`` when empty); ``live`` holds the keys of every cursor
+    currently in the heap, so a drain that re-arms at a key whose cursor
+    is still queued does not push a duplicate (two heap tuples with
+    equal ``(time, seq)`` would make the heap compare callbacks).  A
+    cursor that fires when ``armed`` moved on is stale and returns
+    immediately.
+    """
+
+    __slots__ = ("entries", "armed", "live")
+
+    def __init__(self):
+        self.entries: list = []
+        self.armed: Optional[tuple] = None
+        self.live: set = set()
+
+    def __getstate__(self):
+        return (self.entries, self.armed, self.live)
+
+    def __setstate__(self, state):
+        self.entries, self.armed, self.live = state
 
 
 class NetworkStats:
@@ -131,6 +203,10 @@ class Network:
         0.05 means each delay is multiplied by ``uniform(1.0, 1.05)``.
         Jitter draws come from a dedicated generator so enabling or
         disabling it does not perturb other random streams.
+    plane:
+        ``"object"`` (default) or ``"columnar"`` -- see the module
+        docstring.  Both planes are bit-identical for seeded runs; the
+        columnar plane batches pristine steady-state traffic.
     """
 
     def __init__(
@@ -138,12 +214,26 @@ class Network:
         sim: Simulator,
         one_way_delay: Callable[[int, int], float],
         jitter: float = 0.0,
+        plane: str = "object",
     ):
+        if plane not in ("object", "columnar"):
+            raise ValueError(
+                f"unknown message plane {plane!r}; the network builds "
+                "'object' or 'columnar' ('check' is resolved by the runner)"
+            )
         self.sim = sim
+        self.plane = plane
+        self._columnar = plane == "columnar"
         self._delay_rows: Optional[list] = None
         self.one_way_delay = one_way_delay
         self.jitter = jitter
         self._stats = NetworkStats()
+        #: Global sorted column of pending columnar deliveries.
+        self._spine = _Spine()
+        #: node id -> object probed for ``handle_<Class>Batch`` methods.
+        self._batch_endpoints: Dict[int, Any] = {}
+        #: node id -> class -> batch handler (or None), lazily resolved.
+        self._batch_routes: Dict[int, Dict[type, Optional[Callable]]] = {}
         self._handlers: Dict[int, Callable[[int, Any], None]] = {}
         #: node id -> its class->bound-handler cache (see
         #: :meth:`register_dispatch`); lets delivery call the terminal
@@ -178,7 +268,28 @@ class Network:
         """Drop the derived hot-path fields; they are deterministic
         functions of the rest and the delivery closure cannot pickle.
         (Queued heap entries referencing ``_deliver_bound`` are handled
-        by the checkpoint module's persistent-id hooks.)"""
+        by the checkpoint module's persistent-id hooks.)
+
+        Everything else round-trips as-is -- audited per field:
+
+        * ``_pristine`` pickles verbatim and stays consistent because the
+          inputs it is derived from (``_interceptors``, ``_down``,
+          ``_partition_group``) pickle in the same snapshot; a resume
+          therefore re-checks in-flight deliveries exactly as the
+          uninterrupted run would.
+        * ``_stats_per_class`` is re-pointed at the restored ``_stats``
+          accumulator in ``__setstate__`` -- it must never be pickled, or
+          the copy would split the send accounting from ``stats``.
+        * ``_delay_rows`` is re-derived from the restored provider so a
+          provider without a ``rows`` matrix never resurrects a stale one.
+        * The columnar state (``_spine``, ``_batch_endpoints``,
+          ``_batch_routes``) pickles verbatim: spine rows hold only
+          plain values and messages, and the cached batch handlers are
+          bound methods of replicas already in the checkpoint graph, so
+          they rebind to the restored replicas on load.  The drain
+          callback queued in the heap is a plain bound method
+          (``_drain_spine``) and needs no persistent-id treatment.
+        """
         state = self.__dict__.copy()
         for key in (
             "_deliver_bound",
@@ -260,9 +371,40 @@ class Network:
         """
         self._routes[node_id] = dispatch
 
+    def register_batch_endpoint(self, node_id: int, endpoint: Any) -> None:
+        """Columnar-plane opt-in: deliver same-class runs in bulk.
+
+        ``endpoint`` (usually the replica object) is probed lazily for
+        ``handle_<ClassName>Batch(srcs, messages, times)`` methods; when
+        one exists, the spine drain hands it a maximal run of *two or
+        more* consecutive same-class rows bound for this node instead of
+        delivering them one at a time.  Single-row runs keep the
+        ordinary per-row delivery: a batched class must therefore retain
+        an equivalent per-row handler (the object plane needs one
+        anyway, and cross-plane bit-identity already demands the two be
+        indistinguishable).
+
+        Batch-handler contract (load-bearing for bit-identity):
+
+        * Rows must be processed in order, with ``sim.now`` set to
+          ``times[k]`` before row ``k``'s side effects (the drain sets it
+          to ``times[0]`` before the call).
+        * The handler must return the number of rows consumed, and it
+          must stop -- returning ``k + 1`` -- as soon as processing row
+          ``k`` sends a message or schedules an event, because those side
+          effects may now precede row ``k + 1`` in global event order.
+          Rows that only mutate local state may be consumed freely.
+        * Returning ``None`` means "all rows consumed" (valid only for
+          handlers whose rows never send or schedule).
+        """
+        self._batch_endpoints[node_id] = endpoint
+        self._batch_routes[node_id] = {}
+
     def unregister(self, node_id: int) -> None:
         self._handlers.pop(node_id, None)
         self._routes.pop(node_id, None)
+        self._batch_endpoints.pop(node_id, None)
+        self._batch_routes.pop(node_id, None)
 
     def set_down(self, node_id: int, down: bool = True) -> None:
         """Crash (or revive) a node: messages to and from it are dropped."""
@@ -351,6 +493,53 @@ class Network:
         dropped instead.
         """
         if self._pristine:
+            if self._columnar:
+                # Columnar pristine unicast: insert one row into the
+                # global spine instead of pushing a heap entry.  Delay,
+                # jitter draw, stats bump and seq allocation are
+                # identical (same values, same order) to the object
+                # branch below, so the row carries exactly the
+                # ``(time, seq)`` key the object plane would have used.
+                # Inlined rather than a helper: one call frame per
+                # message is measurable on the steady-state path.
+                if src == dst:
+                    delay = 0.0
+                else:
+                    rows = self._delay_rows
+                    delay = (
+                        rows[src][dst] if rows is not None
+                        else self._one_way_delay(src, dst)
+                    )
+                if self._jitter > 0.0:
+                    delay *= 1.0 + self._jitter_span * self._jitter_random()
+                per_class = self._stats_per_class
+                cls = message.__class__
+                entry = per_class.get(cls)
+                if entry is None:
+                    per_class[cls] = [1, size]
+                else:
+                    entry[0] += 1
+                    entry[1] += size
+                sim = self.sim
+                seq = sim._seq
+                sim._seq = seq + 1
+                time = sim.now + delay
+                spine = self._spine
+                _insort(spine.entries, (time, seq, src, dst, message))
+                armed = spine.armed
+                if armed is None or time < armed[0] or (
+                    time == armed[0] and seq < armed[1]
+                ):
+                    key = (time, seq)
+                    spine.armed = key
+                    spine.live.add(key)
+                    queue = sim._queue
+                    _heappush(
+                        queue, (time, seq, None, self._drain_spine, (time, seq))
+                    )
+                    if len(queue) > sim.max_queue_depth:
+                        sim.max_queue_depth = len(queue)
+                return
             if src == dst:
                 delay = 0.0
             else:
@@ -414,6 +603,9 @@ class Network:
             for dst in dsts:
                 self.send(src, dst, message, size)
             return
+        if self._columnar:
+            self._multicast_columnar(src, dsts, message, size)
+            return
         one_way = self._one_way_delay
         jittered = self._jitter > 0.0
         span = self._jitter_span
@@ -453,6 +645,265 @@ class Network:
             sim.max_queue_depth = len(queue)
         if fanout:
             self.stats.record_multicast(message, size, fanout)
+
+    # ------------------------------------------------------------------
+    # Columnar plane: batched sends and drain loops
+    # ------------------------------------------------------------------
+    def _multicast_columnar(
+        self, src: int, dsts: Iterable[int], message: Any, size: int
+    ) -> None:
+        """Pristine multicast on the columnar plane: merge the fanned-out
+        rows into the spine instead of pushing ``fanout`` heap entries.
+
+        The per-destination loop draws jitter in destination order and
+        reserves the same consecutive seq numbers the object plane's
+        multicast would have assigned, so each row keeps the object
+        plane's exact ``(time, seq)`` key; merging by that key reproduces
+        the heap's pop order (seqs are unique, so the order is total).
+
+        Merging mid-drain is safe: every new key exceeds the key of the
+        row currently being delivered (times are ``>= now``, seqs are
+        fresh), and the spine's already-delivered prefix holds strictly
+        smaller keys, so a whole-list sort leaves that prefix -- and the
+        drain's index into it -- untouched.
+        """
+        one_way = self._one_way_delay
+        jittered = self._jitter > 0.0
+        span = self._jitter_span
+        rand = self._jitter_random
+        drows = self._delay_rows
+        row = drows[src] if drows is not None else None
+        sim = self.sim
+        now = sim.now
+        first = sim._seq
+        seq = first
+        new_rows = []
+        append = new_rows.append
+        if row is not None:
+            for dst in dsts:
+                delay = 0.0 if src == dst else row[dst]
+                if jittered:
+                    delay *= 1.0 + span * rand()
+                append((now + delay, seq, src, dst, message))
+                seq += 1
+        else:
+            for dst in dsts:
+                delay = 0.0 if src == dst else one_way(src, dst)
+                if jittered:
+                    delay *= 1.0 + span * rand()
+                append((now + delay, seq, src, dst, message))
+                seq += 1
+        sim._seq = seq
+        fanout = seq - first
+        if not fanout:
+            return
+        self.stats.record_multicast(message, size, fanout)
+        new_rows.sort()
+        spine = self._spine
+        entries = spine.entries
+        if not entries:
+            entries.extend(new_rows)
+        elif fanout < 8:
+            # Small fanout (Kauri tree hops): per-row insertion beats
+            # re-merging the whole spine.
+            for r in new_rows:
+                _insort(entries, r)
+        else:
+            # Two sorted runs; timsort merges them in one galloping pass.
+            entries.extend(new_rows)
+            entries.sort()
+        t0 = new_rows[0][0]
+        s0 = new_rows[0][1]
+        armed = spine.armed
+        if armed is None or t0 < armed[0] or (t0 == armed[0] and s0 < armed[1]):
+            key = (t0, s0)
+            spine.armed = key
+            spine.live.add(key)
+            queue = sim._queue
+            _heappush(queue, (t0, s0, None, self._drain_spine, (t0, s0)))
+            if len(queue) > sim.max_queue_depth:
+                sim.max_queue_depth = len(queue)
+
+    def _drain_spine(self, time: float, seq: int) -> None:
+        """Cursor callback for the spine: deliver consecutive rows while
+        their keys precede every other pending event, handing maximal
+        same-destination same-class runs to batch handlers.
+
+        A row is delivered only when no event with a smaller
+        ``(time, seq)`` key exists anywhere (heap or horizon) -- at that
+        point the object plane would have popped exactly this row next,
+        so delivering it here preserves global event order, clock values
+        and seq allocation bit-for-bit.  ``sim.now`` is advanced to each
+        row's arrival time before its handler runs.  When a foreign
+        event intervenes, the cursor re-arms at the next undelivered
+        row's original key.
+
+        The barrier (heap head key, capped by the horizon) is
+        snapshotted once and revalidated only when delivering a row
+        changed the heap head -- handlers push timers but never pop, so
+        the head object's identity is a sufficient staleness check.  On
+        the columnar plane handler *sends* go back into the spine, not
+        the heap, so the snapshot usually survives the whole drain and
+        rows inserted mid-drain are picked up in key order by the index
+        walk: their fresh seqs place them after the row being delivered
+        and before any undelivered row they precede.
+        """
+        spine = self._spine
+        key = (time, seq)
+        live = spine.live
+        live.discard(key)
+        if spine.armed != key:
+            return  # Stale cursor: an earlier drain already passed this key.
+        entries = spine.entries
+        sim = self.sim
+        queue = sim._queue
+        horizon = sim.horizon
+        routes_get = self._routes.get
+        handlers_get = self._handlers.get
+        batch_routes_get = self._batch_routes.get
+        stats = self._stats
+        unresolved = _UNRESOLVED
+        i = 0
+        while i < len(entries):
+            # Barrier snapshot: clear cancelled timers at the head (the
+            # run loop would discard them anyway; yielding to one wastes
+            # a re-arm), then cap the head key by the horizon.
+            while queue:
+                head = queue[0]
+                handle = head[2]
+                if handle is None or not handle.cancelled:
+                    break
+                _heappop(queue)
+            if queue:
+                head = queue[0]
+                bt = head[0]
+                bs = head[1]
+                if bt > horizon:
+                    bt = horizon
+                    bs = _INF
+            else:
+                head = None
+                bt = horizon
+                bs = _INF
+            while i < len(entries):
+                if i >= 256:
+                    # Compact the delivered prefix mid-drain.  A long
+                    # drain otherwise keeps dead rows in front, which
+                    # makes every mid-drain multicast merge (and every
+                    # insort bisect) pay for rows that are already gone.
+                    # Only the in-flight suffix moves, so this is O(1)
+                    # amortized per delivered row.
+                    del entries[:i]
+                    i = 0
+                row = entries[i]
+                t = row[0]
+                if t > bt or (t == bt and row[1] > bs):
+                    # Foreign event (or the horizon) first: hand control
+                    # back, re-armed at this row's original key below.
+                    i = -i - 1  # flag: stop draining entirely
+                    break
+                dst = row[3]
+                if not self._pristine:
+                    # A fault landed while rows were in flight: fall back
+                    # to per-message delivery-time checks (drops count
+                    # exactly as on the object plane).
+                    sim.now = t
+                    self._deliver_bound(row[2], dst, row[4])
+                    i += 1
+                    if queue and queue[0] is not head:
+                        break
+                    continue
+                message = row[4]
+                cls = message.__class__
+                batch_route = batch_routes_get(dst)
+                if batch_route is not None:
+                    bh = batch_route.get(cls, unresolved)
+                    if bh is unresolved:
+                        endpoint = self._batch_endpoints.get(dst)
+                        bh = (
+                            getattr(
+                                endpoint, "handle_" + cls.__name__ + "Batch", None
+                            )
+                            if endpoint is not None
+                            else None
+                        )
+                        batch_route[cls] = bh
+                    if bh is not None:
+                        # Maximal run of same-destination same-class rows
+                        # inside the barrier, handed over as one column.
+                        j = i + 1
+                        total = len(entries)
+                        while j < total:
+                            r2 = entries[j]
+                            t2 = r2[0]
+                            if (
+                                r2[3] != dst
+                                or t2 > bt
+                                or (t2 == bt and r2[1] > bs)
+                                or r2[4].__class__ is not cls
+                            ):
+                                break
+                            j += 1
+                        width = j - i
+                        if width > 1:
+                            sim.now = t
+                            times, _seqs, srcs, _dsts, messages = zip(*entries[i:j])
+                            consumed = bh(srcs, messages, times)
+                            if consumed is None:
+                                consumed = width
+                            elif consumed < 1:
+                                consumed = 1
+                            elif consumed > width:
+                                consumed = width
+                            stats.messages_delivered += consumed
+                            i += consumed
+                            if queue and queue[0] is not head:
+                                break
+                            continue
+                        # width == 1: the per-row handler below is
+                        # cheaper than the column machinery, and every
+                        # batched class has one (the object plane
+                        # depends on it), with identical semantics by
+                        # the batch-handler contract.
+                sim.now = t
+                route = routes_get(dst)
+                if route is not None:
+                    handler = route.get(cls, unresolved)
+                    if handler is not unresolved:
+                        stats.messages_delivered += 1
+                        if handler is not None:
+                            handler(row[2], message)
+                        i += 1
+                        if queue and queue[0] is not head:
+                            break
+                        continue
+                fallback = handlers_get(dst)
+                if fallback is None:
+                    stats.messages_dropped += 1
+                else:
+                    stats.messages_delivered += 1
+                    fallback(row[2], message)
+                i += 1
+                if queue and queue[0] is not head:
+                    break
+            if i < 0:
+                i = -i - 1
+                break
+        if i:
+            del entries[:i]
+        if entries:
+            r0 = entries[0]
+            nt = r0[0]
+            ns = r0[1]
+            nkey = (nt, ns)
+            spine.armed = nkey
+            if nkey not in live:
+                live.add(nkey)
+                _heappush(queue, (nt, ns, None, self._drain_spine, (nt, ns)))
+                if len(queue) > sim.max_queue_depth:
+                    sim.max_queue_depth = len(queue)
+        else:
+            spine.armed = None
 
     # ------------------------------------------------------------------
     # Delivery

@@ -1,0 +1,68 @@
+"""The ``repro bench --plane`` suite: shape, equivalence, baseline."""
+
+from repro.bench.plane import (
+    SUITE,
+    format_plane_table,
+    run_plane_suite,
+)
+from repro.bench.plane_baseline import PLANE_BASELINE
+from repro.bench.rebaseline import _pin, _specs
+
+
+def test_quick_plane_suite_is_equivalent_everywhere():
+    report = run_plane_suite(quick=True)
+    assert report["suite"] == "plane"
+    assert report["quick"] is True
+    entries = {record["id"]: record for record in report["entries"]}
+    assert set(entries) == {entry.id for entry in SUITE}
+    for record in entries.values():
+        # The hard acceptance bar: every entry, both planes, identical
+        # state traces and delivery counts.
+        assert record["trace_equal"] is True, record["id"]
+        assert record["deliveries_match"] is True, record["id"]
+        assert record["deliveries"] > 0
+        assert record["heap_events_columnar"] <= record["heap_events_object"]
+
+
+def test_steady_entries_meet_event_reduction_bar():
+    report = run_plane_suite(quick=True)
+    entries = {record["id"]: record for record in report["entries"]}
+    # Even at quick scale (n=16, 1 sim-second) the steady-state drain
+    # collapses far past the >= 3x acceptance criterion.
+    for entry_id in ("hotstuff/n128/steady", "kauri/n128/steady"):
+        assert entries[entry_id]["event_reduction"] >= 3.0, entry_id
+
+
+def test_faulted_entry_falls_back_to_object_path():
+    report = run_plane_suite(quick=True)
+    entries = {record["id"]: record for record in report["entries"]}
+    fallback = entries["fallback/faulted"]
+    assert fallback["fallback_active"] is True
+    # The fallback runs the literal object path: same heap events.
+    assert fallback["heap_events_columnar"] == fallback["heap_events_object"]
+    assert fallback["event_reduction"] == 1.0
+
+
+def test_format_plane_table_lists_all_entries():
+    report = run_plane_suite(quick=True)
+    table = format_plane_table(report)
+    for record in report["entries"]:
+        assert record["id"] in table
+    assert "DIVERGE" not in table
+
+
+def test_recorded_baseline_covers_the_suite():
+    entries = PLANE_BASELINE["entries"]
+    assert set(entries) == {entry.id for entry in SUITE}
+    spec = _specs()["plane"]
+    for entry_id, record in entries.items():
+        # Rebaseline pins exactly the object-plane keys.
+        assert set(record) <= set(spec.keys), entry_id
+        assert record["heap_events_object"] > 0
+        assert record["wall_seconds_object"] > 0.0
+
+
+def test_pin_selects_keys():
+    record = {"id": "x", "a": 1, "b": 2, "baseline": {}, "speedup": 2.0}
+    assert _pin(record, ("a", "missing")) == {"a": 1}
+    assert _pin(record, None) == {"a": 1, "b": 2}

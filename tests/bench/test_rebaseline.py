@@ -1,0 +1,35 @@
+"""The unified ``repro bench --rebaseline <suite>`` writer."""
+
+import importlib
+
+import pytest
+
+from repro.bench.rebaseline import _specs, known_suites, rebaseline
+
+
+def test_known_suites_cover_every_baseline_module():
+    assert known_suites() == (
+        "metrics",
+        "pipeline",
+        "plane",
+        "search",
+        "simulator",
+    )
+
+
+def test_unknown_suite_is_rejected():
+    with pytest.raises(ValueError, match="unknown bench suite"):
+        rebaseline("rowwise")
+
+
+def test_specs_point_at_real_modules_and_variables():
+    for spec in _specs().values():
+        module_name = f"repro.bench.{spec.baseline_file[:-3]}"
+        module = importlib.import_module(module_name)
+        baseline = getattr(module, spec.variable)
+        assert set(baseline) == {"note", "entries"}, spec.name
+        # Every recorded entry carries only keys the spec would pin, so
+        # a rebaseline run reproduces the module's shape exactly.
+        if spec.keys is not None:
+            for entry_id, record in baseline["entries"].items():
+                assert set(record) <= set(spec.keys), (spec.name, entry_id)

@@ -1,0 +1,438 @@
+"""Columnar message plane: bit-identity with the object plane, batch
+handler dispatch, fault fallback, stats parity and pickling.
+
+The contract under test (see the "Message planes" section of
+:mod:`repro.sim.network`): a pristine columnar network delivers exactly
+the messages the object plane delivers, at the same simulated times, in
+the same global order, with the same RNG draws, seq numbers and
+statistics -- while using one heap cursor per column instead of one
+heap entry per message.  Any fault (down node, partition, interceptor,
+per-link override) makes new sends take the object path and in-flight
+columnar rows fall back to per-message delivery-time checks.
+"""
+
+import pickle
+
+from repro.sim.engine import Simulator
+from repro.sim.network import MESSAGE_PLANES, Network
+
+import pytest
+
+
+class Ping:
+    """Minimal message class so batch dispatch has a real class name."""
+
+    wire_size = 10
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return f"Ping({self.value})"
+
+
+class Pong(Ping):
+    wire_size = 7
+
+
+def make_pair(delay=0.01, jitter=0.0, seed=1):
+    """One simulator + network per plane, identically seeded."""
+    pair = []
+    for plane in ("object", "columnar"):
+        sim = Simulator(seed=seed)
+        network = Network(sim, lambda a, b: delay, jitter=jitter, plane=plane)
+        pair.append((sim, network))
+    return pair
+
+
+def run_traffic(sim, network, n=6):
+    """Mixed multicasts, unicasts and reactive sends; returns the trace."""
+    trace = []
+
+    def handler(dst):
+        def on_message(src, message):
+            trace.append((round(sim.now, 12), src, dst, repr(message)))
+            # Reactive unicast: odd receivers bounce a Pong to node 0.
+            if dst % 2 == 1 and isinstance(message, Ping) and not isinstance(
+                message, Pong
+            ):
+                network.send(dst, 0, Pong(message.value), Pong.wire_size)
+
+        return on_message
+
+    for node in range(n):
+        network.register(node, handler(node))
+    for round_index in range(4):
+        src = round_index % n
+        network.multicast(src, range(n), Ping(round_index), Ping.wire_size)
+        network.send(src, (src + 1) % n, Ping(100 + round_index), Ping.wire_size)
+    sim.run()
+    return trace
+
+
+def snapshot(sim, network):
+    stats = network.stats
+    return {
+        "now": sim.now,
+        "seq": sim._seq,
+        "rng": sim.rng.getstate(),
+        "sent": stats.messages_sent,
+        "delivered": stats.messages_delivered,
+        "dropped": stats.messages_dropped,
+        "bytes": stats.bytes_sent,
+        "per_type_bytes": stats.per_type_bytes,
+    }
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def test_plane_vocabulary_and_validation():
+    assert MESSAGE_PLANES == ("object", "columnar", "check")
+    sim = Simulator(seed=0)
+    with pytest.raises(ValueError, match="check"):
+        Network(sim, lambda a, b: 0.01, plane="check")
+    with pytest.raises(ValueError):
+        Network(sim, lambda a, b: 0.01, plane="rowwise")
+
+
+# ----------------------------------------------------------------------
+# Bit-identity on pristine networks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jitter", [0.0, 0.05])
+def test_columnar_trace_matches_object_plane(jitter):
+    (sim_o, net_o), (sim_c, net_c) = make_pair(jitter=jitter)
+    trace_object = run_traffic(sim_o, net_o)
+    trace_columnar = run_traffic(sim_c, net_c)
+    assert trace_columnar == trace_object
+    assert snapshot(sim_c, net_c) == snapshot(sim_o, net_o)
+
+
+def test_columnar_uses_fewer_heap_events():
+    (sim_o, net_o), (sim_c, net_c) = make_pair()
+    run_traffic(sim_o, net_o)
+    run_traffic(sim_c, net_c)
+    # One cursor per drained column vs one entry per message: the
+    # columnar run must process strictly fewer heap events for the
+    # identical delivery trace.
+    assert sim_c.events_processed < sim_o.events_processed
+
+
+def test_delivery_tie_order_matches_object_plane():
+    # Zero delay and zero jitter: every delivery carries the same
+    # timestamp and order is decided purely by seq allocation.
+    (sim_o, net_o), (sim_c, net_c) = make_pair(delay=0.0)
+    trace_object = run_traffic(sim_o, net_o)
+    trace_columnar = run_traffic(sim_c, net_c)
+    assert trace_columnar == trace_object
+
+
+# ----------------------------------------------------------------------
+# Batch handler dispatch (unicast columns)
+# ----------------------------------------------------------------------
+class BatchEndpoint:
+    """Records whether rows arrived via the batch or the row path."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.batches = []
+        self.rows = []
+
+    def on_message(self, src, message):
+        self.rows.append((self.sim.now, src, message.value))
+
+    def handle_PingBatch(self, srcs, messages, times):  # noqa: N802
+        self.batches.append(
+            (list(srcs), [m.value for m in messages], list(times))
+        )
+        return len(messages)
+
+
+def test_unicast_runs_reach_batch_handler():
+    sim = Simulator(seed=1)
+    network = Network(sim, lambda a, b: 0.01, plane="columnar")
+    endpoint = BatchEndpoint(sim)
+    network.register(1, endpoint.on_message)
+    network.register_batch_endpoint(1, endpoint)
+    for src in (0, 2, 3):
+        network.send(src, 1, Ping(src), Ping.wire_size)
+    sim.run()
+    # All three same-class rows arrive as one gathered run; the per-row
+    # path never fires.
+    assert endpoint.rows == []
+    assert len(endpoint.batches) == 1
+    srcs, values, times = endpoint.batches[0]
+    assert srcs == values == [0, 2, 3]
+    assert times == sorted(times)
+    assert network.stats.messages_delivered == 3
+
+
+class YieldingEndpoint(BatchEndpoint):
+    """Consumes one row per call and replies: the cooperative contract
+    for handlers whose rows send (side effects may precede row k+1).
+    The per-row handler is equivalent, as the contract requires --
+    single-row runs are delivered through it, not the batch path."""
+
+    def __init__(self, sim, network):
+        super().__init__(sim)
+        self.network = network
+
+    def on_message(self, src, message):
+        self.rows.append((self.sim.now, src, message.value))
+        self.network.send(1, src, Pong(message.value), Pong.wire_size)
+
+    def handle_PingBatch(self, srcs, messages, times):  # noqa: N802
+        self.sim.now = times[0]
+        self.batches.append((srcs[0], messages[0].value, times[0]))
+        self.network.send(1, srcs[0], Pong(messages[0].value), Pong.wire_size)
+        return 1
+
+
+def test_yielding_batch_handler_preserves_order():
+    def run(plane):
+        sim = Simulator(seed=1)
+        network = Network(sim, lambda a, b: 0.01, plane=plane)
+        trace = []
+        if plane == "columnar":
+            endpoint = YieldingEndpoint(sim, network)
+            network.register(1, endpoint.on_message)
+            network.register_batch_endpoint(1, endpoint)
+        else:
+            def on_ping(src, message):
+                network.send(1, src, Pong(message.value), Pong.wire_size)
+
+            network.register(1, on_ping)
+        for node in (0, 2, 3):
+            network.register(
+                node,
+                lambda src, msg, node=node: trace.append(
+                    (round(sim.now, 12), src, node, msg.value)
+                ),
+            )
+            network.send(node, 1, Ping(node), Ping.wire_size)
+        sim.run()
+        return trace, snapshot(sim, network)
+
+    trace_object, stats_object = run("object")
+    trace_columnar, stats_columnar = run("columnar")
+    assert trace_columnar == trace_object
+    # The endpoints differ by construction, so only the wire-visible
+    # stats are compared (same sends, same deliveries, same bytes).
+    assert stats_columnar == stats_object
+
+
+class GreedyEndpoint(BatchEndpoint):
+    """Claims more rows than it was handed: the network must clamp."""
+
+    def handle_PingBatch(self, srcs, messages, times):  # noqa: N802
+        self.batches.append(len(messages))
+        return len(messages) + 10
+
+
+def test_overclaimed_consumed_count_is_clamped():
+    sim = Simulator(seed=1)
+    network = Network(sim, lambda a, b: 0.01, plane="columnar")
+    endpoint = GreedyEndpoint(sim)
+    network.register(1, endpoint.on_message)
+    network.register_batch_endpoint(1, endpoint)
+    for src in (0, 2):
+        network.send(src, 1, Ping(src), Ping.wire_size)
+    sim.run()
+    assert network.stats.messages_delivered == 2
+
+
+def test_mixed_classes_split_into_class_runs():
+    sim = Simulator(seed=1)
+    network = Network(sim, lambda a, b: 0.0, plane="columnar")
+    endpoint = BatchEndpoint(sim)
+    network.register(1, endpoint.on_message)
+    network.register_batch_endpoint(1, endpoint)
+    # Ping, Ping, Pong, Ping at identical times: the Pong (no batch
+    # handler) breaks the run and takes the per-row path, and the
+    # trailing single-row Ping run goes per-row too (batch handlers
+    # only see runs of two or more).
+    for index, cls in enumerate((Ping, Ping, Pong, Ping)):
+        network.send(index + 2, 1, cls(index), cls.wire_size)
+    sim.run()
+    assert [values for _, values, _ in endpoint.batches] == [[0, 1]]
+    assert [value for _, _, value in endpoint.rows] == [2, 3]
+
+
+# ----------------------------------------------------------------------
+# Horizon slicing
+# ----------------------------------------------------------------------
+def test_horizon_slices_columns_and_resumes():
+    # run(until=...) must not deliver rows beyond the horizon, and a
+    # later run() must deliver them -- the campaign plane's slice loop.
+    def run(plane):
+        sim = Simulator(seed=1)
+        network = Network(sim, lambda a, b: 1.0, plane=plane)
+        trace = []
+        for node in range(3):
+            network.register(
+                node,
+                lambda src, msg, node=node: trace.append(
+                    (sim.now, src, node, msg.value)
+                ),
+            )
+        network.multicast(0, range(3), Ping(1), Ping.wire_size)
+        sim.run(until=0.5)
+        first = list(trace)
+        sim.run(until=10.0)
+        return first, trace
+
+    first_o, full_o = run("object")
+    first_c, full_c = run("columnar")
+    assert first_c == first_o  # nothing before the horizon... (self-row)
+    assert full_c == full_o  # ...and everything after resuming
+
+
+# ----------------------------------------------------------------------
+# Fault fallback
+# ----------------------------------------------------------------------
+def test_mid_flight_crash_drops_on_both_planes():
+    def run(plane):
+        sim = Simulator(seed=1)
+        network = Network(sim, lambda a, b: 1.0, plane=plane)
+        trace = []
+        for node in range(4):
+            network.register(
+                node,
+                lambda src, msg, node=node: trace.append((node, msg.value)),
+            )
+        network.multicast(0, range(4), Ping(7), Ping.wire_size)
+        network.send(1, 2, Ping(8), Ping.wire_size)
+        sim.schedule(0.5, network.set_down, 2, True)
+        sim.run()
+        return trace, snapshot(sim, network)
+
+    trace_object, stats_object = run("object")
+    trace_columnar, stats_columnar = run("columnar")
+    assert trace_columnar == trace_object
+    assert stats_columnar == stats_object
+    assert stats_columnar["dropped"] == 2  # multicast row + unicast row
+
+
+def test_sends_after_fault_take_object_path_and_match():
+    def run(plane):
+        sim = Simulator(seed=3)
+        network = Network(sim, lambda a, b: 0.01, jitter=0.05, plane=plane)
+        trace = []
+        for node in range(4):
+            network.register(
+                node,
+                lambda src, msg, node=node: trace.append(
+                    (round(sim.now, 12), node, msg.value)
+                ),
+            )
+
+        def interceptor(src, dst, message, delay):
+            if message.value == "drop-me":
+                return None
+            return message, delay * 2.0
+
+        network.multicast(0, range(4), Ping("early"), Ping.wire_size)
+        sim.schedule(0.5, network.add_interceptor, interceptor)
+        sim.schedule(1.0, network.multicast, 1, range(4), Ping("late"),
+                     Ping.wire_size)
+        sim.schedule(1.0, network.send, 1, 3, Ping("drop-me"), Ping.wire_size)
+        sim.run()
+        return trace, snapshot(sim, network)
+
+    trace_object, stats_object = run("object")
+    trace_columnar, stats_columnar = run("columnar")
+    assert trace_columnar == trace_object
+    assert stats_columnar == stats_object
+    # The interceptor-dropped unicast is not counted as sent (satellite:
+    # drop-vs-sent accounting must agree between planes).
+    assert stats_columnar["dropped"] == 1
+    assert stats_columnar["per_type_bytes"] == stats_object["per_type_bytes"]
+
+
+def test_lossy_interceptor_stats_agree_between_planes():
+    # A probabilistic-loss interceptor added mid-run: drops must not
+    # count as sent on the columnar path either, and per_type_bytes must
+    # agree byte-for-byte (the loss RNG is seeded per run).
+    import random
+
+    def run(plane):
+        sim = Simulator(seed=2)
+        network = Network(sim, lambda a, b: 0.02, plane=plane)
+        received = []
+        for node in range(5):
+            network.register(
+                node,
+                lambda src, msg, node=node: received.append((node, msg.value)),
+            )
+        rng = random.Random(99)
+
+        def lossy(src, dst, message, delay):
+            if rng.random() < 0.5:
+                return None
+            return message, delay
+
+        def blast(tag):
+            network.multicast(1, range(5), Ping(tag), Ping.wire_size)
+            network.send(2, 3, Pong(tag), Pong.wire_size)
+
+        blast("pre-fault")
+        sim.schedule(0.1, network.add_interceptor, lossy)
+        for start in (0.2, 0.3):
+            sim.schedule(start, blast, f"at-{start}")
+        sim.run()
+        return received, snapshot(sim, network)
+
+    received_object, stats_object = run("object")
+    received_columnar, stats_columnar = run("columnar")
+    assert received_columnar == received_object
+    assert stats_columnar == stats_object
+    assert stats_columnar["dropped"] > 0
+    sent_by_type = stats_columnar["per_type_bytes"]
+    assert set(sent_by_type) == {"Ping", "Pong"}
+
+
+# ----------------------------------------------------------------------
+# Pickling (checkpoint/resume with columns in flight)
+# ----------------------------------------------------------------------
+def _half_second(a, b):
+    """Module-level delay provider so the network graph pickles."""
+    return 0.5
+
+
+class PicklableEndpoint:
+    """Module-level endpoint so the network graph pickles."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def __call__(self, src, message):
+        self.received.append((round(self.sim.now, 12), src, message.value))
+
+
+def test_columnar_network_pickles_with_rows_in_flight():
+    def build():
+        sim = Simulator(seed=4)
+        network = Network(sim, _half_second, jitter=0.1, plane="columnar")
+        endpoints = [PicklableEndpoint(sim) for _ in range(3)]
+        for node, endpoint in enumerate(endpoints):
+            network.register(node, endpoint)
+        network.multicast(0, range(3), Ping("m"), Ping.wire_size)
+        network.send(1, 2, Ping("u"), Ping.wire_size)
+        return sim, network, endpoints
+
+    # Uninterrupted run.
+    sim, network, endpoints = build()
+    sim.run()
+    want = [endpoint.received for endpoint in endpoints]
+    want_stats = snapshot(sim, network)
+
+    # Pickled mid-flight (armed cursors, partially drained columns).
+    sim, network, endpoints = build()
+    sim.run(until=0.1)
+    sim2, network2, endpoints2 = pickle.loads(
+        pickle.dumps((sim, network, endpoints))
+    )
+    sim2.run()
+    assert [endpoint.received for endpoint in endpoints2] == want
+    assert snapshot(sim2, network2) == want_stats
