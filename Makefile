@@ -10,11 +10,13 @@
 #   make bench-figures  figure benchmarks at CI scale (REPRO_FULL=1 for paper scale)
 #   make bench-metrics  measurement-plane suite -> BENCH_metrics.json
 #   make bench-plane    message-plane suite (object vs columnar) -> BENCH_PR7.json
+#   make bench-scale    internet-scale suite (n up to 4096) -> BENCH_PR8.json
 #   make bench-all      every bench suite, one consolidated -> BENCH_all.json
 #   make campaign-smoke flat-RSS + kill/resume campaign smoke (REPRO_FULL=1 for 2M)
 #   make profile        cProfile over the fixed hot-path scenario
 #   make profile-search cProfile over the fixed search hot path
 #   make profile-pipeline cProfile over the fixed monitoring hot path
+#   make profile-scale  cProfile over one n=1024 hierarchical scenario
 #   make lint           bytecode-compile the tree + import-check the package
 #
 # Everything runs from the source tree via PYTHONPATH; `pip install -e .`
@@ -23,7 +25,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-search bench-pipeline bench-figures bench-metrics bench-plane bench-all campaign-smoke profile profile-search profile-pipeline lint quickstart
+.PHONY: test bench bench-quick bench-search bench-pipeline bench-figures bench-metrics bench-plane bench-scale bench-all campaign-smoke profile profile-search profile-pipeline profile-scale lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -53,6 +55,9 @@ bench-metrics:
 bench-plane:
 	$(PYTHON) -m repro bench --plane --output BENCH_PR7.json
 
+bench-scale:
+	$(PYTHON) -m repro bench --scale --output BENCH_PR8.json
+
 bench-all:
 	$(PYTHON) -m repro.bench.all BENCH_all.json
 
@@ -67,6 +72,9 @@ profile-search:
 
 profile-pipeline:
 	$(PYTHON) -m repro.bench.profile_pipeline
+
+profile-scale:
+	$(PYTHON) -m repro.bench.profile_scale
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

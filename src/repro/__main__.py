@@ -51,6 +51,7 @@ Subcommands
         python -m repro bench --search --output BENCH_PR4.json
         python -m repro bench --pipeline --output BENCH_PR5.json
         python -m repro bench --metrics --output BENCH_metrics.json
+        python -m repro bench --scale --output BENCH_PR8.json
 
 ``list``
     Show the available protocols, workloads, deployments, fault kinds,
@@ -324,9 +325,9 @@ def cmd_fig(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if sum((args.search, args.pipeline, args.metrics, args.plane)) > 1:
+    if sum((args.search, args.pipeline, args.metrics, args.plane, args.scale)) > 1:
         raise SystemExit(
-            "choose one of --search / --pipeline / --metrics / --plane"
+            "choose one of --search / --pipeline / --metrics / --plane / --scale"
         )
     if args.rebaseline:
         from repro.bench.rebaseline import rebaseline
@@ -347,6 +348,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 0
     if args.note:
         raise SystemExit("--note applies only to --rebaseline")
+
+    if args.scale:
+        from repro.bench.scale import (
+            format_scale_table,
+            run_scale_suite,
+        )
+        from repro.bench.scale import write_report as write_scale_report
+
+        try:
+            report = run_scale_suite(
+                quick=args.quick,
+                only=args.entry or None,
+                progress=lambda message: print(message, file=sys.stderr),
+            )
+        except ValueError as error:
+            raise SystemExit(f"error: {error}")
+        print(format_scale_table(report))
+        output = args.output or (
+            "BENCH_scale_quick.json" if args.quick else "BENCH_PR8.json"
+        )
+        write_scale_report(report, output)
+        print(f"wrote {output}", file=sys.stderr)
+        return 0
 
     if args.plane:
         from repro.bench.plane import (
@@ -627,6 +651,13 @@ def build_parser() -> argparse.ArgumentParser:
              "state-trace equivalence, heap-event reduction) instead",
     )
     bench_parser.add_argument(
+        "--scale", action="store_true",
+        help="run the internet-scale suite (world-N deployments at "
+             "n in {512, 1024, 4096}, per-entry subprocess with peak-RSS "
+             "tracking) instead; --quick keeps n <= 512, --entry selects "
+             "ids like pbft/n512",
+    )
+    bench_parser.add_argument(
         "--rebaseline", metavar="SUITE", default=None,
         help="run SUITE in full and rewrite its recorded baseline module "
              "(simulator / metrics / search / pipeline / plane)",
@@ -641,7 +672,8 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_PR4.json / BENCH_search_quick.json with --search; "
              "BENCH_PR5.json / BENCH_pipeline_quick.json with --pipeline; "
              "BENCH_metrics.json / BENCH_metrics_quick.json with --metrics; "
-             "BENCH_PR7.json / BENCH_plane_quick.json with --plane)",
+             "BENCH_PR7.json / BENCH_plane_quick.json with --plane; "
+             "BENCH_PR8.json / BENCH_scale_quick.json with --scale)",
     )
     bench_parser.set_defaults(func=cmd_bench)
 

@@ -1,23 +1,32 @@
 """``make bench-all``: every bench suite, one consolidated report.
 
-Runs the five suites -- ``simulator`` (the original ``repro bench``
-scenarios), ``search``, ``pipeline``, ``metrics`` and ``plane`` -- in
-sequence and nests their individual reports under one top-level JSON, so
-a single artifact captures the whole perf trajectory at a commit.  Each
-nested report is byte-identical in shape to what its own CLI flag would
-have written, baselines included.
+Runs the six suites -- ``simulator`` (the original ``repro bench``
+scenarios), ``search``, ``pipeline``, ``metrics``, ``plane`` and
+``scale`` -- in sequence and nests their individual reports under one
+top-level JSON, so a single artifact captures the whole perf trajectory
+at a commit.  Each nested report is byte-identical in shape to what its
+own CLI flag would have written, baselines included.
+
+Memory numbers live in a separate top-level ``host`` section: peak RSS
+is a host-dependent high-water mark (allocator, page size, interpreter
+build), so it stays out of the per-suite reports whose baselines must
+remain comparable across machines.  The section collects the parent
+process's own ``ru_maxrss`` plus the per-entry peaks from the scale
+suite, whose subprocess isolation makes them per-scenario rather than
+run-order-dependent.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import resource
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
 
 def _suites() -> List[Tuple[str, Callable, Callable]]:
-    from repro.bench import metrics, pipeline, plane, search, suite
+    from repro.bench import metrics, pipeline, plane, scale, search, suite
 
     return [
         ("simulator", suite.run_suite, suite.format_table),
@@ -25,7 +34,27 @@ def _suites() -> List[Tuple[str, Callable, Callable]]:
         ("pipeline", pipeline.run_pipeline_suite, pipeline.format_pipeline_table),
         ("metrics", metrics.run_metrics_suite, metrics.format_metrics_table),
         ("plane", plane.run_plane_suite, plane.format_plane_table),
+        ("scale", scale.run_scale_suite, scale.format_scale_table),
     ]
+
+
+def _peak_rss_mb() -> float:
+    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1)
+
+
+def host_section(suites: Dict[str, object]) -> Dict[str, object]:
+    """The host-dependent memory numbers, isolated from suite baselines."""
+    scale_rss = {}
+    scale_report = suites.get("scale")
+    if isinstance(scale_report, dict):
+        for record in scale_report.get("entries", []):
+            rss = record.get("peak_rss_mb")
+            if rss is not None:
+                scale_rss[record["id"]] = rss
+    return {
+        "bench_process_peak_rss_mb": _peak_rss_mb(),
+        "scale_entry_peak_rss_mb": scale_rss,
+    }
 
 
 def run_all_suites(
@@ -44,6 +73,7 @@ def run_all_suites(
         "quick": quick,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "host": host_section(suites),
         "suites": suites,
     }
 
@@ -54,6 +84,14 @@ def format_all_tables(report: Dict[str, object]) -> str:
     formats = {name: fmt for name, _run, fmt in _suites()}
     for name, sub_report in report["suites"].items():
         sections.append(f"== {name} ==\n{formats[name](sub_report)}")
+    host = report.get("host")
+    if host:
+        lines = [
+            f"bench process peak RSS: {host['bench_process_peak_rss_mb']} MB"
+        ]
+        for entry_id, rss in sorted(host["scale_entry_peak_rss_mb"].items()):
+            lines.append(f"  scale {entry_id:<14} {rss:>8.1f} MB")
+        sections.append("== host ==\n" + "\n".join(lines))
     return "\n\n".join(sections)
 
 

@@ -1,0 +1,43 @@
+"""``make profile-scale``: cProfile over one internet-scale scenario.
+
+Profiles a fixed n=1024 hotstuff run on the hierarchical ``world-1024``
+substrate (build + simulate) so successive profiles are comparable, and
+prints the top functions by internal time::
+
+    PYTHONPATH=src python -m repro.bench.profile_scale [top_n]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    top = int(argv[0]) if argv else 30
+    from repro.experiments.runner import Scenario, prepare_scenario
+
+    def workload() -> None:
+        scenario = Scenario(
+            protocol="hotstuff-rr",
+            deployment="world-1024",
+            workload="saturated",
+            duration=1.0,
+            seed=0,
+        )
+        result = prepare_scenario(scenario, plane="columnar")
+        result.cluster.run(scenario.duration)
+
+    workload()  # warm imports and caches outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("tottime").print_stats(top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

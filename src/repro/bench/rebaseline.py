@@ -67,7 +67,7 @@ class SuiteSpec:
 def _specs() -> Dict[str, SuiteSpec]:
     # Imports live here so ``repro.bench.rebaseline`` stays importable
     # without dragging in every suite module at startup.
-    from repro.bench import metrics, pipeline, plane, search, suite
+    from repro.bench import metrics, pipeline, plane, scale, search, suite
 
     return {
         "simulator": SuiteSpec(
@@ -112,6 +112,25 @@ def _specs() -> Dict[str, SuiteSpec]:
             keys=None,
             run=pipeline.run_pipeline_suite,
             extra=_PINS_NOTE,
+        ),
+        "scale": SuiteSpec(
+            name="scale",
+            title="repro bench --scale",
+            baseline_file="scale_baseline.py",
+            variable="SCALE_BASELINE",
+            keys=None,
+            run=scale.run_dense_suite,
+            extra=(
+                "\n\nThe baseline records the *dense* variant"
+                "\n(``wonderproxy-N``: the O(n²) matrix substrate) under a"
+                "\n2 GB address-space cap and the per-entry wall-clock"
+                "\ntimeouts -- ``status`` values other than ``\"ok\"`` are the"
+                "\ndocumented dense-path failures the hierarchical backend"
+                "\nexists to fix, not flakes.  The deterministic simulated"
+                "\nfields (``deliveries``, ``committed_blocks``) double as"
+                "\nbehaviour pins for the ``world-N`` runs, which use the"
+                "\nsame city draw and must simulate identically."
+            ),
         ),
         "plane": SuiteSpec(
             name="plane",

@@ -1,0 +1,497 @@
+"""``repro bench --scale``: internet-scale entries with peak-RSS tracking.
+
+The other bench suites measure wall clock in-process; this one is about
+the *memory ceiling* (ROADMAP item 1), so every entry runs in a fresh
+subprocess and reports ``ru_maxrss`` -- a process-global high-water mark
+that would smear across entries if they shared an interpreter.  The
+parent enforces a wall-clock timeout and, for dense-path (baseline)
+recording, an address-space cap, so an entry that cannot fit or finish
+is recorded as ``status: "timeout"`` / ``"oom"`` instead of taking the
+whole suite down with it.
+
+Two variants share the entry list:
+
+* the **dense** variant (``run_dense_suite``, ``repro bench
+  --rebaseline scale``) runs ``wonderproxy-N`` deployments -- the O(n²)
+  matrix path -- under a 2 GB address-space cap, documenting exactly
+  where the dense substrate stops fitting or stops finishing;
+* the default variant runs ``world-N`` deployments -- the hierarchical
+  backend over the *same* city draw, which yields bit-identical link
+  latencies -- so ``deliveries`` / ``committed_blocks`` must match the
+  dense baseline wherever the dense run completed, and the wall-clock /
+  RSS columns isolate the substrate and spine changes.
+
+``SCALE_BASELINE`` (:mod:`repro.bench.scale_baseline`) holds the
+pre-refactor dense measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.bench.scale_baseline import SCALE_BASELINE
+
+#: Address-space cap (MB) for dense-path recording: comfortably above
+#: any hierarchical-path entry, comfortably below what the dense n=4096
+#: substrate plus an in-flight broadcast round wants.
+DENSE_LIMIT_MB = 2048
+
+#: Per-entry wall-clock bound, parent-enforced.  PBFT broadcasts
+#: quadratically and gets the larger budget; a dense entry that cannot
+#: finish inside it is the documented outcome, not a flake.
+_TIMEOUTS = {"pbft": 420.0}
+_DEFAULT_TIMEOUT = 300.0
+
+_QUICK_MAX_N = 512
+
+#: Sim-seconds per (engine, n): long enough that the steady state
+#: dominates setup, short enough that the n=4096 entries stay minutes.
+_DURATIONS = {
+    "hotstuff": {512: 3.0, 1024: 2.0, 4096: 1.0},
+    "kauri": {512: 3.0, 1024: 2.0, 4096: 1.0},
+    "pbft": {512: 1.5, 1024: 0.6, 4096: 0.15},
+}
+
+
+@dataclass(frozen=True)
+class ScaleEntry:
+    """One fixed scale scenario."""
+
+    id: str
+    engine: str
+    protocol: str
+    n: int
+    workload: str
+    duration: float
+    seed: int = 0
+    plane: str = "columnar"
+
+    def deployment(self, dense: bool) -> str:
+        return f"wonderproxy-{self.n}" if dense else f"world-{self.n}"
+
+    @property
+    def timeout(self) -> float:
+        return _TIMEOUTS.get(self.engine, _DEFAULT_TIMEOUT)
+
+
+def _entries() -> List[ScaleEntry]:
+    protocols = {"hotstuff": "hotstuff-rr", "kauri": "kauri", "pbft": "pbft"}
+    workloads = {"hotstuff": "saturated", "kauri": "saturated", "pbft": "closed-loop"}
+    entries: List[ScaleEntry] = []
+    for engine in ("hotstuff", "kauri", "pbft"):
+        for n in (512, 1024, 4096):
+            entries.append(
+                ScaleEntry(
+                    id=f"{engine}/n{n}",
+                    engine=engine,
+                    protocol=protocols[engine],
+                    n=n,
+                    workload=workloads[engine],
+                    duration=_DURATIONS[engine][n],
+                )
+            )
+    return entries
+
+
+SUITE: List[ScaleEntry] = _entries()
+
+
+# ----------------------------------------------------------------------
+# Child side: one scenario, measured, result as JSON on stdout
+# ----------------------------------------------------------------------
+def _worker(spec_json: str) -> int:
+    import resource
+
+    spec = json.loads(spec_json)
+    limit_mb = spec.get("limit_mb")
+    if limit_mb:
+        limit = int(limit_mb) << 20
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    out: Dict[str, object] = {"status": "ok"}
+    try:
+        from repro.experiments.runner import Scenario, prepare_scenario
+
+        scenario = Scenario(
+            protocol=spec["protocol"],
+            deployment=spec["deployment"],
+            workload=spec["workload"],
+            duration=spec["duration"],
+            seed=spec["seed"],
+            plane=spec["plane"],
+            name=spec["name"],
+        )
+        build_start = time.perf_counter()
+        result = prepare_scenario(scenario)
+        run_start = time.perf_counter()
+        run_metrics = result.cluster.run(scenario.duration)
+        run_elapsed = time.perf_counter() - run_start
+        sim = result.cluster.sim
+        stats = result.cluster.network.stats
+        out.update(
+            build_seconds=round(run_start - build_start, 3),
+            run_seconds=round(run_elapsed, 3),
+            events=sim.events_processed,
+            deliveries=stats.messages_delivered,
+            committed_blocks=len(run_metrics.commits),
+            events_per_sec=(
+                round(sim.events_processed / run_elapsed, 1)
+                if run_elapsed > 0
+                else 0.0
+            ),
+            deliveries_per_sec=(
+                round(stats.messages_delivered / run_elapsed, 1)
+                if run_elapsed > 0
+                else 0.0
+            ),
+        )
+    except MemoryError:
+        out = {"status": "oom"}
+    out["peak_rss_mb"] = round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+    )
+    print(json.dumps(out))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Batch-tally microbench: the handler-level win, isolated
+# ----------------------------------------------------------------------
+def run_tally_microbench(
+    ns: Iterable[int] = (1024, 4096), inner: int = 20
+) -> List[Dict[str, object]]:
+    """Per-column wall time of the batch-tally fast paths vs the loop.
+
+    End-to-end scale entries mix substrate, spine and handler effects;
+    this isolates the handler: one full-width vote/ack column per fresh
+    height/seq, timed with the set-reduction fast path and again with
+    the per-row loop (selected by raising ``_BATCH_TALLY_MIN``).  The
+    shapes are the steady-state ones -- hotstuff votes arriving after
+    the QC formed (bulk accumulate), pbft prepares racing ahead of
+    their PrePrepare (weighted accumulate).  Equivalence of the two
+    paths is pinned by ``tests/consensus/test_batch_tally.py``; this
+    records only the speed.
+    """
+    import random as random_mod
+
+    from repro.consensus import hotstuff as hotstuff_mod
+    from repro.consensus import pbft as pbft_mod
+    from repro.consensus.messages import Prepare, Vote
+    from repro.net.deployments import random_world_deployment
+
+    def best_us_per_column(handler, columns):
+        # Best-of-3 over `inner` pre-built fresh columns each; min damps
+        # scheduler noise.  Column construction stays outside the timed
+        # region -- only the handler is being measured.
+        best = float("inf")
+        chunk = len(columns) // 3
+        for index in range(3):
+            batch = columns[index * chunk : (index + 1) * chunk]
+            start = time.perf_counter()
+            for srcs, messages, col_times in batch:
+                handler(srcs, messages, col_times)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed / len(batch) * 1e6)
+        return best
+
+    records: List[Dict[str, object]] = []
+    for n in ns:
+        deployment = random_world_deployment(
+            n, random_mod.Random(0), hierarchical=True
+        )
+
+        cluster = hotstuff_mod.HotStuffCluster(
+            deployment, leader_mode="rr", plane="columnar"
+        )
+        replica = cluster.replicas[1]
+        replica.running = True
+        senders = tuple(r for r in range(n) if r != 1)
+        col_times = tuple(0.1 + k * 1e-7 for k in range(len(senders)))
+
+        def hotstuff_columns(heights):
+            for height in heights:
+                replica.qc_heights.add(height)  # post-QC: bulk accumulate
+            return [
+                (senders, tuple(Vote(height, "h", s) for s in senders), col_times)
+                for height in heights
+            ]
+
+        # Leader for height h under rr is h % n; heights 1 + k*n keep
+        # replica 1 the leader so the handler takes its real path.
+        heights = [1 + k * n for k in range(inner * 6)]
+        timings = {}
+        original = hotstuff_mod._BATCH_TALLY_MIN
+        for label, threshold, half in (
+            ("loop", 1 << 30, heights[: inner * 3]),
+            ("fast", original, heights[inner * 3 :]),
+        ):
+            hotstuff_mod._BATCH_TALLY_MIN = threshold
+            timings[label] = best_us_per_column(
+                replica.handle_VoteBatch, hotstuff_columns(half)
+            )
+        hotstuff_mod._BATCH_TALLY_MIN = original
+        records.append(
+            {
+                "handler": "hotstuff/VoteBatch",
+                "n": n,
+                "column_width": len(senders),
+                "loop_us_per_column": round(timings["loop"], 1),
+                "fast_us_per_column": round(timings["fast"], 1),
+                "speedup": round(timings["loop"] / timings["fast"], 2),
+            }
+        )
+
+        cluster = pbft_mod.PbftCluster(deployment, mode="static", plane="columnar")
+        replica = cluster.replicas[1]
+        replica.running = True
+        senders = tuple(range(2, n))
+        col_times = tuple(0.2 + k * 1e-7 for k in range(len(senders)))
+
+        def pbft_columns(seqs):
+            # No PrePrepare yet: the weighted-accumulate shape.
+            return [
+                (senders, tuple(Prepare(0, seq, "h", s) for s in senders), col_times)
+                for seq in seqs
+            ]
+
+        seqs = list(range(1, inner * 6 + 1))
+        timings = {}
+        original = pbft_mod._BATCH_TALLY_MIN
+        for label, threshold, half in (
+            ("loop", 1 << 30, seqs[: inner * 3]),
+            ("fast", original, seqs[inner * 3 :]),
+        ):
+            pbft_mod._BATCH_TALLY_MIN = threshold
+            timings[label] = best_us_per_column(
+                replica.handle_PrepareBatch, pbft_columns(half)
+            )
+        pbft_mod._BATCH_TALLY_MIN = original
+        records.append(
+            {
+                "handler": "pbft/PrepareBatch",
+                "n": n,
+                "column_width": len(senders),
+                "loop_us_per_column": round(timings["loop"], 1),
+                "fast_us_per_column": round(timings["fast"], 1),
+                "speedup": round(timings["loop"] / timings["fast"], 2),
+            }
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Parent side: spawn, bound, collect
+# ----------------------------------------------------------------------
+def run_entry(
+    entry: ScaleEntry,
+    dense: bool = False,
+    limit_mb: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run one entry in a fresh subprocess and return its record."""
+    deployment = entry.deployment(dense)
+    spec = {
+        "protocol": entry.protocol,
+        "deployment": deployment,
+        "workload": entry.workload,
+        "duration": entry.duration,
+        "seed": entry.seed,
+        "plane": entry.plane,
+        "name": f"scale:{entry.id}",
+        "limit_mb": limit_mb,
+    }
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    record: Dict[str, object] = {
+        "id": entry.id,
+        "engine": entry.engine,
+        "protocol": entry.protocol,
+        "n": entry.n,
+        "workload": entry.workload,
+        "sim_duration": entry.duration,
+        "seed": entry.seed,
+        "plane": entry.plane,
+        "deployment": deployment,
+        "limit_mb": limit_mb,
+    }
+    start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench.scale", "--worker", json.dumps(spec)],
+            capture_output=True,
+            text=True,
+            timeout=entry.timeout,
+            env=env,
+        )
+    except subprocess.TimeoutExpired:
+        record["status"] = "timeout"
+        record["wall_seconds"] = round(entry.timeout, 1)
+        return record
+    record["wall_seconds"] = round(time.perf_counter() - start, 2)
+    payload = None
+    for line in reversed(proc.stdout.splitlines()):
+        line = line.strip()
+        if line.startswith("{"):
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                payload = None
+            break
+    if payload is None:
+        # The child died before reporting (a hard OOM kills the
+        # interpreter mid-allocation faster than MemoryError unwinds).
+        record["status"] = "oom" if "MemoryError" in proc.stderr else "error"
+        if record["status"] == "error":
+            record["stderr_tail"] = proc.stderr.strip().splitlines()[-3:]
+        return record
+    record.update(payload)
+    return record
+
+
+def run_scale_suite(
+    quick: bool = False,
+    only: Optional[Iterable[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    dense: bool = False,
+    limit_mb: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the suite (or the ``only`` subset) and return the report dict.
+
+    ``quick`` restricts to n <= 512 -- the CI variant.  ``dense`` runs
+    the O(n²) ``wonderproxy-N`` path (what the recorded baseline pins);
+    the default runs the hierarchical ``world-N`` path.
+    """
+    wanted = set(only) if only is not None else None
+    if wanted is not None:
+        unknown = wanted - {entry.id for entry in SUITE}
+        if unknown:
+            known = ", ".join(entry.id for entry in SUITE)
+            raise ValueError(
+                f"unknown scale entries {sorted(unknown)} (known: {known})"
+            )
+        entries = [entry for entry in SUITE if entry.id in wanted]
+    else:
+        entries = [
+            entry for entry in SUITE if not quick or entry.n <= _QUICK_MAX_N
+        ]
+    results = []
+    for entry in entries:
+        if progress is not None:
+            variant = "dense" if dense else "world"
+            progress(f"scale {entry.id} ({variant}, n={entry.n}) ...")
+        record = run_entry(entry, dense=dense, limit_mb=limit_mb)
+        baseline = SCALE_BASELINE.get("entries", {}).get(entry.id)
+        if baseline is not None and not dense:
+            record["baseline"] = baseline
+            base_rate = baseline.get("deliveries_per_sec")
+            rate = record.get("deliveries_per_sec")
+            if base_rate and rate:
+                record["speedup_deliveries_per_sec"] = round(
+                    float(rate) / float(base_rate), 2
+                )
+            base_rss = baseline.get("peak_rss_mb")
+            rss = record.get("peak_rss_mb")
+            if base_rss and rss:
+                record["rss_vs_dense"] = round(float(rss) / float(base_rss), 3)
+        results.append(record)
+    report = {
+        "bench_version": 1,
+        "quick": quick,
+        "dense": dense,
+        "limit_mb": limit_mb,
+        "python": sys.version.split()[0],
+        "platform": __import__("platform").platform(),
+        "baseline_note": SCALE_BASELINE.get("note", ""),
+        "entries": results,
+    }
+    if not dense and not quick and wanted is None:
+        if progress is not None:
+            progress("tally microbench (n=1024, 4096) ...")
+        report["tally_microbench"] = run_tally_microbench()
+    return report
+
+
+def run_dense_suite(
+    quick: bool = False,
+    only: Optional[Iterable[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """The dense-path variant under the documentation cap (the thing
+    ``repro bench --rebaseline scale`` records)."""
+    return run_scale_suite(
+        quick=quick,
+        only=only,
+        progress=progress,
+        dense=True,
+        limit_mb=DENSE_LIMIT_MB,
+    )
+
+
+def format_scale_table(report: Dict[str, object]) -> str:
+    """Human-readable summary of a report (the CLI's stdout)."""
+    lines = [
+        f"{'entry':<14} {'n':>5} {'status':>8} {'build_s':>8} {'run_s':>8} "
+        f"{'deliveries':>11} {'del/s':>10} {'rss_mb':>8} {'speedup':>8} {'rss_x':>6}"
+    ]
+    for rec in report["entries"]:
+        status = rec.get("status", "?")
+        speedup = rec.get("speedup_deliveries_per_sec")
+        rss_ratio = rec.get("rss_vs_dense")
+        lines.append(
+            f"{rec['id']:<14} {rec['n']:>5} {status:>8} "
+            f"{rec.get('build_seconds', float('nan')):>8.2f} "
+            f"{rec.get('run_seconds', float('nan')):>8.2f} "
+            f"{rec.get('deliveries', 0):>11,} "
+            f"{rec.get('deliveries_per_sec', 0.0):>10,.0f} "
+            f"{rec.get('peak_rss_mb', float('nan')):>8.1f} "
+            + (f"{speedup:>7.2f}x" if speedup is not None else f"{'-':>8}")
+            + (f" {rss_ratio:>5.2f}" if rss_ratio is not None else f" {'-':>5}")
+        )
+    tally = report.get("tally_microbench")
+    if tally:
+        lines.append("")
+        lines.append(
+            f"{'batch-tally handler':<22} {'n':>5} {'width':>6} "
+            f"{'loop_us':>9} {'fast_us':>9} {'speedup':>8}"
+        )
+        for rec in tally:
+            lines.append(
+                f"{rec['handler']:<22} {rec['n']:>5} {rec['column_width']:>6} "
+                f"{rec['loop_us_per_column']:>9,.1f} "
+                f"{rec['fast_us_per_column']:>9,.1f} "
+                f"{rec['speedup']:>7.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench.scale [--quick|--dense] [output.json]``"""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "--worker":
+        return _worker(argv[1])
+    quick = "--quick" in argv
+    dense = "--dense" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    run = run_dense_suite if dense else run_scale_suite
+    report = run(quick=quick, progress=lambda msg: print(msg, file=sys.stderr))
+    print(format_scale_table(report))
+    if paths:
+        write_report(report, paths[0])
+        print(f"wrote {paths[0]}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,9 @@ GENESIS_HASH = "genesis"
 
 _VOTE_SIZE = Vote.wire_size
 
+#: Narrower columns tally faster row-by-row than through numpy.
+_BATCH_TALLY_MIN = 16
+
 
 class _Collection:
     """Vote collection state at an intermediate node, per height.
@@ -310,6 +313,33 @@ class KauriReplica(ReplicaBase):
         child_set = self._child_set
         expected = self._expected_votes
         count = len(votes)
+        if count >= _BATCH_TALLY_MIN:
+            # Bulk tally for the regular wide column: one height, all
+            # rows from distinct children not yet counted.
+            heights = {v[0] for v in votes}
+            if len(heights) == 1:
+                height = heights.pop()
+                collection = collections.get(height)
+                if collection is None or collection.sent:
+                    return count
+                new_votes = set(srcs)
+                cvotes = collection.votes
+                if (
+                    len(new_votes) == count
+                    and child_set.issuperset(new_votes)
+                    and cvotes.isdisjoint(new_votes)
+                ):
+                    need = expected - len(cvotes)
+                    if need > count:
+                        cvotes.update(srcs)
+                        return count
+                    k = need - 1
+                    cvotes.update(srcs[: k + 1])
+                    self.sim.now = times[k]
+                    if collection.timer is not None:
+                        collection.timer.cancel()
+                    self._flush_aggregate(height)
+                    return k + 1
         for k in range(count):
             vote = votes[k]
             height = vote[0]
@@ -591,7 +621,7 @@ class KauriCluster:
         self.router = ClientSiteRouter(
             self.deployment.one_way, self.n, default_site=client_city
         )
-        self.network.one_way_delay = self.router.delay
+        self.network.one_way_delay = self.router
         for replica in self.replicas:
             replica.request_driven = True
         workload.bind(

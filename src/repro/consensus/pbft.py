@@ -30,6 +30,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Set
 
+import numpy as np
+
 from repro.aware.optiaware import OptiAware
 from repro.aware.weights import WeightConfiguration
 from repro.consensus.base import ReplicaBase, RunMetrics
@@ -54,6 +56,9 @@ from repro.workloads.base import ClientSiteRouter, ClusterBinding, Workload
 from repro.workloads.closed_loop import ClosedLoopClient  # noqa: F401  (back-compat re-export)
 from repro.workloads.closed_loop import ClosedLoopWorkload
 
+#: Narrower columns tally faster row-by-row than through numpy.
+_BATCH_TALLY_MIN = 16
+
 
 class PbftReplica(ReplicaBase):
     """One PBFT replica, optionally wrapped with Aware/OptiAware."""
@@ -69,6 +74,7 @@ class PbftReplica(ReplicaBase):
         mode: str = "static",
         delta: float = 1.0,
         batch_size: int = 64,
+        default_config: Optional[WeightConfiguration] = None,
     ):
         super().__init__(replica_id, n, f, sim, network, registry)
         if mode not in ("static", "aware", "optiaware"):
@@ -104,6 +110,11 @@ class PbftReplica(ReplicaBase):
                 on_reconfigure=self._on_reconfigure,
             )
             self.config = self.optilog.default_configuration()
+        elif default_config is not None:
+            # Shared across the cluster's replicas: the static default is
+            # identical and immutable, and its vmax frozenset is O(n) --
+            # per-replica copies cost O(n^2) at build (~1.4 GB at n=4096).
+            self.config = default_config
         else:
             self.config = WeightConfiguration(
                 n=n, f=f, leader=0, vmax_replicas=frozenset(range(2 * f))
@@ -286,6 +297,65 @@ class PbftReplica(ReplicaBase):
     # Disabled per instance in optiaware mode (see __init__): there a
     # late arrival can gossip a suspicion from inside _note_arrival.
     # ------------------------------------------------------------------
+    def _tally_batch(
+        self, srcs, messages, times, senders_map, weight_map, armed, fire
+    ) -> Optional[int]:
+        """numpy reduction over one ack column (Prepare or Commit rows).
+
+        Applies when the column is *regular*: one seq throughout,
+        all-new distinct senders.  Sub-quorum rows collapse to a bulk
+        set update plus a sequential ``np.cumsum`` of the sender weights
+        (bit-identical to the per-row float adds: cumsum folds left in
+        order), and the quorum-crossing row -- the first partial sum at
+        or past the quorum weight, found by ``searchsorted`` -- calls
+        ``fire`` at its own arrival time when ``armed``.  Returns the
+        consumed count, or ``None`` to fall back to the per-row loop.
+        """
+        count = len(messages)
+        # Prepare and Commit rows both carry ``seq`` at index 1; set
+        # comprehensions beat numpy extraction for these checks.
+        seqset = {m[1] for m in messages}
+        if len(seqset) != 1:
+            return None
+        seq = seqset.pop()
+        new_senders = set(srcs)
+        if len(new_senders) != count:
+            return None
+        senders = senders_map.get(seq)
+        if senders is None:
+            senders = senders_map[seq] = set()
+        elif not senders.isdisjoint(new_senders):
+            return None
+        sim = self.sim
+        if self.uniform_voting:
+            weights = np.ones(count + 1)
+        else:
+            weight_of = self._weight
+            weights = np.empty(count + 1)
+            weights[1:] = np.fromiter(
+                (weight_of(src) for src in srcs), dtype=float, count=count
+            )
+        weights[0] = weight_map.get(seq, 0.0)
+        totals = np.cumsum(weights)
+        if not armed:
+            senders.update(new_senders)
+            weight_map[seq] = totals.item(count)
+            sim.now = times[count - 1]
+            return count
+        # First row whose running weight reaches the quorum (totals[0]
+        # is the pre-batch weight, so row k's total is totals[k + 1]).
+        k = int(np.searchsorted(totals[1:], self._quorum_weight))
+        if k >= count:
+            senders.update(new_senders)
+            weight_map[seq] = totals.item(count)
+            sim.now = times[count - 1]
+            return count
+        senders.update(srcs[: k + 1])
+        weight_map[seq] = totals.item(k + 1)
+        sim.now = times[k]
+        fire(seq)
+        return k + 1
+
     def handle_PrepareBatch(self, srcs, messages, times) -> int:  # noqa: N802
         """Bulk :meth:`handle_Prepare`: sub-quorum prepares reduce to a
         set add plus a weight accumulate; the quorum-crossing prepare
@@ -299,6 +369,21 @@ class PbftReplica(ReplicaBase):
         note = self.optilog is not None
         weight_of = self._weight
         count = len(messages)
+        if count >= _BATCH_TALLY_MIN and not note:
+            consumed = self._tally_batch(
+                srcs,
+                messages,
+                times,
+                prepare_senders,
+                prepare_weight,
+                armed=(
+                    messages[0].seq in self.preprepares
+                    and messages[0].seq not in sent_commit
+                ),
+                fire=self._maybe_send_commit,
+            )
+            if consumed is not None:
+                return consumed
         for k in range(count):
             message = messages[k]
             seq = message.seq
@@ -332,6 +417,23 @@ class PbftReplica(ReplicaBase):
         note = self.optilog is not None
         weight_of = self._weight
         count = len(messages)
+        if count >= _BATCH_TALLY_MIN and not note:
+            seq0 = messages[0].seq
+            consumed = self._tally_batch(
+                srcs,
+                messages,
+                times,
+                commit_senders,
+                commit_weight,
+                armed=(
+                    seq0 in self.sent_commit
+                    and seq0 in self.preprepares
+                    and seq0 not in executed
+                ),
+                fire=self._maybe_execute,
+            )
+            if consumed is not None:
+                return consumed
         for k in range(count):
             message = messages[k]
             seq = message.seq
@@ -606,12 +708,18 @@ class PbftCluster:
             deployment.one_way, n, default_site=self.client_city
         )
         self.sim = Simulator(seed=seed)
-        self.network = Network(self.sim, self.router.delay, jitter=jitter, plane=plane)
+        self.network = Network(self.sim, self.router, jitter=jitter, plane=plane)
         self.registry = KeyRegistry(n, seed=seed)
+        default_config = None
+        if mode == "static":
+            default_config = WeightConfiguration(
+                n=n, f=self.f, leader=0,
+                vmax_replicas=frozenset(range(2 * self.f)),
+            )
         self.replicas: List[PbftReplica] = [
             PbftReplica(
                 replica_id, n, self.f, self.sim, self.network, self.registry,
-                mode=mode, delta=delta,
+                mode=mode, delta=delta, default_config=default_config,
             )
             for replica_id in range(n)
         ]

@@ -75,6 +75,16 @@ NAMED_DEPLOYMENTS = {
 
 _WONDERPROXY = re.compile(r"^wonderproxy-(\d+)$")
 
+#: ``world-N[-jK][-check]``: the wonderproxy city draw served by the
+#: hierarchical (O(n + r^2)) latency substrate.  ``-jK`` jitters repeat
+#: placements up to K route-km from their anchor; ``-check`` attaches
+#: the bit-identity / self-consistency verification twin.
+_WORLD = re.compile(r"^world-(\d+)(?:-j(\d+))?(-check)?$")
+
+#: ``topo-N[-jK][-check][@path]``: replicas over an internet topology
+#: graph (GML or edge list at ``path``; the bundled example otherwise).
+_TOPO = re.compile(r"^topo-(\d+)(?:-j(\d+))?(-check)?(?:@(.+))?$")
+
 
 #: Every fault kind the runner can schedule.
 FAULT_KINDS = (
@@ -404,7 +414,9 @@ class ScenarioResult:
 # Resolution helpers
 # ----------------------------------------------------------------------
 def resolve_deployment(name: str, seed: int = 0) -> Deployment:
-    """Named city set, or ``wonderproxy-N`` for a seeded random one."""
+    """Named city set, ``wonderproxy-N`` for a seeded random one, or the
+    hierarchical substrates ``world-N[-jK][-check]`` /
+    ``topo-N[-jK][-check][@path]`` (see :mod:`repro.net.hierarchy`)."""
     match = _WONDERPROXY.match(name.lower())
     if match:
         n = int(match.group(1))
@@ -413,11 +425,40 @@ def resolve_deployment(name: str, seed: int = 0) -> Deployment:
         return random_world_deployment(
             n, random.Random(seed), name=f"wonderproxy-{n}"
         )
+    match = _WORLD.match(name.lower())
+    if match:
+        n = int(match.group(1))
+        if n < 4:
+            raise ValueError("world deployments need >= 4 replicas")
+        return random_world_deployment(
+            n,
+            random.Random(seed),
+            name=name.lower(),
+            hierarchical=True,
+            jitter_km=float(match.group(2) or 0),
+            check=bool(match.group(3)),
+        )
+    match = _TOPO.match(name)
+    if match:
+        from repro.net.topology_graph import topology_deployment
+
+        n = int(match.group(1))
+        if n < 4:
+            raise ValueError("topo deployments need >= 4 replicas")
+        return topology_deployment(
+            n,
+            random.Random(seed),
+            name=name,
+            path=match.group(4),
+            jitter_km=float(match.group(2) or 0),
+            check=bool(match.group(3)),
+        )
     canonical = NAMED_DEPLOYMENTS.get(name.lower())
     if canonical is None:
         known = ", ".join(sorted(NAMED_DEPLOYMENTS.values()))
         raise ValueError(
-            f"unknown deployment {name!r} (known: {known}, wonderproxy-N)"
+            f"unknown deployment {name!r} (known: {known}, wonderproxy-N, "
+            "world-N[-jK][-check], topo-N[-jK][-check][@path])"
         )
     return deployment_for(canonical)
 

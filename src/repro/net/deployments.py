@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.net.cities import ALL_CITIES, City, city_by_name
-from repro.net.latency_model import LatencyModel
+from repro.net.latency_model import LatencyModel, _OneWay  # noqa: F401  (re-export)
 
 # 21 European cities (one replica each); includes Nuremberg, the client
 # location shown in Fig. 7.
@@ -102,25 +102,6 @@ GLOBAL73: List[str] = NA_EU43 + [
 ]
 
 
-class _OneWay:
-    """Matrix-backed one-way delay callable.
-
-    A ``__slots__`` class rather than a closure: the callable ends up
-    inside every checkpointed object graph (network, fault adversaries),
-    and closures do not pickle.  The exposed ``rows`` attribute lets
-    batch senders (``Network.multicast``) index the matrix directly
-    instead of calling per destination, exactly as before.
-    """
-
-    __slots__ = ("rows",)
-
-    def __init__(self, rows: List[List[float]]):
-        self.rows = rows
-
-    def __call__(self, a: int, b: int) -> float:
-        return self.rows[a][b]
-
-
 @dataclass
 class Deployment:
     """A concrete placement of ``n`` replicas in cities.
@@ -132,7 +113,9 @@ class Deployment:
     cities:
         One city per replica; index equals replica id.
     latency:
-        The derived :class:`LatencyModel` for this placement.
+        The latency model for this placement: a dense
+        :class:`LatencyModel` or a
+        :class:`~repro.net.hierarchy.HierarchicalLatencyModel`.
     """
 
     name: str
@@ -140,22 +123,21 @@ class Deployment:
     latency: LatencyModel
 
     def __post_init__(self) -> None:
-        # Plain nested lists: ``one_way`` sits on the per-message hot path
-        # of every simulation, where numpy scalar indexing is ~10x slower.
-        # Values are bit-identical to ``latency.one_way`` (same ops on the
-        # same doubles).
-        rows = self.latency.one_way_rows()
-        self._one_way_rows = rows
-        self.one_way = _OneWay(rows)
+        # The model picks its own provider: eager nested lists for small
+        # n (list indexing is the fastest per-message lookup), a lazy
+        # row-serving view for large n.  Either way the provider answers
+        # scalar calls and ``row(src)`` bit-identically to
+        # ``latency.one_way`` (same float ops on the same doubles).
+        self.one_way = self.latency.one_way_provider()
 
     @property
     def n(self) -> int:
         return len(self.cities)
 
     def one_way(self, a: int, b: int) -> float:
-        # Shadowed by the callable installed in __post_init__; kept for
+        # Shadowed by the provider installed in __post_init__; kept for
         # type checkers and as documentation of the signature.
-        return self._one_way_rows[a][b]
+        return self.latency.one_way(a, b)
 
 
 def _build(name: str, city_names: Sequence[str]) -> Deployment:
@@ -183,10 +165,28 @@ def deployment_for(name: str) -> Deployment:
 
 
 def random_world_deployment(
-    n: int, rng: Optional[random.Random] = None, name: Optional[str] = None
+    n: int,
+    rng: Optional[random.Random] = None,
+    name: Optional[str] = None,
+    hierarchical: bool = False,
+    jitter_km: float = 0.0,
+    check: bool = False,
 ) -> Deployment:
     """Place ``n`` replicas in cities sampled worldwide (with replacement
-    once the pool is exhausted), as in the paper's scoring studies."""
+    once the pool is exhausted), as in the paper's scoring studies.
+
+    ``hierarchical=True`` swaps the O(n²) dense matrix for the
+    region-tiered :class:`~repro.net.hierarchy.HierarchicalLatencyModel`
+    over the **same city draw** -- with ``jitter_km=0`` the two are
+    bit-identical, so ``world-N`` scenarios replay ``wonderproxy-N``
+    traces exactly.  ``jitter_km > 0`` spreads repeat placements up to
+    that many route-km from their anchor city, drawing offsets from a
+    generator *derived* from ``rng`` (the ``derive_rng`` idiom) so
+    enabling jitter never perturbs the placement draws.  ``check=True``
+    attaches the verification twin: bit-equality against the dense
+    reference when one exists (zero offsets, n small enough), internal
+    scalar/row/symmetry consistency otherwise.
+    """
     rng = rng or random.Random(0)
     pool = list(ALL_CITIES)
     rng.shuffle(pool)
@@ -194,6 +194,30 @@ def random_world_deployment(
         cities = pool[:n]
     else:
         cities = pool + [rng.choice(ALL_CITIES) for _ in range(n - len(pool))]
-    return Deployment(
-        name=name or f"World{n}", cities=cities, latency=LatencyModel(cities)
-    )
+    if not hierarchical:
+        if jitter_km or check:
+            raise ValueError("jitter_km/check require hierarchical=True")
+        return Deployment(
+            name=name or f"World{n}", cities=cities, latency=LatencyModel(cities)
+        )
+    from repro.net import hierarchy
+
+    offsets = None
+    if jitter_km > 0.0:
+        jitter_rng = random.Random(f"{rng.random()}:world-jitter")
+        offsets = []
+        seen = set()
+        for city in cities:
+            key = (city.lat, city.lon)
+            if key in seen:
+                offsets.append(jitter_rng.uniform(0.0, jitter_km))
+            else:
+                offsets.append(0.0)
+                seen.add(key)
+    latency = hierarchy.HierarchicalLatencyModel(cities, offsets_km=offsets)
+    if check:
+        if offsets is None and n <= hierarchy.CHECK_MAX_N:
+            hierarchy.verify_against_dense(latency, random.Random(f"{n}:check"))
+        else:
+            hierarchy.verify_self_consistent(latency, random.Random(f"{n}:check"))
+    return Deployment(name=name or f"World{n}", cities=cities, latency=latency)

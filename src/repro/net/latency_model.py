@@ -18,6 +18,7 @@ the network layer, not here.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -27,6 +28,81 @@ from repro.net.geo import EARTH_RADIUS_KM, haversine_km
 
 LOCAL_RTT_MS = 1.0
 MS_PER_KM = 0.0125
+
+#: Largest n for which the dense provider eagerly tolist's the full
+#: one-way matrix.  Beyond this the nested Python lists dominate the
+#: footprint (~540 MB at n=4096, on top of the 134 MB float64 matrix),
+#: so larger models serve rows lazily from the matrix instead.
+EAGER_ROWS_MAX_N = 512
+
+
+class _OneWay:
+    """Eager matrix-backed one-way delay provider (small n).
+
+    A ``__slots__`` class rather than a closure: the callable ends up
+    inside every checkpointed object graph (network, fault adversaries),
+    and closures do not pickle.  The exposed ``rows`` attribute lets
+    batch senders (``Network.multicast``) index the matrix directly
+    instead of calling per destination, exactly as before.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: List[List[float]]):
+        self.rows = rows
+
+    def __call__(self, a: int, b: int) -> float:
+        return self.rows[a][b]
+
+    def row(self, src: int) -> List[float]:
+        return self.rows[src]
+
+
+class _LazyOneWay:
+    """Lazy matrix-backed one-way delay provider (large n).
+
+    Serves scalar lookups straight off the float64 RTT matrix
+    (``.item()`` unboxes the exact double; the scalar division chain
+    matches ``LatencyModel.one_way`` bitwise) and synthesizes row lists
+    on demand into a bounded LRU, so the n x n nested-list twin of the
+    matrix is never materialized.
+    """
+
+    __slots__ = ("matrix_ms", "_cache")
+
+    #: Rows kept per provider; a 4096-wide row of boxed floats is
+    #: ~130 KB, so the cache tops out around 17 MB.
+    CACHE_SIZE = 128
+
+    def __init__(self, matrix_ms: np.ndarray):
+        self.matrix_ms = matrix_ms
+        self._cache: "OrderedDict[int, List[float]]" = OrderedDict()
+
+    def __call__(self, a: int, b: int) -> float:
+        # Same IEEE chain as LatencyModel.one_way: (ms / 1000.0) / 2.0
+        # on the exact matrix double (zero diagonal included).
+        return (self.matrix_ms.item(a, b) / 1000.0) / 2.0
+
+    def row(self, src: int) -> List[float]:
+        cache = self._cache
+        row = cache.get(src)
+        if row is not None:
+            cache.move_to_end(src)
+            return row
+        # Elementwise IEEE divisions match the scalar chain exactly;
+        # tolist() converts without changing any double.
+        row = ((self.matrix_ms[src] / 1000.0) / 2.0).tolist()
+        cache[src] = row
+        if len(cache) > self.CACHE_SIZE:
+            cache.popitem(last=False)
+        return row
+
+    def __getstate__(self):
+        return self.matrix_ms
+
+    def __setstate__(self, state):
+        self.matrix_ms = state
+        self._cache = OrderedDict()
 
 
 def _pairwise_rtt_ms(lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
@@ -137,6 +213,20 @@ class LatencyModel:
         # Elementwise IEEE divisions match the scalar (v / 1000.0) / 2.0
         # exactly; tolist() converts without changing any double.
         return ((self._rtt_ms / 1000.0) / 2.0).tolist()
+
+    def one_way_provider(self):
+        """The network-facing delay provider for this model.
+
+        Small models eagerly tolist the one-way matrix (list indexing is
+        the fastest per-message lookup); past ``EAGER_ROWS_MAX_N`` the
+        provider serves rows lazily from the float64 matrix so the
+        nested-list twin never doubles the footprint.  Both providers
+        answer ``(a, b)`` calls and ``row(src)`` bit-identically to
+        :meth:`one_way`.
+        """
+        if len(self.cities) <= EAGER_ROWS_MAX_N:
+            return _OneWay(self.one_way_rows())
+        return _LazyOneWay(self._rtt_ms)
 
     def matrix_ms(self) -> np.ndarray:
         """Full symmetric RTT matrix in milliseconds (zero diagonal)."""

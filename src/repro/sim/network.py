@@ -47,8 +47,14 @@ The network supports two delivery planes (``plane=`` constructor arg):
 from __future__ import annotations
 
 from bisect import insort as _insort
-from heapq import heappop as _heappop, heappush as _heappush
+from heapq import (
+    heappop as _heappop,
+    heappush as _heappush,
+    heapreplace as _heapreplace,
+)
 from typing import Any, Callable, Dict, Iterable, Optional
+
+import numpy as np
 
 from repro.sim.engine import Simulator
 
@@ -71,6 +77,36 @@ _UNRESOLVED = object()
 _INF = float("inf")
 
 
+class _SpineBlock:
+    """One wide multicast's fanned-out rows in columnar array form.
+
+    The per-row tuples of the scalar spine cost ~170 bytes each; at
+    n=4096 a single PBFT broadcast fans out 4095 rows, and the in-flight
+    population reaches tens of millions of rows -- multiple GB as
+    tuples.  A block keeps the whole fanout as three parallel arrays
+    (~24 bytes/row): arrival times (float64), seq numbers (int64) and
+    destinations (int64), sorted by ``(time, seq)``; ``src`` and the
+    shared ``message`` are stored once.  ``pos`` is the drain cursor
+    into the sorted arrays.
+
+    Every value is byte-identical to the tuples it replaces: times are
+    ``now + delay`` float64 adds (numpy elementwise == scalar IEEE),
+    seqs are the same consecutive allocations, and the stable argsort
+    over times reproduces ``(time, seq)`` order because seqs ascend in
+    input order.
+    """
+
+    __slots__ = ("times", "seqs", "dsts", "src", "message", "pos")
+
+    def __init__(self, times, seqs, dsts, src, message):
+        self.times = times
+        self.seqs = seqs
+        self.dsts = dsts
+        self.src = src
+        self.message = message
+        self.pos = 0
+
+
 class _Spine:
     """The single global column of pending pristine deliveries.
 
@@ -82,6 +118,13 @@ class _Spine:
     cursor for the spine head, so interleaved traffic to different
     destinations no longer breaks a drain into per-row cursor hops.
 
+    ``blocks`` is a heap of ``(head_time, head_seq, _SpineBlock)``
+    keyed by each block's first undelivered row; wide multicasts park
+    their fanout here instead of merging thousands of tuples into
+    ``entries`` (the per-multicast whole-spine re-sort was the n=4096
+    wall-clock ceiling).  ``(time, seq)`` keys are globally unique, so
+    heap comparisons never reach the block object.
+
     ``armed`` is the key of the row the live heap cursor is responsible
     for (``None`` when empty); ``live`` holds the keys of every cursor
     currently in the heap, so a drain that re-arms at a key whose cursor
@@ -91,18 +134,24 @@ class _Spine:
     immediately.
     """
 
-    __slots__ = ("entries", "armed", "live")
+    __slots__ = ("entries", "armed", "live", "blocks")
 
     def __init__(self):
         self.entries: list = []
         self.armed: Optional[tuple] = None
         self.live: set = set()
+        self.blocks: list = []
 
     def __getstate__(self):
-        return (self.entries, self.armed, self.live)
+        return (self.entries, self.armed, self.live, self.blocks)
 
     def __setstate__(self, state):
-        self.entries, self.armed, self.live = state
+        if len(state) == 3:
+            # Pre-block checkpoint: no block heap yet.
+            self.entries, self.armed, self.live = state
+            self.blocks = []
+        else:
+            self.entries, self.armed, self.live, self.blocks = state
 
 
 class NetworkStats:
@@ -209,6 +258,12 @@ class Network:
         columnar plane batches pristine steady-state traffic.
     """
 
+    #: Pristine columnar multicasts with at least this fanout go into a
+    #: :class:`_SpineBlock` instead of merging tuple rows into the spine.
+    #: Class-level so tests can lower it (per instance or globally) to
+    #: exercise the block path at small n.
+    block_fanout: int = 256
+
     def __init__(
         self,
         sim: Simulator,
@@ -225,6 +280,7 @@ class Network:
         self.plane = plane
         self._columnar = plane == "columnar"
         self._delay_rows: Optional[list] = None
+        self._delay_row_fn: Optional[Callable[[int], Optional[list]]] = None
         self.one_way_delay = one_way_delay
         self.jitter = jitter
         self._stats = NetworkStats()
@@ -280,8 +336,9 @@ class Network:
         * ``_stats_per_class`` is re-pointed at the restored ``_stats``
           accumulator in ``__setstate__`` -- it must never be pickled, or
           the copy would split the send accounting from ``stats``.
-        * ``_delay_rows`` is re-derived from the restored provider so a
-          provider without a ``rows`` matrix never resurrects a stale one.
+        * ``_delay_rows`` / ``_delay_row_fn`` are re-derived from the
+          restored provider so a provider without a ``rows`` matrix (or
+          ``row()`` view) never resurrects a stale one.
         * The columnar state (``_spine``, ``_batch_endpoints``,
           ``_batch_routes``) pickles verbatim: spine rows hold only
           plain values and messages, and the cached batch handlers are
@@ -296,6 +353,7 @@ class Network:
             "_post",
             "_stats_per_class",
             "_delay_rows",
+            "_delay_row_fn",
             "_jitter_random",
         ):
             state.pop(key, None)
@@ -306,6 +364,7 @@ class Network:
         self._post = self.sim.post
         self._jitter_random = self._jitter_rng.random
         self._delay_rows = getattr(self._one_way_delay, "rows", None)
+        self._delay_row_fn = getattr(self._one_way_delay, "row", None)
         self._deliver_bound = self._make_deliver()
         self._stats_per_class = self._stats._per_class
 
@@ -330,6 +389,12 @@ class Network:
         # Providers that expose their full matrix (Deployment.one_way)
         # let the send paths index a plain list instead of calling out.
         self._delay_rows = getattr(value, "rows", None)
+        # Providers without an eager matrix may still serve one row at a
+        # time (``row(src) -> list | None``): the hierarchical substrate
+        # and the lazy dense provider synthesize rows on demand, and the
+        # client-site router forwards replica rows while answering None
+        # for client sources (which need its scalar mapping).
+        self._delay_row_fn = getattr(value, "row", None)
 
     @property
     def jitter(self) -> float:
@@ -613,8 +678,15 @@ class Network:
         deliver = self._deliver_bound
         # When the delay provider exposes its matrix (Deployment.one_way
         # does), index the row directly instead of calling per destination.
+        # Row-serving providers (hierarchical substrate, lazy dense,
+        # client-site router) answer one row at a time -- or None, which
+        # falls back to the scalar loop.
         rows = self._delay_rows
         row = rows[src] if rows is not None else None
+        if row is None:
+            row_fn = self._delay_row_fn
+            if row_fn is not None:
+                row = row_fn(src)
         # Simulator.post(), inlined and hoisted: ``now`` is constant for
         # the whole batch and the entries keep consecutive seq numbers
         # (nothing else can push while this loop runs), so ordering is
@@ -673,9 +745,22 @@ class Network:
         rand = self._jitter_random
         drows = self._delay_rows
         row = drows[src] if drows is not None else None
+        if row is None:
+            row_fn = self._delay_row_fn
+            if row_fn is not None:
+                row = row_fn(src)
         sim = self.sim
         now = sim.now
         first = sim._seq
+        try:
+            sized_fanout = len(dsts)  # type: ignore[arg-type]
+        except TypeError:
+            sized_fanout = -1  # generator: always the tuple-row path
+        if sized_fanout >= self.block_fanout:
+            self._multicast_block(
+                src, dsts, message, size, row, now, first, jittered, span, rand
+            )
+            return
         seq = first
         new_rows = []
         append = new_rows.append
@@ -724,19 +809,81 @@ class Network:
             if len(queue) > sim.max_queue_depth:
                 sim.max_queue_depth = len(queue)
 
+    def _multicast_block(
+        self, src, dsts, message, size, row, now, first, jittered, span, rand
+    ) -> None:
+        """Wide pristine multicast: park the fanout as one
+        :class:`_SpineBlock` instead of merging tuple rows.
+
+        Replaces the per-multicast whole-spine re-sort -- O(spine) per
+        wide multicast, the n>=1024 wall-clock ceiling -- with an O(f
+        log f) sort of this fanout alone, and the ~170-byte tuples with
+        ~24-byte array rows.  Delays and jitter draws happen in
+        destination order with the same ops as the tuple path, and seqs
+        are the same consecutive allocations, so every ``(time, seq,
+        src, dst)`` the drain reads back is byte-identical to the rows
+        it replaces.
+        """
+        one_way = self._one_way_delay
+        delays = []
+        append = delays.append
+        if row is not None:
+            if jittered:
+                for dst in dsts:
+                    delay = 0.0 if src == dst else row[dst]
+                    append(delay * (1.0 + span * rand()))
+            else:
+                for dst in dsts:
+                    append(0.0 if src == dst else row[dst])
+        elif jittered:
+            for dst in dsts:
+                delay = 0.0 if src == dst else one_way(src, dst)
+                append(delay * (1.0 + span * rand()))
+        else:
+            for dst in dsts:
+                append(0.0 if src == dst else one_way(src, dst))
+        fanout = len(delays)
+        if not fanout:
+            return
+        sim = self.sim
+        sim._seq = first + fanout
+        self.stats.record_multicast(message, size, fanout)
+        # float64 elementwise add == the scalar ``now + delay`` bitwise;
+        # seqs ascend in destination order, so a stable sort on times
+        # alone yields exact ``(time, seq)`` order.
+        times = now + np.array(delays, dtype=float)
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        seqs = first + order.astype(np.int64)
+        dsts_arr = np.fromiter(dsts, dtype=np.int64, count=fanout)[order]
+        block = _SpineBlock(times, seqs, dsts_arr, src, message)
+        t0 = times.item(0)
+        s0 = seqs.item(0)
+        spine = self._spine
+        _heappush(spine.blocks, (t0, s0, block))
+        armed = spine.armed
+        if armed is None or t0 < armed[0] or (t0 == armed[0] and s0 < armed[1]):
+            key = (t0, s0)
+            spine.armed = key
+            spine.live.add(key)
+            queue = sim._queue
+            _heappush(queue, (t0, s0, None, self._drain_spine, (t0, s0)))
+            if len(queue) > sim.max_queue_depth:
+                sim.max_queue_depth = len(queue)
+
     def _drain_spine(self, time: float, seq: int) -> None:
         """Cursor callback for the spine: deliver consecutive rows while
         their keys precede every other pending event, handing maximal
         same-destination same-class runs to batch handlers.
 
         A row is delivered only when no event with a smaller
-        ``(time, seq)`` key exists anywhere (heap or horizon) -- at that
-        point the object plane would have popped exactly this row next,
-        so delivering it here preserves global event order, clock values
-        and seq allocation bit-for-bit.  ``sim.now`` is advanced to each
-        row's arrival time before its handler runs.  When a foreign
-        event intervenes, the cursor re-arms at the next undelivered
-        row's original key.
+        ``(time, seq)`` key exists anywhere (heap, horizon, or a parked
+        block) -- at that point the object plane would have popped
+        exactly this row next, so delivering it here preserves global
+        event order, clock values and seq allocation bit-for-bit.
+        ``sim.now`` is advanced to each row's arrival time before its
+        handler runs.  When a foreign event intervenes, the cursor
+        re-arms at the next undelivered key.
 
         The barrier (heap head key, capped by the horizon) is
         snapshotted once and revalidated only when delivering a row
@@ -747,6 +894,19 @@ class Network:
         rows inserted mid-drain are picked up in key order by the index
         walk: their fresh seqs place them after the row being delivered
         and before any undelivered row they precede.
+
+        Under one barrier snapshot the drain *alternates* between the
+        scalar spine and the block heap: scalar rows run up to the
+        leading block's head key, then the leading block runs up to the
+        next scalar key, and so on -- a strict two-way merge in
+        ``(time, seq)`` order, so interleaving blocks changes nothing
+        observable.  A scalar run trusts head identity on the block
+        heap (its keys are exact between runs: any block that tightens
+        the cap surfaces at ``blocks[0]``); a block run instead watches
+        ``len(blocks)``/``len(entries)``, because its own heap key goes
+        stale while rows are consumed, so a handler-pushed block or
+        scalar insert can precede the remaining rows without ever
+        reaching the heap top.
         """
         spine = self._spine
         key = (time, seq)
@@ -755,6 +915,7 @@ class Network:
         if spine.armed != key:
             return  # Stale cursor: an earlier drain already passed this key.
         entries = spine.entries
+        blocks = spine.blocks
         sim = self.sim
         queue = sim._queue
         horizon = sim.horizon
@@ -764,7 +925,8 @@ class Network:
         stats = self._stats
         unresolved = _UNRESOLVED
         i = 0
-        while i < len(entries):
+        done = False
+        while not done:
             # Barrier snapshot: clear cancelled timers at the head (the
             # run loop would discard them anyway; yielding to one wastes
             # a re-arm), then cap the head key by the horizon.
@@ -785,121 +947,263 @@ class Network:
                 head = None
                 bt = horizon
                 bs = _INF
-            while i < len(entries):
-                if i >= 256:
-                    # Compact the delivered prefix mid-drain.  A long
-                    # drain otherwise keeps dead rows in front, which
-                    # makes every mid-drain multicast merge (and every
-                    # insort bisect) pay for rows that are already gone.
-                    # Only the in-flight suffix moves, so this is O(1)
-                    # amortized per delivered row.
-                    del entries[:i]
-                    i = 0
-                row = entries[i]
-                t = row[0]
-                if t > bt or (t == bt and row[1] > bs):
-                    # Foreign event (or the horizon) first: hand control
-                    # back, re-armed at this row's original key below.
-                    i = -i - 1  # flag: stop draining entirely
-                    break
-                dst = row[3]
-                if not self._pristine:
-                    # A fault landed while rows were in flight: fall back
-                    # to per-message delivery-time checks (drops count
-                    # exactly as on the object plane).
-                    sim.now = t
-                    self._deliver_bound(row[2], dst, row[4])
-                    i += 1
-                    if queue and queue[0] is not head:
+            while True:
+                # ---- scalar run: up to the leading block's head ----
+                btop = blocks[0] if blocks else None
+                sbt = bt
+                sbs = bs
+                capped = False
+                if btop is not None:
+                    t0 = btop[0]
+                    if t0 < sbt or (t0 == sbt and btop[1] < sbs):
+                        sbt = t0
+                        sbs = btop[1]
+                        capped = True
+                # 0 = entries exhausted, 1 = hit the cap, 2 = heap head
+                # moved (re-snapshot the barrier), 3 = block head moved
+                # (re-derive the cap).
+                stop = 0
+                while i < len(entries):
+                    if i >= 256:
+                        # Compact the delivered prefix mid-drain.  A long
+                        # drain otherwise keeps dead rows in front, which
+                        # makes every mid-drain multicast merge (and every
+                        # insort bisect) pay for rows that are already
+                        # gone.  Only the in-flight suffix moves, so this
+                        # is O(1) amortized per delivered row.
+                        del entries[:i]
+                        i = 0
+                    row = entries[i]
+                    t = row[0]
+                    if t > sbt or (t == sbt and row[1] > sbs):
+                        # The cap (block head, foreign event or horizon)
+                        # comes first.
+                        stop = 1
                         break
-                    continue
-                message = row[4]
-                cls = message.__class__
-                batch_route = batch_routes_get(dst)
-                if batch_route is not None:
-                    bh = batch_route.get(cls, unresolved)
-                    if bh is unresolved:
-                        endpoint = self._batch_endpoints.get(dst)
-                        bh = (
-                            getattr(
-                                endpoint, "handle_" + cls.__name__ + "Batch", None
-                            )
-                            if endpoint is not None
-                            else None
-                        )
-                        batch_route[cls] = bh
-                    if bh is not None:
-                        # Maximal run of same-destination same-class rows
-                        # inside the barrier, handed over as one column.
-                        j = i + 1
-                        total = len(entries)
-                        while j < total:
-                            r2 = entries[j]
-                            t2 = r2[0]
-                            if (
-                                r2[3] != dst
-                                or t2 > bt
-                                or (t2 == bt and r2[1] > bs)
-                                or r2[4].__class__ is not cls
-                            ):
-                                break
-                            j += 1
-                        width = j - i
-                        if width > 1:
-                            sim.now = t
-                            times, _seqs, srcs, _dsts, messages = zip(*entries[i:j])
-                            consumed = bh(srcs, messages, times)
-                            if consumed is None:
-                                consumed = width
-                            elif consumed < 1:
-                                consumed = 1
-                            elif consumed > width:
-                                consumed = width
-                            stats.messages_delivered += consumed
-                            i += consumed
-                            if queue and queue[0] is not head:
-                                break
-                            continue
-                        # width == 1: the per-row handler below is
-                        # cheaper than the column machinery, and every
-                        # batched class has one (the object plane
-                        # depends on it), with identical semantics by
-                        # the batch-handler contract.
-                sim.now = t
-                route = routes_get(dst)
-                if route is not None:
-                    handler = route.get(cls, unresolved)
-                    if handler is not unresolved:
-                        stats.messages_delivered += 1
-                        if handler is not None:
-                            handler(row[2], message)
+                    dst = row[3]
+                    if not self._pristine:
+                        # A fault landed while rows were in flight: fall
+                        # back to per-message delivery-time checks (drops
+                        # count exactly as on the object plane).
+                        sim.now = t
+                        self._deliver_bound(row[2], dst, row[4])
                         i += 1
                         if queue and queue[0] is not head:
+                            stop = 2
+                            break
+                        if blocks and blocks[0] is not btop:
+                            stop = 3
                             break
                         continue
-                fallback = handlers_get(dst)
-                if fallback is None:
-                    stats.messages_dropped += 1
-                else:
-                    stats.messages_delivered += 1
-                    fallback(row[2], message)
-                i += 1
-                if queue and queue[0] is not head:
+                    message = row[4]
+                    cls = message.__class__
+                    batch_route = batch_routes_get(dst)
+                    if batch_route is not None:
+                        bh = batch_route.get(cls, unresolved)
+                        if bh is unresolved:
+                            endpoint = self._batch_endpoints.get(dst)
+                            bh = (
+                                getattr(
+                                    endpoint, "handle_" + cls.__name__ + "Batch", None
+                                )
+                                if endpoint is not None
+                                else None
+                            )
+                            batch_route[cls] = bh
+                        if bh is not None:
+                            # Maximal run of same-destination same-class
+                            # rows inside the cap, handed over as one
+                            # column.
+                            j = i + 1
+                            total = len(entries)
+                            while j < total:
+                                r2 = entries[j]
+                                t2 = r2[0]
+                                if (
+                                    r2[3] != dst
+                                    or t2 > sbt
+                                    or (t2 == sbt and r2[1] > sbs)
+                                    or r2[4].__class__ is not cls
+                                ):
+                                    break
+                                j += 1
+                            width = j - i
+                            if width > 1:
+                                sim.now = t
+                                times, _seqs, srcs, _dsts, messages = zip(
+                                    *entries[i:j]
+                                )
+                                consumed = bh(srcs, messages, times)
+                                if consumed is None:
+                                    consumed = width
+                                elif consumed < 1:
+                                    consumed = 1
+                                elif consumed > width:
+                                    consumed = width
+                                stats.messages_delivered += consumed
+                                i += consumed
+                                if queue and queue[0] is not head:
+                                    stop = 2
+                                    break
+                                if blocks and blocks[0] is not btop:
+                                    stop = 3
+                                    break
+                                continue
+                            # width == 1: the per-row handler below is
+                            # cheaper than the column machinery, and every
+                            # batched class has one (the object plane
+                            # depends on it), with identical semantics by
+                            # the batch-handler contract.
+                    sim.now = t
+                    route = routes_get(dst)
+                    if route is not None:
+                        handler = route.get(cls, unresolved)
+                        if handler is not unresolved:
+                            stats.messages_delivered += 1
+                            if handler is not None:
+                                handler(row[2], message)
+                            i += 1
+                            if queue and queue[0] is not head:
+                                stop = 2
+                                break
+                            if blocks and blocks[0] is not btop:
+                                stop = 3
+                                break
+                            continue
+                    fallback = handlers_get(dst)
+                    if fallback is None:
+                        stats.messages_dropped += 1
+                    else:
+                        stats.messages_delivered += 1
+                        fallback(row[2], message)
+                    i += 1
+                    if queue and queue[0] is not head:
+                        stop = 2
+                        break
+                    if blocks and blocks[0] is not btop:
+                        stop = 3
+                        break
+                if stop == 2:
+                    break  # Re-snapshot the barrier.
+                if stop == 3:
+                    continue  # Re-derive the block cap.
+                if stop == 1 and not capped:
+                    done = True  # True barrier (foreign event/horizon).
                     break
-            if i < 0:
-                i = -i - 1
-                break
+                # Scalar rows are exhausted (stop 0) or the leading block
+                # precedes the next row (stop 1, capped): run the block
+                # if it still precedes the barrier.
+                if btop is None:
+                    done = True
+                    break
+                bt0 = btop[0]
+                if bt0 > bt or (bt0 == bt and btop[1] > bs):
+                    done = True
+                    break
+                # ---- block run: up to the next scalar key ----
+                block = btop[2]
+                btimes = block.times
+                bseqs = block.seqs
+                bdsts = block.dsts
+                bsrc = block.src
+                message = block.message
+                cls = message.__class__
+                pos = block.pos
+                end = len(btimes)
+                cbt = bt
+                cbs = bs
+                if i < len(entries):
+                    r0 = entries[i]
+                    rt = r0[0]
+                    if rt < cbt or (rt == cbt and r0[1] < cbs):
+                        cbt = rt
+                        cbs = r0[1]
+                # The block's heap key goes stale as rows are consumed,
+                # so head identity cannot spot handler-pushed blocks or
+                # scalar inserts; watch the container lengths instead
+                # (handlers only ever add).
+                nblocks = len(blocks)
+                elen = len(entries)
+                if nblocks > 1:
+                    # Concurrent wide multicasts (PBFT all-to-all)
+                    # interleave row-by-row: also stop at the runner-up
+                    # block's head -- the smaller of the heap root's two
+                    # children.
+                    b1 = blocks[1]
+                    if nblocks > 2:
+                        b2 = blocks[2]
+                        if b2[0] < b1[0] or (b2[0] == b1[0] and b2[1] < b1[1]):
+                            b1 = b2
+                    if b1[0] < cbt or (b1[0] == cbt and b1[1] < cbs):
+                        cbt = b1[0]
+                        cbs = b1[1]
+                requeue = False
+                while pos < end:
+                    t = btimes.item(pos)
+                    s = bseqs.item(pos)
+                    if t > cbt or (t == cbt and s > cbs):
+                        break
+                    dst = bdsts.item(pos)
+                    pos += 1
+                    sim.now = t
+                    if not self._pristine:
+                        self._deliver_bound(bsrc, dst, message)
+                    else:
+                        # Per-row delivery: destinations within one
+                        # multicast are distinct, so the batch scan
+                        # would only ever find width-1 runs here.
+                        delivered = False
+                        route = routes_get(dst)
+                        if route is not None:
+                            handler = route.get(cls, unresolved)
+                            if handler is not unresolved:
+                                stats.messages_delivered += 1
+                                if handler is not None:
+                                    handler(bsrc, message)
+                                delivered = True
+                        if not delivered:
+                            fallback = handlers_get(dst)
+                            if fallback is None:
+                                stats.messages_dropped += 1
+                            else:
+                                stats.messages_delivered += 1
+                                fallback(bsrc, message)
+                    if (
+                        (queue and queue[0] is not head)
+                        or len(blocks) != nblocks
+                        or len(entries) != elen
+                    ):
+                        requeue = queue and queue[0] is not head
+                        break
+                if pos >= end:
+                    _heappop(blocks)
+                else:
+                    # Re-key the heap entry at the first undelivered row.
+                    block.pos = pos
+                    _heapreplace(
+                        blocks, (btimes.item(pos), bseqs.item(pos), block)
+                    )
+                if requeue:
+                    break  # Re-snapshot the barrier.
+                # Otherwise keep alternating under this snapshot.
         if i:
             del entries[:i]
+        nkey = None
         if entries:
             r0 = entries[0]
-            nt = r0[0]
-            ns = r0[1]
-            nkey = (nt, ns)
+            nkey = (r0[0], r0[1])
+        if blocks:
+            b0 = blocks[0]
+            bkey = (b0[0], b0[1])
+            if nkey is None or bkey < nkey:
+                nkey = bkey
+        if nkey is not None:
             spine.armed = nkey
             if nkey not in live:
                 live.add(nkey)
-                _heappush(queue, (nt, ns, None, self._drain_spine, (nt, ns)))
+                _heappush(
+                    queue, (nkey[0], nkey[1], None, self._drain_spine, nkey)
+                )
                 if len(queue) > sim.max_queue_depth:
                     sim.max_queue_depth = len(queue)
         else:

@@ -28,6 +28,7 @@ from repro.optimize.annealing import (
     anneal,
     anneal_incremental,
 )
+from repro.experiments.parallel import derive_sweep_seed, parallel_map
 from repro.tree.candidates import TreeSuspicionMonitor
 from repro.tree.score import TreeTimeouts, _collect_time, default_k, tree_score
 from repro.tree.topology import (
@@ -317,6 +318,103 @@ def optitree_search(
         return mutate_tree(tree, candidates, mutation_rng)
 
     return anneal(initial, score, mutate, rng, schedule)
+
+
+def shard_candidates(
+    candidates: FrozenSet[int], shards: int
+) -> list:
+    """Deterministic partition of ``candidates`` into ``shards`` slices.
+
+    Candidates are sorted and dealt round-robin, so every shard sees a
+    spread of replica ids (contiguous slices would concentrate whole
+    regions in one shard under region-sorted deployments).  The partition
+    depends only on the set and the shard count -- never on worker
+    scheduling -- which is what makes the sharded search reproducible.
+    """
+    ordered = sorted(candidates)
+    return [frozenset(ordered[i::shards]) for i in range(shards)]
+
+
+def _search_shard(point):
+    """Process-pool worker: one full annealing run on one candidate shard."""
+    latency, n, f, candidates, u, seed, schedule, k = point
+    return optitree_search(
+        latency,
+        n,
+        f,
+        candidates,
+        u,
+        rng=random.Random(seed),
+        schedule=schedule,
+        k=k,
+    )
+
+
+def optitree_search_sharded(
+    latency: np.ndarray,
+    n: int,
+    f: int,
+    candidates: FrozenSet[int],
+    u: int,
+    root_seed: int = 0,
+    shards: int = 1,
+    jobs: int = 1,
+    schedule: Optional[AnnealingSchedule] = None,
+    k: Optional[int] = None,
+) -> Optional[AnnealingResult]:
+    """Candidate-set-sharded annealed search.
+
+    The candidate set is partitioned into ``shards`` disjoint subsets
+    (:func:`shard_candidates`); each shard runs a *complete* annealing
+    search restricted to its subset, on the same delta-evaluated
+    :class:`IncrementalTreeSearch` engine as the serial path.  Shards
+    share nothing, so they fan out over the PR 4 sweep executor
+    (:func:`repro.experiments.parallel.parallel_map`).
+
+    Determinism contract (the "byte-identical merge"):
+
+    * each shard's RNG is seeded with
+      ``derive_sweep_seed(root_seed, "shard-<i>")`` -- a pure function of
+      the root seed and the shard index, never of pool scheduling;
+    * ``parallel_map`` returns results in submission order, and the merge
+      scans that order keeping the strictly-best score -- ties go to the
+      lowest shard index;
+
+    so the returned result is identical for any ``jobs`` value, including
+    the serial ``jobs=1`` loop.  Shards too small to form a tree (fewer
+    than ``b + 1`` candidates) contribute ``None`` and are skipped.
+    """
+    if shards <= 1:
+        return optitree_search(
+            latency,
+            n,
+            f,
+            candidates,
+            u,
+            rng=random.Random(derive_sweep_seed(root_seed, "shard-0")),
+            schedule=schedule,
+            k=k,
+        )
+    points = [
+        (
+            latency,
+            n,
+            f,
+            subset,
+            u,
+            derive_sweep_seed(root_seed, f"shard-{index}"),
+            schedule,
+            k,
+        )
+        for index, subset in enumerate(shard_candidates(candidates, shards))
+    ]
+    best = None
+    for result in parallel_map(_search_shard, points, jobs=jobs):
+        if result is None:
+            continue
+        if best is None or result.best_score < best.best_score:
+            best = result
+    return best
 
 
 class OptiTree:

@@ -99,6 +99,28 @@ class ClientSiteRouter:
             b = self.sites.get(b, self.default_site)
         return self.one_way(a, b) or self.local_delay
 
+    # The router is installed as the network's delay provider directly
+    # (``network.one_way_delay = router``) so its ``row`` view reaches
+    # the multicast batch paths.
+    __call__ = delay
+
+    def row(self, src):
+        """Row view for the network's batch send paths.
+
+        Replica sources forward the underlying provider's row: replica
+        multicasts only ever target replicas, every distinct replica
+        pair's delay is >= 0.5 ms (the ``or local_delay`` floor never
+        fires for them), and the network handles ``src == dst`` before
+        row lookup -- so the raw row is exactly what :meth:`delay` would
+        return per destination.  Client sources answer ``None``: their
+        site mapping (and the co-located local-delay floor against their
+        own site) needs the scalar path.
+        """
+        if src >= CLIENT_ID_BASE:
+            return None
+        row_fn = getattr(self.one_way, "row", None)
+        return row_fn(src) if row_fn is not None else None
+
 
 class WorkloadClient:
     """One client endpoint; supports multiple outstanding requests.

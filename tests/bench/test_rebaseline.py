@@ -12,6 +12,7 @@ def test_known_suites_cover_every_baseline_module():
         "metrics",
         "pipeline",
         "plane",
+        "scale",
         "search",
         "simulator",
     )

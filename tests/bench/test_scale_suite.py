@@ -1,0 +1,100 @@
+"""Scale-suite machinery: subprocess isolation, bounds, report shape.
+
+The real suite entries (n >= 512) are minutes each, so these tests run
+the same harness on tiny synthetic entries -- the subprocess spawn,
+timeout enforcement, RSS capture and report/ table plumbing are exactly
+the code the big entries use.
+"""
+
+import pytest
+
+import repro.bench.scale as scale
+from repro.bench.all import host_section
+from repro.bench.scale import (
+    SUITE,
+    ScaleEntry,
+    format_scale_table,
+    run_entry,
+    run_scale_suite,
+)
+
+TINY = ScaleEntry(
+    id="hotstuff/tiny",
+    engine="hotstuff",
+    protocol="hotstuff-rr",
+    n=8,
+    workload="saturated",
+    duration=3.0,
+)
+
+
+def test_suite_covers_three_engines_at_three_sizes():
+    assert {entry.engine for entry in SUITE} == {"hotstuff", "kauri", "pbft"}
+    assert {entry.n for entry in SUITE} == {512, 1024, 4096}
+    assert len(SUITE) == 9
+
+
+def test_unknown_entry_rejected():
+    with pytest.raises(ValueError, match="unknown scale entries"):
+        run_scale_suite(only=["nope/n8"])
+
+
+def test_run_entry_reports_from_a_fresh_subprocess():
+    record = run_entry(TINY)
+    assert record["status"] == "ok"
+    assert record["deployment"] == "world-8"
+    assert record["deliveries"] > 0
+    assert record["committed_blocks"] > 0
+    assert record["peak_rss_mb"] > 0
+    assert record["wall_seconds"] > 0
+
+
+def test_run_entry_dense_uses_wonderproxy_path():
+    record = run_entry(TINY, dense=True)
+    assert record["status"] == "ok"
+    assert record["deployment"] == "wonderproxy-8"
+
+
+def test_timeout_is_parent_enforced(monkeypatch):
+    monkeypatch.setitem(scale._TIMEOUTS, "hotstuff", 0.05)
+    record = run_entry(TINY)
+    assert record["status"] == "timeout"
+    assert "deliveries" not in record
+
+
+def test_format_table_handles_partial_records():
+    report = {
+        "entries": [
+            {
+                "id": "pbft/n512",
+                "n": 512,
+                "status": "ok",
+                "build_seconds": 1.0,
+                "run_seconds": 2.0,
+                "deliveries": 1000,
+                "deliveries_per_sec": 500.0,
+                "peak_rss_mb": 150.0,
+                "speedup_deliveries_per_sec": 7.5,
+                "rss_vs_dense": 0.4,
+            },
+            {"id": "pbft/n4096", "n": 4096, "status": "timeout"},
+        ]
+    }
+    table = format_scale_table(report)
+    assert "pbft/n512" in table and "7.50x" in table
+    assert "timeout" in table
+
+
+def test_host_section_isolates_scale_rss():
+    suites = {
+        "scale": {
+            "entries": [
+                {"id": "pbft/n512", "peak_rss_mb": 150.0},
+                {"id": "pbft/n4096", "status": "timeout"},
+            ]
+        },
+        "plane": {"entries": []},
+    }
+    section = host_section(suites)
+    assert section["scale_entry_peak_rss_mb"] == {"pbft/n512": 150.0}
+    assert section["bench_process_peak_rss_mb"] > 0

@@ -67,3 +67,61 @@ def test_random_world_deployment_oversized():
 def test_stellar_deployment_latency_built():
     deployment = stellar_deployment()
     assert deployment.latency.rtt_ms(0, deployment.n - 1) >= 0.0
+
+
+# ----------------------------------------------------------------------
+# world-N at scale (n > 220 repeats cities: the densified regime)
+# ----------------------------------------------------------------------
+def test_world_deployment_deterministic_beyond_pool():
+    a = random_world_deployment(260, random.Random(9), hierarchical=True)
+    b = random_world_deployment(260, random.Random(9), hierarchical=True)
+    assert [c.name for c in a.cities] == [c.name for c in b.cities]
+    pairs = random.Random(1).sample(
+        [(i, j) for i in range(0, 260, 13) for j in range(1, 260, 17)], 50
+    )
+    for i, j in pairs:
+        assert a.latency.rtt_ms(i, j) == b.latency.rtt_ms(i, j)
+
+
+def test_world_deployment_seed_changes_placement():
+    a = random_world_deployment(260, random.Random(9), hierarchical=True)
+    b = random_world_deployment(260, random.Random(10), hierarchical=True)
+    assert [c.name for c in a.cities] != [c.name for c in b.cities]
+
+
+def test_world_deployment_covers_every_region():
+    from repro.net.deployments import ALL_CITIES
+
+    deployment = random_world_deployment(260, random.Random(3), hierarchical=True)
+    assert {c.region for c in deployment.cities} == {
+        c.region for c in ALL_CITIES
+    }
+
+
+def test_colocated_replicas_see_local_rtt_at_scale():
+    from repro.net.latency_model import LOCAL_RTT_MS
+
+    deployment = random_world_deployment(260, random.Random(3), hierarchical=True)
+    by_location = {}
+    for index, city in enumerate(deployment.cities):
+        by_location.setdefault((city.lat, city.lon), []).append(index)
+    repeats = [ids for ids in by_location.values() if len(ids) > 1]
+    assert repeats  # n > 220 must reuse cities
+    for ids in repeats:
+        first, second = ids[0], ids[1]
+        assert deployment.latency.rtt_ms(first, second) == LOCAL_RTT_MS
+
+
+def test_jittered_repeats_spread_but_stay_deterministic():
+    kwargs = dict(hierarchical=True, jitter_km=50.0)
+    a = random_world_deployment(260, random.Random(3), **kwargs)
+    b = random_world_deployment(260, random.Random(3), **kwargs)
+    by_location = {}
+    for index, city in enumerate(a.cities):
+        by_location.setdefault((city.lat, city.lon), []).append(index)
+    repeats = next(ids for ids in by_location.values() if len(ids) > 1)
+    first, second = repeats[0], repeats[1]
+    from repro.net.latency_model import LOCAL_RTT_MS
+
+    assert a.latency.rtt_ms(first, second) > LOCAL_RTT_MS
+    assert a.latency.rtt_ms(first, second) == b.latency.rtt_ms(first, second)

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.net import latency_model
 from repro.net.cities import city_by_name
-from repro.net.latency_model import LatencyModel
+from repro.net.latency_model import LatencyModel, _LazyOneWay, _OneWay
 
 
 def test_symmetry_and_zero_diagonal(europe21):
@@ -92,3 +93,52 @@ def test_one_way_rows_match_one_way_exactly(europe21):
     for a in range(n):
         for b in range(n):
             assert rows[a][b] == model.one_way(a, b)
+
+
+# ----------------------------------------------------------------------
+# One-way providers: eager list rows vs lazy matrix-backed rows
+# ----------------------------------------------------------------------
+def test_eager_provider_below_threshold(europe21):
+    provider = europe21.latency.one_way_provider()
+    assert isinstance(provider, _OneWay)
+
+
+def test_provider_switches_lazy_past_threshold(europe21, monkeypatch):
+    monkeypatch.setattr(latency_model, "EAGER_ROWS_MAX_N", 20)
+    provider = europe21.latency.one_way_provider()
+    assert isinstance(provider, _LazyOneWay)
+
+
+def test_lazy_provider_bit_equal_to_one_way(europe21):
+    # The memory fix serves floats off the numpy matrix; every value
+    # must still equal the scalar one_way chain bit-for-bit.
+    model = europe21.latency
+    lazy = _LazyOneWay(model._rtt_ms)
+    eager = _OneWay(model.one_way_rows())
+    n = len(model)
+    for a in range(n):
+        assert lazy.row(a) == eager.row(a)
+        for b in range(n):
+            assert lazy(a, b) == model.one_way(a, b) == eager(a, b)
+
+
+def test_lazy_row_cache_bounded_and_consistent(europe21, monkeypatch):
+    monkeypatch.setattr(_LazyOneWay, "CACHE_SIZE", 4)
+    lazy = _LazyOneWay(europe21.latency._rtt_ms)
+    rows = [list(lazy.row(a)) for a in range(21)]
+    assert len(lazy._cache) == 4
+    # Evicted rows re-synthesize to identical values.
+    assert [lazy.row(a) for a in range(21)] == rows
+
+
+def test_lazy_provider_pickles_without_cache():
+    import pickle
+
+    cities = [city_by_name("Paris"), city_by_name("Tokyo")]
+    model = LatencyModel(cities)
+    lazy = _LazyOneWay(model._rtt_ms)
+    lazy.row(0)
+    clone = pickle.loads(pickle.dumps(lazy))
+    assert not clone._cache
+    assert clone(0, 1) == lazy(0, 1)
+    assert clone.row(1) == lazy.row(1)

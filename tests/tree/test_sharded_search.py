@@ -1,0 +1,179 @@
+"""Candidate-set-sharded tree search.
+
+The contract is the sweep-executor contract from the parallel module:
+shard partition and per-shard seeds are pure functions of the inputs, so
+the merged result is byte-identical for any ``jobs`` value.  These tests
+pin that equivalence (serial loop vs process pool), the partition
+properties, and the degenerate-shard merge behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.parallel import derive_sweep_seed
+from repro.optimize.annealing import AnnealingSchedule
+from repro.tree.kauri_sa import KauriSaReconfigurer
+from repro.tree.optitree import (
+    optitree_search,
+    optitree_search_sharded,
+    shard_candidates,
+)
+from repro.tree.topology import branch_factor_for
+
+FAST = AnnealingSchedule(iterations=300, initial_temperature=0.05)
+
+N, F = 57, 18
+
+
+def result_key(result):
+    """Every observable field of an AnnealingResult, for exact diffs."""
+    return (
+        result.best_state,
+        result.best_score,
+        result.initial_score,
+        result.iterations_used,
+        result.accepted,
+        result.converged,
+    )
+
+
+# ----------------------------------------------------------------------
+# Partition
+# ----------------------------------------------------------------------
+def test_shard_candidates_is_a_partition():
+    candidates = frozenset(range(3, 40))
+    shards = shard_candidates(candidates, 5)
+    assert len(shards) == 5
+    union = set()
+    for shard in shards:
+        assert not (shard & union)
+        union |= shard
+    assert union == candidates
+
+
+def test_shard_candidates_deals_round_robin():
+    # Sorted round-robin: shard i holds every 5th candidate starting at
+    # the i-th smallest, so each shard spans the whole id range.
+    shards = shard_candidates(frozenset(range(10)), 5)
+    assert shards[0] == {0, 5}
+    assert shards[4] == {4, 9}
+
+
+def test_shard_candidates_deterministic():
+    candidates = frozenset(random.Random(1).sample(range(500), 64))
+    assert shard_candidates(candidates, 7) == shard_candidates(candidates, 7)
+
+
+# ----------------------------------------------------------------------
+# Byte-identical merge across --jobs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jobs", [2, 3])
+def test_sharded_search_matches_serial_for_any_jobs(world57_links, jobs):
+    kwargs = dict(
+        u=0, root_seed=99, shards=3, schedule=FAST, k=(N - F) + F
+    )
+    candidates = frozenset(range(N))
+    serial = optitree_search_sharded(
+        world57_links, N, F, candidates, jobs=1, **kwargs
+    )
+    pooled = optitree_search_sharded(
+        world57_links, N, F, candidates, jobs=jobs, **kwargs
+    )
+    assert result_key(pooled) == result_key(serial)
+
+
+def test_sharded_search_repeatable_under_root_seed(world57_links):
+    candidates = frozenset(range(N))
+    runs = [
+        optitree_search_sharded(
+            world57_links, N, F, candidates, u=0,
+            root_seed=7, shards=4, jobs=2, schedule=FAST,
+        )
+        for _ in range(2)
+    ]
+    assert result_key(runs[0]) == result_key(runs[1])
+
+
+def test_single_shard_reduces_to_plain_search(world57_links):
+    candidates = frozenset(range(N))
+    sharded = optitree_search_sharded(
+        world57_links, N, F, candidates, u=0,
+        root_seed=11, shards=1, schedule=FAST,
+    )
+    direct = optitree_search(
+        world57_links, N, F, candidates, u=0,
+        rng=random.Random(derive_sweep_seed(11, "shard-0")),
+        schedule=FAST,
+    )
+    assert result_key(sharded) == result_key(direct)
+
+
+def test_winning_tree_stays_inside_one_shard(world57_links):
+    # Each shard searches only its own candidate subset, so the merged
+    # winner's internal nodes sit entirely inside a single shard.
+    candidates = frozenset(range(N))
+    shards = shard_candidates(candidates, 3)
+    result = optitree_search_sharded(
+        world57_links, N, F, candidates, u=0,
+        root_seed=5, shards=3, schedule=FAST,
+    )
+    internal = result.best_state.internal_nodes
+    assert any(internal <= shard for shard in shards)
+
+
+# ----------------------------------------------------------------------
+# Degenerate shards
+# ----------------------------------------------------------------------
+def test_undersized_shards_are_skipped(world57_links):
+    # 15 candidates over 2 shards: shard 0 gets 8 (= b + 1 for n=57,
+    # just enough), shard 1 gets 7 and cannot form a tree.
+    b = branch_factor_for(N)
+    candidates = frozenset(range(2 * (b + 1) - 1))
+    shards = shard_candidates(candidates, 2)
+    assert len(shards[0]) == b + 1 and len(shards[1]) == b
+    result = optitree_search_sharded(
+        world57_links, N, F, candidates, u=0,
+        root_seed=3, shards=2, schedule=FAST,
+    )
+    assert result is not None
+    assert result.best_state.internal_nodes <= shards[0]
+
+
+def test_all_shards_undersized_returns_none(world57_links):
+    result = optitree_search_sharded(
+        world57_links, N, F, frozenset(range(6)), u=0,
+        root_seed=3, shards=3, schedule=FAST,
+    )
+    assert result is None
+
+
+# ----------------------------------------------------------------------
+# Kauri-sa wiring
+# ----------------------------------------------------------------------
+def make_reconfigurer(world57_links, jobs):
+    return KauriSaReconfigurer(
+        world57_links, N, F, rng=random.Random(21),
+        schedule=FAST, shards=3, jobs=jobs,
+    )
+
+
+def test_kauri_sa_sharded_identical_across_jobs(world57_links):
+    serial = make_reconfigurer(world57_links, jobs=1)
+    pooled = make_reconfigurer(world57_links, jobs=2)
+    for _ in range(2):
+        tree_serial = serial.next_tree()
+        tree_pooled = pooled.next_tree()
+        assert tree_pooled == tree_serial
+        # Blacklisting after a failure must keep the streams aligned.
+        serial.tree_failed(tree_serial)
+        pooled.tree_failed(tree_pooled)
+    assert serial.trees_formed == pooled.trees_formed == 2
+
+
+def test_kauri_sa_sharded_respects_blacklist(world57_links):
+    reconfigurer = make_reconfigurer(world57_links, jobs=1)
+    tree = reconfigurer.next_tree()
+    reconfigurer.tree_failed(tree)
+    successor = reconfigurer.next_tree()
+    assert not (successor.internal_nodes & tree.internal_nodes)
