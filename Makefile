@@ -11,8 +11,10 @@
 #   make bench-metrics  measurement-plane suite -> BENCH_metrics.json
 #   make bench-plane    message-plane suite (object vs columnar) -> BENCH_PR7.json
 #   make bench-scale    internet-scale suite (n up to 4096) -> BENCH_PR8.json
+#   make bench-attack   adversary-synthesis suite -> BENCH_PR9.json
 #   make bench-all      every bench suite, one consolidated -> BENCH_all.json
 #   make campaign-smoke flat-RSS + kill/resume campaign smoke (REPRO_FULL=1 for 2M)
+#   make attack-smoke   jobs byte-identity + smoke robustness frontier
 #   make profile        cProfile over the fixed hot-path scenario
 #   make profile-search cProfile over the fixed search hot path
 #   make profile-pipeline cProfile over the fixed monitoring hot path
@@ -25,7 +27,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-search bench-pipeline bench-figures bench-metrics bench-plane bench-scale bench-all campaign-smoke profile profile-search profile-pipeline profile-scale lint quickstart
+.PHONY: test bench bench-quick bench-search bench-pipeline bench-figures bench-metrics bench-plane bench-scale bench-attack bench-all campaign-smoke attack-smoke profile profile-search profile-pipeline profile-scale lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,11 +60,17 @@ bench-plane:
 bench-scale:
 	$(PYTHON) -m repro bench --scale --output BENCH_PR8.json
 
+bench-attack:
+	$(PYTHON) -m repro bench --attack --output BENCH_PR9.json
+
 bench-all:
 	$(PYTHON) -m repro.bench.all BENCH_all.json
 
 campaign-smoke:
 	$(PYTHON) scripts/campaign_smoke.py
+
+attack-smoke:
+	$(PYTHON) scripts/attack_smoke.py BENCH_frontier_smoke.json
 
 profile:
 	$(PYTHON) -m repro.bench.profile

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Attack-search smoke: jobs byte-identity + a smoke-sized frontier.
+
+The two load-bearing claims of the adversary-synthesis subsystem,
+checked end to end at CI size:
+
+1. **Jobs byte-identity.**  The same synthesis search run serially and
+   on the process pool must return byte-identical JSON reports -- both
+   sharding regimes (chains when ``restarts > 1``, per-seed evaluations
+   when ``restarts == 1``).
+2. **Smoke frontier.**  A two-level budget frontier on the quick pbft
+   arena runs to completion, every point is finite (the event-budget
+   timeout keeps liveness-killing genomes scoring finite degradation),
+   and the report lands as a JSON artifact next to the hand-authored
+   reference points.
+
+Usage::
+
+    PYTHONPATH=src python scripts/attack_smoke.py [frontier.json]
+
+Exits non-zero on any violated claim.
+"""
+
+import dataclasses
+import json
+import sys
+
+from repro.experiments.attack import ensure_baselines, make_arena
+from repro.experiments.frontier import run_frontier, write_frontier
+from repro.faults.genome import AdversaryBudget
+from repro.optimize.adversary import DEFAULT_SCHEDULE, attack_search
+
+DURATION = 3.0
+SCHEDULE = dataclasses.replace(DEFAULT_SCHEDULE, iterations=4)
+
+
+def _dumps(report):
+    return json.dumps(report, sort_keys=True)
+
+
+def check_jobs_identity() -> None:
+    arena = make_arena("pbft", duration=DURATION, seeds=(0, 1))
+    ensure_baselines(arena)
+    budget = AdversaryBudget(max_faulty=6)
+
+    # restarts > 1: the pool shards annealing chains.
+    chain_kwargs = dict(objective="latency", seed=0, restarts=2, schedule=SCHEDULE)
+    serial = attack_search(arena, budget, jobs=1, **chain_kwargs)
+    pooled = attack_search(arena, budget, jobs=4, **chain_kwargs)
+    if _dumps(serial) != _dumps(pooled):
+        raise SystemExit("chain-parallel search diverged from serial")
+    print(
+        f"jobs identity (chain-parallel): {serial['scenario_runs']} runs, "
+        f"best degradation {serial['best']['degradation']:.3f}"
+    )
+
+    # restarts == 1: the pool shards per-seed evaluations instead.
+    seed_kwargs = dict(objective="latency", seed=0, restarts=1, schedule=SCHEDULE)
+    serial = attack_search(arena, budget, jobs=1, **seed_kwargs)
+    pooled = attack_search(arena, budget, jobs=2, **seed_kwargs)
+    if _dumps(serial) != _dumps(pooled):
+        raise SystemExit("seed-parallel search diverged from serial")
+    print(
+        f"jobs identity (seed-parallel): {serial['scenario_runs']} runs, "
+        f"best degradation {serial['best']['degradation']:.3f}"
+    )
+
+
+def check_smoke_frontier(output_path) -> None:
+    report = run_frontier(
+        "pbft",
+        "latency",
+        axis="faulty",
+        levels=(1, 6),
+        duration=DURATION,
+        seeds=(0,),
+        seed=0,
+        restarts=1,
+        schedule=SCHEDULE,
+    )
+    for point in report["points"]:
+        degradation = point["degradation"]
+        if not (1.0 <= degradation < float("inf")):
+            raise SystemExit(f"frontier point is not finite: {point}")
+    if report["best_reference"] is None:
+        raise SystemExit("frontier carried no hand-authored reference points")
+    by_level = {p["level"]: p["degradation"] for p in report["points"]}
+    print(
+        f"smoke frontier: f=1 -> {by_level[1]:.3f}, f=6 -> {by_level[6]:.3f}, "
+        f"best reference {report['best_reference']:.3f}"
+    )
+    if output_path:
+        write_frontier(report, output_path)
+        print(f"wrote {output_path}")
+
+
+def main() -> int:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else None
+    check_jobs_identity()
+    check_smoke_frontier(output_path)
+    print("attack smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,18 @@ Subcommands
         python -m repro campaign --requests 2000000 --workload diurnal \
             --checkpoint-every 30 --checkpoint-dir ckpts --shards 4 --jobs 4
 
+``attack``
+    Synthesize the worst-case bounded adversary for an arena by
+    annealing over the attack-genome space (ROADMAP item 4), or sweep a
+    whole robustness frontier (degradation vs adversary budget, with the
+    hand-authored scenarios as reference points).  Deterministic under
+    ``--seed`` and byte-identical for any ``--jobs``::
+
+        python -m repro attack --arena pbft --objective latency \
+            --budget-faulty 6 --iterations 40 --restarts 2 --jobs 4
+        python -m repro attack --frontier --axis faulty --levels 1 3 6 \
+            --output frontier_pbft.json
+
 ``fig``
     Execute a figure driver (``fig7`` ... ``fig15``, ``fast`` and
     ``--jobs`` where supported) and print its table.
@@ -202,7 +214,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.parallel import derive_sweep_seed, run_scenarios
+    from repro.experiments.parallel import (
+        ParallelWorkerError,
+        derive_sweep_seed,
+        run_scenarios,
+    )
 
     seeds = list(args.seeds or [])
     if args.derive_seeds:
@@ -236,6 +252,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             progress=lambda message: print(message, file=sys.stderr),
         )
+    except ParallelWorkerError as error:
+        raise SystemExit(f"error: {error} (failing point: {error.label})")
     except (ValueError, TypeError) as error:
         raise SystemExit(f"error: {error}")
     text = json.dumps(metrics, sort_keys=True, indent=2)
@@ -250,6 +268,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.campaign import CampaignSpec, campaign_to_json, run_campaign
+    from repro.experiments.parallel import ParallelWorkerError
 
     scenario = Scenario(
         protocol=args.protocol,
@@ -280,6 +299,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             progress=lambda message: print(message, file=sys.stderr),
         )
+    except ParallelWorkerError as error:
+        raise SystemExit(f"error: {error} (failing point: {error.label})")
     except (ValueError, TypeError) as error:
         raise SystemExit(f"error: {error}")
     text = campaign_to_json(report, indent=2)
@@ -293,6 +314,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
+    if args.list:
+        print("available scenarios:")
+        print(scenarios_mod.format_scenario_registry())
+        return 0
+    if not args.name:
+        raise SystemExit(
+            "scenario needs a name (or --list); available scenarios:\n"
+            + scenarios_mod.format_scenario_registry()
+        )
     try:
         result = scenarios_mod.run_named(
             args.name, seed=args.seed, duration=args.duration
@@ -303,6 +333,94 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    from repro.experiments.attack import (
+        best_reference_degradation,
+        evaluate_references,
+        make_arena,
+    )
+    from repro.experiments.frontier import (
+        format_frontier_table,
+        run_frontier,
+        write_frontier,
+    )
+    from repro.experiments.parallel import ParallelWorkerError
+    from repro.faults.genome import AdversaryBudget
+    from repro.optimize.adversary import DEFAULT_SCHEDULE, attack_search
+
+    progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    schedule = dataclasses.replace(DEFAULT_SCHEDULE, iterations=args.iterations)
+    try:
+        budget = AdversaryBudget(
+            max_faulty=args.budget_faulty,
+            delta=args.budget_delta,
+            max_loss_rate=args.budget_loss,
+            max_extra_delay=args.budget_delay,
+            max_moves=args.budget_moves,
+        )
+        if args.frontier:
+            report = run_frontier(
+                arena_name=args.arena,
+                objective=args.objective,
+                axis=args.axis,
+                levels=args.levels,
+                base_budget=budget,
+                duration=args.duration,
+                seeds=tuple(args.eval_seeds),
+                seed=args.seed,
+                restarts=args.restarts,
+                schedule=schedule,
+                jobs=args.jobs,
+                progress=progress,
+            )
+            print(format_frontier_table(report))
+        else:
+            arena = make_arena(
+                args.arena, duration=args.duration, seeds=tuple(args.eval_seeds)
+            )
+            report = attack_search(
+                arena,
+                budget,
+                args.objective,
+                seed=args.seed,
+                restarts=args.restarts,
+                schedule=schedule,
+                jobs=args.jobs,
+                progress=progress,
+            )
+            references = evaluate_references(arena, args.objective)
+            report["references"] = [
+                {
+                    "name": ref["name"],
+                    "degradation": ref["degradation"],
+                    "victims": ref["victims"],
+                }
+                for ref in references
+            ]
+            report["best_reference"] = best_reference_degradation(references)
+            print(
+                f"arena {report['arena']} / {report['objective']}: synthesized "
+                f"degradation {report['best']['degradation']:.3f} "
+                f"(best hand-authored reference: {report['best_reference']:.3f})"
+            )
+            print(f"  {report['best']['label']}")
+    except ParallelWorkerError as error:
+        raise SystemExit(f"error: {error} (failing point: {error.label})")
+    except (ValueError, TypeError) as error:
+        raise SystemExit(f"error: {error}")
+    text = json.dumps(report, sort_keys=True, indent=2)
+    if args.output:
+        if args.frontier:
+            write_frontier(report, args.output)
+        else:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         print(text)
@@ -325,9 +443,13 @@ def cmd_fig(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    if sum((args.search, args.pipeline, args.metrics, args.plane, args.scale)) > 1:
+    if sum(
+        (args.search, args.pipeline, args.metrics, args.plane, args.scale,
+         args.attack)
+    ) > 1:
         raise SystemExit(
-            "choose one of --search / --pipeline / --metrics / --plane / --scale"
+            "choose one of --search / --pipeline / --metrics / --plane / "
+            "--scale / --attack"
         )
     if args.rebaseline:
         from repro.bench.rebaseline import rebaseline
@@ -369,6 +491,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "BENCH_scale_quick.json" if args.quick else "BENCH_PR8.json"
         )
         write_scale_report(report, output)
+        print(f"wrote {output}", file=sys.stderr)
+        return 0
+
+    if args.attack:
+        from repro.bench.attack import (
+            format_attack_table,
+            run_attack_suite,
+            write_attack_report,
+        )
+
+        if args.entry:
+            raise SystemExit("--entry applies to the simulator suite, not --attack")
+        report = run_attack_suite(
+            quick=args.quick,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        print(format_attack_table(report))
+        output = args.output or (
+            "BENCH_attack_quick.json" if args.quick else "BENCH_PR9.json"
+        )
+        write_attack_report(report, output)
         print(f"wrote {output}", file=sys.stderr)
         return 0
 
@@ -598,7 +741,12 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario", help="run a named adversarial scenario, print JSON metrics"
     )
     scenario_parser.add_argument(
-        "name", help=" | ".join(sorted(scenarios_mod.ADVERSARIAL_SCENARIOS))
+        "name", nargs="?", default=None,
+        help=" | ".join(sorted(scenarios_mod.ADVERSARIAL_SCENARIOS)),
+    )
+    scenario_parser.add_argument(
+        "--list", action="store_true",
+        help="print the scenario registry (name + description) and exit",
     )
     scenario_parser.add_argument("--seed", type=int, default=0)
     scenario_parser.add_argument(
@@ -608,6 +756,63 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument("--output", metavar="FILE",
                                  help="write JSON here instead of stdout")
     scenario_parser.set_defaults(func=cmd_scenario)
+
+    attack_parser = sub.add_parser(
+        "attack",
+        help="synthesize a worst-case bounded adversary (annealed search)",
+    )
+    attack_parser.add_argument(
+        "--arena", default="pbft", choices=("pbft", "hotstuff", "kauri", "optiaware"),
+        help="which fault-free arena to attack (default pbft)",
+    )
+    attack_parser.add_argument(
+        "--objective", default="latency", choices=("latency", "suspicion"),
+        help="maximize commit-latency degradation or false-suspicion yield",
+    )
+    attack_parser.add_argument(
+        "--frontier", action="store_true",
+        help="sweep a budget axis instead of a single search "
+             "(degradation vs budget, hand-authored references included)",
+    )
+    attack_parser.add_argument(
+        "--axis", default="faulty", choices=("faulty", "delta"),
+        help="budget axis for --frontier (default faulty)",
+    )
+    attack_parser.add_argument(
+        "--levels", type=float, nargs="+", default=None, metavar="LEVEL",
+        help="explicit --frontier levels (default per axis)",
+    )
+    attack_parser.add_argument("--budget-faulty", type=int, default=3, metavar="F",
+                               help="max simultaneously faulty replicas (default 3)")
+    attack_parser.add_argument("--budget-delta", type=float, default=1.25,
+                               metavar="DELTA",
+                               help="stealth-delay bound as a multiple of the "
+                                    "estimated timeout (default 1.25)")
+    attack_parser.add_argument("--budget-loss", type=float, default=0.05,
+                               metavar="RATE",
+                               help="max per-link loss rate (default 0.05)")
+    attack_parser.add_argument("--budget-delay", type=float, default=0.5,
+                               metavar="SECONDS",
+                               help="max fixed extra delay (default 0.5)")
+    attack_parser.add_argument("--budget-moves", type=int, default=4, metavar="M",
+                               help="max moves per genome (default 4)")
+    attack_parser.add_argument("--duration", type=float, default=None,
+                               help="override the arena's evaluation duration")
+    attack_parser.add_argument("--eval-seeds", type=int, nargs="+", default=[0, 1],
+                               metavar="SEED",
+                               help="worst-of-k evaluation seeds (default 0 1)")
+    attack_parser.add_argument("--seed", type=int, default=0,
+                               help="search root seed; chain seeds derive from it")
+    attack_parser.add_argument("--iterations", type=int, default=40,
+                               help="annealing iterations per chain (default 40)")
+    attack_parser.add_argument("--restarts", type=int, default=2,
+                               help="independent annealing chains (default 2)")
+    attack_parser.add_argument("--jobs", type=int, default=None,
+                               help="process-pool width (default serial; "
+                                    "results byte-identical for any value)")
+    attack_parser.add_argument("--output", metavar="FILE",
+                               help="write the JSON report here instead of stdout")
+    attack_parser.set_defaults(func=cmd_attack)
 
     fig_parser = sub.add_parser("fig", help="run a figure driver, print its table")
     fig_parser.add_argument("figure", help="fig7 ... fig15")
@@ -651,6 +856,12 @@ def build_parser() -> argparse.ArgumentParser:
              "state-trace equivalence, heap-event reduction) instead",
     )
     bench_parser.add_argument(
+        "--attack", action="store_true",
+        help="run the adversary-synthesis suite (objective evals/sec, "
+             "search throughput, synthesized-vs-hand-authored margins) "
+             "instead",
+    )
+    bench_parser.add_argument(
         "--scale", action="store_true",
         help="run the internet-scale suite (world-N deployments at "
              "n in {512, 1024, 4096}, per-entry subprocess with peak-RSS "
@@ -673,7 +884,8 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_PR5.json / BENCH_pipeline_quick.json with --pipeline; "
              "BENCH_metrics.json / BENCH_metrics_quick.json with --metrics; "
              "BENCH_PR7.json / BENCH_plane_quick.json with --plane; "
-             "BENCH_PR8.json / BENCH_scale_quick.json with --scale)",
+             "BENCH_PR8.json / BENCH_scale_quick.json with --scale; "
+             "BENCH_PR9.json / BENCH_attack_quick.json with --attack)",
     )
     bench_parser.set_defaults(func=cmd_bench)
 

@@ -1,8 +1,8 @@
 """``make bench-all``: every bench suite, one consolidated report.
 
-Runs the six suites -- ``simulator`` (the original ``repro bench``
-scenarios), ``search``, ``pipeline``, ``metrics``, ``plane`` and
-``scale`` -- in sequence and nests their individual reports under one
+Runs the seven suites -- ``simulator`` (the original ``repro bench``
+scenarios), ``search``, ``pipeline``, ``metrics``, ``plane``, ``scale``
+and ``attack`` -- in sequence and nests their individual reports under one
 top-level JSON, so a single artifact captures the whole perf trajectory
 at a commit.  Each nested report is byte-identical in shape to what its
 own CLI flag would have written, baselines included.
@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 
 def _suites() -> List[Tuple[str, Callable, Callable]]:
-    from repro.bench import metrics, pipeline, plane, scale, search, suite
+    from repro.bench import attack, metrics, pipeline, plane, scale, search, suite
 
     return [
         ("simulator", suite.run_suite, suite.format_table),
@@ -35,6 +35,7 @@ def _suites() -> List[Tuple[str, Callable, Callable]]:
         ("metrics", metrics.run_metrics_suite, metrics.format_metrics_table),
         ("plane", plane.run_plane_suite, plane.format_plane_table),
         ("scale", scale.run_scale_suite, scale.format_scale_table),
+        ("attack", attack.run_attack_suite, attack.format_attack_table),
     ]
 
 

@@ -1,0 +1,260 @@
+"""The ``repro bench --attack`` suite: adversary-synthesis throughput.
+
+The synthesis loop's budget is scenario runs: every annealing step costs
+one full seeded simulation per evaluation seed, so runs/sec bounds how
+much strategy space a search can cover.  This suite pins that rate plus
+the searches' *outcomes* -- the synthesized worst-of-seeds degradation
+against the best hand-authored reference on the same arena -- so a
+``BENCH_PR9.json`` is self-contained evidence that the synthesized
+adversary strictly beats the strongest hand-written scenario on its own
+objective (``beats_reference`` per search entry).
+
+Entries (fixed arenas, budgets, schedules and seeds -- only the code
+under test varies):
+
+* ``attack-eval/pbft``        -- objective-evaluation throughput over
+  the fixed seed-genome rotation (the search's innermost cost);
+* ``attack-search/pbft-quick`` -- a small full search on the quick pbft
+  arena (CI-sized; also the determinism canary);
+* ``attack-search/pbft-f6``   -- the headline: a 3-chain search at
+  budget ``max_faulty=6`` on the two-seed pbft arena vs the
+  partition-heal / lossy-wan references;
+* ``attack-search/optiaware-suspicion`` -- the false-suspicion
+  objective on the OptiAware arena vs the smear-campaign reference.
+
+Everything is deterministic (seeded chains, event-budget timeouts), so
+the degradations and best-genome labels double as behaviour pins:
+``ATTACK_BASELINE`` (see :mod:`repro.bench.attack_baseline`) records
+them, and the suite tests replay the quick entries bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import replace as dc_replace
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.attack_baseline import ATTACK_BASELINE
+
+#: (arena, duration, seeds) for the quick-sized pbft battlefield.
+QUICK_ARENA = ("pbft", 4.0, (0,))
+#: Search schedules: (iterations, restarts) per entry.
+QUICK_SEARCH = (8, 2)
+HEADLINE_SEARCH = (16, 3)
+SUSPICION_SEARCH = (6, 1)
+
+_QUICK_SKIP = {"attack-search/pbft-f6", "attack-search/optiaware-suspicion"}
+
+
+def _make_arena(name: str, duration: Optional[float], seeds):
+    from repro.experiments.attack import ensure_baselines, make_arena
+
+    arena = make_arena(name, duration=duration, seeds=seeds)
+    ensure_baselines(arena)
+    return arena
+
+
+def _bench_eval(entry_id: str) -> Dict[str, object]:
+    """Evaluation throughput: the seed-genome rotation, scored serially."""
+    from repro.experiments.attack import evaluate_genome
+    from repro.faults.genome import AdversaryBudget, seed_genome
+
+    name, duration, seeds = QUICK_ARENA
+    arena = _make_arena(name, duration, seeds)
+    budget = AdversaryBudget(max_faulty=6)
+    genomes = [seed_genome(budget, arena.profile, variant=v) for v in range(6)]
+    degradations: Dict[str, float] = {}
+    start = time.perf_counter()
+    for genome in genomes:
+        evaluation = evaluate_genome(arena, budget, "latency", genome)
+        degradations[genome.moves[0].kind] = round(evaluation["degradation"], 6)
+    wall = time.perf_counter() - start
+    runs = len(genomes) * len(arena.seeds)
+    return {
+        "id": entry_id,
+        "arena": name,
+        "genomes": len(genomes),
+        "scenario_runs": runs,
+        "wall_seconds": round(wall, 6),
+        "runs_per_sec": round(runs / wall, 2) if wall > 0 else 0.0,
+        "degradations": degradations,
+    }
+
+
+def _bench_search(
+    entry_id: str,
+    arena_name: str,
+    duration: Optional[float],
+    seeds,
+    objective: str,
+    budget,
+    iterations: int,
+    restarts: int,
+) -> Dict[str, object]:
+    from repro.experiments.attack import (
+        best_reference_degradation,
+        evaluate_references,
+    )
+    from repro.optimize.adversary import DEFAULT_SCHEDULE, attack_search
+
+    arena = _make_arena(arena_name, duration, seeds)
+    references = evaluate_references(arena, objective)
+    best_ref = best_reference_degradation(references)
+    schedule = dc_replace(DEFAULT_SCHEDULE, iterations=iterations)
+    start = time.perf_counter()
+    report = attack_search(
+        arena, budget, objective, seed=0, restarts=restarts, schedule=schedule
+    )
+    wall = time.perf_counter() - start
+    runs = report["scenario_runs"]
+    synthesized = report["best"]["degradation"]
+    return {
+        "id": entry_id,
+        "arena": arena_name,
+        "objective": objective,
+        "iterations": iterations,
+        "restarts": restarts,
+        "scenario_runs": runs,
+        "wall_seconds": round(wall, 6),
+        "runs_per_sec": round(runs / wall, 2) if wall > 0 else 0.0,
+        "synthesized_degradation": synthesized,
+        "best_label": report["best"]["label"],
+        "best_reference": best_ref,
+        "references": {
+            ref["name"]: ref["degradation"] for ref in references
+        },
+        "beats_reference": bool(
+            best_ref is not None and synthesized > best_ref
+        ),
+    }
+
+
+def _attack_entries() -> List[tuple]:
+    from repro.faults.genome import AdversaryBudget
+
+    name, duration, seeds = QUICK_ARENA
+    return [
+        ("attack-eval/pbft", lambda: _bench_eval("attack-eval/pbft")),
+        (
+            "attack-search/pbft-quick",
+            lambda: _bench_search(
+                "attack-search/pbft-quick",
+                name,
+                duration,
+                seeds,
+                "latency",
+                AdversaryBudget(max_faulty=6),
+                *QUICK_SEARCH,
+            ),
+        ),
+        (
+            "attack-search/pbft-f6",
+            lambda: _bench_search(
+                "attack-search/pbft-f6",
+                "pbft",
+                None,
+                (0, 1),
+                "latency",
+                AdversaryBudget(max_faulty=6),
+                *HEADLINE_SEARCH,
+            ),
+        ),
+        (
+            "attack-search/optiaware-suspicion",
+            lambda: _bench_search(
+                "attack-search/optiaware-suspicion",
+                "optiaware",
+                None,
+                (0,),
+                "suspicion",
+                AdversaryBudget(),
+                *SUSPICION_SEARCH,
+            ),
+        ),
+    ]
+
+
+def run_attack_suite(
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the attack suite and return the report dict.
+
+    ``quick`` keeps only the CI-sized entries (the quick pbft arena);
+    the full run adds the headline two-seed search and the suspicion
+    objective.  Searches are single-shot -- they are deterministic, and
+    their wall-clock is dominated by scenario runs, not noise.
+    """
+    results = []
+    for entry_id, runner in _attack_entries():
+        if quick and entry_id in _QUICK_SKIP:
+            continue
+        if progress is not None:
+            progress(f"bench {entry_id} ...")
+        record = runner()
+        baseline = ATTACK_BASELINE.get("entries", {}).get(entry_id)
+        if baseline is not None:
+            record["baseline"] = baseline
+            base_rate = baseline.get("runs_per_sec")
+            if base_rate and record.get("runs_per_sec"):
+                record["speedup"] = round(
+                    float(record["runs_per_sec"]) / float(base_rate), 2
+                )
+        results.append(record)
+    return {
+        "bench_version": 1,
+        "suite": "attack",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "baseline_note": ATTACK_BASELINE.get("note", ""),
+        "entries": results,
+    }
+
+
+def format_attack_table(report: Dict[str, object]) -> str:
+    """Human-readable summary of an attack report (the CLI's stdout)."""
+    lines = [
+        f"{'entry':<34} {'runs':>5} {'wall_s':>9} {'runs/s':>8} "
+        f"{'synthesized':>12} {'best_ref':>9} {'beats':>6}"
+    ]
+    for rec in report["entries"]:
+        synth = rec.get("synthesized_degradation")
+        ref = rec.get("best_reference")
+        beats = rec.get("beats_reference")
+        lines.append(
+            f"{rec['id']:<34} {rec['scenario_runs']:>5} "
+            f"{rec['wall_seconds']:>9.3f} {rec['runs_per_sec']:>8.2f} "
+            + (f"{synth:>12.3f}" if synth is not None else f"{'-':>12}")
+            + (f" {ref:>9.3f}" if ref is not None else f" {'-':>9}")
+            + (f" {'yes' if beats else 'no':>6}" if beats is not None else f" {'-':>6}")
+        )
+    return "\n".join(lines)
+
+
+def write_attack_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench.attack [--quick] [output.json]``"""
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    report = run_attack_suite(
+        quick=quick, progress=lambda msg: print(msg, file=sys.stderr)
+    )
+    print(format_attack_table(report))
+    if paths:
+        write_attack_report(report, paths[0])
+        print(f"wrote {paths[0]}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Recorded baseline for the ``repro bench --attack`` suite.
+
+Machine-local wall-clock numbers: comparable only to reports produced on
+the same host.  Regenerate with ``repro bench --rebaseline attack``
+(see :mod:`repro.bench.rebaseline`) when the suite changes shape or the
+trajectory gets a new anchor commit.
+
+The deterministic simulated fields double as behaviour pins: the suite
+tests replay the same seeds and assert the recorded values, so a
+rebaseline at a behaviour-changing commit will (correctly) fail them.
+"""
+
+ATTACK_BASELINE = {'entries': {'attack-eval/pbft': {'arena': 'pbft',
+                                  'degradations': {'churn': 1.008348,
+                                                   'crash': 6.987406,
+                                                   'delay': 1.0,
+                                                   'loss': 1.005554,
+                                                   'partition': 16.067921,
+                                                   'stealth': 1.000187},
+                                  'genomes': 6,
+                                  'runs_per_sec': 3.25,
+                                  'scenario_runs': 6,
+                                  'wall_seconds': 1.84648},
+             'attack-search/optiaware-suspicion': {'arena': 'optiaware',
+                                                   'beats_reference': True,
+                                                   'best_label': 'genome '
+                                                                 'victims=[18, '
+                                                                 '19, 20] '
+                                                                 'moves=smear[0:32]',
+                                                   'best_reference': 0.0,
+                                                   'iterations': 6,
+                                                   'objective': 'suspicion',
+                                                   'references': {'smear-campaign': 0.0},
+                                                   'restarts': 1,
+                                                   'runs_per_sec': 0.04,
+                                                   'scenario_runs': 5,
+                                                   'synthesized_degradation': 1.0,
+                                                   'wall_seconds': 114.967136},
+             'attack-search/pbft-f6': {'arena': 'pbft',
+                                       'beats_reference': True,
+                                       'best_label': 'genome victims=[8, 13, '
+                                                     '17, 18, 19, 20] '
+                                                     'moves=partition[0:32]',
+                                       'best_reference': 8.060149765578673,
+                                       'iterations': 16,
+                                       'objective': 'latency',
+                                       'references': {'lossy-wan': 1.009790734787116,
+                                                      'partition-heal': 8.060149765578673},
+                                       'restarts': 3,
+                                       'runs_per_sec': 1.54,
+                                       'scenario_runs': 72,
+                                       'synthesized_degradation': 48.86813230785674,
+                                       'wall_seconds': 46.890462},
+             'attack-search/pbft-quick': {'arena': 'pbft',
+                                          'beats_reference': True,
+                                          'best_label': 'genome victims=[13, '
+                                                        '15, 17, 18, 19, 20] '
+                                                        'moves=partition[0:32]',
+                                          'best_reference': 4.040662963394356,
+                                          'iterations': 8,
+                                          'objective': 'latency',
+                                          'references': {'lossy-wan': 3.9860411734233763,
+                                                         'partition-heal': 4.040662963394356},
+                                          'restarts': 2,
+                                          'runs_per_sec': 3.76,
+                                          'scenario_runs': 13,
+                                          'synthesized_degradation': 25.10447796703234,
+                                          'wall_seconds': 3.45348}},
+ 'note': 'initial adversary-synthesis baseline'}

@@ -67,9 +67,18 @@ class SuiteSpec:
 def _specs() -> Dict[str, SuiteSpec]:
     # Imports live here so ``repro.bench.rebaseline`` stays importable
     # without dragging in every suite module at startup.
-    from repro.bench import metrics, pipeline, plane, scale, search, suite
+    from repro.bench import attack, metrics, pipeline, plane, scale, search, suite
 
     return {
+        "attack": SuiteSpec(
+            name="attack",
+            title="repro bench --attack",
+            baseline_file="attack_baseline.py",
+            variable="ATTACK_BASELINE",
+            keys=None,
+            run=attack.run_attack_suite,
+            extra=_PINS_NOTE,
+        ),
         "simulator": SuiteSpec(
             name="simulator",
             title="repro bench",

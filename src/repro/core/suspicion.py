@@ -388,6 +388,11 @@ class SuspicionMonitor(Monitor):
         self._round_phase_counts: Dict[int, Dict[int, int]] = {}
         self._round_min_phase: Dict[int, int] = {}
         self._round_items: Dict[int, List[_SuspicionItem]] = {}
+        # Items grouped by unordered (reporter, suspect) pair, so a
+        # reciprocation touches only its own pair's items instead of
+        # scanning the whole deque (adversarial smear/churn storms send
+        # reciprocation counts far past the live-item count).
+        self._pair_items: Dict[Edge, List[_SuspicionItem]] = {}
         self._edge_counts: Dict[Edge, int] = {}
         self._oneway_counts: Dict[int, int] = {}
         self._dirty = False
@@ -439,6 +444,9 @@ class SuspicionMonitor(Monitor):
             deadline_view=max(record.view, self.current_view) + self.f + 1,
         )
         self._items.append(item)
+        self._pair_items.setdefault(
+            ordered_edge(item.reporter, item.suspect), []
+        ).append(item)
         self._register_item(item)
         self._note_phase(record)
         if self._dirty:
@@ -483,10 +491,9 @@ class SuspicionMonitor(Monitor):
     def _apply_reciprocation(self, record: SuspicionRecord) -> None:
         # record is ⟨False, A d B⟩: A (reporter) answers B's (suspect's)
         # earlier suspicion; it confirms the (A, B) edge as two-way.
-        for item in self._items:
-            if item.one_way:
-                continue
-            if {item.reporter, item.suspect} == {record.reporter, record.suspect}:
+        pair = ordered_edge(record.reporter, record.suspect)
+        for item in self._pair_items.get(pair, ()):
+            if not item.one_way:
                 item.reciprocated = True
 
     # ------------------------------------------------------------------
@@ -597,6 +604,14 @@ class SuspicionMonitor(Monitor):
             bucket.pop(0)
         else:
             bucket.remove(item)
+        pair = ordered_edge(item.reporter, item.suspect)
+        pair_bucket = self._pair_items[pair]
+        if pair_bucket[0] is item:  # same oldest-first eviction order
+            pair_bucket.pop(0)
+        else:
+            pair_bucket.remove(item)
+        if not pair_bucket:
+            del self._pair_items[pair]
         counts = self._round_phase_counts[round_id]
         remaining = counts[phase] - 1
         was_effective = phase == self._round_min_phase[round_id]

@@ -1,0 +1,160 @@
+"""Robustness frontiers: degradation as a function of adversary budget.
+
+The tentpole question fig10/fig11 could not answer: *how bad is the
+worst bounded adversary*?  A frontier sweeps one budget axis (the
+adversary's faulty-replica allowance, or its stealth δ-bound), runs the
+full synthesis search at each level, and reports the achieved
+worst-of-k-seeds degradation -- with the hand-authored scenarios from
+the registry evaluated on the same arena as reference points, so the
+synthesized frontier and the five fixed attacks are directly
+comparable (and the synthesized attack exceeding the best hand-authored
+one at equal budget is visible, not asserted).
+
+Determinism: each frontier point derives its search seed from the root
+seed and its axis label (``derive_sweep_seed``), so adding or reordering
+levels never perturbs other points, and any ``jobs`` value is
+byte-identical to serial (the per-point searches inherit the search's
+one-level parallelism rule).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.attack import (
+    best_reference_degradation,
+    ensure_baselines,
+    evaluate_references,
+    make_arena,
+)
+from repro.experiments.parallel import derive_sweep_seed
+from repro.faults.genome import AdversaryBudget
+from repro.optimize.adversary import DEFAULT_SCHEDULE, attack_search
+
+#: Budget axes the frontier can sweep and their default levels.
+FRONTIER_AXES: Dict[str, Sequence[float]] = {
+    "faulty": (1, 3, 6),
+    "delta": (1.0, 1.25, 1.5),
+}
+
+
+def budget_at(
+    axis: str, level: float, base: Optional[AdversaryBudget] = None
+) -> AdversaryBudget:
+    """The base budget with one axis dialled to ``level``."""
+    base = base or AdversaryBudget()
+    if axis == "faulty":
+        return dataclasses.replace(base, max_faulty=int(level))
+    if axis == "delta":
+        return dataclasses.replace(base, delta=float(level))
+    known = ", ".join(sorted(FRONTIER_AXES))
+    raise ValueError(f"unknown frontier axis {axis!r} (known: {known})")
+
+
+def run_frontier(
+    arena_name: str = "pbft",
+    objective: str = "latency",
+    axis: str = "faulty",
+    levels: Optional[Sequence[float]] = None,
+    base_budget: Optional[AdversaryBudget] = None,
+    duration: Optional[float] = None,
+    seeds: Sequence[int] = (0, 1),
+    seed: int = 0,
+    restarts: int = 2,
+    schedule=None,
+    jobs: Optional[int] = None,
+    progress=None,
+) -> Dict[str, Any]:
+    """Sweep one budget axis, synthesizing the worst attack at each level."""
+    if axis not in FRONTIER_AXES:
+        known = ", ".join(sorted(FRONTIER_AXES))
+        raise ValueError(f"unknown frontier axis {axis!r} (known: {known})")
+    levels = list(levels if levels is not None else FRONTIER_AXES[axis])
+    schedule = schedule or DEFAULT_SCHEDULE
+    arena = make_arena(arena_name, duration=duration, seeds=seeds)
+    ensure_baselines(arena)
+
+    if progress is not None:
+        progress(f"frontier {arena_name}/{objective}: evaluating references")
+    references = evaluate_references(arena, objective)
+
+    points: List[Dict[str, Any]] = []
+    for level in levels:
+        budget = budget_at(axis, level, base_budget)
+        if progress is not None:
+            progress(f"frontier {arena_name}/{objective}: {axis}={level}")
+        search = attack_search(
+            arena,
+            budget,
+            objective,
+            seed=derive_sweep_seed(seed, f"frontier-{axis}-{level}"),
+            restarts=restarts,
+            schedule=schedule,
+            jobs=jobs,
+            progress=progress,
+        )
+        points.append(
+            {
+                "level": level,
+                "budget": search["budget"],
+                "degradation": search["best"]["degradation"],
+                "genome": search["best"]["genome"],
+                "label": search["best"]["label"],
+                "evaluation": search["best"]["evaluation"],
+                "scenario_runs": search["scenario_runs"],
+            }
+        )
+
+    return {
+        "frontier_version": 1,
+        "arena": arena_name,
+        "objective": objective,
+        "axis": axis,
+        "levels": levels,
+        "duration": arena.base.duration,
+        "seeds": list(arena.seeds),
+        "seed": seed,
+        "restarts": restarts,
+        "iterations": schedule.iterations,
+        "points": points,
+        "references": [
+            {
+                "name": ref["name"],
+                "degradation": ref["degradation"],
+                "victims": ref["victims"],
+                "per_seed": ref["per_seed"],
+            }
+            for ref in references
+        ],
+        "best_reference": best_reference_degradation(references),
+        "scenario_runs": sum(point["scenario_runs"] for point in points),
+    }
+
+
+def format_frontier_table(report: Dict[str, Any]) -> str:
+    """Human-readable frontier: one row per budget level + references."""
+    lines = [
+        f"robustness frontier -- arena {report['arena']} / objective "
+        f"{report['objective']} (axis: {report['axis']}, "
+        f"duration {report['duration']}s, seeds {report['seeds']})",
+        f"{'budget':>10s}  {'degradation':>12s}  best synthesized attack",
+    ]
+    for point in report["points"]:
+        lines.append(
+            f"{report['axis']}={point['level']:<6g}  "
+            f"{point['degradation']:>12.3f}  {point['label']}"
+        )
+    lines.append("hand-authored reference points:")
+    for ref in report["references"]:
+        lines.append(
+            f"{'ref':>10s}  {ref['degradation']:>12.3f}  {ref['name']}"
+        )
+    return "\n".join(lines)
+
+
+def write_frontier(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

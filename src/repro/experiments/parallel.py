@@ -15,6 +15,16 @@ repo-wide contract), so sharding points across a process pool changes
   ``Simulator.derive_rng`` -- a labelled substream of the root seed, so
   adding or re-ordering sweep points never perturbs other points' draws.
 
+Failure handling: the adversary-synthesis search pushes thousands of
+evaluations through this executor, so a dying worker must not surface as
+a bare pool traceback with no hint of *which* point killed it.  Every
+failure is wrapped in :class:`ParallelWorkerError` carrying the point's
+label, and a :class:`~concurrent.futures.process.BrokenProcessPool`
+(worker process killed by the OS -- OOM, signal) is retried **once**
+with a fresh pool before failing loudly; the retry re-runs only the
+still-uncollected points, which are independent and deterministic, so a
+successful retry is byte-identical to an undisturbed run.
+
 Workers are plain module-level functions (picklability is the only
 requirement the pool adds); ``jobs <= 1`` bypasses the pool entirely and
 runs the exact serial loop.
@@ -25,10 +35,26 @@ from __future__ import annotations
 import os
 import random
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Iterable, List, Optional, TypeVar
 
 Point = TypeVar("Point")
 Result = TypeVar("Result")
+
+
+class ParallelWorkerError(RuntimeError):
+    """A sweep worker failed; the message names the failing point.
+
+    ``label`` identifies the point (e.g. ``"genome 12 / seed 3"``),
+    ``retried`` records whether the failure survived the one
+    BrokenProcessPool retry.  The original exception, when there is one,
+    is chained as ``__cause__``.
+    """
+
+    def __init__(self, label: str, message: str, retried: bool = False):
+        super().__init__(message)
+        self.label = label
+        self.retried = retried
 
 
 def derive_sweep_seed(root_seed: int, label: str) -> int:
@@ -50,35 +76,89 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _point_label(
+    label: Optional[Callable[[Point], str]], point: Point, index: int, total: int
+) -> str:
+    if label is not None:
+        try:
+            return str(label(point))
+        except Exception:  # a broken labeller must not mask the real error
+            pass
+    return f"point {index + 1}/{total}"
+
+
 def parallel_map(
     fn: Callable[[Point], Result],
     points: Iterable[Point],
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    label: Optional[Callable[[Point], str]] = None,
 ) -> List[Result]:
     """``[fn(p) for p in points]``, optionally sharded across processes.
 
-    Results always come back in point order; a worker failure propagates
-    the original exception.  ``fn`` and every point must be picklable
-    when ``jobs > 1`` (module-level functions and plain dataclasses are).
+    Results always come back in point order; ``fn`` and every point must
+    be picklable when ``jobs > 1`` (module-level functions and plain
+    dataclasses are).  A worker raising is reported as
+    :class:`ParallelWorkerError` naming the failing point (via ``label``,
+    a ``point -> str`` callable, or its position); a worker *dying*
+    (BrokenProcessPool) is retried once on a fresh pool before failing.
     """
     points = list(points)
-    workers = min(resolve_jobs(jobs), len(points))
+    total = len(points)
+    workers = min(resolve_jobs(jobs), total)
     if workers <= 1:
         results: List[Result] = []
         for index, point in enumerate(points):
             if progress is not None:
-                progress(f"point {index + 1}/{len(points)}")
-            results.append(fn(point))
+                progress(f"point {index + 1}/{total}")
+            try:
+                results.append(fn(point))
+            except Exception as error:
+                where = _point_label(label, point, index, total)
+                raise ParallelWorkerError(
+                    where, f"worker failed on {where}: {error!r}"
+                ) from error
         return results
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(fn, point) for point in points]
-        results = []
-        for index, future in enumerate(futures):
-            results.append(future.result())
+
+    results_by_index: Dict[int, Result] = {}
+    pool_breaks = 0
+    while len(results_by_index) < total:
+        pending = [i for i in range(total) if i not in results_by_index]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {i: pool.submit(fn, points[i]) for i in pending}
+                for index in pending:
+                    try:
+                        results_by_index[index] = futures[index].result()
+                    except BrokenProcessPool:
+                        raise  # handled by the outer retry loop
+                    except Exception as error:
+                        where = _point_label(label, points[index], index, total)
+                        raise ParallelWorkerError(
+                            where, f"worker failed on {where}: {error!r}"
+                        ) from error
+                    if progress is not None:
+                        progress(f"point {len(results_by_index)}/{total}")
+        except BrokenProcessPool as error:
+            pool_breaks += 1
+            first_pending = pending[0]
+            where = _point_label(
+                label, points[first_pending], first_pending, total
+            )
+            if pool_breaks > 1:
+                raise ParallelWorkerError(
+                    where,
+                    f"process pool died twice (first uncollected: {where}); "
+                    "a worker is being killed by the OS -- check memory "
+                    "limits or run with jobs=1 to see the crash directly",
+                    retried=True,
+                ) from error
             if progress is not None:
-                progress(f"point {index + 1}/{len(points)}")
-    return results
+                progress(
+                    f"process pool died near {where}; retrying "
+                    f"{len(pending)} uncollected point(s) on a fresh pool"
+                )
+    return [results_by_index[i] for i in range(total)]
 
 
 def run_scenario_metrics(scenario) -> Dict[str, Any]:
@@ -86,6 +166,14 @@ def run_scenario_metrics(scenario) -> Dict[str, Any]:
     from repro.experiments.runner import run_scenario
 
     return run_scenario(scenario).metrics()
+
+
+def _scenario_label(scenario) -> str:
+    describe = getattr(scenario, "describe", None)
+    if describe is None:
+        return repr(scenario)
+    identity = describe()
+    return f"scenario {identity['name']} (seed {identity['seed']})"
 
 
 def run_scenarios(
@@ -99,4 +187,10 @@ def run_scenarios(
     are byte-identical to ``run_scenario(scenario).metrics()``: the pool
     only distributes *whole* scenarios, never splits one.
     """
-    return parallel_map(run_scenario_metrics, scenarios, jobs=jobs, progress=progress)
+    return parallel_map(
+        run_scenario_metrics,
+        scenarios,
+        jobs=jobs,
+        progress=progress,
+        label=_scenario_label,
+    )

@@ -35,7 +35,7 @@ import math
 import random
 import re
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.consensus.base import RunMetrics
 from repro.consensus.hotstuff import HotStuffCluster
@@ -151,6 +151,12 @@ class FaultSpec:
             raise ValueError(
                 f"unknown fault kind {self.kind!r} (known: {', '.join(FAULT_KINDS)})"
             )
+        if self.start < 0:
+            raise ValueError(
+                f"fault start {self.start} is negative; simulation time "
+                "starts at 0, so the pre-zero portion would silently never "
+                "apply"
+            )
         if self.end < self.start:
             raise ValueError(
                 f"fault end {self.end} precedes start {self.start}"
@@ -224,6 +230,70 @@ class FaultSpec:
                 raise ValueError(
                     "false_suspicion needs explicit attacker replica ids "
                     f"(the faulty pool), got {self.attacker!r}"
+                )
+
+
+def _concrete_attacker_ids(attacker: Union[int, str, Tuple[int, ...]]) -> Tuple[int, ...]:
+    """The replica ids a spec names statically (roles resolve at fire time)."""
+    if isinstance(attacker, int):
+        return (attacker,)
+    if isinstance(attacker, (tuple, list)):
+        return tuple(a for a in attacker if isinstance(a, int))
+    return ()
+
+
+def validate_fault_composition(faults: Sequence["FaultSpec"]) -> None:
+    """Reject fault *combinations* that would run but lie.
+
+    Each :class:`FaultSpec` validates its own knobs; this checks the
+    cross-spec invariants the adversary-synthesis compiler (and any
+    hand-authored scenario) must respect:
+
+    * **Overlapping crash windows on one replica** -- the second crash
+      fires on an already-down node and its revival silently truncates
+      or extends the first window, so the schedule that *ran* is not the
+      schedule that was *written*.
+    * **Revival inside a partition** -- crash recovery performs modeled
+      state transfer from a live donor, ignoring partition reachability;
+      a replica revived mid-split would read state across the cut.
+
+    Raises ``ValueError`` naming the offending fault indices.  Called
+    from ``Scenario.__post_init__`` so invalid compositions fail at
+    construction, not as silently-wrong metrics.
+    """
+    crash_windows: Dict[int, List[Tuple[float, float, int]]] = {}
+    partitions: List[Tuple[float, float, int]] = []
+    for index, spec in enumerate(faults):
+        if spec.kind == "crash":
+            for victim in _concrete_attacker_ids(spec.attacker):
+                crash_windows.setdefault(victim, []).append(
+                    (spec.start, spec.end, index)
+                )
+        elif spec.kind == "partition":
+            partitions.append((spec.start, spec.end, index))
+    for victim, windows in sorted(crash_windows.items()):
+        ordered = sorted(windows)
+        for (s1, e1, i1), (s2, e2, i2) in zip(ordered, ordered[1:]):
+            if s2 <= e1:
+                raise ValueError(
+                    f"faults[{i1}] and faults[{i2}] schedule overlapping "
+                    f"crash windows [{s1}, {e1}] and [{s2}, {e2}] on "
+                    f"replica {victim}; the later crash would fire on an "
+                    "already-down node and its revival would silently "
+                    "rewrite the first window"
+                )
+    for index, spec in enumerate(faults):
+        if spec.kind != "crash" or not math.isfinite(spec.end):
+            continue
+        for p_start, p_end, p_index in partitions:
+            if p_start < spec.end < p_end:
+                raise ValueError(
+                    f"faults[{index}] revives a crashed replica at "
+                    f"t={spec.end} inside the partition of "
+                    f"faults[{p_index}] [{p_start}, {p_end}]; crash "
+                    "recovery's state transfer ignores partition "
+                    "reachability, so the revived node would read state "
+                    "across the split -- revive after the partition heals"
                 )
 
 
@@ -302,6 +372,7 @@ class Scenario:
                 f"unknown message plane {self.plane!r} "
                 f"(known: {', '.join(MESSAGE_PLANES)})"
             )
+        validate_fault_composition(self.faults)
 
     def describe(self) -> Dict[str, Any]:
         """JSON-able identity of the scenario (what was run)."""

@@ -186,6 +186,21 @@ ADVERSARIAL_SCENARIOS: Dict[
 }
 
 
+def format_scenario_registry() -> str:
+    """The registry as sorted ``name  description`` lines.
+
+    One source of truth for three consumers: ``repro scenario --list``,
+    the unknown-name error below, and the adversary-synthesis reference
+    points (:mod:`repro.experiments.attack` derives its arenas and
+    hand-authored comparison attacks from the same registry).
+    """
+    width = max(len(name) for name in ADVERSARIAL_SCENARIOS)
+    return "\n".join(
+        f"  {name.ljust(width)}  {ADVERSARIAL_SCENARIOS[name][1]}"
+        for name in sorted(ADVERSARIAL_SCENARIOS)
+    )
+
+
 def make_scenario(
     name: str, seed: int = 0, duration: Optional[float] = None
 ) -> Scenario:
@@ -193,8 +208,10 @@ def make_scenario(
     try:
         factory, _ = ADVERSARIAL_SCENARIOS[name]
     except KeyError:
-        known = ", ".join(sorted(ADVERSARIAL_SCENARIOS))
-        raise ValueError(f"unknown scenario {name!r} (known: {known})")
+        raise ValueError(
+            f"unknown scenario {name!r}; available scenarios:\n"
+            + format_scenario_registry()
+        ) from None
     return factory(seed, duration)
 
 

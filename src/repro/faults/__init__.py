@@ -12,7 +12,11 @@
 * :mod:`repro.faults.churn` -- crash -> recover cycles with catch-up-safe
   revival;
 * :mod:`repro.faults.window` -- the shared ``start``/``end`` activation
-  window every interceptor-based adversary uses.
+  window every interceptor-based adversary uses;
+* :mod:`repro.faults.genome` -- the searchable strategy space over all
+  of the above: budgeted :class:`~repro.faults.genome.AttackGenome`
+  strategies compiled deterministically into ``FaultSpec`` schedules
+  for the adversary-synthesis search.
 
 Network partitions are a property of the fabric, not of one adversary,
 so they live on :class:`repro.sim.network.Network` directly
@@ -24,16 +28,38 @@ from repro.faults.churn import ChurnSchedule
 from repro.faults.crash import CrashSchedule
 from repro.faults.delay import DelayAttack, DeltaDelayAttack, StealthDelayAttack
 from repro.faults.false_suspicion import TargetedSuspicionAttack
+from repro.faults.genome import (
+    AdversaryBudget,
+    ArenaProfile,
+    AttackGenome,
+    AttackMove,
+    GenomeError,
+    compile_genome,
+    genome_from_dict,
+    genome_to_dict,
+    mutate,
+    seed_genome,
+)
 from repro.faults.loss import MessageLoss
 from repro.faults.window import ActivationWindow
 
 __all__ = [
     "ActivationWindow",
+    "AdversaryBudget",
+    "ArenaProfile",
+    "AttackGenome",
+    "AttackMove",
     "ChurnSchedule",
     "CrashSchedule",
     "DelayAttack",
     "DeltaDelayAttack",
+    "GenomeError",
     "MessageLoss",
     "StealthDelayAttack",
     "TargetedSuspicionAttack",
+    "compile_genome",
+    "genome_from_dict",
+    "genome_to_dict",
+    "mutate",
+    "seed_genome",
 ]

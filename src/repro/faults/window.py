@@ -38,6 +38,11 @@ class ActivationWindow:
         end: float = math.inf,
         now_fn: Optional[Callable[[], float]] = None,
     ):
+        if start < 0:
+            raise ValueError(
+                f"window start {start} is negative; simulation time starts "
+                "at 0, so the pre-zero portion would silently never apply"
+            )
         if end < start:
             raise ValueError(f"window end {end} precedes start {start}")
         if now_fn is None:

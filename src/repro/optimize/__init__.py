@@ -23,9 +23,23 @@ from repro.optimize.maxindset import (
     maximum_independent_set,
 )
 
+def __getattr__(name):
+    # The adversary-synthesis engine sits above the experiments layer
+    # (which itself uses this package), so it must load lazily: an eager
+    # import here would close the cycle optimize -> experiments ->
+    # consensus/core -> optimize.
+    if name in ("AttackSearchEngine", "attack_search"):
+        from repro.optimize import adversary
+
+        return getattr(adversary, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "AnnealingResult",
     "AnnealingSchedule",
+    "AttackSearchEngine",
+    "attack_search",
     "Graph",
     "IncrementalSearch",
     "anneal",

@@ -9,6 +9,7 @@ from repro.bench.rebaseline import _specs, known_suites, rebaseline
 
 def test_known_suites_cover_every_baseline_module():
     assert known_suites() == (
+        "attack",
         "metrics",
         "pipeline",
         "plane",

@@ -165,6 +165,47 @@ def test_killed_shard_resumes_bit_identically(tmp_path):
     assert _strip(resumed) == _strip(baseline)
 
 
+def test_synthesized_faults_resume_bit_identically(tmp_path):
+    # A campaign slice carrying a *synthesized* fault schedule (compiled
+    # from an AttackGenome, not hand-authored) must checkpoint/resume
+    # exactly like a fault-free one: kill after one slice, resume, and
+    # land byte-identical to the uninterrupted run.
+    from repro.faults.genome import (
+        AdversaryBudget,
+        ArenaProfile,
+        AttackGenome,
+        AttackMove,
+        compile_genome,
+    )
+
+    genome = AttackGenome(
+        victims=(2, 3),
+        moves=(
+            AttackMove(kind="stealth", start=0, end=32),
+            AttackMove(kind="crash", start=8, end=20, victim=1),
+        ),
+    )
+    faults = compile_genome(
+        genome,
+        AdversaryBudget(max_faulty=2),
+        ArenaProfile(n=4, family="pbft", duration=6.0),
+    )
+    spec = _spec(
+        scenario=_scenario(faults=faults),
+        shards=1,
+        checkpoint_dir=str(tmp_path),
+    )
+
+    baseline = run_campaign_shard(_point(spec, checkpoint_path=None))
+
+    partial = run_campaign_shard(_point(spec, max_slices=1))
+    assert partial["underrun"] is True
+
+    resumed = run_campaign_shard(_point(spec))
+    assert resumed["resumed_from"] == spec.checkpoint_every
+    assert _strip(resumed) == _strip(baseline)
+
+
 def test_resumed_campaign_report_matches_uninterrupted(tmp_path):
     # Same thing one level up: a full run_campaign killed mid-flight
     # (max_slices=1) and re-invoked lands on the uninterrupted report.

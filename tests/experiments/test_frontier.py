@@ -1,0 +1,104 @@
+"""Robustness frontiers: axes, budgets, point/reference shape."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.frontier import (
+    FRONTIER_AXES,
+    budget_at,
+    format_frontier_table,
+    run_frontier,
+    write_frontier,
+)
+from repro.experiments.parallel import derive_sweep_seed
+from repro.faults.genome import AdversaryBudget
+from repro.optimize.adversary import DEFAULT_SCHEDULE
+
+_QUICK = dict(
+    duration=2.0,
+    seeds=(0,),
+    levels=(1, 3),
+    restarts=1,
+    schedule=dataclasses.replace(DEFAULT_SCHEDULE, iterations=3),
+)
+
+
+def test_budget_at_dials_one_axis():
+    assert budget_at("faulty", 6).max_faulty == 6
+    assert budget_at("delta", 1.5).delta == 1.5
+    # Other axes keep the base values.
+    base = AdversaryBudget(max_moves=2)
+    assert budget_at("faulty", 1, base).max_moves == 2
+    with pytest.raises(ValueError, match="unknown frontier axis"):
+        budget_at("bandwidth", 3)
+
+
+def test_unknown_axis_is_loud():
+    with pytest.raises(ValueError, match="unknown frontier axis"):
+        run_frontier(axis="bandwidth")
+
+
+def test_default_levels_come_from_the_axis_table():
+    assert FRONTIER_AXES["faulty"] == (1, 3, 6)
+    assert FRONTIER_AXES["delta"] == (1.0, 1.25, 1.5)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_frontier("pbft", "latency", axis="faulty", seed=0, **_QUICK)
+
+
+def test_frontier_points_and_references_shape(report):
+    assert report["axis"] == "faulty"
+    assert report["levels"] == [1, 3]
+    assert [point["level"] for point in report["points"]] == [1, 3]
+    for point in report["points"]:
+        assert point["budget"]["max_faulty"] == point["level"]
+        assert point["degradation"] >= 1.0
+        assert point["label"].startswith("genome ")
+    # Hand-authored scenarios ride along as reference rows.
+    names = [ref["name"] for ref in report["references"]]
+    assert names == ["partition-heal", "lossy-wan"]
+    assert report["best_reference"] == max(
+        ref["degradation"] for ref in report["references"]
+    )
+    assert report["scenario_runs"] == sum(
+        point["scenario_runs"] for point in report["points"]
+    )
+
+
+def test_frontier_jobs_byte_identity(report):
+    pooled = run_frontier(
+        "pbft", "latency", axis="faulty", seed=0, jobs=2, **_QUICK
+    )
+    assert json.dumps(pooled, sort_keys=True) == json.dumps(
+        report, sort_keys=True
+    )
+
+
+def test_frontier_point_seeds_are_level_local(report):
+    # Each point derives its search seed from the axis label, so the
+    # f=1 point of a (1, 3) sweep equals the f=1 point of a (1,) sweep.
+    assert derive_sweep_seed(0, "frontier-faulty-1") != derive_sweep_seed(
+        0, "frontier-faulty-3"
+    )
+    solo = run_frontier("pbft", "latency", axis="faulty", seed=0, **{
+        **_QUICK, "levels": (1,)
+    })
+    assert json.dumps(solo["points"][0], sort_keys=True) == json.dumps(
+        report["points"][0], sort_keys=True
+    )
+
+
+def test_frontier_table_and_json_round_trip(report, tmp_path):
+    table = format_frontier_table(report)
+    assert "robustness frontier" in table
+    assert "hand-authored reference points:" in table
+    assert "faulty=1" in table
+    path = tmp_path / "frontier.json"
+    write_frontier(report, str(path))
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(report, sort_keys=True)
+    )

@@ -6,6 +6,7 @@ import pytest
 
 from repro.experiments import fig12
 from repro.experiments.parallel import (
+    ParallelWorkerError,
     derive_sweep_seed,
     parallel_map,
     resolve_jobs,
@@ -37,9 +38,56 @@ def _explode(x):
     return x
 
 
-def test_parallel_map_propagates_worker_errors():
-    with pytest.raises(ValueError, match="boom"):
-        parallel_map(_explode, [1, 2, 3, 4], jobs=2)
+def test_parallel_map_wraps_worker_errors_with_point_label():
+    # A raising worker surfaces as ParallelWorkerError naming the point
+    # and chaining the original exception -- in both pool and serial mode.
+    for jobs in (2, 1):
+        with pytest.raises(ParallelWorkerError, match="boom") as excinfo:
+            parallel_map(_explode, [1, 2, 3, 4], jobs=jobs)
+        assert excinfo.value.label == "point 3/4"
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_parallel_map_uses_custom_point_labels():
+    with pytest.raises(ParallelWorkerError, match="genome g3") as excinfo:
+        parallel_map(
+            _explode, [1, 2, 3, 4], jobs=2, label=lambda p: f"genome g{p}"
+        )
+    assert excinfo.value.label == "genome g3"
+
+
+def _die_once(path):
+    # First attempt: kill the worker process outright (simulating an
+    # OOM-killed evaluation) so the pool breaks; the retry, seeing the
+    # marker file, succeeds.  Points that are plain ints just square.
+    import os
+
+    if isinstance(path, int):
+        return path * path
+    if not os.path.exists(path):
+        with open(path, "w") as handle:
+            handle.write("died")
+        os._exit(1)
+    return -1
+
+
+def test_parallel_map_retries_once_on_broken_pool(tmp_path):
+    marker = str(tmp_path / "died-once")
+    points = [1, 2, marker, 4]
+    assert parallel_map(_die_once, points, jobs=2) == [1, 4, -1, 16]
+
+
+def _die_always(x):
+    import os
+
+    if x == 3:
+        os._exit(1)
+    return x
+
+
+def test_parallel_map_fails_loudly_when_pool_breaks_twice():
+    with pytest.raises(ParallelWorkerError, match="pool died twice"):
+        parallel_map(_die_always, [1, 2, 3, 4], jobs=2)
 
 
 def test_resolve_jobs():

@@ -446,3 +446,65 @@ def test_delay_fault_rejects_unknown_message_types():
     with pytest.raises(ValueError, match="unknown message type"):
         FaultSpec(kind="delay", message_types="(PrePrepare")  # malformed
     FaultSpec(kind="delay", message_types=("PrePrepare", "Prepare"))  # valid
+
+
+# ---------------------------------------------------------------------------
+# Fault composition validation (cross-spec invariants)
+# ---------------------------------------------------------------------------
+
+
+def test_negative_fault_start_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        FaultSpec(kind="crash", start=-1.0, end=5.0, attacker=2)
+
+
+def test_overlapping_crash_windows_on_one_replica_rejected():
+    with pytest.raises(ValueError, match="overlapping.*crash"):
+        Scenario(
+            faults=[
+                FaultSpec(kind="crash", start=1.0, end=5.0, attacker=2),
+                FaultSpec(kind="crash", start=4.0, end=8.0, attacker=2),
+            ]
+        )
+
+
+def test_disjoint_crash_windows_and_distinct_victims_allowed():
+    Scenario(
+        faults=[
+            FaultSpec(kind="crash", start=1.0, end=3.0, attacker=2),
+            FaultSpec(kind="crash", start=4.0, end=8.0, attacker=2),
+            FaultSpec(kind="crash", start=2.0, end=6.0, attacker=3),
+        ]
+    )
+
+
+def test_revival_inside_partition_rejected():
+    with pytest.raises(ValueError, match="revives.*inside the partition"):
+        Scenario(
+            faults=[
+                FaultSpec(
+                    kind="partition",
+                    start=0.0,
+                    end=10.0,
+                    params={"isolate": 2},
+                ),
+                FaultSpec(kind="crash", start=1.0, end=5.0, attacker=2),
+            ]
+        )
+
+
+def test_revival_at_partition_heal_or_after_allowed():
+    # Revival exactly at the heal instant (or later) is legal; only a
+    # revival strictly inside the split is ambiguous.
+    Scenario(
+        faults=[
+            FaultSpec(kind="partition", start=0.0, end=10.0, params={"isolate": 2}),
+            FaultSpec(kind="crash", start=1.0, end=10.0, attacker=2),
+        ]
+    )
+    Scenario(
+        faults=[
+            FaultSpec(kind="partition", start=0.0, end=4.0, params={"isolate": 2}),
+            FaultSpec(kind="crash", start=5.0, end=8.0, attacker=2),
+        ]
+    )

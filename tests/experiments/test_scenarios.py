@@ -1,0 +1,75 @@
+"""The scenario registry and its CLI surface.
+
+One registry, three consumers: ``repro scenario --list``, the
+unknown-name error, and the adversary-synthesis arenas.  The UX tests
+here pin that all three read the same table.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.attack import ARENA_SOURCES
+from repro.experiments.scenarios import (
+    ADVERSARIAL_SCENARIOS,
+    format_scenario_registry,
+    make_scenario,
+)
+
+
+def _repro(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        cwd="/root/repo",
+    )
+
+
+def test_registry_lines_are_sorted_and_described():
+    lines = format_scenario_registry().splitlines()
+    names = [line.split()[0] for line in lines]
+    assert names == sorted(ADVERSARIAL_SCENARIOS)
+    for line, name in zip(lines, names):
+        description = ADVERSARIAL_SCENARIOS[name][1]
+        assert description in line
+
+
+def test_unknown_name_error_carries_the_registry():
+    with pytest.raises(ValueError) as excinfo:
+        make_scenario("bogus")
+    message = str(excinfo.value)
+    assert "unknown scenario 'bogus'" in message
+    for name in ADVERSARIAL_SCENARIOS:
+        assert name in message
+
+
+def test_attack_arenas_name_only_registered_scenarios():
+    for name, (base, references, _duration) in ARENA_SOURCES.items():
+        assert base in ADVERSARIAL_SCENARIOS, name
+        for reference in references:
+            assert reference in ADVERSARIAL_SCENARIOS, name
+
+
+def test_cli_list_prints_the_registry():
+    proc = _repro("scenario", "--list")
+    assert proc.returncode == 0
+    assert "available scenarios:" in proc.stdout
+    for name in ADVERSARIAL_SCENARIOS:
+        assert name in proc.stdout
+
+
+def test_cli_unknown_name_exits_loud_with_registry():
+    proc = _repro("scenario", "does-not-exist")
+    assert proc.returncode != 0
+    for name in sorted(ADVERSARIAL_SCENARIOS):
+        assert name in proc.stderr
+
+
+def test_cli_missing_name_suggests_list():
+    proc = _repro("scenario")
+    assert proc.returncode != 0
+    assert "--list" in proc.stderr
+    assert "partition-heal" in proc.stderr
