@@ -10,7 +10,7 @@
 #   make bench-figures  figure benchmarks at CI scale (REPRO_FULL=1 for paper scale)
 #   make bench-metrics  measurement-plane suite -> BENCH_metrics.json
 #   make bench-plane    message-plane suite (object vs columnar) -> BENCH_PR7.json
-#   make bench-scale    internet-scale suite (n up to 4096) -> BENCH_PR8.json
+#   make bench-scale    internet-scale suite (n up to 8192) -> BENCH_PR10.json
 #   make bench-attack   adversary-synthesis suite -> BENCH_PR9.json
 #   make bench-all      every bench suite, one consolidated -> BENCH_all.json
 #   make campaign-smoke flat-RSS + kill/resume campaign smoke (REPRO_FULL=1 for 2M)
@@ -58,7 +58,7 @@ bench-plane:
 	$(PYTHON) -m repro bench --plane --output BENCH_PR7.json
 
 bench-scale:
-	$(PYTHON) -m repro bench --scale --output BENCH_PR8.json
+	$(PYTHON) -m repro bench --scale --output BENCH_PR10.json
 
 bench-attack:
 	$(PYTHON) -m repro bench --attack --output BENCH_PR9.json

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Peak-RSS regression guard for the internet-scale suite.
+
+The n=4096 memory diet (lazy delay rows, the relaxed message plane's
+structured column, compacted PBFT accumulators) is only as durable as
+the bound CI enforces.  This guard runs the ``pbft/n512`` entry in a
+fresh subprocess -- exactly the harness ``repro bench --scale`` uses,
+so ``ru_maxrss`` is a true per-scenario peak -- on both the exact and
+relaxed planes and fails if either peak exceeds the pinned bound.
+
+The bound is deliberately loose against today's measurement (~220 MB
+locally): it catches the class of regression that matters -- an O(n^2)
+structure or per-message object graph sneaking back in doubles the
+footprint -- without tripping on allocator or interpreter noise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/scale_rss_guard.py [output.json]
+
+Exits non-zero if the entry fails, times out, or exceeds the bound.
+"""
+
+import json
+import sys
+
+from repro.bench.scale import SUITE, run_entry
+
+#: Pinned peak-RSS bound (MB) for pbft/n512 on either plane.  Measured
+#: ~220 MB; a regression that reintroduces quadratic state lands well
+#: past this.
+RSS_BOUND_MB = 450.0
+
+GUARD_ENTRY = "pbft/n512"
+
+
+def main(argv):
+    entry = next(e for e in SUITE if e.id == GUARD_ENTRY)
+    verdicts = []
+    failed = False
+    for plane in ("columnar", "columnar-fast"):
+        record = run_entry(entry, plane=plane)
+        status = record.get("status")
+        peak = record.get("peak_rss_mb")
+        ok = status == "ok" and peak is not None and peak <= RSS_BOUND_MB
+        failed = failed or not ok
+        verdicts.append(
+            {
+                "entry": GUARD_ENTRY,
+                "plane": plane,
+                "status": status,
+                "peak_rss_mb": peak,
+                "bound_mb": RSS_BOUND_MB,
+                "ok": ok,
+            }
+        )
+        print(
+            f"{GUARD_ENTRY} plane={plane}: status={status} "
+            f"peak_rss={peak} MB (bound {RSS_BOUND_MB} MB) "
+            f"-> {'ok' if ok else 'FAIL'}"
+        )
+    if len(argv) > 1:
+        with open(argv[1], "w") as handle:
+            json.dump({"guard": verdicts}, handle, indent=2, sort_keys=True)
+        print(f"wrote {argv[1]}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

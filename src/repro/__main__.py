@@ -443,6 +443,14 @@ def cmd_fig(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.list is not None:
+        from repro.bench.listing import format_suite_listing
+
+        try:
+            print(format_suite_listing(args.list or None))
+        except ValueError as error:
+            raise SystemExit(f"error: {error}")
+        return 0
     if sum(
         (args.search, args.pipeline, args.metrics, args.plane, args.scale,
          args.attack)
@@ -488,7 +496,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit(f"error: {error}")
         print(format_scale_table(report))
         output = args.output or (
-            "BENCH_scale_quick.json" if args.quick else "BENCH_PR8.json"
+            "BENCH_scale_quick.json" if args.quick else "BENCH_PR10.json"
         )
         write_scale_report(report, output)
         print(f"wrote {output}", file=sys.stderr)
@@ -675,12 +683,19 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
                         help="OptiTree annealing iterations")
     parser.add_argument("--pipeline-depth", type=int, default=None)
     parser.add_argument("--plane", default="object",
-                        choices=("object", "columnar", "check"),
+                        choices=("object", "columnar", "columnar-fast",
+                                 "check", "check-fast"),
                         help="message plane: object (one event per message), "
                              "columnar (batched deliveries, bit-identical "
                              "results; faulted scenarios fall back to "
-                             "object), or check (run both, assert identical "
-                             "state traces)")
+                             "object), columnar-fast (coalesced barrier-"
+                             "window deliveries, equivalent final metrics "
+                             "for campaign runs; needs jitter handling like "
+                             "columnar), check (run object+columnar, assert "
+                             "identical state traces), or check-fast (run "
+                             "columnar+columnar-fast at jitter=0, assert "
+                             "equal commit counts and quantiles within the "
+                             "sketch error bound)")
     parser.add_argument("--output", metavar="FILE",
                         help="write JSON here instead of stdout")
 
@@ -833,6 +848,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI variant: n <= 32 entries only, capped durations, single run",
     )
     bench_parser.add_argument(
+        "--list", nargs="*", metavar="SUITE", default=None,
+        help="print the registered suites and their entry ids and exit; "
+             "with names, just those suites (simulator / search / pipeline "
+             "/ metrics / plane / scale / attack)",
+    )
+    bench_parser.add_argument(
         "--entry", action="append", metavar="ID",
         help="run only this suite entry (repeatable), e.g. hotstuff/n128",
     )
@@ -884,7 +905,7 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_PR5.json / BENCH_pipeline_quick.json with --pipeline; "
              "BENCH_metrics.json / BENCH_metrics_quick.json with --metrics; "
              "BENCH_PR7.json / BENCH_plane_quick.json with --plane; "
-             "BENCH_PR8.json / BENCH_scale_quick.json with --scale; "
+             "BENCH_PR10.json / BENCH_scale_quick.json with --scale; "
              "BENCH_PR9.json / BENCH_attack_quick.json with --attack)",
     )
     bench_parser.set_defaults(func=cmd_bench)

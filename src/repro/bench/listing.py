@@ -1,0 +1,71 @@
+"""``repro bench --list``: the bench-suite registry.
+
+Mirrors the adversarial scenario registry's ``--list`` UX: one place
+that names every registered suite, the CLI flag that runs it, and its
+entry ids -- so ``--entry`` targets can be discovered without opening
+the suite modules.  Entry ids come from the same enumerations the run
+functions iterate (static ``SUITE`` lists where they exist, the
+``_*_entries`` builders otherwise), so the listing cannot drift from
+what actually runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: suite name -> the ``repro bench`` flag that runs it ("" = default).
+SUITE_FLAGS: Dict[str, str] = {
+    "simulator": "(default)",
+    "search": "--search",
+    "pipeline": "--pipeline",
+    "metrics": "--metrics",
+    "plane": "--plane",
+    "scale": "--scale",
+    "attack": "--attack",
+}
+
+
+def suite_entries() -> Dict[str, List[str]]:
+    """Every registered suite and its entry ids, in run order."""
+    # Imports live here so the listing stays importable without dragging
+    # in every suite module at startup (mirrors bench.rebaseline).
+    from repro.bench import attack, metrics, pipeline, plane, scale, search, suite
+
+    return {
+        "simulator": [entry.id for entry in suite.SUITE],
+        "search": [entry_id for entry_id, _ in search._search_entries(1)],
+        "pipeline": [entry_id for entry_id, _ in pipeline._pipeline_entries(1)],
+        "metrics": [entry_id for entry_id, _ in metrics._metrics_entries(1)],
+        "plane": [entry.id for entry in plane.SUITE],
+        "scale": [entry.id for entry in scale.SUITE],
+        "attack": [entry_id for entry_id, _ in attack._attack_entries()],
+    }
+
+
+def format_suite_listing(only: Optional[Sequence[str]] = None) -> str:
+    """Render the registry; with ``only``, just those suites.
+
+    Raises ``ValueError`` naming the known suites when ``only`` contains
+    an unregistered name.
+    """
+    registry = suite_entries()
+    if only:
+        unknown = sorted(set(only) - set(registry))
+        if unknown:
+            known = ", ".join(registry)
+            raise ValueError(
+                f"unknown bench suite(s): {', '.join(unknown)} "
+                f"(known suites: {known})"
+            )
+        names: Tuple[str, ...] = tuple(
+            name for name in registry if name in set(only)
+        )
+    else:
+        names = tuple(registry)
+    lines: List[str] = []
+    for name in names:
+        ids = registry[name]
+        lines.append(f"{name} {SUITE_FLAGS.get(name, '')} -- {len(ids)} entries")
+        for entry_id in ids:
+            lines.append(f"  {entry_id}")
+    return "\n".join(lines)

@@ -23,6 +23,19 @@ Two variants share the entry list:
 
 ``SCALE_BASELINE`` (:mod:`repro.bench.scale_baseline`) holds the
 pre-refactor dense measurements.
+
+The default variant additionally runs every ``plane="columnar"`` entry a
+second time on ``plane="columnar-fast"`` (the relaxed append-order
+spine) and embeds the measurement as a ``fast`` sub-record plus a
+``fast_speedup_deliveries_per_sec`` ratio -- the "fast column".  The
+open-loop entries (``pbft-open/n1024``, ``pbft-open/n4096``) are where
+that column is expected to win big: reply unicasts into a huge in-flight
+prepare/commit spine are exactly the sorted-insert traffic the relaxed
+drain turns into O(1) appends.  ``pbft/n8192`` probes the memory diet
+one octave past the roadmap ceiling and runs on the fast plane only.
+``CHECK_SUITE`` holds jitter-free ``plane="check-fast"`` entries that
+run both planes in one worker and assert the final metrics agree, so
+every recorded fast number ships next to a green equivalence check.
 """
 
 from __future__ import annotations
@@ -43,10 +56,16 @@ from repro.bench.scale_baseline import SCALE_BASELINE
 #: substrate plus an in-flight broadcast round wants.
 DENSE_LIMIT_MB = 2048
 
-#: Per-entry wall-clock bound, parent-enforced.  PBFT broadcasts
-#: quadratically and gets the larger budget; a dense entry that cannot
-#: finish inside it is the documented outcome, not a flake.
-_TIMEOUTS = {"pbft": 420.0}
+#: Per-entry wall-clock bound, parent-enforced.  Keyed by entry id
+#: first (the n=8192 probe and the open-loop floods get their own
+#: budgets), then by engine: PBFT broadcasts quadratically and gets the
+#: larger budget; a dense entry that cannot finish inside it is the
+#: documented outcome, not a flake.
+_TIMEOUTS = {
+    "pbft": 420.0,
+    "pbft-open/n4096": 600.0,
+    "pbft/n8192": 900.0,
+}
 _DEFAULT_TIMEOUT = 300.0
 
 _QUICK_MAX_N = 512
@@ -56,7 +75,7 @@ _QUICK_MAX_N = 512
 _DURATIONS = {
     "hotstuff": {512: 3.0, 1024: 2.0, 4096: 1.0},
     "kauri": {512: 3.0, 1024: 2.0, 4096: 1.0},
-    "pbft": {512: 1.5, 1024: 0.6, 4096: 0.15},
+    "pbft": {512: 1.5, 1024: 0.6, 4096: 0.15, 8192: 0.08},
 }
 
 
@@ -72,13 +91,21 @@ class ScaleEntry:
     duration: float
     seed: int = 0
     plane: str = "columnar"
+    #: Matches the Scenario default, so the pre-existing entries keep
+    #: their recorded behaviour; check-fast entries pin 0.0 (the fast
+    #: plane draws jitter in a different send order, so the harness
+    #: only accepts jitter-free scenarios).
+    jitter: float = 0.02
+    #: Workload kwargs as a (key, value) pair tuple (frozen dataclasses
+    #: need hashable fields); () means workload defaults.
+    workload_params: tuple = ()
 
     def deployment(self, dense: bool) -> str:
         return f"wonderproxy-{self.n}" if dense else f"world-{self.n}"
 
     @property
     def timeout(self) -> float:
-        return _TIMEOUTS.get(self.engine, _DEFAULT_TIMEOUT)
+        return _TIMEOUTS.get(self.id, _TIMEOUTS.get(self.engine, _DEFAULT_TIMEOUT))
 
 
 def _entries() -> List[ScaleEntry]:
@@ -97,10 +124,70 @@ def _entries() -> List[ScaleEntry]:
                     duration=_DURATIONS[engine][n],
                 )
             )
+    # Open-loop PBFT floods: load keeps arriving while n^2 vote traffic
+    # is in flight, so reply unicasts land in a huge pending spine --
+    # the regime the fast column is measured on.
+    for n, rate, duration in ((1024, 1200.0, 0.4), (4096, 300.0, 0.2)):
+        entries.append(
+            ScaleEntry(
+                id=f"pbft-open/n{n}",
+                engine="pbft",
+                protocol="pbft",
+                n=n,
+                workload="open-loop",
+                duration=duration,
+                workload_params=(("rate", rate), ("clients", 4)),
+            )
+        )
+    # The memory-diet probe: one octave past the roadmap's n=4096
+    # ceiling, fast plane only (no columnar twin -- the point is the
+    # compact runtime state, not a plane comparison).
+    entries.append(
+        ScaleEntry(
+            id="pbft/n8192",
+            engine="pbft",
+            protocol="pbft",
+            n=8192,
+            workload="closed-loop",
+            duration=_DURATIONS["pbft"][8192],
+            plane="columnar-fast",
+        )
+    )
     return entries
 
 
 SUITE: List[ScaleEntry] = _entries()
+
+
+def _check_entries() -> List[ScaleEntry]:
+    """Jitter-free ``check-fast`` runs: both planes in one worker, final
+    metrics asserted equivalent (``PlaneDivergence`` fails the entry)."""
+    shapes = [
+        ("hotstuff", "hotstuff-rr", "saturated", 512, 1.0, ()),
+        ("kauri", "kauri", "saturated", 512, 1.0, ()),
+        ("pbft", "pbft", "open-loop", 512, 0.5, (("rate", 400.0), ("clients", 2))),
+        ("pbft", "pbft", "open-loop", 1024, 0.3, (("rate", 600.0), ("clients", 2))),
+    ]
+    entries: List[ScaleEntry] = []
+    for engine, protocol, workload, n, duration, params in shapes:
+        suffix = "-open" if workload == "open-loop" else ""
+        entries.append(
+            ScaleEntry(
+                id=f"check/{engine}{suffix}/n{n}",
+                engine=engine,
+                protocol=protocol,
+                n=n,
+                workload=workload,
+                duration=duration,
+                plane="check-fast",
+                jitter=0.0,
+                workload_params=params,
+            )
+        )
+    return entries
+
+
+CHECK_SUITE: List[ScaleEntry] = _check_entries()
 
 
 # ----------------------------------------------------------------------
@@ -116,41 +203,68 @@ def _worker(spec_json: str) -> int:
         resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
     out: Dict[str, object] = {"status": "ok"}
     try:
-        from repro.experiments.runner import Scenario, prepare_scenario
+        from repro.experiments.runner import (
+            PlaneDivergence,
+            Scenario,
+            prepare_scenario,
+            run_scenario,
+        )
 
         scenario = Scenario(
             protocol=spec["protocol"],
             deployment=spec["deployment"],
             workload=spec["workload"],
+            workload_params=dict(spec.get("workload_params") or {}),
             duration=spec["duration"],
             seed=spec["seed"],
+            jitter=spec.get("jitter", 0.02),
             plane=spec["plane"],
             name=spec["name"],
         )
-        build_start = time.perf_counter()
-        result = prepare_scenario(scenario)
-        run_start = time.perf_counter()
-        run_metrics = result.cluster.run(scenario.duration)
-        run_elapsed = time.perf_counter() - run_start
-        sim = result.cluster.sim
-        stats = result.cluster.network.stats
-        out.update(
-            build_seconds=round(run_start - build_start, 3),
-            run_seconds=round(run_elapsed, 3),
-            events=sim.events_processed,
-            deliveries=stats.messages_delivered,
-            committed_blocks=len(run_metrics.commits),
-            events_per_sec=(
-                round(sim.events_processed / run_elapsed, 1)
-                if run_elapsed > 0
-                else 0.0
-            ),
-            deliveries_per_sec=(
-                round(stats.messages_delivered / run_elapsed, 1)
-                if run_elapsed > 0
-                else 0.0
-            ),
-        )
+        if scenario.plane in ("check", "check-fast"):
+            # The harness runs both planes itself and raises on
+            # divergence; report the (fast) run it hands back.
+            build_start = run_start = time.perf_counter()
+            try:
+                result = run_scenario(scenario)
+            except PlaneDivergence as divergence:
+                out = {"status": "diverged", "detail": str(divergence)[:500]}
+                result = None
+            run_elapsed = time.perf_counter() - run_start
+            if result is not None:
+                out["check"] = "passed"
+                out.update(
+                    build_seconds=0.0,
+                    run_seconds=round(run_elapsed, 3),
+                    events=result.cluster.sim.events_processed,
+                    deliveries=result.cluster.network.stats.messages_delivered,
+                    committed_blocks=result.run_metrics.committed_blocks(),
+                )
+        else:
+            build_start = time.perf_counter()
+            result = prepare_scenario(scenario)
+            run_start = time.perf_counter()
+            run_metrics = result.cluster.run(scenario.duration)
+            run_elapsed = time.perf_counter() - run_start
+            sim = result.cluster.sim
+            stats = result.cluster.network.stats
+            out.update(
+                build_seconds=round(run_start - build_start, 3),
+                run_seconds=round(run_elapsed, 3),
+                events=sim.events_processed,
+                deliveries=stats.messages_delivered,
+                committed_blocks=len(run_metrics.commits),
+                events_per_sec=(
+                    round(sim.events_processed / run_elapsed, 1)
+                    if run_elapsed > 0
+                    else 0.0
+                ),
+                deliveries_per_sec=(
+                    round(stats.messages_delivered / run_elapsed, 1)
+                    if run_elapsed > 0
+                    else 0.0
+                ),
+            )
     except MemoryError:
         out = {"status": "oom"}
     out["peak_rss_mb"] = round(
@@ -263,15 +377,21 @@ def run_tally_microbench(
         seqs = list(range(1, inner * 6 + 1))
         timings = {}
         original = pbft_mod._BATCH_TALLY_MIN
+        original_uniform = pbft_mod._BATCH_TALLY_MIN_UNIFORM
         for label, threshold, half in (
             ("loop", 1 << 30, seqs[: inner * 3]),
             ("fast", original, seqs[inner * 3 :]),
         ):
             pbft_mod._BATCH_TALLY_MIN = threshold
+            # Static-mode pbft selects the numpy-free uniform tally by
+            # its own (lower) threshold; raise both or the "loop" leg
+            # silently measures the tally.
+            pbft_mod._BATCH_TALLY_MIN_UNIFORM = threshold
             timings[label] = best_us_per_column(
                 replica.handle_PrepareBatch, pbft_columns(half)
             )
         pbft_mod._BATCH_TALLY_MIN = original
+        pbft_mod._BATCH_TALLY_MIN_UNIFORM = original_uniform
         records.append(
             {
                 "handler": "pbft/PrepareBatch",
@@ -292,16 +412,24 @@ def run_entry(
     entry: ScaleEntry,
     dense: bool = False,
     limit_mb: Optional[int] = None,
+    plane: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run one entry in a fresh subprocess and return its record."""
+    """Run one entry in a fresh subprocess and return its record.
+
+    ``plane`` overrides the entry's plane (the fast column reruns a
+    ``columnar`` entry on ``columnar-fast`` without a second entry).
+    """
     deployment = entry.deployment(dense)
+    plane = entry.plane if plane is None else plane
     spec = {
         "protocol": entry.protocol,
         "deployment": deployment,
         "workload": entry.workload,
+        "workload_params": list(entry.workload_params),
         "duration": entry.duration,
         "seed": entry.seed,
-        "plane": entry.plane,
+        "jitter": entry.jitter,
+        "plane": plane,
         "name": f"scale:{entry.id}",
         "limit_mb": limit_mb,
     }
@@ -314,9 +442,11 @@ def run_entry(
         "protocol": entry.protocol,
         "n": entry.n,
         "workload": entry.workload,
+        "workload_params": dict(entry.workload_params),
         "sim_duration": entry.duration,
         "seed": entry.seed,
-        "plane": entry.plane,
+        "jitter": entry.jitter,
+        "plane": plane,
         "deployment": deployment,
         "limit_mb": limit_mb,
     }
@@ -399,7 +529,43 @@ def run_scale_suite(
             rss = record.get("peak_rss_mb")
             if base_rss and rss:
                 record["rss_vs_dense"] = round(float(rss) / float(base_rss), 3)
+        if not dense and entry.plane == "columnar":
+            # The fast column: the same entry on the relaxed spine.
+            if progress is not None:
+                progress(f"scale {entry.id} (columnar-fast) ...")
+            fast = run_entry(
+                entry, dense=dense, limit_mb=limit_mb, plane="columnar-fast"
+            )
+            record["fast"] = {
+                key: fast[key]
+                for key in (
+                    "status",
+                    "wall_seconds",
+                    "build_seconds",
+                    "run_seconds",
+                    "events",
+                    "deliveries",
+                    "committed_blocks",
+                    "deliveries_per_sec",
+                    "peak_rss_mb",
+                )
+                if key in fast
+            }
+            base_rate = record.get("deliveries_per_sec")
+            fast_rate = fast.get("deliveries_per_sec")
+            if base_rate and fast_rate:
+                record["fast_speedup_deliveries_per_sec"] = round(
+                    float(fast_rate) / float(base_rate), 2
+                )
         results.append(record)
+    checks = []
+    if not dense and wanted is None:
+        for entry in CHECK_SUITE:
+            if quick and entry.n > _QUICK_MAX_N:
+                continue
+            if progress is not None:
+                progress(f"scale {entry.id} (check-fast, n={entry.n}) ...")
+            checks.append(run_entry(entry, dense=dense, limit_mb=limit_mb))
     report = {
         "bench_version": 1,
         "quick": quick,
@@ -410,6 +576,8 @@ def run_scale_suite(
         "baseline_note": SCALE_BASELINE.get("note", ""),
         "entries": results,
     }
+    if checks:
+        report["check_fast"] = checks
     if not dense and not quick and wanted is None:
         if progress is not None:
             progress("tally microbench (n=1024, 4096) ...")
@@ -436,15 +604,19 @@ def run_dense_suite(
 def format_scale_table(report: Dict[str, object]) -> str:
     """Human-readable summary of a report (the CLI's stdout)."""
     lines = [
-        f"{'entry':<14} {'n':>5} {'status':>8} {'build_s':>8} {'run_s':>8} "
+        f"{'entry':<15} {'n':>5} {'status':>8} {'build_s':>8} {'run_s':>8} "
         f"{'deliveries':>11} {'del/s':>10} {'rss_mb':>8} {'speedup':>8} {'rss_x':>6}"
+        f" {'fast_del/s':>11} {'fast_x':>7}"
     ]
     for rec in report["entries"]:
         status = rec.get("status", "?")
         speedup = rec.get("speedup_deliveries_per_sec")
         rss_ratio = rec.get("rss_vs_dense")
+        fast = rec.get("fast") or {}
+        fast_rate = fast.get("deliveries_per_sec")
+        fast_x = rec.get("fast_speedup_deliveries_per_sec")
         lines.append(
-            f"{rec['id']:<14} {rec['n']:>5} {status:>8} "
+            f"{rec['id']:<15} {rec['n']:>5} {status:>8} "
             f"{rec.get('build_seconds', float('nan')):>8.2f} "
             f"{rec.get('run_seconds', float('nan')):>8.2f} "
             f"{rec.get('deliveries', 0):>11,} "
@@ -452,7 +624,24 @@ def format_scale_table(report: Dict[str, object]) -> str:
             f"{rec.get('peak_rss_mb', float('nan')):>8.1f} "
             + (f"{speedup:>7.2f}x" if speedup is not None else f"{'-':>8}")
             + (f" {rss_ratio:>5.2f}" if rss_ratio is not None else f" {'-':>5}")
+            + (f" {fast_rate:>11,.0f}" if fast_rate is not None else f" {'-':>11}")
+            + (f" {fast_x:>6.2f}x" if fast_x is not None else f" {'-':>7}")
         )
+    checks = report.get("check_fast")
+    if checks:
+        lines.append("")
+        lines.append(
+            f"{'check-fast entry':<22} {'n':>5} {'status':>8} {'check':>8} "
+            f"{'run_s':>8} {'deliveries':>11} {'blocks':>7}"
+        )
+        for rec in checks:
+            lines.append(
+                f"{rec['id']:<22} {rec['n']:>5} {rec.get('status', '?'):>8} "
+                f"{rec.get('check', '-'):>8} "
+                f"{rec.get('run_seconds', float('nan')):>8.2f} "
+                f"{rec.get('deliveries', 0):>11,} "
+                f"{rec.get('committed_blocks', 0):>7}"
+            )
     tally = report.get("tally_microbench")
     if tally:
         lines.append("")

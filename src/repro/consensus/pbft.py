@@ -59,6 +59,19 @@ from repro.workloads.closed_loop import ClosedLoopWorkload
 #: Narrower columns tally faster row-by-row than through numpy.
 _BATCH_TALLY_MIN = 16
 
+#: The uniform-voting tally is numpy-free (count arithmetic plus one
+#: bitmask pass), so it beats the per-row loop -- which pays a dict
+#: round-trip and a quorum probe per row -- from two rows up.  Only the
+#: weighted tally needs the numpy-amortizing threshold above.
+_BATCH_TALLY_MIN_UNIFORM = 2
+
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - 3.9 fallback
+
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
 
 class PbftReplica(ReplicaBase):
     """One PBFT replica, optionally wrapped with Aware/OptiAware."""
@@ -89,9 +102,15 @@ class PbftReplica(ReplicaBase):
         self.pending_records: List = []
         self.preprepares: Dict[int, PrePrepare] = {}
         self.prepare_weight: Dict[int, float] = {}
-        self.prepare_senders: Dict[int, Set[int]] = {}
+        # Sender accumulators are int bitmasks (bit ``src`` set once the
+        # sender's vote landed), not sets: a CPython set of ~n small ints
+        # costs tens of KB per seq at n=4096 (~860 MB across in-flight
+        # seqs and replicas), an n-bit int a few hundred bytes.  Senders
+        # are unhashed by the trace oracle, so the representation swap
+        # leaves seeded state traces bit-identical.
+        self.prepare_senders: Dict[int, int] = {}
         self.commit_weight: Dict[int, float] = {}
-        self.commit_senders: Dict[int, Set[int]] = {}
+        self.commit_senders: Dict[int, int] = {}
         self.sent_commit: Set[int] = set()
         self.executed: Set[int] = set()
         self.in_flight: Optional[int] = None
@@ -248,12 +267,11 @@ class PbftReplica(ReplicaBase):
         if not self.running:
             return
         seq = message.seq
-        senders = self.prepare_senders.get(seq)
-        if senders is None:
-            senders = self.prepare_senders[seq] = set()
-        if src in senders:
+        senders = self.prepare_senders.get(seq, 0)
+        bit = 1 << src
+        if senders & bit:
             return
-        senders.add(src)
+        self.prepare_senders[seq] = senders | bit
         if self.optilog is not None:
             self._note_arrival(seq, src, "write")
         self.prepare_weight[seq] = self.prepare_weight.get(seq, 0.0) + self._weight(src)
@@ -279,12 +297,11 @@ class PbftReplica(ReplicaBase):
         if not self.running:
             return
         seq = message.seq
-        senders = self.commit_senders.get(seq)
-        if senders is None:
-            senders = self.commit_senders[seq] = set()
-        if src in senders:
+        senders = self.commit_senders.get(seq, 0)
+        bit = 1 << src
+        if senders & bit:
             return
-        senders.add(src)
+        self.commit_senders[seq] = senders | bit
         if self.optilog is not None:
             self._note_arrival(seq, src, "accept")
         self.commit_weight[seq] = self.commit_weight.get(seq, 0.0) + self._weight(src)
@@ -318,27 +335,48 @@ class PbftReplica(ReplicaBase):
         if len(seqset) != 1:
             return None
         seq = seqset.pop()
-        new_senders = set(srcs)
-        if len(new_senders) != count:
+        mask = 0
+        for src in srcs:
+            mask |= 1 << src
+        if _popcount(mask) != count:
             return None
-        senders = senders_map.get(seq)
-        if senders is None:
-            senders = senders_map[seq] = set()
-        elif not senders.isdisjoint(new_senders):
+        senders = senders_map.get(seq, 0)
+        if senders & mask:
             return None
         sim = self.sim
+        pre = weight_map.get(seq, 0.0)
         if self.uniform_voting:
-            weights = np.ones(count + 1)
-        else:
-            weight_of = self._weight
-            weights = np.empty(count + 1)
-            weights[1:] = np.fromiter(
-                (weight_of(src) for src in srcs), dtype=float, count=count
-            )
-        weights[0] = weight_map.get(seq, 0.0)
+            # Count-only tally: every weight is exactly 1.0, so the
+            # running totals are the exact floats ``pre + 1 ..
+            # pre + count`` and the crossing index is arithmetic --
+            # bit-identical to the cumsum it replaces (integers below
+            # 2**53), without materializing any weight arrays.
+            full = pre + float(count)
+            if not armed or full < self._quorum_weight:
+                senders_map[seq] = senders | mask
+                weight_map[seq] = full
+                sim.now = times[count - 1]
+                return count
+            k = int(self._quorum_weight - pre) - 1
+            if k < 0:
+                k = 0
+            partial = 0
+            for src in srcs[: k + 1]:
+                partial |= 1 << src
+            senders_map[seq] = senders | partial
+            weight_map[seq] = pre + float(k + 1)
+            sim.now = times[k]
+            fire(seq)
+            return k + 1
+        weight_of = self._weight
+        weights = np.empty(count + 1)
+        weights[1:] = np.fromiter(
+            (weight_of(src) for src in srcs), dtype=float, count=count
+        )
+        weights[0] = pre
         totals = np.cumsum(weights)
         if not armed:
-            senders.update(new_senders)
+            senders_map[seq] = senders | mask
             weight_map[seq] = totals.item(count)
             sim.now = times[count - 1]
             return count
@@ -346,11 +384,14 @@ class PbftReplica(ReplicaBase):
         # is the pre-batch weight, so row k's total is totals[k + 1]).
         k = int(np.searchsorted(totals[1:], self._quorum_weight))
         if k >= count:
-            senders.update(new_senders)
+            senders_map[seq] = senders | mask
             weight_map[seq] = totals.item(count)
             sim.now = times[count - 1]
             return count
-        senders.update(srcs[: k + 1])
+        partial = 0
+        for src in srcs[: k + 1]:
+            partial |= 1 << src
+        senders_map[seq] = senders | partial
         weight_map[seq] = totals.item(k + 1)
         sim.now = times[k]
         fire(seq)
@@ -369,7 +410,12 @@ class PbftReplica(ReplicaBase):
         note = self.optilog is not None
         weight_of = self._weight
         count = len(messages)
-        if count >= _BATCH_TALLY_MIN and not note:
+        tally_min = (
+            _BATCH_TALLY_MIN_UNIFORM
+            if self.uniform_voting
+            else _BATCH_TALLY_MIN
+        )
+        if count >= tally_min and not note:
             consumed = self._tally_batch(
                 srcs,
                 messages,
@@ -387,14 +433,13 @@ class PbftReplica(ReplicaBase):
         for k in range(count):
             message = messages[k]
             seq = message.seq
-            senders = prepare_senders.get(seq)
-            if senders is None:
-                senders = prepare_senders[seq] = set()
+            senders = prepare_senders.get(seq, 0)
             src = srcs[k]
-            if src in senders:
+            bit = 1 << src
+            if senders & bit:
                 continue
             sim.now = times[k]
-            senders.add(src)
+            prepare_senders[seq] = senders | bit
             if note:
                 self._note_arrival(seq, src, "write")
             prepare_weight[seq] = prepare_weight.get(seq, 0.0) + weight_of(src)
@@ -417,7 +462,12 @@ class PbftReplica(ReplicaBase):
         note = self.optilog is not None
         weight_of = self._weight
         count = len(messages)
-        if count >= _BATCH_TALLY_MIN and not note:
+        tally_min = (
+            _BATCH_TALLY_MIN_UNIFORM
+            if self.uniform_voting
+            else _BATCH_TALLY_MIN
+        )
+        if count >= tally_min and not note:
             seq0 = messages[0].seq
             consumed = self._tally_batch(
                 srcs,
@@ -437,14 +487,13 @@ class PbftReplica(ReplicaBase):
         for k in range(count):
             message = messages[k]
             seq = message.seq
-            senders = commit_senders.get(seq)
-            if senders is None:
-                senders = commit_senders[seq] = set()
+            senders = commit_senders.get(seq, 0)
             src = srcs[k]
-            if src in senders:
+            bit = 1 << src
+            if senders & bit:
                 continue
             sim.now = times[k]
-            senders.add(src)
+            commit_senders[seq] = senders | bit
             if note:
                 self._note_arrival(seq, src, "accept")
             commit_weight[seq] = commit_weight.get(seq, 0.0) + weight_of(src)
@@ -526,6 +575,18 @@ class PbftReplica(ReplicaBase):
         client request's delivery time, so de-duplication never misses.
         Deterministic: pruning is a pure function of replica state.
         """
+        # Vote accumulators are dead the moment a seq executes: the
+        # prepare path returns at ``sent_commit`` and the commit path at
+        # ``executed`` before either reads them again, so they can go for
+        # EVERY executed seq -- including the keep window, whose
+        # preprepare/sent_commit/executed entries the guards still need.
+        # A late vote merely re-creates a small fresh accumulator that
+        # nothing ever reads.
+        for seq in self.executed:
+            self.prepare_weight.pop(seq, None)
+            self.prepare_senders.pop(seq, None)
+            self.commit_weight.pop(seq, None)
+            self.commit_senders.pop(seq, None)
         floor = self.executed_seq - keep
         if floor > self._compact_floor:
             for seq in [s for s in self.executed if s <= floor]:

@@ -577,15 +577,16 @@ def _resolve_workload(scenario: Scenario) -> Optional[Workload]:
 def _effective_plane(scenario: Scenario) -> str:
     """Resolve the message plane the cluster will actually use.
 
-    ``"check"`` never reaches a cluster (``run_scenario`` expands it into
-    two full runs; ``prepare_scenario`` rejects it).  Scenarios with
-    scheduled faults fall back to the object plane: the columnar route
-    only covers pristine traffic, and forcing the fallback here keeps
-    faulted runs on the exact code path every golden file was recorded
-    against.  (The network additionally falls back per-send at runtime
-    if a fault appears outside the scenario's fault list.)
+    ``"check"``/``"check-fast"`` never reach a cluster (``run_scenario``
+    expands them into two full runs; ``prepare_scenario`` rejects them).
+    Scenarios with scheduled faults fall back to the object plane: the
+    columnar routes only cover pristine traffic, and forcing the
+    fallback here keeps faulted runs on the exact code path every golden
+    file was recorded against.  (The network additionally falls back
+    per-send at runtime if a fault appears outside the scenario's fault
+    list.)
     """
-    if scenario.plane == "columnar" and scenario.faults:
+    if scenario.plane in ("columnar", "columnar-fast") and scenario.faults:
         return "object"
     return scenario.plane
 
@@ -1209,11 +1210,11 @@ def prepare_scenario(scenario: Scenario) -> ScenarioResult:
         raise ValueError(
             f"unknown protocol {scenario.protocol!r} (known: {known})"
         )
-    if scenario.plane == "check":
+    if scenario.plane in ("check", "check-fast"):
         raise ValueError(
-            "plane='check' runs the scenario twice and cannot hand out one "
-            "armed cluster; use run_scenario, or prepare the 'object' and "
-            "'columnar' planes separately"
+            f"plane={scenario.plane!r} runs the scenario twice and cannot "
+            "hand out one armed cluster; use run_scenario, or prepare the "
+            "planes it compares separately"
         )
     deployment = resolve_deployment(scenario.deployment, seed=scenario.seed)
     workload = _resolve_workload(scenario)
@@ -1232,11 +1233,12 @@ def prepare_scenario(scenario: Scenario) -> ScenarioResult:
 
 
 class PlaneDivergence(RuntimeError):
-    """The columnar plane computed a different run than the object plane.
+    """A fast plane computed a different run than its reference plane.
 
-    Raised by ``plane='check'`` scenarios; always a bug in the columnar
-    delivery path (or a batch handler violating its contract), never
-    expected behaviour.
+    Raised by ``plane='check'`` (columnar vs object, bit-identity) and
+    ``plane='check-fast'`` (columnar-fast vs columnar, final-metrics
+    equivalence) scenarios; always a bug in a fast delivery path (or a
+    batch handler violating its contract), never expected behaviour.
     """
 
 
@@ -1244,6 +1246,8 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     """Execute one scenario end-to-end, deterministically under its seed."""
     if scenario.plane == "check":
         return _run_checked(scenario)
+    if scenario.plane == "check-fast":
+        return _run_checked_fast(scenario)
     result = prepare_scenario(scenario)
     result.run_metrics = result.cluster.run(scenario.duration)
     if _metrics_mode(scenario) == "check":
@@ -1296,3 +1300,112 @@ def _run_checked(scenario: Scenario) -> ScenarioResult:
     # that happened to produce the returned cluster.
     columnar_result.scenario = scenario
     return columnar_result
+
+
+def _commit_heights(cluster) -> List[int]:
+    """Per-replica commit heights: ``executed_seq`` (PBFT) or
+    ``committed_height`` (HotStuff/Kauri)."""
+    heights = []
+    for replica in cluster.replicas:
+        height = getattr(replica, "executed_seq", None)
+        if height is None:
+            height = getattr(replica, "committed_height", 0)
+        heights.append(height)
+    return heights
+
+
+def _run_checked_fast(scenario: Scenario) -> ScenarioResult:
+    """``plane='check-fast'``: run ``columnar`` and ``columnar-fast``,
+    assert documented-equivalent final metrics, return the fast result.
+
+    Unlike ``plane='check'`` this does NOT compare state-trace hashes --
+    the relaxed plane coalesces deliveries inside barrier windows, so
+    per-row interleavings (and with them RNG stream positions and exact
+    latency digits) legitimately differ.  What MUST hold:
+
+    * committed request totals, committed block counts and per-replica
+      commit heights are EQUAL;
+    * client request totals (sent and completed) are EQUAL;
+    * every latency quantile (commit and client side) agrees within the
+      :class:`repro.metrics.MetricsSketch` error bound.
+
+    Jitter must be 0.0: jitter draws happen at send time in send order,
+    and the planes send in different orders, so with jitter enabled the
+    twins would see different per-message delays and the comparison
+    would be meaningless rather than strict.
+    """
+    from repro.metrics import MetricsSketch
+
+    if isinstance(scenario.workload, Workload):
+        raise ValueError(
+            "plane='check-fast' reruns the scenario and needs a named "
+            "workload (a Workload instance would be consumed by the first "
+            "run)"
+        )
+    if scenario.jitter != 0.0:
+        raise ValueError(
+            "plane='check-fast' requires jitter=0.0: jitter draws happen "
+            "in send order, which legitimately differs between the exact "
+            "and relaxed planes, so jittered twins are not comparable"
+        )
+    name = scenario.describe()["name"]
+    exact_result = run_scenario(replace(scenario, plane="columnar"))
+    fast_result = run_scenario(replace(scenario, plane="columnar-fast"))
+    exact_metrics = exact_result.metrics()
+    fast_metrics = fast_result.metrics()
+    for field_name in ("committed_requests", "committed_blocks"):
+        if exact_metrics.get(field_name) != fast_metrics.get(field_name):
+            raise PlaneDivergence(
+                f"{field_name} diverged for {name}: "
+                f"columnar={exact_metrics.get(field_name)} "
+                f"columnar-fast={fast_metrics.get(field_name)}"
+            )
+    exact_heights = _commit_heights(exact_result.cluster)
+    fast_heights = _commit_heights(fast_result.cluster)
+    if exact_heights != fast_heights:
+        raise PlaneDivergence(
+            f"per-replica commit heights diverged for {name}: "
+            f"columnar={exact_heights} columnar-fast={fast_heights}"
+        )
+    exact_client = exact_metrics.get("client") or {}
+    fast_client = fast_metrics.get("client") or {}
+    for field_name in ("requests_sent", "requests_completed"):
+        if exact_client.get(field_name) != fast_client.get(field_name):
+            raise PlaneDivergence(
+                f"client {field_name} diverged for {name}: "
+                f"columnar={exact_client.get(field_name)} "
+                f"columnar-fast={fast_client.get(field_name)}"
+            )
+    bound = MetricsSketch().error_bound()
+
+    def _check_quantiles(label: str, exact: Any, fast: Any) -> None:
+        if not isinstance(exact, dict) or not isinstance(fast, dict):
+            return
+        for key in exact:
+            a = exact.get(key)
+            b = fast.get(key)
+            if not isinstance(a, float) or not isinstance(b, float):
+                continue
+            scale = max(abs(a), abs(b))
+            if scale and abs(a - b) > bound * scale:
+                raise PlaneDivergence(
+                    f"{label}.{key} diverged for {name} beyond the sketch "
+                    f"error bound ({bound:.4%}): columnar={a!r} "
+                    f"columnar-fast={b!r}"
+                )
+
+    _check_quantiles(
+        "commit_latency",
+        exact_metrics.get("commit_latency"),
+        fast_metrics.get("commit_latency"),
+    )
+    latency_keys = [k for k in exact_client if "latency" in k]
+    _check_quantiles(
+        "client",
+        {k: exact_client[k] for k in latency_keys},
+        {k: fast_client.get(k) for k in latency_keys},
+    )
+    # Report the scenario as requested (plane='check-fast'), not the
+    # twin that happened to produce the returned cluster.
+    fast_result.scenario = scenario
+    return fast_result

@@ -80,6 +80,9 @@ class _HierOneWay:
     def row(self, src: int) -> List[float]:
         return self.model.row(src)
 
+    def delay_floor(self) -> float:
+        return self.model.one_way_floor()
+
 
 class HierarchicalLatencyModel:
     """Region-tiered latency model, API-compatible with ``LatencyModel``.
@@ -239,6 +242,26 @@ class HierarchicalLatencyModel:
         if len(cache) > ROW_CACHE_SIZE:
             cache.popitem(last=False)
         return row
+
+    def one_way_floor(self) -> float:
+        """Lower bound (seconds) on the one-way delay of every distinct
+        pair, without materializing any O(n^2) view.
+
+        Distinct pairs pay at least the base term (``LOCAL_RTT_MS`` in
+        region, the base table across regions) and offsets only add, so
+        the minimum over the region table bounds every pair from below.
+        Conservative is fine here -- the consumer (the relaxed message
+        plane's drain window) only needs *a* positive lower bound.
+        """
+        base = self._base_ms
+        regions = base.shape[0]
+        floor_ms = LOCAL_RTT_MS
+        if regions > 1:
+            off = base[~np.eye(regions, dtype=bool)]
+            floor_ms = min(floor_ms, float(off.min()))
+        if len(self.cities) < 2 or floor_ms <= 0.0:
+            return 0.0
+        return (floor_ms / 1000.0) / 2.0
 
     def one_way_provider(self) -> _HierOneWay:
         """The network-facing delay provider for this model."""

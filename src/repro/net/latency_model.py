@@ -57,6 +57,17 @@ class _OneWay:
     def row(self, src: int) -> List[float]:
         return self.rows[src]
 
+    def delay_floor(self) -> float:
+        """Smallest cross-node delay (seconds); the relaxed message
+        plane's window cap (``sim.network._drain_fast``) needs a lower
+        bound on every delay this provider can ever answer."""
+        matrix = np.asarray(self.rows, dtype=float)
+        n = matrix.shape[0]
+        if n < 2:
+            return 0.0
+        off = matrix[~np.eye(n, dtype=bool)]
+        return float(off.min())
+
 
 class _LazyOneWay:
     """Lazy matrix-backed one-way delay provider (large n).
@@ -96,6 +107,15 @@ class _LazyOneWay:
         if len(cache) > self.CACHE_SIZE:
             cache.popitem(last=False)
         return row
+
+    def delay_floor(self) -> float:
+        """Smallest cross-node one-way delay in seconds (see
+        ``_OneWay.delay_floor``)."""
+        n = self.matrix_ms.shape[0]
+        if n < 2:
+            return 0.0
+        off = self.matrix_ms[~np.eye(n, dtype=bool)]
+        return (float(off.min()) / 1000.0) / 2.0
 
     def __getstate__(self):
         return self.matrix_ms

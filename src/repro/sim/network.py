@@ -42,6 +42,29 @@ The network supports two delivery planes (``plane=`` constructor arg):
     new sends take the object path and in-flight rows drain one message
     at a time through the same delivery-time checks as the object
     plane.
+
+``columnar-fast``
+    The relaxed campaign path: pending rows live in a *narrow numpy
+    structured array* (f8 time, u4 seq/src/dst, u4 message-pool index;
+    ~24 bytes/row vs ~170 for the tuple rows) that is appended to in
+    O(1) and never kept sorted.  When the cursor fires, the drain
+    selects EVERY pending row whose key precedes the next timer
+    barrier, groups the selection by destination and hands each
+    destination's maximal same-class run to its batch handler in ONE
+    call -- even when, on the exact planes, interleaved traffic to
+    other destinations would have split the run.  Semantics are
+    *documented-equivalent*, not bit-identical: per-row ``(time, seq)``
+    keys, jitter draws and seq allocation are exactly the object
+    plane's, and no row is ever reordered across a timer barrier, but
+    within a barrier window rows are delivered destination-major, so
+    ``sim.now`` can step backwards between destination groups and
+    per-replica arrival interleavings differ.  Final metrics (commit
+    counts, request totals, latency quantiles) agree with ``columnar``
+    within the measurement-sketch error bound; ``plane="check-fast"``
+    (resolved by the runner, like ``"check"``) asserts exactly that.
+    Faults fall back identically to ``columnar``: new sends take the
+    object path and in-flight fast rows drain per message through the
+    delivery-time checks.
 """
 
 from __future__ import annotations
@@ -59,10 +82,12 @@ import numpy as np
 from repro.sim.engine import Simulator
 
 #: Valid values for the ``plane`` knob as seen by scenario plumbing.  The
-#: network itself only builds "object" or "columnar"; "check" is resolved
-#: by the experiment runner into one run of each plane plus a state-trace
-#: comparison (mirroring ``check_score``/``check_rebuild``).
-MESSAGE_PLANES = ("object", "columnar", "check")
+#: network itself only builds "object", "columnar" or "columnar-fast";
+#: "check" and "check-fast" are resolved by the experiment runner into one
+#: run per plane plus a comparison (state-trace hashes for "check", final
+#: metrics within the sketch error bound for "check-fast"), mirroring
+#: ``check_score``/``check_rebuild``.
+MESSAGE_PLANES = ("object", "columnar", "columnar-fast", "check", "check-fast")
 
 # An interceptor receives (src, dst, message, delay) and returns either
 # None (drop the message) or a (message, delay) pair to use instead.
@@ -75,6 +100,28 @@ _UNRESOLVED = object()
 #: Barrier seq used when the horizon (not a heap event) bounds a drain:
 #: rows at exactly the horizon time always pass the tie-break.
 _INF = float("inf")
+
+#: Byte cap on the relaxed multicast path's per-src row-array cache
+#: (``Network._delay_row_arrays``).  Keeps every row resident for the
+#: n<=2048 scales while bounding the n=4096/8192 memory diet: the cache
+#: is cleared wholesale when the next insert would cross the cap.
+_ROW_CACHE_BYTES = 64 << 20
+
+
+def _provider_delay_floor(provider: Any) -> float:
+    """Smallest positive cross-node delay ``provider`` can ever answer.
+
+    Resolved by duck-typing a ``delay_floor()`` method (the latency
+    providers in :mod:`repro.net` and the client-site router implement
+    it); bare callables answer 0.0, which disables the relaxed drain's
+    window cap -- see :meth:`Network._drain_fast` for what that costs in
+    equivalence guarantees.
+    """
+    fn = getattr(provider, "delay_floor", None)
+    if fn is None:
+        return 0.0
+    floor = fn()
+    return float(floor) if floor > 0.0 else 0.0
 
 
 class _SpineBlock:
@@ -152,6 +199,143 @@ class _Spine:
             self.blocks = []
         else:
             self.entries, self.armed, self.live, self.blocks = state
+
+
+#: Checkpoint row layout of the relaxed spine (in memory the columns
+#: live as parallel contiguous arrays).  u4 seqs are stored relative to
+#: ``_FastSpine.seq_base`` so the column survives multi-billion-event
+#: runs; u4 src/dst cover any deployment we can fit in memory, and the
+#: u4 pool index points into the shared message list (a multicast's
+#: whole fanout shares one slot).  ``cls`` is the small-int message
+#: class code (``Network._cls_codes``) so the drain finds maximal
+#: same-destination same-class runs with one vectorized boundary scan
+#: instead of touching every row from Python.
+_FAST_DTYPE = np.dtype(
+    [
+        ("time", "f8"),
+        ("seq", "u4"),
+        ("src", "u4"),
+        ("dst", "u4"),
+        ("msg", "u4"),
+        ("cls", "u4"),
+    ]
+)
+
+#: Relative-seq ceiling that triggers a rebase of the fast spine's seq
+#: column (leaves ~1M headroom below the u4 limit for in-flight appends).
+_FAST_SEQ_LIMIT = 0xFFF00000
+
+
+class _FastSpine:
+    """Pending pristine deliveries of the relaxed ``columnar-fast`` plane.
+
+    In memory the column is six parallel capacity-doubling arrays
+    (``times`` f8, ``seqs``/``srcs``/``dsts``/``msgs``/``clss`` u4) --
+    parallel rather than one structured array so every hot drain op
+    (searchsorted, min, masks, lexsort) runs on contiguous memory
+    instead of re-copying a strided field view; checkpoints still
+    serialize the packed :data:`_FAST_DTYPE` rows.
+
+    Each column is split in three: ``[:lo]`` is the dead front (already
+    delivered, reclaimed by the drain's shift-to-front),
+    ``[lo:sorted_end]`` is the *prefix* -- lexsorted by ``(time, seq)``
+    -- and ``[sorted_end:count]`` is the unsorted *append tail* the
+    send paths push onto in O(1).  The drain consumes the prefix by
+    advancing ``lo`` (a searchsorted cut, never a scan of the backlog)
+    and the tail by a mask over its few thousand rows, folding the tail
+    into the prefix only when it has grown to a fraction of the live
+    region -- amortized ``O(log)`` sorts per row instead of the
+    O(backlog) selection scan and keep-compaction a flat append-order
+    column pays on every pass.
+
+    ``pool`` is the message object list the u4 ``msgs`` column indexes
+    into; ``seq_base`` is the absolute seq the relative u4 ``seqs``
+    column is anchored at.  ``armed``/``live`` mirror the exact spine's
+    cursor bookkeeping (absolute ``(time, seq)`` keys, matching the
+    heap entries).
+    """
+
+    __slots__ = (
+        "times", "seqs", "srcs", "dsts", "msgs", "clss", "count", "pool",
+        "armed", "live", "seq_base", "lo", "sorted_end",
+    )
+
+    def __init__(self, cap: int = 1024):
+        self.times = np.empty(cap, dtype=np.float64)
+        self.seqs = np.empty(cap, dtype=np.uint32)
+        self.srcs = np.empty(cap, dtype=np.uint32)
+        self.dsts = np.empty(cap, dtype=np.uint32)
+        self.msgs = np.empty(cap, dtype=np.uint32)
+        self.clss = np.empty(cap, dtype=np.uint32)
+        self.count = 0
+        self.pool: list = []
+        self.armed: Optional[tuple] = None
+        self.live: set = set()
+        self.seq_base = 0
+        self.lo = 0
+        self.sorted_end = 0
+
+    def grow(self, need: int) -> None:
+        cap = len(self.times)
+        while cap < need:
+            cap *= 2
+        count = self.count
+        for name in ("times", "seqs", "srcs", "dsts", "msgs", "clss"):
+            old = getattr(self, name)
+            col = np.empty(cap, dtype=old.dtype)
+            col[:count] = old[:count]
+            setattr(self, name, col)
+
+    def rebase(self, next_seq: int) -> int:
+        """Re-anchor the relative seq column; returns the new base."""
+        if self.count > self.lo:
+            seqs = self.seqs[self.lo : self.count]
+            low = int(seqs.min())
+            seqs -= np.uint32(low)
+            self.seq_base += low
+        else:
+            self.seq_base = next_seq
+        return self.seq_base
+
+    def __getstate__(self):
+        # Checkpoints pack the live rows into the _FAST_DTYPE layout and
+        # normalize away the cursor split: restored as an all-tail
+        # column the next drain pass re-sorts.  Delivery order is
+        # unaffected -- each pass's batch is a selection (window/barrier
+        # cut) put into a total (dst, time, seq) order, independent of
+        # the prefix/tail representation.
+        lo = self.lo
+        count = self.count
+        rows = np.empty(count - lo, dtype=_FAST_DTYPE)
+        rows["time"] = self.times[lo:count]
+        rows["seq"] = self.seqs[lo:count]
+        rows["src"] = self.srcs[lo:count]
+        rows["dst"] = self.dsts[lo:count]
+        rows["msg"] = self.msgs[lo:count]
+        rows["cls"] = self.clss[lo:count]
+        return (rows, self.pool, self.armed, self.live, self.seq_base)
+
+    def __setstate__(self, state):
+        rows, self.pool, self.armed, self.live, self.seq_base = state
+        n = len(rows)
+        cap = 1024
+        while cap < n:
+            cap *= 2
+        self.times = np.empty(cap, dtype=np.float64)
+        self.seqs = np.empty(cap, dtype=np.uint32)
+        self.srcs = np.empty(cap, dtype=np.uint32)
+        self.dsts = np.empty(cap, dtype=np.uint32)
+        self.msgs = np.empty(cap, dtype=np.uint32)
+        self.clss = np.empty(cap, dtype=np.uint32)
+        self.count = n
+        self.times[:n] = rows["time"]
+        self.seqs[:n] = rows["seq"]
+        self.srcs[:n] = rows["src"]
+        self.dsts[:n] = rows["dst"]
+        self.msgs[:n] = rows["msg"]
+        self.clss[:n] = rows["cls"]
+        self.lo = 0
+        self.sorted_end = 0
 
 
 class NetworkStats:
@@ -253,9 +437,11 @@ class Network:
         Jitter draws come from a dedicated generator so enabling or
         disabling it does not perturb other random streams.
     plane:
-        ``"object"`` (default) or ``"columnar"`` -- see the module
-        docstring.  Both planes are bit-identical for seeded runs; the
-        columnar plane batches pristine steady-state traffic.
+        ``"object"`` (default), ``"columnar"`` or ``"columnar-fast"`` --
+        see the module docstring.  The first two are bit-identical for
+        seeded runs; ``columnar-fast`` trades exact per-row interleaving
+        for coalesced barrier-window delivery (documented-equivalent
+        final metrics).
     """
 
     #: Pristine columnar multicasts with at least this fanout go into a
@@ -271,25 +457,42 @@ class Network:
         jitter: float = 0.0,
         plane: str = "object",
     ):
-        if plane not in ("object", "columnar"):
+        if plane not in ("object", "columnar", "columnar-fast"):
             raise ValueError(
                 f"unknown message plane {plane!r}; the network builds "
-                "'object' or 'columnar' ('check' is resolved by the runner)"
+                "'object', 'columnar' or 'columnar-fast' ('check' and "
+                "'check-fast' are resolved by the runner)"
             )
         self.sim = sim
         self.plane = plane
-        self._columnar = plane == "columnar"
+        self._columnar = plane in ("columnar", "columnar-fast")
+        self._relaxed = plane == "columnar-fast"
         self._delay_rows: Optional[list] = None
         self._delay_row_fn: Optional[Callable[[int], Optional[list]]] = None
+        #: src -> float64 row array for the relaxed multicast path; a
+        #: byte-capped snapshot cache over the provider's per-src rows
+        #: (cleared by the ``one_way_delay`` setter, never pickled).
+        self._delay_row_arrays: Dict[int, Any] = {}
         self.one_way_delay = one_way_delay
         self.jitter = jitter
         self._stats = NetworkStats()
         #: Global sorted column of pending columnar deliveries.
         self._spine = _Spine()
+        #: Unsorted structured-array column of the relaxed plane.
+        self._fast = _FastSpine()
+        #: message class -> small-int code for the relaxed column's
+        #: ``cls`` field.  Pickled with the network: buffered rows carry
+        #: codes, so the mapping must stay consistent across a resume.
+        self._cls_codes: Dict[type, int] = {}
         #: node id -> object probed for ``handle_<Class>Batch`` methods.
         self._batch_endpoints: Dict[int, Any] = {}
         #: node id -> class -> batch handler (or None), lazily resolved.
         self._batch_routes: Dict[int, Dict[type, Optional[Callable]]] = {}
+        #: ``(cls code << 32) | dst`` -> resolved dispatch tuple for the
+        #: relaxed drain's run loop (see ``_resolve_fast_dispatch``).
+        #: Pure cache: cleared on every registration change, never
+        #: pickled.
+        self._fast_dispatch: Dict[int, tuple] = {}
         self._handlers: Dict[int, Callable[[int, Any], None]] = {}
         #: node id -> its class->bound-handler cache (see
         #: :meth:`register_dispatch`); lets delivery call the terminal
@@ -355,14 +558,31 @@ class Network:
             "_delay_rows",
             "_delay_row_fn",
             "_jitter_random",
+            "_fast_dispatch",
+            "_delay_row_arrays",
         ):
             state.pop(key, None)
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
+        if "_relaxed" not in state:
+            # Checkpoint from before the relaxed plane existed.
+            self._relaxed = False
+        if "_fast" not in state:
+            self._fast = _FastSpine()
+        if "_cls_codes" not in state:
+            self._cls_codes = {}
+        if "_delay_floor" not in state:
+            self._delay_floor = (
+                _provider_delay_floor(self._one_way_delay)
+                if self._relaxed
+                else 0.0
+            )
         self._post = self.sim.post
         self._jitter_random = self._jitter_rng.random
+        self._fast_dispatch = {}
+        self._delay_row_arrays = {}
         self._delay_rows = getattr(self._one_way_delay, "rows", None)
         self._delay_row_fn = getattr(self._one_way_delay, "row", None)
         self._deliver_bound = self._make_deliver()
@@ -386,6 +606,7 @@ class Network:
     @one_way_delay.setter
     def one_way_delay(self, value: Callable[[int, int], float]) -> None:
         self._one_way_delay = value
+        self._delay_row_arrays.clear()
         # Providers that expose their full matrix (Deployment.one_way)
         # let the send paths index a plain list instead of calling out.
         self._delay_rows = getattr(value, "rows", None)
@@ -395,6 +616,11 @@ class Network:
         # client-site router forwards replica rows while answering None
         # for client sources (which need its scalar mapping).
         self._delay_row_fn = getattr(value, "row", None)
+        # The relaxed drain's window cap needs a lower bound on every
+        # cross-node delay; the exact planes never read it.
+        self._delay_floor = (
+            _provider_delay_floor(value) if self._relaxed else 0.0
+        )
 
     @property
     def jitter(self) -> float:
@@ -419,6 +645,7 @@ class Network:
     def register(self, node_id: int, handler: Callable[[int, Any], None]) -> None:
         """Register ``handler(src, message)`` as the inbox of ``node_id``."""
         self._handlers[node_id] = handler
+        self._fast_dispatch.clear()
 
     def register_dispatch(
         self, node_id: int, dispatch: Dict[type, Optional[Callable]]
@@ -435,6 +662,7 @@ class Network:
         to no handler, exactly as the generic inbox behaves.
         """
         self._routes[node_id] = dispatch
+        self._fast_dispatch.clear()
 
     def register_batch_endpoint(self, node_id: int, endpoint: Any) -> None:
         """Columnar-plane opt-in: deliver same-class runs in bulk.
@@ -464,12 +692,14 @@ class Network:
         """
         self._batch_endpoints[node_id] = endpoint
         self._batch_routes[node_id] = {}
+        self._fast_dispatch.clear()
 
     def unregister(self, node_id: int) -> None:
         self._handlers.pop(node_id, None)
         self._routes.pop(node_id, None)
         self._batch_endpoints.pop(node_id, None)
         self._batch_routes.pop(node_id, None)
+        self._fast_dispatch.clear()
 
     def set_down(self, node_id: int, down: bool = True) -> None:
         """Crash (or revive) a node: messages to and from it are dropped."""
@@ -589,6 +819,55 @@ class Network:
                 seq = sim._seq
                 sim._seq = seq + 1
                 time = sim.now + delay
+                if self._relaxed:
+                    if src == dst:
+                        # Zero-delay self rows are delivered inline at
+                        # send time: parked in the column they would be
+                        # the one row class that can arrive *inside* the
+                        # current drain window (everything cross-node is
+                        # at least ``_delay_floor`` away), breaking the
+                        # per-destination time order the window cap
+                        # guarantees.  The seq above is still allocated,
+                        # keeping seq alignment with the exact planes.
+                        self._deliver_bound(src, dst, message)
+                        return
+                    # Relaxed plane: O(1) append to the structured
+                    # column (the exact spine pays an O(rows) insort
+                    # memmove per unicast).  Same delay, jitter draw,
+                    # stats bump and seq as the exact branches.
+                    fast = self._fast
+                    if seq - fast.seq_base >= _FAST_SEQ_LIMIT:
+                        fast.rebase(seq)
+                    count = fast.count
+                    if count == len(fast.times):
+                        fast.grow(count + 1)
+                    pool = fast.pool
+                    codes = self._cls_codes
+                    code = codes.get(cls)
+                    if code is None:
+                        code = codes[cls] = len(codes)
+                    fast.times[count] = time
+                    fast.seqs[count] = seq - fast.seq_base
+                    fast.srcs[count] = src
+                    fast.dsts[count] = dst
+                    fast.msgs[count] = len(pool)
+                    fast.clss[count] = code
+                    pool.append(message)
+                    fast.count = count + 1
+                    armed = fast.armed
+                    if armed is None or time < armed[0] or (
+                        time == armed[0] and seq < armed[1]
+                    ):
+                        key = (time, seq)
+                        fast.armed = key
+                        fast.live.add(key)
+                        queue = sim._queue
+                        _heappush(
+                            queue, (time, seq, None, self._drain_fast, (time, seq))
+                        )
+                        if len(queue) > sim.max_queue_depth:
+                            sim.max_queue_depth = len(queue)
+                    return
                 spine = self._spine
                 _insort(spine.entries, (time, seq, src, dst, message))
                 armed = spine.armed
@@ -669,7 +948,10 @@ class Network:
                 self.send(src, dst, message, size)
             return
         if self._columnar:
-            self._multicast_columnar(src, dsts, message, size)
+            if self._relaxed:
+                self._multicast_fast(src, dsts, message, size)
+            else:
+                self._multicast_columnar(src, dsts, message, size)
             return
         one_way = self._one_way_delay
         jittered = self._jitter > 0.0
@@ -1208,6 +1490,489 @@ class Network:
                     sim.max_queue_depth = len(queue)
         else:
             spine.armed = None
+
+    # ------------------------------------------------------------------
+    # Relaxed plane: structured-array sends and coalescing drain
+    # ------------------------------------------------------------------
+    def _multicast_fast(
+        self, src: int, dsts: Iterable[int], message: Any, size: int
+    ) -> None:
+        """Pristine multicast on the relaxed plane: append the whole
+        fanout as one vectorized segment of the structured column.
+
+        Delays and jitter draws happen in destination order with the
+        same ops as the exact planes, and seqs are the same consecutive
+        allocations, so every row carries the object plane's exact
+        ``(time, seq)`` key; only the delivery-side interleaving is
+        relaxed.  The fanout shares one message-pool slot.  Zero-delay
+        self copies (``broadcast(include_self=True)``) are delivered
+        inline at send time rather than parked in the column -- they are
+        the one row class that can arrive inside the current drain
+        window, which would break the per-destination time order the
+        window cap guarantees (see ``send``).
+        """
+        one_way = self._one_way_delay
+        jittered = self._jitter > 0.0
+        span = self._jitter_span
+        rand = self._jitter_random
+        drows = self._delay_rows
+        row = drows[src] if drows is not None else None
+        if row is None:
+            row_fn = self._delay_row_fn
+            if row_fn is not None:
+                row = row_fn(src)
+        if not isinstance(dsts, (list, tuple)):
+            dsts = list(dsts)
+        fanout = len(dsts)
+        if not fanout:
+            return
+        dst_arr = np.asarray(dsts, dtype=np.uint32)
+        self_mask = dst_arr == np.uint32(src)
+        nself = int(np.count_nonzero(self_mask))
+        if row is not None:
+            # Vectorized delay build: gather from a float64 snapshot of
+            # the provider's row (byte-capped cache -- rows are static
+            # for the run), zero the self positions, then apply the
+            # jitter multipliers.  The draws happen in the same
+            # destination order and each element sees the same scalar
+            # op sequence (span*r, 1.0+, delay*) as the exact planes'
+            # per-dst loop, so the times are bit-identical.
+            cache = self._delay_row_arrays
+            arr = cache.get(src)
+            if arr is None:
+                arr = np.asarray(row, dtype=np.float64)
+                if (len(cache) + 1) * arr.nbytes > _ROW_CACHE_BYTES:
+                    cache.clear()
+                cache[src] = arr
+            delays = arr[dst_arr]
+            if nself:
+                delays[self_mask] = 0.0
+            if jittered:
+                draws = [rand() for _ in range(fanout)]
+                delays *= 1.0 + span * np.asarray(draws, dtype=np.float64)
+        else:
+            dl = []
+            append = dl.append
+            if jittered:
+                for dst in dsts:
+                    delay = 0.0 if src == dst else one_way(src, dst)
+                    append(delay * (1.0 + span * rand()))
+            else:
+                for dst in dsts:
+                    append(0.0 if src == dst else one_way(src, dst))
+            delays = np.asarray(dl, dtype=np.float64)
+        sim = self.sim
+        now = sim.now
+        first = sim._seq
+        sim._seq = first + fanout
+        self.stats.record_multicast(message, size, fanout)
+        fast = self._fast
+        if first + fanout - fast.seq_base >= _FAST_SEQ_LIMIT:
+            fast.rebase(first)
+        times = now + delays
+        if nself:
+            keep = ~self_mask
+            times_k = times[keep]
+            dst_k = dst_arr[keep]
+            seqs_k = np.arange(first, first + fanout, dtype=np.int64)[keep]
+        else:
+            times_k = times
+            dst_k = dst_arr
+            seqs_k = None
+        fanout_k = fanout - nself
+        if fanout_k:
+            count = fast.count
+            need = count + fanout_k
+            if need > len(fast.times):
+                fast.grow(need)
+            fast.times[count:need] = times_k
+            if seqs_k is None:
+                rel = first - fast.seq_base
+                fast.seqs[count:need] = np.arange(
+                    rel, rel + fanout, dtype=np.uint32
+                )
+            else:
+                fast.seqs[count:need] = (seqs_k - fast.seq_base).astype(
+                    np.uint32
+                )
+            fast.srcs[count:need] = src
+            fast.dsts[count:need] = dst_k
+            pool = fast.pool
+            fast.msgs[count:need] = len(pool)
+            codes = self._cls_codes
+            cls = message.__class__
+            code = codes.get(cls)
+            if code is None:
+                code = codes[cls] = len(codes)
+            fast.clss[count:need] = code
+            pool.append(message)
+            fast.count = need
+            # argmin returns the first occurrence of the minimum, i.e.
+            # the lowest seq among time ties -- exactly the earliest
+            # (time, seq).
+            kidx = int(np.argmin(times_k))
+            t0 = times_k.item(kidx)
+            s0 = first + kidx if seqs_k is None else int(seqs_k.item(kidx))
+            armed = fast.armed
+            if armed is None or t0 < armed[0] or (t0 == armed[0] and s0 < armed[1]):
+                key = (t0, s0)
+                fast.armed = key
+                fast.live.add(key)
+                queue = sim._queue
+                _heappush(queue, (t0, s0, None, self._drain_fast, (t0, s0)))
+                if len(queue) > sim.max_queue_depth:
+                    sim.max_queue_depth = len(queue)
+        for _ in range(nself):
+            self._deliver_bound(src, src, message)
+
+    def _resolve_fast_dispatch(self, dst: int, cls: type, code: int) -> tuple:
+        """Resolve (and usually memoize) the relaxed drain's dispatch
+        for one ``(dst, message class)`` pair.
+
+        Returns ``(batch_handler, per_row_fn, counted)``:
+
+        * ``batch_handler`` -- the ``handle_<Class>Batch`` method when
+          ``dst`` registered a batch endpoint exposing one, else None.
+        * ``per_row_fn`` -- the terminal handler from the node's live
+          dispatch map when resolved, else its generic inbox, else None.
+        * ``counted`` -- False only for unregistered destinations, whose
+          rows count as dropped.
+
+        The entry is cached under ``(code << 32) | dst`` (collision-free:
+        dst is a u4 column value) and the cache is cleared by every
+        ``register*``/``unregister`` call.  One transient case is served
+        uncached: a node with a dispatch map that has not resolved this
+        class yet.  Its inbox populates the live map on first dispatch,
+        so memoizing here would pin the slow inbox path forever -- the
+        next run re-resolves and picks up the terminal handler.
+        """
+        bh = None
+        endpoint = self._batch_endpoints.get(dst)
+        if endpoint is not None:
+            bh = getattr(endpoint, "handle_" + cls.__name__ + "Batch", None)
+        route = self._routes.get(dst)
+        if route is not None:
+            handler = route.get(cls, _UNRESOLVED)
+            if handler is not _UNRESOLVED:
+                ent = (bh, handler, True)
+                self._fast_dispatch[(code << 32) | dst] = ent
+                return ent
+            fallback = self._handlers.get(dst)
+            return (bh, fallback, fallback is not None)
+        fallback = self._handlers.get(dst)
+        ent = (bh, fallback, fallback is not None)
+        self._fast_dispatch[(code << 32) | dst] = ent
+        return ent
+
+    def _drain_fast(self, time: float, seq: int) -> None:
+        """Cursor callback for the relaxed plane: coalesce EVERY pending
+        row that precedes the next timer barrier into destination-major
+        batch deliveries.
+
+        Each pass snapshots the barrier (next non-cancelled heap event,
+        capped by the horizon), selects all rows with a smaller
+        ``(time, seq)`` key, removes them from the column and delivers
+        them grouped by destination -- within a destination in
+        ``(time, seq)`` order, maximal same-class runs handed to the
+        batch handler in one call (re-called on the remainder when it
+        consumes partially; the relaxed plane drops the exact planes'
+        stop-after-send rule, which is the coalescing win).  Handler
+        sends land back in the column and are picked up by the next
+        pass if they still precede the barrier.  No row is ever held
+        past a barrier: passes repeat until nothing pending precedes
+        it.  ``sim.now`` is set to each row's arrival time before its
+        side effects, so it can step backwards across destination
+        groups -- documented-equivalent, not bit-identical.
+
+        When the delay provider exposes a positive ``delay_floor`` the
+        pass window is additionally capped at ``earliest pending row +
+        floor``.  Handler sends issued during a pass then always land
+        at or past the window end, so each destination observes its
+        rows in exact ``(time, seq)`` order and quorum crossings fire
+        at the same instants as the exact planes; only cross-destination
+        wall interleaving within a window (and same-instant tie order)
+        stays relaxed.  With ``floor == 0.0`` (bare-callable providers)
+        capping is disabled and only barrier-level equivalence holds.
+        """
+        fast = self._fast
+        key = (time, seq)
+        live = fast.live
+        live.discard(key)
+        if fast.armed != key:
+            return  # Stale cursor: an earlier drain already passed this key.
+        sim = self.sim
+        queue = sim._queue
+        horizon = sim.horizon
+        dispatch_get = self._fast_dispatch.get
+        resolve = self._resolve_fast_dispatch
+        stats = self._stats
+        floor = self._delay_floor
+        while fast.count > fast.lo:
+            # Barrier snapshot: clear cancelled timers at the head, then
+            # cap the head key by the horizon (rows at exactly the
+            # horizon pass the tie-break via the _INF barrier seq).
+            while queue:
+                head = queue[0]
+                handle = head[2]
+                if handle is None or not handle.cancelled:
+                    break
+                _heappop(queue)
+            if queue:
+                bt = queue[0][0]
+                bs = queue[0][1]
+                if bt > horizon:
+                    bt = horizon
+                    bs = _INF
+            else:
+                bt = horizon
+                bs = _INF
+            lo = fast.lo
+            se = fast.sorted_end
+            count = fast.count
+            times = fast.times
+            seqs = fast.seqs
+            live_n = count - lo
+            if count - se > (live_n >> 1) + 4096:
+                # Fold the append tail into the sorted prefix once it
+                # passes a fraction of the live region: amortized O(log)
+                # sorts per row, so the per-pass work below never scans
+                # the backlog -- only the tail and the delivered cut.
+                morder = np.lexsort((seqs[lo:count], times[lo:count]))
+                times[lo:count] = times[lo:count][morder]
+                seqs[lo:count] = seqs[lo:count][morder]
+                for col in (fast.srcs, fast.dsts, fast.msgs, fast.clss):
+                    col[lo:count] = col[lo:count][morder]
+                se = fast.sorted_end = count
+            pn = se - lo
+            tn = count - se
+            ptimes = times[lo:se]
+            ttimes = times[se:count]
+            if floor > 0.0:
+                # Window cap: never deliver past the earliest pending
+                # row plus the provider's delay floor.  Any handler send
+                # during this pass happens at >= the window start and
+                # travels >= floor, so it lands at or past the window
+                # end -- per-destination delivery therefore runs in
+                # exact (time, seq) order (edge ties are safe: in-pass
+                # arrivals at the window boundary carry strictly larger
+                # seqs and go to a later pass).  The earliest pending
+                # time is the prefix head (sorted) vs a scan of the
+                # small tail.
+                tmin = ptimes[0] if pn else _INF
+                if tn:
+                    tmin2 = ttimes.min()
+                    if tmin2 < tmin:
+                        tmin = tmin2
+                window = float(tmin) + floor
+                if window < bt:
+                    bt = window
+                    bs = _INF
+            # Prefix cut: one searchsorted against the (time, seq)-sorted
+            # prefix, extended across time == bt ties by relative seq
+            # when the barrier seq is finite.
+            if pn:
+                if bs == _INF:
+                    kcut = int(np.searchsorted(ptimes, bt, side="right"))
+                else:
+                    kcut = int(np.searchsorted(ptimes, bt, side="left"))
+                    if kcut < pn and ptimes[kcut] == bt:
+                        bs_rel = bs - fast.seq_base
+                        pseqs = seqs[lo:se]
+                        while (
+                            kcut < pn
+                            and ptimes[kcut] == bt
+                            and int(pseqs[kcut]) < bs_rel
+                        ):
+                            kcut += 1
+            else:
+                kcut = 0
+            # Tail cut: boolean mask over the unsorted tail only.
+            nt = 0
+            tsel = None
+            if tn:
+                tsel = ttimes < bt
+                ties = ttimes == bt
+                if ties.any():
+                    tsel = tsel | (
+                        ties & (seqs[se:count] < (bs - fast.seq_base))
+                    )
+                nt = int(np.count_nonzero(tsel))
+            if not kcut and not nt:
+                break
+            # Row indices of this pass's batch (prefix cut + tail hits),
+            # gathered per column; lexsort puts them into the total
+            # (dst, time, seq) delivery order.
+            if nt:
+                tidx = np.flatnonzero(tsel) + se
+                if kcut:
+                    idx = np.concatenate(
+                        (np.arange(lo, lo + kcut, dtype=np.int64), tidx)
+                    )
+                else:
+                    idx = tidx
+            else:
+                idx = np.arange(lo, lo + kcut, dtype=np.int64)
+            fast.lo = lo + kcut
+            pool = fast.pool
+            btimes = times[idx]
+            bdsts = fast.dsts[idx]
+            order = np.lexsort((seqs[idx], btimes, bdsts))
+            sidx = idx[order]
+            total = len(sidx)
+            # Maximal same-destination same-class runs are found with one
+            # vectorized boundary scan over the (dst, cls) columns; the
+            # data columns are converted to Python lists once per pass so
+            # the run loop below never pays per-row numpy scalar costs.
+            dstcol = bdsts[order]
+            clscol = fast.clss[sidx]
+            if total > 1:
+                change = (dstcol[1:] != dstcol[:-1]) | (
+                    clscol[1:] != clscol[:-1]
+                )
+                edges = [0]
+                edges.extend((np.flatnonzero(change) + 1).tolist())
+                edges.append(total)
+            else:
+                edges = [0, total]
+            bt_l = btimes[order].tolist()
+            bd_l = dstcol.tolist()
+            bs_l = fast.srcs[sidx].tolist()
+            bm_l = fast.msgs[sidx].tolist()
+            cc_l = clscol.tolist()
+            if nt:
+                # Swap-fill the selected tail holes from the tail's end
+                # -- O(selected) instead of O(tail), legal because the
+                # tail is unsorted so row order within it is free.  Only
+                # after the batch columns above are gathered, since the
+                # movers overwrite selected positions.  Handler sends
+                # during the delivery below append after the new count.
+                new_count = count - nt
+                holes = tidx[tidx < new_count]
+                if len(holes):
+                    movers = (
+                        np.flatnonzero(~tsel[new_count - se :]) + new_count
+                    )
+                    times[holes] = times[movers]
+                    seqs[holes] = seqs[movers]
+                    for col in (fast.srcs, fast.dsts, fast.msgs, fast.clss):
+                        col[holes] = col[movers]
+                fast.count = new_count
+            # Run dispatch: one int-keyed cache lookup per (dst, cls)
+            # run replaces the route/batch-route/getattr resolution
+            # chain; stats accumulate in locals and flush once per pass.
+            delivered = 0
+            dropped = 0
+            for ri in range(len(edges) - 1):
+                r = edges[ri]
+                e = edges[ri + 1]
+                dst = bd_l[r]
+                if not self._pristine:
+                    # A fault landed while rows were in flight: per-row
+                    # delivery-time checks, as on the exact planes.
+                    for idx in range(r, e):
+                        sim.now = bt_l[idx]
+                        self._deliver_bound(bs_l[idx], dst, pool[bm_l[idx]])
+                    continue
+                width = e - r
+                ent = dispatch_get((cc_l[r] << 32) | dst)
+                if ent is None:
+                    ent = resolve(dst, pool[bm_l[r]].__class__, cc_l[r])
+                bh = ent[0]
+                if bh is not None and width > 1:
+                    srcs = bs_l[r:e]
+                    messages = [pool[m] for m in bm_l[r:e]]
+                    ts = bt_l[r:e]
+                    start = 0
+                    while start < width:
+                        sim.now = ts[start]
+                        if start:
+                            consumed = bh(
+                                srcs[start:], messages[start:], ts[start:]
+                            )
+                        else:
+                            consumed = bh(srcs, messages, ts)
+                        if consumed is None:
+                            consumed = width - start
+                        elif consumed < 1:
+                            consumed = 1
+                        elif consumed > width - start:
+                            consumed = width - start
+                        start += consumed
+                    delivered += width
+                    continue
+                fn = ent[1]
+                if fn is not None:
+                    delivered += width
+                    for idx in range(r, e):
+                        sim.now = bt_l[idx]
+                        fn(bs_l[idx], pool[bm_l[idx]])
+                elif ent[2]:
+                    delivered += width
+                else:
+                    dropped += width
+            if delivered:
+                stats.messages_delivered += delivered
+            if dropped:
+                stats.messages_dropped += dropped
+        lo = fast.lo
+        count = fast.count
+        if count > lo:
+            live_n = count - lo
+            pool = fast.pool
+            if len(pool) > 2 * live_n + 64:
+                # Compact the message pool: delivered slots are dead but
+                # keep their objects alive until remapped away.
+                msgs = fast.msgs[lo:count]
+                uniq, inverse = np.unique(msgs, return_inverse=True)
+                fast.pool = [pool[m] for m in uniq.tolist()]
+                msgs[:] = inverse.astype(np.uint32)
+            if lo > live_n and lo > 4096:
+                # Shift-to-front once the dead front dominates, bounding
+                # buffer capacity at ~2x the live backlog.
+                for col in (
+                    fast.times, fast.seqs, fast.srcs, fast.dsts,
+                    fast.msgs, fast.clss,
+                ):
+                    col[:live_n] = col[lo:count].copy()
+                fast.lo = 0
+                fast.sorted_end -= lo
+                fast.count = live_n
+                lo = 0
+                count = live_n
+            se = fast.sorted_end
+            # Earliest pending (time, seq): the prefix head (sorted) vs
+            # a min over the small tail.
+            if lo < se:
+                best_t = float(fast.times[lo])
+                best_s = int(fast.seqs[lo])
+            else:
+                best_t = _INF
+                best_s = -1
+            if se < count:
+                ttimes = fast.times[se:count]
+                tmin = float(ttimes.min())
+                if tmin <= best_t:
+                    at_min = ttimes == tmin
+                    smin = int(fast.seqs[se:count][at_min].min())
+                    if tmin < best_t or smin < best_s:
+                        best_t = tmin
+                        best_s = smin
+            nkey = (best_t, best_s + fast.seq_base)
+            fast.armed = nkey
+            if nkey not in live:
+                live.add(nkey)
+                _heappush(
+                    queue, (nkey[0], nkey[1], None, self._drain_fast, nkey)
+                )
+                if len(queue) > sim.max_queue_depth:
+                    sim.max_queue_depth = len(queue)
+        else:
+            fast.armed = None
+            fast.pool.clear()
+            fast.seq_base = sim._seq
+            fast.lo = 0
+            fast.sorted_end = 0
+            fast.count = 0
 
     # ------------------------------------------------------------------
     # Delivery

@@ -1,0 +1,76 @@
+"""``repro bench --list``: the bench-suite registry surface.
+
+The listing must enumerate every registered suite with its CLI flag and
+entry ids (so ``--entry`` targets are discoverable), and unknown suite
+names must fail loudly naming the known suites -- at both the library
+and CLI layer.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.listing import SUITE_FLAGS, format_suite_listing, suite_entries
+
+
+def _repro(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        cwd="/root/repo",
+    )
+
+
+def test_registry_covers_every_flagged_suite():
+    registry = suite_entries()
+    assert set(registry) == set(SUITE_FLAGS)
+    for name, ids in registry.items():
+        assert ids, name
+        assert len(ids) == len(set(ids)), name
+
+
+def test_scale_listing_carries_the_new_entries():
+    ids = suite_entries()["scale"]
+    assert "pbft/n8192" in ids
+    assert "pbft-open/n4096" in ids
+
+
+def test_listing_renders_flags_and_entry_ids():
+    text = format_suite_listing()
+    for name, flag in SUITE_FLAGS.items():
+        assert name in text
+        assert flag in text
+    assert "  pbft/n4096" in text
+
+
+def test_listing_filters_to_requested_suites():
+    text = format_suite_listing(["scale"])
+    assert text.startswith("scale")
+    assert "simulator" not in text
+
+
+def test_unknown_suite_is_loud_and_names_the_registry():
+    with pytest.raises(ValueError) as excinfo:
+        format_suite_listing(["scale", "bogus"])
+    message = str(excinfo.value)
+    assert "bogus" in message
+    for name in SUITE_FLAGS:
+        assert name in message
+
+
+def test_cli_list_prints_the_registry():
+    proc = _repro("bench", "--list")
+    assert proc.returncode == 0
+    for name in SUITE_FLAGS:
+        assert name in proc.stdout
+    assert "pbft/n8192" in proc.stdout
+
+
+def test_cli_unknown_suite_exits_loud():
+    proc = _repro("bench", "--list", "bogus")
+    assert proc.returncode != 0
+    assert "bogus" in proc.stderr
+    assert "scale" in proc.stderr

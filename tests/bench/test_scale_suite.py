@@ -30,8 +30,30 @@ TINY = ScaleEntry(
 
 def test_suite_covers_three_engines_at_three_sizes():
     assert {entry.engine for entry in SUITE} == {"hotstuff", "kauri", "pbft"}
-    assert {entry.n for entry in SUITE} == {512, 1024, 4096}
-    assert len(SUITE) == 9
+    assert {entry.n for entry in SUITE} == {512, 1024, 4096, 8192}
+    assert len(SUITE) == 12
+    # The original nine ids survive unchanged -- SCALE_BASELINE joins on
+    # them -- plus the open-loop flood pair and the n=8192 probe.
+    ids = [entry.id for entry in SUITE]
+    for engine in ("hotstuff", "kauri", "pbft"):
+        for n in (512, 1024, 4096):
+            assert f"{engine}/n{n}" in ids
+    assert "pbft-open/n1024" in ids
+    assert "pbft-open/n4096" in ids
+    probe = next(entry for entry in SUITE if entry.id == "pbft/n8192")
+    assert probe.plane == "columnar-fast"
+
+
+def test_check_suite_is_jitter_free_check_fast():
+    for entry in scale.CHECK_SUITE:
+        assert entry.plane == "check-fast"
+        assert entry.jitter == 0.0
+
+
+def test_entry_timeouts_key_on_id_then_engine():
+    assert next(e for e in SUITE if e.id == "pbft/n8192").timeout == 900.0
+    assert next(e for e in SUITE if e.id == "pbft/n512").timeout == 420.0
+    assert TINY.timeout == scale._DEFAULT_TIMEOUT
 
 
 def test_unknown_entry_rejected():
@@ -47,6 +69,32 @@ def test_run_entry_reports_from_a_fresh_subprocess():
     assert record["committed_blocks"] > 0
     assert record["peak_rss_mb"] > 0
     assert record["wall_seconds"] > 0
+
+
+def test_run_entry_plane_override_runs_the_fast_spine():
+    record = run_entry(TINY, plane="columnar-fast")
+    assert record["status"] == "ok"
+    assert record["plane"] == "columnar-fast"
+    assert record["deliveries"] > 0
+    assert record["committed_blocks"] > 0
+
+
+def test_run_entry_check_fast_worker_reports_the_verdict():
+    entry = ScaleEntry(
+        id="pbft/tiny-check",
+        engine="pbft",
+        protocol="pbft",
+        n=8,
+        workload="open-loop",
+        duration=1.0,
+        plane="check-fast",
+        jitter=0.0,
+        workload_params=(("rate", 50.0), ("clients", 2)),
+    )
+    record = run_entry(entry)
+    assert record["status"] == "ok"
+    assert record["check"] == "passed"
+    assert record["deliveries"] > 0
 
 
 def test_run_entry_dense_uses_wonderproxy_path():

@@ -136,10 +136,12 @@ def make_pbft(deployment, mode="static"):
 
 
 def pbft_state(replica):
+    # Sender accumulators are int bitmasks; ints compare by value, so a
+    # plain dict copy captures them exactly.
     return (
-        {s: frozenset(v) for s, v in replica.prepare_senders.items()},
+        dict(replica.prepare_senders),
         dict(replica.prepare_weight),
-        {s: frozenset(v) for s, v in replica.commit_senders.items()},
+        dict(replica.commit_senders),
         dict(replica.commit_weight),
         frozenset(replica.sent_commit),
         frozenset(replica.executed),

@@ -184,3 +184,23 @@ def test_provider_row_and_scalar():
     assert provider(3, 17) == hier.one_way(3, 17)
     assert provider.row(3) == hier.row(3)
     assert not hasattr(provider, "rows")
+
+
+def test_one_way_floor_bounds_every_pair():
+    cities = _cities(150)
+    offsets = [float(i % 7) * 3.5 for i in range(150)]
+    hier = HierarchicalLatencyModel(cities, offsets_km=offsets)
+    floor = hier.one_way_floor()
+    assert floor > 0.0
+    provider = hier.one_way_provider()
+    assert provider.delay_floor() == floor
+    rng = random.Random(11)
+    for _ in range(200):
+        a, b = rng.randrange(150), rng.randrange(150)
+        if a != b:
+            assert hier.one_way(a, b) >= floor
+
+
+def test_one_way_floor_degenerate_single_city():
+    hier = HierarchicalLatencyModel(_cities(1))
+    assert hier.one_way_floor() == 0.0

@@ -142,3 +142,34 @@ def test_lazy_provider_pickles_without_cache():
     assert not clone._cache
     assert clone(0, 1) == lazy(0, 1)
     assert clone.row(1) == lazy.row(1)
+
+
+def test_delay_floor_is_min_cross_node_one_way(europe21):
+    # The relaxed message plane caps its drain windows at this floor; it
+    # must lower-bound every delay the provider can ever answer, and be
+    # positive for any model with distinct replicas.
+    model = europe21.latency
+    n = len(model)
+    want = min(
+        model.one_way(a, b) for a in range(n) for b in range(n) if a != b
+    )
+    assert want > 0.0
+    assert _OneWay(model.one_way_rows()).delay_floor() == want
+    assert _LazyOneWay(model.matrix_ms()).delay_floor() == want
+
+
+def test_delay_floor_degenerate_single_replica():
+    city = city_by_name("Frankfurt")
+    model = LatencyModel([city])
+    assert _OneWay(model.one_way_rows()).delay_floor() == 0.0
+    assert _LazyOneWay(model.matrix_ms()).delay_floor() == 0.0
+
+
+def test_delay_floor_colocated_pair_is_local_one_way():
+    # Co-located replicas still pay the 1 ms local RTT, so the floor
+    # stays positive even when every replica shares one city.
+    city = city_by_name("Frankfurt")
+    model = LatencyModel([city, city])
+    floor = _OneWay(model.one_way_rows()).delay_floor()
+    assert floor == pytest.approx(0.0005)
+    assert floor <= model.one_way(0, 1)

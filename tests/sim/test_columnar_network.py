@@ -88,10 +88,14 @@ def snapshot(sim, network):
 # Construction
 # ----------------------------------------------------------------------
 def test_plane_vocabulary_and_validation():
-    assert MESSAGE_PLANES == ("object", "columnar", "check")
+    assert MESSAGE_PLANES == (
+        "object", "columnar", "columnar-fast", "check", "check-fast"
+    )
     sim = Simulator(seed=0)
     with pytest.raises(ValueError, match="check"):
         Network(sim, lambda a, b: 0.01, plane="check")
+    with pytest.raises(ValueError, match="check"):
+        Network(sim, lambda a, b: 0.01, plane="check-fast")
     with pytest.raises(ValueError):
         Network(sim, lambda a, b: 0.01, plane="rowwise")
 
@@ -430,6 +434,104 @@ def test_columnar_network_pickles_with_rows_in_flight():
     # Pickled mid-flight (armed cursors, partially drained columns).
     sim, network, endpoints = build()
     sim.run(until=0.1)
+    sim2, network2, endpoints2 = pickle.loads(
+        pickle.dumps((sim, network, endpoints))
+    )
+    sim2.run()
+    assert [endpoint.received for endpoint in endpoints2] == want
+    assert snapshot(sim2, network2) == want_stats
+
+
+# ----------------------------------------------------------------------
+# Relaxed plane (columnar-fast)
+# ----------------------------------------------------------------------
+class FloorDelay:
+    """Module-level provider (pickles) exposing the relaxed plane's
+    window-cap floor: constant cross-node delay, zero self delay."""
+
+    def __init__(self, delay=0.01):
+        self.delay = delay
+
+    def __call__(self, a, b):
+        return 0.0 if a == b else self.delay
+
+    def delay_floor(self):
+        return self.delay
+
+
+def test_fast_plane_reads_the_provider_delay_floor():
+    sim = Simulator(seed=0)
+    network = Network(sim, FloorDelay(0.02), plane="columnar-fast")
+    assert network._delay_floor == 0.02
+    # Bare callables advertise no floor: capping is disabled.
+    network.one_way_delay = lambda a, b: 0.02
+    assert network._delay_floor == 0.0
+    # Exact planes never cap, whatever the provider knows.
+    exact = Network(Simulator(seed=0), FloorDelay(0.02), plane="columnar")
+    assert exact._delay_floor == 0.0
+
+
+def test_fast_plane_delivers_object_multiset_in_dst_time_order():
+    # The relaxed contract: same deliveries at the same timestamps as
+    # the object plane (as a multiset -- global interleaving is free),
+    # and with a positive floor each destination observes its rows in
+    # non-decreasing time order.
+    def run(plane):
+        sim = Simulator(seed=3)
+        network = Network(sim, FloorDelay(), plane=plane)
+        trace = run_traffic(sim, network)
+        stats = snapshot(sim, network)
+        return trace, stats
+
+    trace_object, stats_object = run("object")
+    trace_fast, stats_fast = run("columnar-fast")
+    assert sorted(trace_fast) == sorted(trace_object)
+    for key in ("seq", "sent", "delivered", "dropped", "bytes",
+                "per_type_bytes"):
+        assert stats_fast[key] == stats_object[key], key
+    per_dst = {}
+    for t, src, dst, rep in trace_fast:
+        per_dst.setdefault(dst, []).append(t)
+    for dst, times in per_dst.items():
+        assert times == sorted(times), dst
+
+
+def test_fast_plane_without_floor_keeps_barrier_equivalence():
+    # A bare-callable provider (floor 0.0) disables window capping;
+    # barrier-level coalescing must still deliver the object plane's
+    # exact multiset of (time, src, dst, message) rows.
+    def run(plane):
+        sim = Simulator(seed=5)
+        network = Network(sim, lambda a, b: 0.01 if a != b else 0.0,
+                          plane=plane)
+        return run_traffic(sim, network)
+
+    assert sorted(run("columnar-fast")) == sorted(run("object"))
+
+
+def test_fast_network_pickles_with_rows_in_flight():
+    def build():
+        sim = Simulator(seed=4)
+        network = Network(
+            sim, FloorDelay(0.5), jitter=0.1, plane="columnar-fast"
+        )
+        endpoints = [PicklableEndpoint(sim) for _ in range(3)]
+        for node, endpoint in enumerate(endpoints):
+            network.register(node, endpoint)
+        network.multicast(0, range(3), Ping("m"), Ping.wire_size)
+        network.send(1, 2, Ping("u"), Ping.wire_size)
+        return sim, network, endpoints
+
+    sim, network, endpoints = build()
+    sim.run()
+    want = [endpoint.received for endpoint in endpoints]
+    want_stats = snapshot(sim, network)
+
+    # Cut while the structured column holds rows and the drain cursor
+    # is armed: __getstate__ snapshots buf[:count] + pool + cursor keys.
+    sim, network, endpoints = build()
+    sim.run(until=0.1)
+    assert network._fast.count > 0
     sim2, network2, endpoints2 = pickle.loads(
         pickle.dumps((sim, network, endpoints))
     )

@@ -287,3 +287,24 @@ def test_zero_clients_rejected_at_construction():
         OpenLoopWorkload(rate=10.0, clients=0)
     with pytest.raises(ValueError, match="at least one client"):
         ClosedLoopWorkload(clients=-1)
+
+
+def test_client_site_router_delay_floor_clamps_to_local_delay():
+    from repro.workloads.base import ClientSiteRouter
+
+    class Provider:
+        def __call__(self, a, b):
+            return 0.0 if a == b else 0.004
+
+        def delay_floor(self):
+            return 0.004
+
+    # Co-located client routes answer `or local_delay`, so the router's
+    # floor is the smaller of the provider floor and the local fallback.
+    router = ClientSiteRouter(Provider(), n=4)
+    assert router.delay_floor() == router.local_delay
+    tight = ClientSiteRouter(Provider(), n=4, local_delay=0.01)
+    assert tight.delay_floor() == 0.004
+    # Bare callables advertise no bound.
+    bare = ClientSiteRouter(lambda a, b: 0.004, n=4)
+    assert bare.delay_floor() == 0.0
